@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Every figN_* / tableN_* binary prints the same rows/series the paper
+ * reports, as an aligned table plus (with --csv) machine-readable CSV.
+ */
+
+#ifndef TRAINBOX_BENCH_BENCH_UTIL_HH
+#define TRAINBOX_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.hh"
+
+namespace tb {
+namespace bench {
+
+/** True when argv contains --csv. */
+inline bool
+wantCsv(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--csv") == 0)
+            return true;
+    return false;
+}
+
+/** Print a section header. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/** Print a table in the requested format. */
+inline void
+emit(const Table &table, bool csv)
+{
+    if (csv)
+        table.printCsv();
+    else
+        table.print();
+}
+
+} // namespace bench
+} // namespace tb
+
+#endif // TRAINBOX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig 2b: model-synchronization latency of a 4 KB-chunked ring vs the
+ * number of accelerators, normalized to the two-accelerator latency.
+ * The curve must saturate at ~2x (the reason more accelerators do not
+ * raise sync cost). The tree and parameter-server series show what ring
+ * reduction displaced; a chunk-size sweep is included as an ablation.
+ */
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sync/sync_model.hh"
+#include "workload/model_zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const Bytes model_bytes = workload::model(
+        workload::ModelId::Resnet50).modelBytes;
+
+    bench::banner("Fig 2b: ring sync latency normalized to 2 accelerators"
+                  " (Resnet-50 gradients, 4 KB chunks)");
+    {
+        Table t({"#accelerators", "ring", "tree", "parameter-server"});
+        for (std::size_t n : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+            sync::SyncConfig cfg;
+            t.row().add(static_cast<long long>(n));
+            for (sync::Algorithm alg :
+                 {sync::Algorithm::Ring, sync::Algorithm::Tree,
+                  sync::Algorithm::ParameterServer}) {
+                cfg.algorithm = alg;
+                t.add(sync::normalizedSyncLatency(cfg, n, model_bytes), 3);
+            }
+        }
+        bench::emit(t, csv);
+    }
+
+    bench::banner("Ablation: ring chunk-size sensitivity (n = 256, "
+                  "normalized to 2 accelerators)");
+    {
+        Table t({"chunk bytes", "normalized latency", "latency (ms)"});
+        for (double chunk : {512.0, 1024.0, 4096.0, 16384.0, 65536.0,
+                             262144.0}) {
+            sync::SyncConfig cfg;
+            cfg.chunkBytes = chunk;
+            t.row()
+                .add(static_cast<long long>(chunk))
+                .add(sync::normalizedSyncLatency(cfg, 256, model_bytes), 3)
+                .add(sync::syncLatency(cfg, 256, model_bytes) * 1e3, 3);
+        }
+        bench::emit(t, csv);
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig 3: latency decomposition of Resnet-50 training while stacking
+ * platform optimizations (data prep + others = 100%).
+ *
+ *   Current      — 8 Titan-XP-class GPUs, PCIe interconnect, PS sync
+ *   +HW accel    — 256 TPU-v3-8-class accelerators, PCIe, PS sync
+ *   +ICN         — NVLink-class interconnect, PS sync
+ *   +Sync opt    — ring-based reduction
+ *
+ * Data preparation runs on the 48-core host in all four configurations;
+ * as the other steps accelerate, preparation comes to dominate (the paper
+ * reports 54.9x longer than the rest in the final configuration).
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "pcie/topology.hh"
+#include "sync/sync_model.hh"
+#include "workload/cost_model.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const workload::ModelInfo &resnet =
+        workload::model(workload::ModelId::Resnet50);
+    const workload::PrepDemand d = workload::prepDemand(resnet.input);
+    constexpr double host_cores = 48.0;
+    constexpr Rate titan_xp_throughput = 230.0; // samples/s per GPU
+
+    struct Platform
+    {
+        std::string name;
+        std::size_t n;
+        Rate device_throughput;
+        sync::SyncConfig sync;
+    };
+
+    sync::SyncConfig pcie_ps;
+    pcie_ps.algorithm = sync::Algorithm::ParameterServer;
+    pcie_ps.linkBandwidth = pcie::gen::gen3x16;
+
+    sync::SyncConfig nvlink_ps = pcie_ps;
+    nvlink_ps.linkBandwidth = 150.0e9;
+
+    sync::SyncConfig nvlink_ring = nvlink_ps;
+    nvlink_ring.algorithm = sync::Algorithm::Ring;
+
+    const std::vector<Platform> platforms = {
+        {"Current (8 Titan XP, PCIe)", 8, titan_xp_throughput, pcie_ps},
+        {"+HW accelerator (256 TPU)", 256, resnet.deviceThroughput,
+         pcie_ps},
+        {"+ICN (NVLink-speed)", 256, resnet.deviceThroughput, nvlink_ps},
+        {"+Sync optimization (ring)", 256, resnet.deviceThroughput,
+         nvlink_ring},
+    };
+
+    bench::banner("Fig 3: Resnet-50 per-batch latency split "
+                  "(prep vs compute+sync, normalized to 100%)");
+    Table t({"platform", "prep %", "compute %", "sync %",
+             "prep/others ratio"});
+    for (const auto &p : platforms) {
+        // Global batch = n per-device batches; preparation shares the
+        // 48-core host.
+        const double samples =
+            static_cast<double>(p.n) *
+            static_cast<double>(resnet.batchSize);
+        const Time t_prep = samples * d.cpuCoreSec / host_cores;
+        const Time t_comp =
+            static_cast<double>(resnet.batchSize) / p.device_throughput;
+        const Time t_sync =
+            sync::syncLatency(p.sync, p.n, resnet.modelBytes);
+        const Time total = t_prep + t_comp + t_sync;
+        t.row()
+            .add(p.name)
+            .add(100.0 * t_prep / total, 1)
+            .add(100.0 * t_comp / total, 1)
+            .add(100.0 * t_sync / total, 1)
+            .add(t_prep / (t_comp + t_sync), 1);
+    }
+    bench::emit(t, csv);
+    std::printf("\n(paper: preparation reaches 54.9x the rest in the "
+                "final configuration)\n");
+    return 0;
+}

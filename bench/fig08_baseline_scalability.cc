@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig 8: throughput scalability of the baseline server for all seven
+ * workloads, 1 -> 256 accelerators, normalized to one accelerator.
+ * The paper reports saturation after ~18 accelerators at best (data
+ * preparation exhausts the 48-core host).
+ */
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const std::vector<std::size_t> scales = {1, 4, 16, 64, 256};
+
+    bench::banner("Fig 8: baseline throughput vs #accelerators "
+                  "(normalized to 1 accelerator)");
+    std::vector<std::string> headers = {"model"};
+    for (auto n : scales)
+        headers.push_back("n=" + std::to_string(n));
+    headers.push_back("saturation point");
+    Table t(headers);
+
+    for (const auto &m : workload::modelZoo()) {
+        t.row().add(m.name);
+        double base = 0.0;
+        for (std::size_t n : scales) {
+            ServerConfig cfg;
+            cfg.preset = ArchPreset::Baseline;
+            cfg.model = m.id;
+            cfg.numAccelerators = n;
+            auto server = buildServer(cfg);
+            TrainingSession session(*server);
+            const double thpt = session.run(6, 12).throughput;
+            if (n == 1)
+                base = thpt;
+            t.add(thpt / base, 2);
+        }
+        // Analytic saturation point: accelerators whose demand equals the
+        // host's preparation capacity (Inception-v4: 18.3, TF-SR: 4.4).
+        const workload::PrepDemand d = workload::prepDemand(m.input);
+        t.add(48.0 / (d.cpuCoreSec * m.deviceThroughput), 1);
+    }
+    bench::emit(t, csv);
+    std::printf("\n(paper: Inception-v4 saturates at 18.3 accelerators, "
+                "Transformer-SR at 4.4)\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig 9: latency decomposition of one batch on the 256-accelerator
+ * baseline for all seven workloads. The paper reports that data
+ * preparation accounts for 98.1% of total latency on average.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/math_util.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    bench::banner("Fig 9: baseline per-batch latency decomposition, "
+                  "256 accelerators (% of total)");
+    Table t({"model", "data transfer %", "formatting %", "augmentation %",
+             "compute %", "sync %", "prep total %"});
+
+    std::vector<double> prep_shares;
+    for (const auto &m : workload::modelZoo()) {
+        ServerConfig cfg;
+        cfg.preset = ArchPreset::Baseline;
+        cfg.model = m.id;
+        cfg.numAccelerators = 256;
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        const SessionResult res = session.run(6, 12);
+
+        auto stage = [&](const char *name) {
+            auto it = res.prepStageTime.find(name);
+            return it == res.prepStageTime.end() ? 0.0 : it->second;
+        };
+        const double transfer =
+            stage("ssd_read") + stage("data_load") + stage("others");
+        const double fmt = stage("formatting");
+        const double aug = stage("augmentation");
+        const double prep = transfer + fmt + aug;
+        const double total = prep + res.computeTime + res.syncTime;
+
+        t.row()
+            .add(m.name)
+            .add(100.0 * transfer / total, 1)
+            .add(100.0 * fmt / total, 1)
+            .add(100.0 * aug / total, 1)
+            .add(100.0 * res.computeTime / total, 1)
+            .add(100.0 * res.syncTime / total, 1)
+            .add(100.0 * prep / total, 1);
+        prep_shares.push_back(100.0 * prep / total);
+    }
+    bench::emit(t, csv);
+    std::printf("\nmean preparation share: %.1f%% (paper: 98.1%%)\n",
+                mean(prep_shares));
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 10: host resources the baseline would need to sustain the target
+ * throughput of n accelerators, normalized to DGX-2 capacities
+ * (48 cores / 239 GB/s DRAM / 64 GB/s effective root complex).
+ * The paper reports maxima of 100.7x cores, 17.9x memory bandwidth, and
+ * 18.0x PCIe bandwidth at 256 accelerators.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "trainbox/resource_profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const std::vector<std::size_t> scales = {1, 4, 16, 64, 256};
+    const Dgx2Reference ref;
+    const sync::SyncConfig sync_cfg;
+
+    struct Axis
+    {
+        const char *title;
+        double HostDemandBreakdown::*value;
+        double norm;
+        const char *paper;
+    };
+    const std::vector<Axis> axes = {
+        {"Fig 10a: required CPU cores (normalized to DGX-2's 48)",
+         &HostDemandBreakdown::cpuCores, ref.cpuCores, "100.7x"},
+        {"Fig 10b: required memory bandwidth (normalized to 239 GB/s)",
+         &HostDemandBreakdown::memBw, ref.memBw, "17.9x"},
+        {"Fig 10c: required PCIe bandwidth at the root complex "
+         "(normalized to DGX-2)",
+         &HostDemandBreakdown::rcBw, ref.rcBw, "18.0x"},
+    };
+
+    for (const auto &axis : axes) {
+        bench::banner(axis.title);
+        std::vector<std::string> headers = {"model"};
+        for (auto n : scales)
+            headers.push_back("n=" + std::to_string(n));
+        Table t(headers);
+
+        double peak = 0.0;
+        for (const auto &m : workload::modelZoo()) {
+            t.row().add(m.name);
+            for (std::size_t n : scales) {
+                const HostDemandBreakdown demand = requiredHostDemand(
+                    m, ArchPreset::Baseline, n, sync_cfg);
+                const double normalized = demand.*(axis.value) / axis.norm;
+                t.add(normalized, 2);
+                peak = std::max(peak, normalized);
+            }
+        }
+        bench::emit(t, csv);
+        std::printf("\npeak at 256 accelerators: %.1fx (paper: up to %s)\n",
+                    peak, axis.paper);
+    }
+    return 0;
+}

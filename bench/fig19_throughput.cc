@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig 19: impact of TrainBox's optimizations with 256 accelerators.
+ *
+ * For each of the seven Table I workloads, reports the training throughput
+ * of Baseline, B+Acc, B+Acc+P2P, B+Acc+P2P+Gen4, and TrainBox, normalized
+ * to the baseline (the paper's Fig 19 y-axis), plus the geometric/
+ * arithmetic-mean speedups the paper quotes (44.4x average; 84.3x max for
+ * TF-AA; Acc alone 3.32x; clustering adds 13.4x).
+ */
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/math_util.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const std::vector<ArchPreset> presets = {
+        ArchPreset::Baseline,       ArchPreset::BaselineAccFpga,
+        ArchPreset::BaselineAccP2p, ArchPreset::BaselineAccP2pGen4,
+        ArchPreset::TrainBox,
+    };
+
+    bench::banner("Fig 19: throughput of server architectures, "
+                  "256 NN accelerators (normalized to baseline)");
+
+    std::vector<std::string> headers = {"model"};
+    for (auto p : presets)
+        headers.push_back(presetName(p));
+    headers.push_back("TrainBox samples/s");
+    Table table(headers);
+
+    std::vector<double> trainbox_speedups;
+    std::vector<double> acc_speedups;
+    std::vector<double> clustering_gains;
+
+    for (const auto &m : workload::modelZoo()) {
+        table.row().add(m.name);
+        double baseline = 0.0;
+        double acc = 0.0;
+        double gen4 = 0.0;
+        double trainbox = 0.0;
+        for (ArchPreset p : presets) {
+            ServerConfig cfg;
+            cfg.preset = p;
+            cfg.model = m.id;
+            cfg.numAccelerators = 256;
+            auto server = buildServer(cfg);
+            TrainingSession session(*server);
+            const double thpt = session.run().throughput;
+            if (p == ArchPreset::Baseline)
+                baseline = thpt;
+            if (p == ArchPreset::BaselineAccFpga)
+                acc = thpt;
+            if (p == ArchPreset::BaselineAccP2pGen4)
+                gen4 = thpt;
+            if (p == ArchPreset::TrainBox)
+                trainbox = thpt;
+            table.add(thpt / baseline, 2);
+        }
+        table.add(trainbox, 0);
+        trainbox_speedups.push_back(trainbox / baseline);
+        acc_speedups.push_back(acc / baseline);
+        clustering_gains.push_back(trainbox / gen4);
+    }
+    bench::emit(table, csv);
+
+    std::printf("\nTrainBox speedup over baseline: mean %.1fx, max %.1fx "
+                "(paper: 44.4x mean, 84.3x max)\n",
+                mean(trainbox_speedups),
+                *std::max_element(trainbox_speedups.begin(),
+                                  trainbox_speedups.end()));
+    std::printf("Acceleration (Step 1) alone:    mean %.2fx "
+                "(paper: 3.32x)\n",
+                mean(acc_speedups));
+    std::printf("TrainBox over best non-clustered (Gen4): mean %.1fx\n",
+                mean(clustering_gains));
+    return 0;
+}

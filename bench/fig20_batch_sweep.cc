@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 20: TrainBox vs baseline across batch sizes (Resnet-50, 256
+ * accelerators, throughput normalized to the baseline at batch 8).
+ * The paper reports that TrainBox wins at every batch size and that the
+ * gap widens with larger batches (better accelerator efficiency and
+ * relatively smaller sync overhead).
+ */
+
+#include "bench/bench_util.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    bench::banner("Fig 20: Resnet-50 throughput vs per-accelerator batch "
+                  "size, 256 accelerators (normalized to baseline @ 8)");
+    Table t({"batch size", "Baseline", "TrainBox", "TrainBox/Baseline"});
+
+    double norm = 0.0;
+    for (std::size_t batch : {8, 32, 128, 512, 2048, 8192}) {
+        double thpt[2] = {0.0, 0.0};
+        int i = 0;
+        for (ArchPreset p :
+             {ArchPreset::Baseline, ArchPreset::TrainBox}) {
+            ServerConfig cfg;
+            cfg.preset = p;
+            cfg.model = workload::ModelId::Resnet50;
+            cfg.numAccelerators = 256;
+            cfg.batchSize = batch;
+            auto server = buildServer(cfg);
+            TrainingSession session(*server);
+            thpt[i++] = session.run(6, 12).throughput;
+        }
+        if (norm == 0.0)
+            norm = thpt[0];
+        t.row()
+            .add(static_cast<long long>(batch))
+            .add(thpt[0] / norm, 2)
+            .add(thpt[1] / norm, 2)
+            .add(thpt[1] / thpt[0], 2);
+    }
+    bench::emit(t, csv);
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fig 22: measured host-resource utilization (CPU / memory BW / PCIe BW)
+ * of Baseline, B+Acc, B+Acc+P2P, and TrainBox, normalized to the
+ * baseline's consumption, split by activity. Uses the DES accounting:
+ * every fluid resource records per-category units served during the
+ * measurement window.
+ */
+
+#include "bench/bench_util.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    using workload::InputType;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const std::vector<ArchPreset> presets = {
+        ArchPreset::Baseline, ArchPreset::BaselineAccFpga,
+        ArchPreset::BaselineAccP2p, ArchPreset::TrainBox,
+    };
+    const std::vector<std::string> cats = {
+        "ssd_read", "formatting", "augmentation", "data_copy",
+        "data_load", "others"};
+
+    for (InputType input : {InputType::Image, InputType::Audio}) {
+        const workload::ModelInfo &m = workload::model(
+            input == InputType::Image ? workload::ModelId::Resnet50
+                                      : workload::ModelId::TfSr);
+
+        bench::banner(std::string("Fig 22") +
+                      (input == InputType::Image ? "a (image, " :
+                                                   "b (audio, ") +
+                      m.name +
+                      "): host utilization normalized to baseline");
+        std::vector<std::string> headers = {"resource", "category"};
+        for (auto p : presets)
+            headers.push_back(presetName(p));
+        Table t(headers);
+
+        // Collect per-preset results first.
+        std::vector<SessionResult> results;
+        for (ArchPreset p : presets) {
+            ServerConfig cfg;
+            cfg.preset = p;
+            cfg.model = m.id;
+            cfg.numAccelerators = 256;
+            auto server = buildServer(cfg);
+            TrainingSession session(*server);
+            results.push_back(session.run(6, 12));
+        }
+
+        struct Axis
+        {
+            const char *name;
+            const std::map<std::string, double> &(*get)(
+                const SessionResult &);
+            double (SessionResult::*total)() const;
+        };
+        const Axis axes[3] = {
+            {"CPU",
+             [](const SessionResult &r) -> const std::map<std::string,
+                                                          double> & {
+                 return r.cpuCoresByCategory;
+             },
+             &SessionResult::cpuCoresUsed},
+            {"Memory BW",
+             [](const SessionResult &r) -> const std::map<std::string,
+                                                          double> & {
+                 return r.memBwByCategory;
+             },
+             &SessionResult::memBwUsed},
+            {"PCIe BW",
+             [](const SessionResult &r) -> const std::map<std::string,
+                                                          double> & {
+                 return r.rcBwByCategory;
+             },
+             &SessionResult::rcBwUsed},
+        };
+
+        for (const auto &axis : axes) {
+            // Normalize to the baseline's total consumption, and report
+            // consumption per unit of training throughput so that faster
+            // presets are not penalized for doing more work.
+            const double base = (results[0].*(axis.total))() /
+                                results[0].throughput;
+            for (const auto &cat : cats) {
+                bool any = false;
+                for (std::size_t i = 0; i < presets.size(); ++i) {
+                    const auto &by = axis.get(results[i]);
+                    if (by.count(cat) && by.at(cat) > 0.0)
+                        any = true;
+                }
+                if (!any)
+                    continue;
+                t.row().add(axis.name).add(cat);
+                for (std::size_t i = 0; i < presets.size(); ++i) {
+                    const auto &by = axis.get(results[i]);
+                    const double v = by.count(cat) ? by.at(cat) : 0.0;
+                    t.add(v / results[i].throughput / base, 3);
+                }
+            }
+            t.row().add(axis.name).add("TOTAL");
+            for (std::size_t i = 0; i < presets.size(); ++i)
+                t.add((results[i].*(axis.total))() /
+                          results[i].throughput / base,
+                      3);
+        }
+        bench::emit(t, csv);
+    }
+    return 0;
+}

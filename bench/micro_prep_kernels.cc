@@ -1,0 +1,160 @@
+/**
+ * @file
+ * google-benchmark microbenches for the functional preparation kernels:
+ * JPEG encode/decode, the image operators, FFT/STFT/Mel, and the full
+ * per-sample pipelines. These are the host-CPU costs the paper's
+ * calibration is about (the per-sample core-seconds of prep_ops.cc).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "prep/audio/audio_ops.hh"
+#include "prep/audio/fft.hh"
+#include "prep/audio/mel.hh"
+#include "prep/audio/stft.hh"
+#include "prep/audio/wave_gen.hh"
+#include "prep/image/image_ops.hh"
+#include "prep/jpeg/jpeg_decoder.hh"
+#include "prep/jpeg/jpeg_encoder.hh"
+#include "prep/pipeline.hh"
+
+namespace {
+
+using namespace tb;
+
+const Image &
+testImage()
+{
+    static Rng rng(7);
+    static const Image img = prep::makeSyntheticImage(256, 256, rng);
+    return img;
+}
+
+const std::vector<std::uint8_t> &
+testJpeg()
+{
+    static const std::vector<std::uint8_t> bytes =
+        jpeg::encodeJpeg(testImage());
+    return bytes;
+}
+
+void
+BM_JpegEncode(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(jpeg::encodeJpeg(testImage()));
+}
+BENCHMARK(BM_JpegEncode)->Unit(benchmark::kMillisecond);
+
+void
+BM_JpegDecode(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(jpeg::decodeJpeg(testJpeg()));
+}
+BENCHMARK(BM_JpegDecode)->Unit(benchmark::kMillisecond);
+
+void
+BM_RandomCrop(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            imageops::randomCrop(testImage(), 224, 224, rng));
+}
+BENCHMARK(BM_RandomCrop)->Unit(benchmark::kMicrosecond);
+
+void
+BM_Mirror(benchmark::State &state)
+{
+    const Image crop = imageops::centerCrop(testImage(), 224, 224);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(imageops::mirrorHorizontal(crop));
+}
+BENCHMARK(BM_Mirror)->Unit(benchmark::kMicrosecond);
+
+void
+BM_GaussianNoise(benchmark::State &state)
+{
+    Rng rng(2);
+    const Image crop = imageops::centerCrop(testImage(), 224, 224);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            imageops::addGaussianNoise(crop, 4.0, rng));
+}
+BENCHMARK(BM_GaussianNoise)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CastTensor(benchmark::State &state)
+{
+    const Image crop = imageops::centerCrop(testImage(), 224, 224);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(imageops::castToFloatTensor(crop));
+}
+BENCHMARK(BM_CastTensor)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ImagePipeline(benchmark::State &state)
+{
+    Rng rng(3);
+    prep::ImagePrepPipeline pipe;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.prepare(testJpeg(), rng));
+}
+BENCHMARK(BM_ImagePipeline)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fft(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<audio::Complex> data(state.range(0));
+    for (auto &c : data)
+        c = {rng.gaussian(), rng.gaussian()};
+    for (auto _ : state) {
+        auto copy = data;
+        audio::fft(copy);
+        benchmark::DoNotOptimize(copy);
+    }
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+const std::vector<double> &
+testWave()
+{
+    static Rng rng(5);
+    static const std::vector<double> wave =
+        audio::generateUtterance({}, rng);
+    return wave;
+}
+
+void
+BM_Stft(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(audio::stft(testWave()));
+}
+BENCHMARK(BM_Stft)->Unit(benchmark::kMillisecond);
+
+void
+BM_LogMel(benchmark::State &state)
+{
+    const audio::Spectrogram power = audio::stft(testWave());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(audio::logMel(power, {}, 512));
+}
+BENCHMARK(BM_LogMel)->Unit(benchmark::kMillisecond);
+
+void
+BM_AudioPipeline(benchmark::State &state)
+{
+    Rng rng(6);
+    prep::AudioPrepPipeline pipe;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.prepare(testWave(), rng));
+}
+BENCHMARK(BM_AudioPipeline)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

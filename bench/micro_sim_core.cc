@@ -1,0 +1,73 @@
+/**
+ * @file
+ * google-benchmark microbenches for the simulation core: event queue
+ * throughput, fluid-network rate recomputation at various flow counts,
+ * and a full 256-accelerator TrainBox session.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fluid/fluid.hh"
+#include "sim/event_queue.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+namespace {
+
+using namespace tb;
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleIn(i * 1e-6, [] {});
+        eq.run();
+        benchmark::DoNotOptimize(eq.numExecuted());
+    }
+}
+BENCHMARK(BM_EventQueue)->Unit(benchmark::kMicrosecond);
+
+void
+BM_FluidRecompute(benchmark::State &state)
+{
+    const int n_flows = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        FluidNetwork net(eq);
+        FluidResource *shared = net.addResource("shared", 1e9);
+        FluidResource *other = net.addResource("other", 1e9);
+        for (int i = 0; i < n_flows; ++i) {
+            FlowSpec spec;
+            spec.category = "bench";
+            spec.size = 1e6;
+            spec.demands = {{shared, 1.0}, {other, 0.5}};
+            net.startFlow(std::move(spec));
+        }
+        eq.run();
+        benchmark::DoNotOptimize(shared->totalServed());
+    }
+}
+BENCHMARK(BM_FluidRecompute)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_TrainBoxSession(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ServerConfig cfg;
+        cfg.preset = ArchPreset::TrainBox;
+        cfg.model = workload::ModelId::Resnet50;
+        cfg.numAccelerators = static_cast<std::size_t>(state.range(0));
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        benchmark::DoNotOptimize(session.run(2, 4).throughput);
+    }
+}
+BENCHMARK(BM_TrainBoxSession)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

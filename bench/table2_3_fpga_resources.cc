@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tables II and III: FPGA resource utilization of the image and audio
+ * data-preparation accelerator configurations on the XCVU9P.
+ */
+
+#include "bench/bench_util.hh"
+#include "fpga/engine_library.hh"
+
+namespace {
+
+void
+printPlan(const char *title, const tb::fpga::Floorplan &plan, bool csv)
+{
+    using namespace tb;
+    bench::banner(title);
+    Table t({"engine", "LUTs", "LUT %", "FF", "FF %", "BRAM", "BRAM %",
+             "DSP", "DSP %"});
+    for (const auto &e : plan.engines()) {
+        const fpga::Utilization u = plan.utilizationOf(e);
+        t.row()
+            .add(e.name)
+            .add(static_cast<long long>(e.cost.lut))
+            .add(u.lutPct, 1)
+            .add(static_cast<long long>(e.cost.ff))
+            .add(u.ffPct, 1)
+            .add(static_cast<long long>(e.cost.bram))
+            .add(u.bramPct, 1)
+            .add(static_cast<long long>(e.cost.dsp))
+            .add(u.dspPct, 1);
+    }
+    const fpga::Utilization total = plan.utilization();
+    const fpga::Resources sum = plan.total();
+    t.row()
+        .add("TOTAL")
+        .add(static_cast<long long>(sum.lut))
+        .add(total.lutPct, 1)
+        .add(static_cast<long long>(sum.ff))
+        .add(total.ffPct, 1)
+        .add(static_cast<long long>(sum.bram))
+        .add(total.bramPct, 1)
+        .add(static_cast<long long>(sum.dsp))
+        .add(total.dspPct, 1);
+    bench::emit(t, csv);
+    std::printf("fits %s: %s\n", plan.device().name.c_str(),
+                plan.fits() ? "yes" : "NO");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+    printPlan("Table II: FPGA resource utilization (image version)",
+              fpga::imageFloorplan(), csv);
+    printPlan("Table III: FPGA resource utilization (audio version)",
+              fpga::audioFloorplan(), csv);
+    std::printf("\n(paper totals — image: 78.7%% LUT / 38.1%% FF / "
+                "51.5%% BRAM / 30.5%% DSP; audio: 80.2%% / 46.3%% / "
+                "77.1%% / 12.2%%)\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The Fig 5 experiment as a standalone example: train the synthetic
+ * shape classifier with and without run-time augmentation and plot the
+ * per-epoch test accuracy as an ASCII chart. Demonstrates *why* the
+ * paper insists on on-line data preparation: augmentation is a
+ * hyperparameter worth a large accuracy margin, and it can't be
+ * precomputed (§III-D).
+ *
+ *   ./augmentation_accuracy [epochs] [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "nn/trainer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb::nn;
+
+    TrainerConfig cfg;
+    cfg.epochs = argc > 1 ? std::atoi(argv[1]) : 20;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr,
+                                                        10)
+                                        : 1234;
+
+    cfg.augment = true;
+    const TrainHistory augmented = trainShapeClassifier(cfg, seed);
+    cfg.augment = false;
+    const TrainHistory plain = trainShapeClassifier(cfg, seed);
+
+    std::printf("Test accuracy per epoch (# = with augmentation, "
+                "o = without)\n\n");
+    for (int e = 0; e < cfg.epochs; ++e) {
+        const int bar_aug =
+            static_cast<int>(augmented.testAccuracy[e] * 60.0);
+        const int bar_plain =
+            static_cast<int>(plain.testAccuracy[e] * 60.0);
+        std::string line(61, ' ');
+        for (int i = 0; i < bar_aug; ++i)
+            line[i] = '#';
+        if (bar_plain < 61)
+            line[bar_plain] = 'o';
+        std::printf("epoch %2d |%s| %.3f vs %.3f\n", e + 1, line.c_str(),
+                    augmented.testAccuracy[e], plain.testAccuracy[e]);
+    }
+
+    std::printf("\nfinal: %.1f%% with augmentation vs %.1f%% without "
+                "(gap %.1f points; paper reports 29.1 points on "
+                "ImageNet/Resnet-50 top-5)\n",
+                100.0 * augmented.finalAccuracy(),
+                100.0 * plain.finalAccuracy(),
+                100.0 * (augmented.finalAccuracy() -
+                         plain.finalAccuracy()));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Capacity planner built on the train initializer (§V-A): for a chosen
+ * workload and scale, report the per-box preparation demand, the local
+ * FPGA capacity, the prep-pool allocation, Ethernet feasibility, and the
+ * host resources a baseline server would have needed instead.
+ *
+ *   ./capacity_planner [model-name] [num-accelerators]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "fpga/engine_library.hh"
+#include "trainbox/resource_profile.hh"
+#include "trainbox/train_initializer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+
+    const std::string model_name = argc > 1 ? argv[1] : "Transformer-SR";
+    const std::size_t n =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+
+    const workload::ModelInfo &m = workload::modelByName(model_name);
+    ServerConfig cfg;
+    cfg.preset = ArchPreset::TrainBox;
+    cfg.model = m.id;
+    cfg.numAccelerators = n;
+
+    const PrepPlan plan = planPreparation(cfg);
+    const std::size_t boxes =
+        (n + cfg.box.accPerBox - 1) / cfg.box.accPerBox;
+
+    std::printf("TrainBox capacity plan: %s on %zu accelerators "
+                "(%zu train boxes)\n\n",
+                m.name.c_str(), n, boxes);
+
+    Table t({"quantity", "value"});
+    t.row().add("prep demand per box (samples/s)")
+        .add(plan.perBoxDemand, 0);
+    t.row().add("local FPGA capacity per box (samples/s)")
+        .add(plan.perBoxLocalCapacity, 0);
+    t.row().add("offload fraction to prep-pool")
+        .add(100.0 * plan.offloadFraction, 1);
+    t.row().add("prep-pool FPGAs to allocate")
+        .add(static_cast<long long>(plan.poolFpgas));
+    t.row().add("pool capacity needed (samples/s)")
+        .add(plan.poolCapacityNeeded, 0);
+    t.row().add("extra capacity vs local (%)")
+        .add(100.0 * plan.poolOvercapacityRatio, 1);
+    t.row().add("Ethernet per 100G port (GB/s)")
+        .add(plan.ethernetPerPort / 1e9, 2);
+    t.row().add("Ethernet feasible")
+        .add(plan.ethernetFeasible ? "yes" : "NO");
+    t.print();
+
+    // What the FPGA bitstream looks like for this input type.
+    const fpga::Floorplan floorplan =
+        m.input == workload::InputType::Image ? fpga::imageFloorplan()
+                                              : fpga::audioFloorplan();
+    const fpga::Utilization u = floorplan.utilization();
+    std::printf("\nPer-FPGA floorplan (%s pipeline on %s): %.1f%% LUT, "
+                "%.1f%% FF, %.1f%% BRAM, %.1f%% DSP — %s\n",
+                workload::toString(m.input),
+                floorplan.device().name.c_str(), u.lutPct, u.ffPct,
+                u.bramPct, u.dspPct,
+                floorplan.fits() ? "fits" : "DOES NOT FIT");
+
+    // For contrast: what the host would have needed without TrainBox.
+    const HostDemandBreakdown host =
+        requiredHostDemand(m, ArchPreset::Baseline, n, cfg.sync);
+    const Dgx2Reference ref;
+    std::printf("\nBaseline host demand at the same throughput: "
+                "%.0f CPU cores (%.1fx DGX-2), %.0f GB/s DRAM (%.1fx), "
+                "%.0f GB/s PCIe RC (%.1fx)\n",
+                host.cpuCores, host.cpuCores / ref.cpuCores,
+                host.memBw / 1e9, host.memBw / ref.memBw,
+                host.rcBw / 1e9, host.rcBw / ref.rcBw);
+    return 0;
+}

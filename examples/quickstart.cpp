@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: build a 256-accelerator server, run a training session on
+ * the baseline and on TrainBox, and compare throughput.
+ *
+ *   ./quickstart [model-name] [num-accelerators] [trace.json]
+ *
+ * Model names are the Table I names (default Resnet-50). When a third
+ * argument is given, a Chrome-trace timeline of the TrainBox run is
+ * written there (open in chrome://tracing or ui.perfetto.dev).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/trace.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+
+    const std::string model_name = argc > 1 ? argv[1] : "Resnet-50";
+    const std::size_t n_acc =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+    const std::string trace_path = argc > 3 ? argv[3] : "";
+
+    const workload::ModelInfo &m = workload::modelByName(model_name);
+
+    std::printf("TrainBox quickstart: %s (%s, %s input), %zu "
+                "accelerators\n\n",
+                m.name.c_str(), workload::toString(m.type),
+                workload::toString(m.input), n_acc);
+
+    Table table({"architecture", "throughput (samples/s)",
+                 "step time (ms)", "prep latency (ms)", "speedup"});
+
+    double baseline_thpt = 0.0;
+    for (ArchPreset preset :
+         {ArchPreset::Baseline, ArchPreset::TrainBox}) {
+        ServerConfig cfg;
+        cfg.preset = preset;
+        cfg.model = m.id;
+        cfg.numAccelerators = n_acc;
+
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        TraceWriter trace;
+        if (!trace_path.empty() && preset == ArchPreset::TrainBox)
+            session.setTrace(&trace);
+        const SessionResult res = session.run();
+        if (trace.numEvents() > 0 && trace.writeFile(trace_path))
+            std::printf("wrote %zu trace events to %s\n",
+                        trace.numEvents(), trace_path.c_str());
+
+        if (preset == ArchPreset::Baseline)
+            baseline_thpt = res.throughput;
+        table.row()
+            .add(presetName(preset))
+            .add(res.throughput, 1)
+            .add(res.stepTime * 1e3, 2)
+            .add(res.prepLatency * 1e3, 2)
+            .add(res.throughput / baseline_thpt, 2);
+    }
+    table.print();
+
+    std::printf("\nThe ideal (prep-unconstrained) target is %.1f "
+                "samples/s.\n",
+                workload::targetThroughput(m, n_acc, sync::SyncConfig{}));
+    return 0;
+}

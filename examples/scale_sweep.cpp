@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Architecture scale sweep: run a chosen workload on every architecture
+ * preset across accelerator counts and print the throughput matrix —
+ * the example version of the paper's Fig 21 methodology, usable for any
+ * of the seven workloads.
+ *
+ *   ./scale_sweep [model-name] [max-accelerators]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+
+    const std::string model_name = argc > 1 ? argv[1] : "Inception-v4";
+    const std::size_t max_n =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+
+    const workload::ModelInfo &m = workload::modelByName(model_name);
+
+    std::vector<std::size_t> scales;
+    for (std::size_t n = 1; n <= max_n; n *= 4)
+        scales.push_back(n);
+    if (scales.back() != max_n)
+        scales.push_back(max_n);
+
+    std::printf("Scale sweep: %s (throughput in samples/s)\n\n",
+                m.name.c_str());
+
+    std::vector<std::string> headers = {"architecture"};
+    for (auto n : scales)
+        headers.push_back("n=" + std::to_string(n));
+    Table t(headers);
+
+    for (ArchPreset p : allPresets()) {
+        t.row().add(presetName(p));
+        for (std::size_t n : scales) {
+            ServerConfig cfg;
+            cfg.preset = p;
+            cfg.model = m.id;
+            cfg.numAccelerators = n;
+            auto server = buildServer(cfg);
+            TrainingSession session(*server);
+            t.add(session.run(6, 12).throughput, 0);
+        }
+    }
+    t.print();
+
+    std::printf("\nideal target at n=%zu: %.0f samples/s\n", max_n,
+                workload::targetThroughput(m, max_n, sync::SyncConfig{}));
+    return 0;
+}

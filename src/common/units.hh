@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Unit helpers and literal-style constants used across the simulator.
+ *
+ * Conventions: time is in seconds (double), data in bytes (double — flows
+ * are fluid), rates in bytes/second, compute in core-seconds.
+ */
+
+#ifndef TRAINBOX_COMMON_UNITS_HH
+#define TRAINBOX_COMMON_UNITS_HH
+
+namespace tb {
+
+/** Simulated time in seconds. */
+using Time = double;
+
+/** Data volume in bytes (fluid, hence double). */
+using Bytes = double;
+
+/** Transfer or service rate in bytes (or work units) per second. */
+using Rate = double;
+
+namespace units {
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+inline constexpr double TB = 1e12;
+
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+
+/** Gbit/s expressed in bytes/s (Ethernet-style rates). */
+inline constexpr double Gbps = 1e9 / 8.0;
+
+} // namespace units
+} // namespace tb
+
+#endif // TRAINBOX_COMMON_UNITS_HH

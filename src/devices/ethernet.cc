@@ -1,0 +1,33 @@
+#include "devices/ethernet.hh"
+
+namespace tb {
+
+PrepPool::PrepPool(FluidNetwork &net, const std::string &name,
+                   Rate fabric_bw)
+    : net_(net), name_(name),
+      fabric_(net.addResource(name + ".fabric", fabric_bw))
+{
+}
+
+PoolFpga &
+PrepPool::addFpga(Rate engine_rate, Rate port_bw)
+{
+    const std::string id = name_ + ".fpga" + std::to_string(fpgas_.size());
+    PoolFpga fpga;
+    fpga.name = id;
+    fpga.port = net_.addResource(id + ".eth", port_bw);
+    fpga.engine = net_.addResource(id + ".engine", engine_rate);
+    fpgas_.push_back(fpga);
+    return fpgas_.back();
+}
+
+Rate
+PrepPool::totalEngineRate() const
+{
+    Rate total = 0.0;
+    for (const auto &f : fpgas_)
+        total += f.engine->capacity();
+    return total;
+}
+
+} // namespace tb

@@ -1,0 +1,11 @@
+#include "devices/nn_accelerator.hh"
+
+namespace tb {
+
+NnAccelerator::NnAccelerator(pcie::Topology &topo, const std::string &name,
+                             pcie::NodeId parent, Rate link_bw)
+    : name_(name), node_(topo.addDevice(name, parent, link_bw))
+{
+}
+
+} // namespace tb

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Neural-network accelerator model (TPU-v3-8 class).
+ *
+ * Compute capability comes from the workload model (Table I throughput at
+ * the reference batch, derated at smaller batches); synchronization uses
+ * the dedicated accelerator interconnect (sync/sync_model.hh), which is
+ * separate from PCIe and never contended by data preparation — exactly the
+ * paper's setting. The accelerator's PCIe presence matters only as the
+ * sink of prepared batches.
+ */
+
+#ifndef TRAINBOX_DEVICES_NN_ACCELERATOR_HH
+#define TRAINBOX_DEVICES_NN_ACCELERATOR_HH
+
+#include <string>
+
+#include "pcie/topology.hh"
+#include "workload/model_zoo.hh"
+
+namespace tb {
+
+/** One NN accelerator attached to the PCIe tree. */
+class NnAccelerator
+{
+  public:
+    NnAccelerator(pcie::Topology &topo, const std::string &name,
+                  pcie::NodeId parent,
+                  Rate linkBw = pcie::gen::gen3x16);
+
+    const std::string &name() const { return name_; }
+    pcie::NodeId node() const { return node_; }
+
+    /** Compute time of one batch (no sync). */
+    Time computeTime(const workload::ModelInfo &m,
+                     std::size_t batch_size) const
+    {
+        return workload::computeLatency(m, batch_size);
+    }
+
+  private:
+    std::string name_;
+    pcie::NodeId node_;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_DEVICES_NN_ACCELERATOR_HH

@@ -1,0 +1,19 @@
+#include "devices/prep_accelerator.hh"
+
+namespace tb {
+
+PrepAccelerator::PrepAccelerator(FluidNetwork &net, pcie::Topology &topo,
+                                 const std::string &name,
+                                 pcie::NodeId parent, PrepEngineKind kind,
+                                 Rate engine_rate, bool with_ethernet,
+                                 Rate link_bw)
+    : name_(name),
+      node_(topo.addDevice(name, parent, link_bw)),
+      kind_(kind),
+      engine_(net.addResource(name + ".engine", engine_rate))
+{
+    if (with_ethernet)
+        ethPort_ = net.addResource(name + ".eth", defaultEthernetBw);
+}
+
+} // namespace tb

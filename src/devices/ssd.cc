@@ -1,0 +1,14 @@
+#include "devices/ssd.hh"
+
+namespace tb {
+
+NvmeSsd::NvmeSsd(FluidNetwork &net, pcie::Topology &topo,
+                 const std::string &name, pcie::NodeId parent,
+                 Rate link_bw, Rate read_bw)
+    : name_(name),
+      node_(topo.addDevice(name, parent, link_bw)),
+      readBw_(net.addResource(name + ".flash", read_bw))
+{
+}
+
+} // namespace tb

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * NVMe SSD model.
+ *
+ * An SSD is a PCIe leaf whose internal read path is a bandwidth resource
+ * (flash channels + controller). Reads place demand on the internal
+ * resource and on the PCIe route toward the destination; the builder
+ * composes the two.
+ */
+
+#ifndef TRAINBOX_DEVICES_SSD_HH
+#define TRAINBOX_DEVICES_SSD_HH
+
+#include <string>
+
+#include "pcie/topology.hh"
+
+namespace tb {
+
+/** One NVMe SSD attached to the PCIe tree. */
+class NvmeSsd
+{
+  public:
+    /** Typical datacenter NVMe sequential-read bandwidth. */
+    static constexpr Rate defaultReadBandwidth = 3.2e9;
+
+    /**
+     * Create the device: attaches a PCIe leaf under @p parent and an
+     * internal read-bandwidth resource in @p net.
+     */
+    NvmeSsd(FluidNetwork &net, pcie::Topology &topo,
+            const std::string &name, pcie::NodeId parent,
+            Rate linkBw = pcie::gen::gen3x16 / 4.0,
+            Rate readBw = defaultReadBandwidth);
+
+    const std::string &name() const { return name_; }
+    pcie::NodeId node() const { return node_; }
+
+    /** Internal read-path resource. */
+    FluidResource *readBandwidth() const { return readBw_; }
+
+    /** Demand on the internal read path per flow base unit. */
+    FlowDemand readDemand(double bytesPerUnit) const
+    {
+        return {readBw_, bytesPerUnit};
+    }
+
+  private:
+    std::string name_;
+    pcie::NodeId node_;
+    FluidResource *readBw_;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_DEVICES_SSD_HH

@@ -1,0 +1,328 @@
+#include "fluid/fluid.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tb {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+} // namespace
+
+FluidResource::FluidResource(std::string name, Rate capacity)
+    : name_(std::move(name)), capacity_(capacity)
+{
+    panic_if(capacity <= 0.0, "resource %s with non-positive capacity %g",
+             name_.c_str(), capacity);
+}
+
+void
+FluidResource::setCapacity(Rate capacity)
+{
+    panic_if(capacity <= 0.0, "resource %s capacity %g must be positive",
+             name_.c_str(), capacity);
+    capacity_ = capacity;
+}
+
+double
+FluidResource::served(const std::string &category) const
+{
+    auto it = served_.find(category);
+    return it == served_.end() ? 0.0 : it->second;
+}
+
+double
+FluidResource::utilization(Time now) const
+{
+    const double window = now - windowStart_;
+    if (window <= 0.0)
+        return 0.0;
+    return totalServed_ / (capacity_ * window);
+}
+
+void
+FluidResource::resetAccounting(Time now)
+{
+    totalServed_ = 0.0;
+    served_.clear();
+    windowStart_ = now;
+}
+
+void
+DemandSet::add(FluidResource *resource, double weight)
+{
+    panic_if(resource == nullptr, "DemandSet::add null resource");
+    if (weight <= 0.0)
+        return;
+    weights_[resource] += weight;
+}
+
+void
+DemandSet::add(const std::vector<FlowDemand> &demands, double scale)
+{
+    for (const auto &d : demands)
+        add(d.resource, d.weight * scale);
+}
+
+std::vector<FlowDemand>
+DemandSet::build() const
+{
+    std::vector<FlowDemand> out;
+    out.reserve(weights_.size());
+    for (const auto &[res, w] : weights_)
+        out.push_back({res, w});
+    return out;
+}
+
+FluidNetwork::FluidNetwork(EventQueue &eq) : eq_(eq) {}
+
+FluidNetwork::~FluidNetwork()
+{
+    eq_.cancel(pending_);
+}
+
+FluidResource *
+FluidNetwork::addResource(const std::string &name, Rate capacity)
+{
+    resources_.push_back(std::make_unique<FluidResource>(name, capacity));
+    return resources_.back().get();
+}
+
+FluidResource *
+FluidNetwork::findResource(const std::string &name) const
+{
+    for (const auto &r : resources_)
+        if (r->name() == name)
+            return r.get();
+    return nullptr;
+}
+
+FlowId
+FluidNetwork::startFlow(FlowSpec spec)
+{
+    panic_if(spec.size < 0.0, "flow with negative size %g", spec.size);
+    panic_if(spec.fairWeight <= 0.0, "flow with fair weight %g",
+             spec.fairWeight);
+    panic_if(spec.demands.empty() && spec.rateCap <= 0.0 && spec.size > 0.0,
+             "flow '%s' has neither demands nor a rate cap",
+             spec.category.c_str());
+    for (const auto &d : spec.demands) {
+        panic_if(d.resource == nullptr, "flow demand with null resource");
+        panic_if(d.weight <= 0.0, "flow demand with weight %g on %s",
+                 d.weight, d.resource->name().c_str());
+    }
+
+    advanceTo(eq_.now());
+
+    const FlowId id = nextId_++;
+    Flow flow;
+    flow.id = id;
+    flow.category = std::move(spec.category);
+    flow.remaining = spec.size;
+    flow.rateCap = spec.rateCap;
+    flow.fairWeight = spec.fairWeight;
+    flow.demands = std::move(spec.demands);
+    flow.onComplete = std::move(spec.onComplete);
+    flows_.emplace(id, std::move(flow));
+
+    recomputeRates();
+    scheduleCompletion();
+    return id;
+}
+
+void
+FluidNetwork::cancelFlow(FlowId id)
+{
+    advanceTo(eq_.now());
+    flows_.erase(id);
+    recomputeRates();
+    scheduleCompletion();
+}
+
+double
+FluidNetwork::flowRate(FlowId id) const
+{
+    auto it = flows_.find(id);
+    return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double
+FluidNetwork::flowRemaining(FlowId id) const
+{
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return 0.0;
+    // Account for progress since the last advance without mutating state.
+    const double dt = eq_.now() - lastAdvance_;
+    return std::max(0.0, it->second.remaining - it->second.rate * dt);
+}
+
+void
+FluidNetwork::capacityChanged()
+{
+    advanceTo(eq_.now());
+    recomputeRates();
+    scheduleCompletion();
+}
+
+void
+FluidNetwork::resetAccounting()
+{
+    advanceTo(eq_.now());
+    for (auto &r : resources_)
+        r->resetAccounting(eq_.now());
+}
+
+void
+FluidNetwork::advanceTo(Time now)
+{
+    const double dt = now - lastAdvance_;
+    panic_if(dt < -1e-12, "fluid network advancing backwards (%g)", dt);
+    lastAdvance_ = now;
+    if (dt <= 0.0)
+        return;
+    for (auto &[id, flow] : flows_) {
+        const double served = std::min(flow.remaining, flow.rate * dt);
+        if (served <= 0.0)
+            continue;
+        flow.remaining -= served;
+        for (const auto &d : flow.demands)
+            d.resource->account(flow.category, d.weight * served);
+    }
+}
+
+void
+FluidNetwork::recomputeRates()
+{
+    // Progressive filling: raise all unfrozen flow rates uniformly until a
+    // flow hits its cap or a resource saturates; repeat.
+    for (auto &r : resources_) {
+        r->allocScratch_ = r->capacity(); // remaining slack
+        r->weightScratch_ = 0.0;          // active weight (recomputed below)
+    }
+
+    std::size_t unfrozen = 0;
+    for (auto &[id, flow] : flows_) {
+        flow.rate = 0.0;
+        flow.frozen = flow.remaining <= 0.0;
+        if (!flow.frozen)
+            ++unfrozen;
+    }
+
+    while (unfrozen > 0) {
+        for (auto &r : resources_)
+            r->weightScratch_ = 0.0;
+        for (auto &[id, flow] : flows_) {
+            if (flow.frozen)
+                continue;
+            for (const auto &d : flow.demands)
+                d.resource->weightScratch_ += d.weight * flow.fairWeight;
+        }
+
+        double step = kInf;
+        for (auto &r : resources_) {
+            if (r->weightScratch_ > 0.0)
+                step = std::min(step,
+                                std::max(0.0, r->allocScratch_) /
+                                    r->weightScratch_);
+        }
+        for (auto &[id, flow] : flows_) {
+            if (flow.frozen || flow.rateCap <= 0.0)
+                continue;
+            step = std::min(step, (flow.rateCap - flow.rate) /
+                                      flow.fairWeight);
+        }
+        panic_if(std::isinf(step),
+                 "unconstrained flow in fluid network (no demand, no cap)");
+
+        for (auto &[id, flow] : flows_) {
+            if (flow.frozen)
+                continue;
+            flow.rate += step * flow.fairWeight;
+            for (const auto &d : flow.demands)
+                d.resource->allocScratch_ -=
+                    d.weight * flow.fairWeight * step;
+        }
+
+        // Freeze flows that hit their caps.
+        for (auto &[id, flow] : flows_) {
+            if (flow.frozen)
+                continue;
+            if (flow.rateCap > 0.0 &&
+                flow.rate >= flow.rateCap * (1.0 - 1e-12)) {
+                flow.frozen = true;
+                --unfrozen;
+            }
+        }
+        // Freeze flows on saturated resources.
+        for (auto &r : resources_) {
+            if (r->weightScratch_ <= 0.0)
+                continue;
+            if (r->allocScratch_ <= 1e-12 * r->capacity()) {
+                for (auto &[id, flow] : flows_) {
+                    if (flow.frozen)
+                        continue;
+                    for (const auto &d : flow.demands) {
+                        if (d.resource == r.get()) {
+                            flow.frozen = true;
+                            --unfrozen;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+FluidNetwork::scheduleCompletion()
+{
+    eq_.cancel(pending_);
+    double earliest = kInf;
+    for (const auto &[id, flow] : flows_) {
+        if (flow.remaining <= 0.0) {
+            earliest = 0.0;
+            break;
+        }
+        if (flow.rate > 0.0)
+            earliest = std::min(earliest, flow.remaining / flow.rate);
+    }
+    if (std::isinf(earliest))
+        return;
+    pending_ = eq_.scheduleIn(earliest, [this] { completeEarliest(); });
+}
+
+void
+FluidNetwork::completeEarliest()
+{
+    pending_.invalidate();
+    advanceTo(eq_.now());
+
+    // Collect every flow that has (numerically) finished.
+    std::vector<Flow> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        Flow &flow = it->second;
+        const double eps =
+            1e-9 * std::max(1.0, flow.remaining + flow.rate);
+        if (flow.remaining <= eps) {
+            done.push_back(std::move(flow));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    recomputeRates();
+    scheduleCompletion();
+
+    const Time now = eq_.now();
+    for (auto &flow : done)
+        if (flow.onComplete)
+            flow.onComplete(now);
+}
+
+} // namespace tb

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Fluid-flow contention engine.
+ *
+ * Every shared hardware resource in the simulated server — a PCIe link
+ * direction, the root complex, host DRAM bandwidth, the CPU core pool, an
+ * SSD's read path, an FPGA prep pipeline, an Ethernet link — is a
+ * FluidResource with a capacity in units/second. Work moves through the
+ * system as FluidFlows: a flow has a size in *base units* (bytes for a DMA,
+ * samples for a prep task) and a set of per-resource demand weights (units
+ * of that resource consumed per base unit served). A DMA that crosses three
+ * PCIe links and writes host memory is one flow with four demands.
+ *
+ * At any instant the engine assigns each active flow a base rate via
+ * progressive filling (weighted max-min fairness with optional per-flow
+ * rate caps — a prep task cannot exceed its parallelism, a device port
+ * cannot exceed its line rate). Rates are piecewise constant between flow
+ * arrivals/departures; the engine advances remaining sizes lazily and keeps
+ * exactly one completion event pending in the EventQueue.
+ *
+ * The engine also performs per-category accounting on every resource
+ * (bytes moved for "data_load" vs "formatting" vs ...), which is what the
+ * host-resource figures of the paper (Figs 10/11/22) are built from.
+ */
+
+#ifndef TRAINBOX_FLUID_FLUID_HH
+#define TRAINBOX_FLUID_FLUID_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace tb {
+
+/** A capacity-limited shared resource (link, memory, core pool, ...). */
+class FluidResource
+{
+  public:
+    FluidResource(std::string name, Rate capacity);
+
+    const std::string &name() const { return name_; }
+    Rate capacity() const { return capacity_; }
+
+    /** Change capacity (e.g., Gen3 -> Gen4 sweep); caller must recompute. */
+    void setCapacity(Rate capacity);
+
+    /** Total units served through this resource so far. */
+    double totalServed() const { return totalServed_; }
+
+    /** Units served per accounting category. */
+    const std::map<std::string, double> &servedByCategory() const
+    {
+        return served_;
+    }
+
+    /** Served units for one category (0 when absent). */
+    double served(const std::string &category) const;
+
+    /**
+     * Time-average utilization in [0, 1] over the window since the last
+     * resetAccounting(), given the current simulation time.
+     */
+    double utilization(Time now) const;
+
+    /** Clear accounting counters and restart the utilization window. */
+    void resetAccounting(Time now);
+
+  private:
+    friend class FluidNetwork;
+
+    void
+    account(const std::string &category, double units)
+    {
+        totalServed_ += units;
+        served_[category] += units;
+    }
+
+    std::string name_;
+    Rate capacity_;
+    double totalServed_ = 0.0;
+    std::map<std::string, double> served_;
+    Time windowStart_ = 0.0;
+
+    // scratch space for the allocator
+    double allocScratch_ = 0.0;
+    double weightScratch_ = 0.0;
+};
+
+/** One resource consumed by a flow: @p weight units per base unit. */
+struct FlowDemand
+{
+    FluidResource *resource;
+    double weight;
+};
+
+/** Identifier for an active flow. */
+using FlowId = std::uint64_t;
+
+/** Everything needed to launch a flow. */
+struct FlowSpec
+{
+    /** Accounting category (e.g., "formatting", "data_load"). */
+    std::string category;
+
+    /** Total size in base units. */
+    double size = 0.0;
+
+    /** Maximum base rate (0 = uncapped). */
+    double rateCap = 0.0;
+
+    /**
+     * Fair-share weight: under contention flows receive base rates
+     * proportional to this weight (progressive filling raises rate by
+     * weight * t). Use it to model processor-time fairness: a CPU task
+     * costing c core-seconds per sample with fairWeight 1/c receives the
+     * same core-time as its peers, so its wall time scales with its
+     * work, as an OS scheduler would arrange.
+     */
+    double fairWeight = 1.0;
+
+    /** Resources consumed while the flow runs. */
+    std::vector<FlowDemand> demands;
+
+    /** Invoked (once) at completion time. */
+    std::function<void(Time)> onComplete;
+};
+
+/**
+ * Accumulates (resource, weight) pairs, merging duplicates — convenient
+ * when a flow's route shares links with other parts of its path (e.g.,
+ * reads spread over many SSDs behind common switches).
+ */
+class DemandSet
+{
+  public:
+    /** Add @p weight on @p resource (merged if already present). */
+    void add(FluidResource *resource, double weight);
+
+    /** Add a list of demands, each scaled by @p scale. */
+    void add(const std::vector<FlowDemand> &demands, double scale = 1.0);
+
+    /** Materialize the merged demand vector. */
+    std::vector<FlowDemand> build() const;
+
+    bool empty() const { return weights_.empty(); }
+
+  private:
+    std::map<FluidResource *, double> weights_;
+};
+
+/**
+ * The contention engine. Owns resources, runs flows, and keeps the
+ * completion event in the EventQueue up to date.
+ */
+class FluidNetwork
+{
+  public:
+    explicit FluidNetwork(EventQueue &eq);
+    ~FluidNetwork();
+
+    FluidNetwork(const FluidNetwork &) = delete;
+    FluidNetwork &operator=(const FluidNetwork &) = delete;
+
+    /** Create a resource owned by the network. */
+    FluidResource *addResource(const std::string &name, Rate capacity);
+
+    /** Look up a resource by name (nullptr when absent). */
+    FluidResource *findResource(const std::string &name) const;
+
+    /** All resources, in creation order. */
+    const std::vector<std::unique_ptr<FluidResource>> &resources() const
+    {
+        return resources_;
+    }
+
+    /**
+     * Launch a flow. Completion fires through the EventQueue. A flow of
+     * size 0 completes via an immediate event.
+     */
+    FlowId startFlow(FlowSpec spec);
+
+    /** Abort a flow without firing its completion callback. */
+    void cancelFlow(FlowId id);
+
+    /** Current allocated base rate of a flow (0 when unknown/starved). */
+    double flowRate(FlowId id) const;
+
+    /** Remaining base units of a flow (0 when unknown). */
+    double flowRemaining(FlowId id) const;
+
+    /** Number of in-flight flows. */
+    std::size_t numActive() const { return flows_.size(); }
+
+    /** Notify the network that a resource capacity changed. */
+    void capacityChanged();
+
+    /** Reset accounting on all resources. */
+    void resetAccounting();
+
+  private:
+    struct Flow
+    {
+        FlowId id;
+        std::string category;
+        double remaining;
+        double rateCap;
+        double fairWeight;
+        std::vector<FlowDemand> demands;
+        std::function<void(Time)> onComplete;
+        double rate = 0.0;
+        bool frozen = false; // allocator scratch
+    };
+
+    /** Charge elapsed progress to all flows, then recompute rates. */
+    void advanceTo(Time now);
+    void recomputeRates();
+    void scheduleCompletion();
+    void completeEarliest();
+
+    EventQueue &eq_;
+    std::vector<std::unique_ptr<FluidResource>> resources_;
+    std::map<FlowId, Flow> flows_;
+    FlowId nextId_ = 1;
+    Time lastAdvance_ = 0.0;
+    EventId pending_{};
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_FLUID_FLUID_HH

@@ -1,0 +1,102 @@
+#include "fpga/engine_library.hh"
+
+namespace tb {
+namespace fpga {
+
+// Budgets are the paper's reported synthesis results (Tables II/III).
+
+EngineSpec
+jpegDecoderEngine()
+{
+    return {"jpeg_decoder", {704'000.0, 665'000.0, 0.0, 1'040.0}};
+}
+
+EngineSpec
+cropEngine()
+{
+    return {"crop", {500.0, 300.0, 0.0, 27.0}};
+}
+
+EngineSpec
+mirrorEngine()
+{
+    return {"mirror", {6'500.0, 4'700.0, 0.0, 381.0}};
+}
+
+EngineSpec
+gaussianNoiseEngine()
+{
+    return {"gaussian_noise", {24'500.0, 33'000.0, 80.0, 400.0}};
+}
+
+EngineSpec
+castEngine()
+{
+    return {"cast", {5'700.0, 3'000.0, 0.0, 240.0}};
+}
+
+EngineSpec
+spectrogramEngine()
+{
+    return {"spectrogram", {622'000.0, 755'000.0, 228.0, 0.0}};
+}
+
+EngineSpec
+maskingEngine()
+{
+    return {"masking", {21'000.0, 17'000.0, 53.0, 260.0}};
+}
+
+EngineSpec
+normEngine()
+{
+    return {"norm", {14'000.0, 11'000.0, 0.0, 0.0}};
+}
+
+EngineSpec
+melFilterBankEngine()
+{
+    return {"mel_filter_bank", {103'000.0, 119'000.0, 208.0, 572.0}};
+}
+
+EngineSpec
+ethernetProtocolEngine()
+{
+    return {"ethernet+protocol", {166'000.0, 169'000.0, 1'024.0, 0.0}};
+}
+
+EngineSpec
+p2pHandlerEngine()
+{
+    return {"p2p_handler", {22'700.0, 24'700.0, 153.0, 0.0}};
+}
+
+Floorplan
+imageFloorplan()
+{
+    Floorplan plan(xcvu9p());
+    plan.add(jpegDecoderEngine());
+    plan.add(cropEngine());
+    plan.add(mirrorEngine());
+    plan.add(gaussianNoiseEngine());
+    plan.add(castEngine());
+    plan.add(ethernetProtocolEngine());
+    plan.add(p2pHandlerEngine());
+    return plan;
+}
+
+Floorplan
+audioFloorplan()
+{
+    Floorplan plan(xcvu9p());
+    plan.add(spectrogramEngine());
+    plan.add(maskingEngine());
+    plan.add(normEngine());
+    plan.add(melFilterBankEngine());
+    plan.add(ethernetProtocolEngine());
+    plan.add(p2pHandlerEngine());
+    return plan;
+}
+
+} // namespace fpga
+} // namespace tb

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Engine library: the resource budgets of every data-preparation engine
+ * the paper implements on the XCVU9P (Tables II and III), plus the
+ * shared interfacing blocks (Ethernet + protocol parser, P2P handler)
+ * and the image/audio floorplans of Fig 17.
+ */
+
+#ifndef TRAINBOX_FPGA_ENGINE_LIBRARY_HH
+#define TRAINBOX_FPGA_ENGINE_LIBRARY_HH
+
+#include "fpga/resource_model.hh"
+
+namespace tb {
+namespace fpga {
+
+/** Image preparation engines (Table II). */
+EngineSpec jpegDecoderEngine();
+EngineSpec cropEngine();
+EngineSpec mirrorEngine();
+EngineSpec gaussianNoiseEngine();
+EngineSpec castEngine();
+
+/** Audio preparation engines (Table III). */
+EngineSpec spectrogramEngine();
+EngineSpec maskingEngine();
+EngineSpec normEngine();
+EngineSpec melFilterBankEngine();
+
+/** Shared infrastructure blocks. */
+EngineSpec ethernetProtocolEngine();
+EngineSpec p2pHandlerEngine();
+
+/** Full image-version floorplan on the XCVU9P (Table II). */
+Floorplan imageFloorplan();
+
+/** Full audio-version floorplan on the XCVU9P (Table III). */
+Floorplan audioFloorplan();
+
+} // namespace fpga
+} // namespace tb
+
+#endif // TRAINBOX_FPGA_ENGINE_LIBRARY_HH

@@ -1,0 +1,100 @@
+#include "fpga/resource_model.hh"
+
+namespace tb {
+namespace fpga {
+
+Resources &
+Resources::operator+=(const Resources &o)
+{
+    lut += o.lut;
+    ff += o.ff;
+    bram += o.bram;
+    dsp += o.dsp;
+    return *this;
+}
+
+Resources
+Resources::operator+(const Resources &o) const
+{
+    Resources r = *this;
+    r += o;
+    return r;
+}
+
+const Device &
+xcvu9p()
+{
+    static const Device dev{"XCVU9P",
+                            {1'182'240.0, 2'364'480.0, 2'160.0, 6'840.0}};
+    return dev;
+}
+
+void
+Floorplan::add(const EngineSpec &engine)
+{
+    engines_.push_back(engine);
+}
+
+Resources
+Floorplan::total() const
+{
+    Resources r;
+    for (const auto &e : engines_)
+        r += e.cost;
+    return r;
+}
+
+Utilization
+Floorplan::utilization() const
+{
+    const Resources t = total();
+    const Resources &c = device_.capacity;
+    return {100.0 * t.lut / c.lut, 100.0 * t.ff / c.ff,
+            100.0 * t.bram / c.bram, 100.0 * t.dsp / c.dsp};
+}
+
+Utilization
+Floorplan::utilizationOf(const EngineSpec &engine) const
+{
+    const Resources &c = device_.capacity;
+    return {100.0 * engine.cost.lut / c.lut,
+            100.0 * engine.cost.ff / c.ff,
+            100.0 * engine.cost.bram / c.bram,
+            100.0 * engine.cost.dsp / c.dsp};
+}
+
+bool
+Floorplan::fits() const
+{
+    const Resources t = total();
+    const Resources &c = device_.capacity;
+    return t.lut <= c.lut && t.ff <= c.ff && t.bram <= c.bram &&
+           t.dsp <= c.dsp;
+}
+
+ReconfigEstimate
+reconfigurationCost(const Floorplan &from, const Floorplan &to,
+                    Bytes full_bitstream_bytes, double config_port_bw)
+{
+    ReconfigEstimate est;
+    double changed_lut = 0.0;
+    for (const auto &engine : to.engines()) {
+        bool resident = false;
+        for (const auto &old_engine : from.engines())
+            if (old_engine.name == engine.name) {
+                resident = true;
+                break;
+            }
+        if (!resident) {
+            changed_lut += engine.cost.lut;
+            ++est.enginesChanged;
+        }
+    }
+    est.bitstreamBytes = full_bitstream_bytes * changed_lut /
+                         to.device().capacity.lut;
+    est.seconds = est.bitstreamBytes / config_port_bw;
+    return est;
+}
+
+} // namespace fpga
+} // namespace tb

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * FPGA resource model (Tables II/III).
+ *
+ * The paper prototypes the prep accelerator on a Xilinx XCVU9P and
+ * reports per-engine LUT/FF/BRAM/DSP consumption. We cannot synthesize
+ * RTL here, so the model carries the published per-engine budgets and
+ * reproduces the utilization arithmetic: composing a pipeline, checking
+ * fit, and printing the tables (see DESIGN.md substitution notes).
+ */
+
+#ifndef TRAINBOX_FPGA_RESOURCE_MODEL_HH
+#define TRAINBOX_FPGA_RESOURCE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tb {
+namespace fpga {
+
+/** A resource vector: LUTs, flip-flops, BRAM36 blocks, DSP slices. */
+struct Resources
+{
+    double lut = 0.0;
+    double ff = 0.0;
+    double bram = 0.0;
+    double dsp = 0.0;
+
+    Resources &operator+=(const Resources &o);
+    Resources operator+(const Resources &o) const;
+};
+
+/** A device's total capacity. */
+struct Device
+{
+    std::string name;
+    Resources capacity;
+};
+
+/** Xilinx XCVU9P (the paper's prototype part). */
+const Device &xcvu9p();
+
+/** One engine (pipeline stage) with its resource budget. */
+struct EngineSpec
+{
+    std::string name;
+    Resources cost;
+};
+
+/** Utilization of one resource class in percent. */
+struct Utilization
+{
+    double lutPct = 0.0;
+    double ffPct = 0.0;
+    double bramPct = 0.0;
+    double dspPct = 0.0;
+};
+
+/** A set of engines placed on one device. */
+class Floorplan
+{
+  public:
+    explicit Floorplan(const Device &device) : device_(device) {}
+
+    void add(const EngineSpec &engine);
+
+    const std::vector<EngineSpec> &engines() const { return engines_; }
+    const Device &device() const { return device_; }
+
+    /** Summed resource consumption. */
+    Resources total() const;
+
+    /** Utilization of the whole plan. */
+    Utilization utilization() const;
+
+    /** Utilization of a single engine on this device. */
+    Utilization utilizationOf(const EngineSpec &engine) const;
+
+    /** True when every resource class fits the device. */
+    bool fits() const;
+
+  private:
+    Device device_;
+    std::vector<EngineSpec> engines_;
+};
+
+/** Cost of switching a device between floorplans. */
+struct ReconfigEstimate
+{
+    /** Partial bitstream size (bytes). */
+    Bytes bitstreamBytes = 0.0;
+
+    /** Reprogramming time through the configuration port. */
+    double seconds = 0.0;
+
+    /** Engines reprogrammed (shared interfacing blocks are kept). */
+    std::size_t enginesChanged = 0;
+};
+
+/**
+ * Partial-reconfiguration cost from one floorplan to another (§V-C):
+ * engines present in both plans (by name) — the interfacing logic —
+ * stay resident; the partial bitstream covers only the changed engines,
+ * sized by their LUT share of the device.
+ *
+ * @param fullBitstreamBytes full-device bitstream size
+ * @param configPortBw       configuration-port bandwidth (bytes/s)
+ */
+ReconfigEstimate reconfigurationCost(const Floorplan &from,
+                                     const Floorplan &to,
+                                     Bytes fullBitstreamBytes = 180.0e6,
+                                     double configPortBw = 400.0e6);
+
+} // namespace fpga
+} // namespace tb
+
+#endif // TRAINBOX_FPGA_RESOURCE_MODEL_HH

@@ -1,0 +1,10 @@
+#include "memsys/cpu_pool.hh"
+
+namespace tb {
+
+CpuPool::CpuPool(FluidNetwork &net, double cores, const std::string &name)
+    : res_(net.addResource(name, cores))
+{
+}
+
+} // namespace tb

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Host CPU core pool.
+ *
+ * The pool's capacity is N core-seconds per second. A data-preparation
+ * task for a batch is a flow whose base unit is one sample, whose demand
+ * weight is the calibrated core-seconds per sample, and whose rate cap is
+ * the task's parallelism limit (a batch of B samples can use at most B
+ * cores at once — and in practice far fewer, set by the software pipeline
+ * width). The per-category accounting is the source of the "CPU" columns
+ * of Figs 10a/11/22.
+ */
+
+#ifndef TRAINBOX_MEMSYS_CPU_POOL_HH
+#define TRAINBOX_MEMSYS_CPU_POOL_HH
+
+#include <string>
+
+#include "fluid/fluid.hh"
+
+namespace tb {
+
+/** The host's CPU cores as a fluid resource. */
+class CpuPool
+{
+  public:
+    /**
+     * @param net   contention engine
+     * @param cores number of physical cores
+     */
+    CpuPool(FluidNetwork &net, double cores,
+            const std::string &name = "host.cpu");
+
+    FluidResource *resource() const { return res_; }
+
+    double cores() const { return res_->capacity(); }
+
+    /** Demand of @p coreSecPerUnit core-seconds per flow base unit. */
+    FlowDemand demand(double coreSecPerUnit) const
+    {
+        return {res_, coreSecPerUnit};
+    }
+
+    /**
+     * Rate cap (base units/s) for a task limited to @p maxParallelism
+     * cores, each unit costing @p coreSecPerUnit.
+     */
+    static double
+    parallelismCap(double maxParallelism, double coreSecPerUnit)
+    {
+        return coreSecPerUnit > 0.0 ? maxParallelism / coreSecPerUnit : 0.0;
+    }
+
+  private:
+    FluidResource *res_;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_MEMSYS_CPU_POOL_HH

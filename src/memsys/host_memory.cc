@@ -1,0 +1,11 @@
+#include "memsys/host_memory.hh"
+
+namespace tb {
+
+HostMemory::HostMemory(FluidNetwork &net, Rate bandwidth,
+                       const std::string &name)
+    : res_(net.addResource(name, bandwidth))
+{
+}
+
+} // namespace tb

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Host DRAM bandwidth model.
+ *
+ * Host memory is a single bandwidth server. Every staging copy through the
+ * host (SSD -> DRAM DMA write, CPU read/write passes during formatting,
+ * DRAM -> accelerator DMA read) adds a weighted demand on this resource.
+ * The per-category accounting is the source of the "Memory BW" columns of
+ * Figs 10b/11/22.
+ */
+
+#ifndef TRAINBOX_MEMSYS_HOST_MEMORY_HH
+#define TRAINBOX_MEMSYS_HOST_MEMORY_HH
+
+#include <string>
+
+#include "fluid/fluid.hh"
+
+namespace tb {
+
+/** Host DRAM as a shared bandwidth resource. */
+class HostMemory
+{
+  public:
+    /**
+     * @param net       contention engine
+     * @param bandwidth total DRAM bandwidth in bytes/s
+     */
+    HostMemory(FluidNetwork &net, Rate bandwidth,
+               const std::string &name = "host.dram");
+
+    /** The underlying fluid resource (for profiling). */
+    FluidResource *resource() const { return res_; }
+
+    /** Demand of @p bytesPerUnit DRAM bytes per flow base unit. */
+    FlowDemand demand(double bytesPerUnit) const
+    {
+        return {res_, bytesPerUnit};
+    }
+
+    Rate bandwidth() const { return res_->capacity(); }
+
+  private:
+    FluidResource *res_;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_MEMSYS_HOST_MEMORY_HH

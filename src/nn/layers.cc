@@ -1,0 +1,74 @@
+#include "nn/layers.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace nn {
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Rng &rng)
+    : w_(in, out), b_(1, out), dw_(in, out), db_(1, out)
+{
+    w_.randomize(rng, std::sqrt(2.0 / static_cast<double>(in)));
+}
+
+Matrix
+DenseLayer::forward(const Matrix &x)
+{
+    panic_if(x.cols() != w_.rows(), "dense input width mismatch");
+    lastInput_ = x;
+    Matrix y;
+    matmul(x, w_, y);
+    for (std::size_t r = 0; r < y.rows(); ++r)
+        for (std::size_t c = 0; c < y.cols(); ++c)
+            y.at(r, c) += b_.at(0, c);
+    return y;
+}
+
+Matrix
+DenseLayer::backward(const Matrix &dy)
+{
+    panic_if(lastInput_.rows() != dy.rows(), "backward batch mismatch");
+    Matrix dw;
+    matmulTransA(lastInput_, dy, dw);
+    axpy(dw_, dw, 1.0f);
+    for (std::size_t r = 0; r < dy.rows(); ++r)
+        for (std::size_t c = 0; c < dy.cols(); ++c)
+            db_.at(0, c) += dy.at(r, c);
+    Matrix dx;
+    matmulTransB(dy, w_, dx);
+    return dx;
+}
+
+void
+DenseLayer::zeroGrad()
+{
+    dw_.fill(0.0f);
+    db_.fill(0.0f);
+}
+
+Matrix
+ReluLayer::forward(const Matrix &x)
+{
+    lastInput_ = x;
+    Matrix y = x;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        if (y.data()[i] < 0.0f)
+            y.data()[i] = 0.0f;
+    return y;
+}
+
+Matrix
+ReluLayer::backward(const Matrix &dy) const
+{
+    panic_if(!lastInput_.sameShape(dy), "relu backward shape mismatch");
+    Matrix dx = dy;
+    for (std::size_t i = 0; i < dx.size(); ++i)
+        if (lastInput_.data()[i] <= 0.0f)
+            dx.data()[i] = 0.0f;
+    return dx;
+}
+
+} // namespace nn
+} // namespace tb

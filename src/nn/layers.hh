@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Layers for the MLP: fully connected (with bias) and ReLU. Each layer
+ * implements forward on a batch (rows = samples) and backward returning
+ * the input gradient while accumulating parameter gradients.
+ */
+
+#ifndef TRAINBOX_NN_LAYERS_HH
+#define TRAINBOX_NN_LAYERS_HH
+
+#include "nn/tensor.hh"
+
+namespace tb {
+namespace nn {
+
+/** y = x W + b, with gradient bookkeeping. */
+class DenseLayer
+{
+  public:
+    /** He-style initialization. */
+    DenseLayer(std::size_t in, std::size_t out, Rng &rng);
+
+    /** Forward a batch (rows = samples, cols = in). */
+    Matrix forward(const Matrix &x);
+
+    /**
+     * Backward: consume dL/dy, produce dL/dx; accumulates dW/db.
+     * Must follow a forward() on the same batch.
+     */
+    Matrix backward(const Matrix &dy);
+
+    /** Zero accumulated gradients. */
+    void zeroGrad();
+
+    Matrix &weights() { return w_; }
+    Matrix &bias() { return b_; }
+    Matrix &weightGrad() { return dw_; }
+    Matrix &biasGrad() { return db_; }
+    const Matrix &weights() const { return w_; }
+
+    std::size_t inputSize() const { return w_.rows(); }
+    std::size_t outputSize() const { return w_.cols(); }
+
+  private:
+    Matrix w_, b_;
+    Matrix dw_, db_;
+    Matrix lastInput_;
+};
+
+/** Elementwise max(0, x). */
+class ReluLayer
+{
+  public:
+    Matrix forward(const Matrix &x);
+    Matrix backward(const Matrix &dy) const;
+
+  private:
+    Matrix lastInput_;
+};
+
+} // namespace nn
+} // namespace tb
+
+#endif // TRAINBOX_NN_LAYERS_HH

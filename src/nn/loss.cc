@@ -1,0 +1,86 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace nn {
+
+Matrix
+softmax(const Matrix &logits)
+{
+    Matrix probs = logits;
+    for (std::size_t r = 0; r < probs.rows(); ++r) {
+        float maxv = probs.at(r, 0);
+        for (std::size_t c = 1; c < probs.cols(); ++c)
+            maxv = std::max(maxv, probs.at(r, c));
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < probs.cols(); ++c) {
+            probs.at(r, c) = std::exp(probs.at(r, c) - maxv);
+            sum += probs.at(r, c);
+        }
+        for (std::size_t c = 0; c < probs.cols(); ++c)
+            probs.at(r, c) /= sum;
+    }
+    return probs;
+}
+
+LossResult
+softmaxCrossEntropy(const Matrix &logits, const std::vector<int> &labels)
+{
+    panic_if(labels.size() != logits.rows(), "label count mismatch");
+    LossResult res;
+    res.gradient = softmax(logits);
+    const float inv_batch = 1.0f / static_cast<float>(logits.rows());
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        const int label = labels[r];
+        panic_if(label < 0 ||
+                     label >= static_cast<int>(logits.cols()),
+                 "label %d out of range", label);
+        const float p =
+            std::max(res.gradient.at(r, static_cast<std::size_t>(label)),
+                     1e-12f);
+        res.loss -= std::log(p);
+        res.gradient.at(r, static_cast<std::size_t>(label)) -= 1.0f;
+    }
+    res.loss /= static_cast<double>(logits.rows());
+    for (std::size_t i = 0; i < res.gradient.size(); ++i)
+        res.gradient.data()[i] *= inv_batch;
+    return res;
+}
+
+double
+accuracy(const Matrix &logits, const std::vector<int> &labels)
+{
+    return topKAccuracy(logits, labels, 1);
+}
+
+double
+topKAccuracy(const Matrix &logits, const std::vector<int> &labels,
+             std::size_t k)
+{
+    panic_if(labels.size() != logits.rows(), "label count mismatch");
+    panic_if(k == 0 || k > logits.cols(), "bad k=%zu", k);
+    std::size_t hits = 0;
+    std::vector<std::size_t> idx(logits.cols());
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        for (std::size_t c = 0; c < logits.cols(); ++c)
+            idx[c] = c;
+        std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              return logits.at(r, a) > logits.at(r, b);
+                          });
+        for (std::size_t i = 0; i < k; ++i)
+            if (static_cast<int>(idx[i]) == labels[r]) {
+                ++hits;
+                break;
+            }
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(logits.rows());
+}
+
+} // namespace nn
+} // namespace tb

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Softmax cross-entropy loss and accuracy metrics.
+ */
+
+#ifndef TRAINBOX_NN_LOSS_HH
+#define TRAINBOX_NN_LOSS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace tb {
+namespace nn {
+
+/** Loss value plus the gradient w.r.t. the logits. */
+struct LossResult
+{
+    double loss = 0.0;   ///< mean cross-entropy over the batch
+    Matrix gradient;     ///< dL/dlogits (already divided by batch)
+};
+
+/** Softmax + cross-entropy against integer labels. */
+LossResult softmaxCrossEntropy(const Matrix &logits,
+                               const std::vector<int> &labels);
+
+/** Row-wise softmax probabilities. */
+Matrix softmax(const Matrix &logits);
+
+/** Fraction of rows whose top prediction matches the label. */
+double accuracy(const Matrix &logits, const std::vector<int> &labels);
+
+/** Fraction of rows whose label is within the top-k predictions. */
+double topKAccuracy(const Matrix &logits, const std::vector<int> &labels,
+                    std::size_t k);
+
+} // namespace nn
+} // namespace tb
+
+#endif // TRAINBOX_NN_LOSS_HH

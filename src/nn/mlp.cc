@@ -1,0 +1,75 @@
+#include "nn/mlp.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace nn {
+
+Mlp::Mlp(const std::vector<std::size_t> &layer_sizes, Rng &rng,
+         SgdOptimizer::Config opt)
+    : opt_(opt)
+{
+    fatal_if(layer_sizes.size() < 2, "MLP needs at least input + output");
+    for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i)
+        dense_.emplace_back(layer_sizes[i], layer_sizes[i + 1], rng);
+    relus_.resize(dense_.size() - 1);
+    for (auto &layer : dense_) {
+        opt_.attach(&layer.weights(), &layer.weightGrad());
+        opt_.attach(&layer.bias(), &layer.biasGrad());
+    }
+}
+
+Matrix
+Mlp::forward(const Matrix &x)
+{
+    Matrix h = x;
+    for (std::size_t i = 0; i < dense_.size(); ++i) {
+        h = dense_[i].forward(h);
+        if (i < relus_.size())
+            h = relus_[i].forward(h);
+    }
+    return h;
+}
+
+double
+Mlp::trainStep(const Matrix &x, const std::vector<int> &labels)
+{
+    for (auto &layer : dense_)
+        layer.zeroGrad();
+
+    const Matrix logits = forward(x);
+    LossResult loss = softmaxCrossEntropy(logits, labels);
+
+    Matrix grad = std::move(loss.gradient);
+    for (std::size_t i = dense_.size(); i-- > 0;) {
+        if (i < relus_.size())
+            grad = relus_[i].backward(grad);
+        grad = dense_[i].backward(grad);
+    }
+    opt_.step();
+    return loss.loss;
+}
+
+std::size_t
+Mlp::numClasses() const
+{
+    return dense_.back().outputSize();
+}
+
+std::size_t
+Mlp::inputSize() const
+{
+    return dense_.front().inputSize();
+}
+
+std::size_t
+Mlp::numParameters() const
+{
+    std::size_t n = 0;
+    for (const auto &layer : dense_)
+        n += layer.weights().size() + layer.outputSize();
+    return n;
+}
+
+} // namespace nn
+} // namespace tb

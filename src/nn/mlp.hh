@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A small multilayer perceptron: Dense+ReLU stacks with a linear head,
+ * wired to the SGD optimizer. Enough model capacity to demonstrate the
+ * Fig 5 claim (augmentation improves generalization).
+ */
+
+#ifndef TRAINBOX_NN_MLP_HH
+#define TRAINBOX_NN_MLP_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+
+namespace tb {
+namespace nn {
+
+/** Dense -> ReLU -> ... -> Dense classifier. */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_sizes e.g. {256, 64, 8}: input 256, one hidden layer
+     *                    of 64, 8 classes.
+     */
+    Mlp(const std::vector<std::size_t> &layer_sizes, Rng &rng,
+        SgdOptimizer::Config opt = {});
+
+    /** Logits for a batch. */
+    Matrix forward(const Matrix &x);
+
+    /**
+     * One training step on a batch: forward, loss, backward, update.
+     * @return the batch's mean cross-entropy loss.
+     */
+    double trainStep(const Matrix &x, const std::vector<int> &labels);
+
+    std::size_t numClasses() const;
+    std::size_t inputSize() const;
+
+    /** Total learnable parameters. */
+    std::size_t numParameters() const;
+
+  private:
+    std::vector<DenseLayer> dense_;
+    std::vector<ReluLayer> relus_;
+    SgdOptimizer opt_;
+};
+
+} // namespace nn
+} // namespace tb
+
+#endif // TRAINBOX_NN_MLP_HH

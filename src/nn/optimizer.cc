@@ -1,0 +1,36 @@
+#include "nn/optimizer.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace nn {
+
+SgdOptimizer::SgdOptimizer() : cfg_() {}
+
+void
+SgdOptimizer::attach(Matrix *param, Matrix *grad)
+{
+    panic_if(param == nullptr || grad == nullptr, "null optimizer slot");
+    panic_if(!param->sameShape(*grad), "param/grad shape mismatch");
+    slots_.push_back({param, grad, Matrix(param->rows(), param->cols())});
+}
+
+void
+SgdOptimizer::step()
+{
+    const float lr = static_cast<float>(cfg_.learningRate);
+    const float mu = static_cast<float>(cfg_.momentum);
+    const float wd = static_cast<float>(cfg_.weightDecay);
+    for (auto &slot : slots_) {
+        for (std::size_t i = 0; i < slot.param->size(); ++i) {
+            const float g =
+                slot.grad->data()[i] + wd * slot.param->data()[i];
+            slot.velocity.data()[i] = mu * slot.velocity.data()[i] -
+                                      lr * g;
+            slot.param->data()[i] += slot.velocity.data()[i];
+        }
+    }
+}
+
+} // namespace nn
+} // namespace tb

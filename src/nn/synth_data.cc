@@ -1,0 +1,166 @@
+#include "nn/synth_data.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace tb {
+namespace nn {
+
+namespace {
+
+constexpr int N = kShapeImageSize;
+
+/** Canonical (untranslated) membership test for a class at (x, y). */
+bool
+canonicalPixel(int label, int x, int y)
+{
+    const bool inner = x >= 3 && x <= 12 && y >= 3 && y <= 12;
+    switch (label) {
+      case 0: // square outline
+        return (x >= 4 && x <= 11 && y >= 4 && y <= 11) &&
+               (x == 4 || x == 11 || y == 4 || y == 11);
+      case 1: // filled square
+        return x >= 5 && x <= 10 && y >= 5 && y <= 10;
+      case 2: // plus
+        return inner && ((y >= 7 && y <= 8) || (x >= 7 && x <= 8));
+      case 3: // X
+        return inner &&
+               (std::abs(x - y) <= 1 || std::abs(x + y - (N - 1)) <= 1);
+      case 4: // horizontal stripes
+        return inner && (y % 4 < 2);
+      case 5: // vertical stripes
+        return inner && (x % 4 < 2);
+      case 6: { // ring
+        const double cx = 7.5, cy = 7.5;
+        const double r = std::sqrt((x - cx) * (x - cx) +
+                                   (y - cy) * (y - cy));
+        return r >= 2.5 && r <= 4.5;
+      }
+      case 7: // checkerboard
+        return inner && (((x / 2) + (y / 2)) % 2 == 0);
+      default:
+        panic("bad shape label %d", label);
+    }
+}
+
+void
+addPixelNoise(std::vector<float> &img, double stddev, Rng &rng)
+{
+    if (stddev <= 0.0)
+        return;
+    for (auto &p : img)
+        p = static_cast<float>(
+            clamp(p + rng.gaussian(0.0, stddev), 0.0, 1.0));
+}
+
+} // namespace
+
+const char *
+shapeName(int label)
+{
+    static const char *names[kNumShapeClasses] = {
+        "square", "box", "plus", "cross", "hstripes", "vstripes",
+        "ring", "checker"};
+    panic_if(label < 0 || label >= kNumShapeClasses, "bad label %d",
+             label);
+    return names[label];
+}
+
+std::vector<float>
+renderShape(int label, int dx, int dy, bool mirror, double noise_stddev,
+            Rng &rng)
+{
+    std::vector<float> img(static_cast<std::size_t>(N) * N, 0.0f);
+    for (int y = 0; y < N; ++y) {
+        for (int x = 0; x < N; ++x) {
+            int sx = x - dx;
+            const int sy = y - dy;
+            if (mirror)
+                sx = N - 1 - sx;
+            if (sx < 0 || sx >= N || sy < 0 || sy >= N)
+                continue;
+            if (canonicalPixel(label, sx, sy))
+                img[static_cast<std::size_t>(y) * N + x] = 1.0f;
+        }
+    }
+    addPixelNoise(img, noise_stddev, rng);
+    return img;
+}
+
+ShapeDataset
+makeTrainSet(int per_class, Rng &rng)
+{
+    ShapeDataset ds;
+    const int n = per_class * kNumShapeClasses;
+    ds.inputs = Matrix(static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(N) * N);
+    ds.labels.reserve(n);
+    std::size_t row = 0;
+    for (int label = 0; label < kNumShapeClasses; ++label) {
+        for (int i = 0; i < per_class; ++i) {
+            // Natural capture jitter of +/- 2 pixels; the test set moves
+            // +/- 3 and mirrors, which only augmentation covers.
+            const int dx = static_cast<int>(rng.uniformInt(-2, 2));
+            const int dy = static_cast<int>(rng.uniformInt(-2, 2));
+            const std::vector<float> img =
+                renderShape(label, dx, dy, false, 0.03, rng);
+            for (std::size_t c = 0; c < img.size(); ++c)
+                ds.inputs.at(row, c) = img[c];
+            ds.labels.push_back(label);
+            ++row;
+        }
+    }
+    return ds;
+}
+
+ShapeDataset
+makeTestSet(int per_class, int max_shift, Rng &rng)
+{
+    ShapeDataset ds;
+    const int n = per_class * kNumShapeClasses;
+    ds.inputs = Matrix(static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(N) * N);
+    ds.labels.reserve(n);
+    std::size_t row = 0;
+    for (int label = 0; label < kNumShapeClasses; ++label) {
+        for (int i = 0; i < per_class; ++i) {
+            const int dx =
+                static_cast<int>(rng.uniformInt(-max_shift, max_shift));
+            const int dy =
+                static_cast<int>(rng.uniformInt(-max_shift, max_shift));
+            const bool mirror = rng.uniform() < 0.5;
+            const std::vector<float> img =
+                renderShape(label, dx, dy, mirror, 0.05, rng);
+            for (std::size_t c = 0; c < img.size(); ++c)
+                ds.inputs.at(row, c) = img[c];
+            ds.labels.push_back(label);
+            ++row;
+        }
+    }
+    return ds;
+}
+
+void
+augmentBatch(Matrix &batch, const std::vector<int> &labels, int max_shift,
+             Rng &rng)
+{
+    panic_if(batch.rows() != labels.size(), "augment label mismatch");
+    panic_if(batch.cols() != static_cast<std::size_t>(N) * N,
+             "augment expects %dx%d images", N, N);
+    for (std::size_t r = 0; r < batch.rows(); ++r) {
+        const int dx =
+            static_cast<int>(rng.uniformInt(-max_shift, max_shift));
+        const int dy =
+            static_cast<int>(rng.uniformInt(-max_shift, max_shift));
+        const bool mirror = rng.uniform() < 0.5;
+        const std::vector<float> img =
+            renderShape(labels[r], dx, dy, mirror, 0.05, rng);
+        for (std::size_t c = 0; c < img.size(); ++c)
+            batch.at(r, c) = img[c];
+    }
+}
+
+} // namespace nn
+} // namespace tb

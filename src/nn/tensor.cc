@@ -1,0 +1,95 @@
+#include "nn/tensor.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+float &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    panic_if(r >= rows_ || c >= cols_, "matrix access (%zu,%zu) of %zux%zu",
+             r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    panic_if(r >= rows_ || c >= cols_, "matrix access (%zu,%zu) of %zux%zu",
+             r, c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+void
+Matrix::randomize(Rng &rng, double stddev)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+void
+Matrix::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+matmul(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    panic_if(a.cols() != b.rows(), "matmul shape mismatch");
+    out = Matrix(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float av = a.at(i, k);
+            if (av == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                out.at(i, j) += av * b.at(k, j);
+        }
+}
+
+void
+matmulTransA(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    panic_if(a.rows() != b.rows(), "matmulTransA shape mismatch");
+    out = Matrix(a.cols(), b.cols());
+    for (std::size_t k = 0; k < a.rows(); ++k)
+        for (std::size_t i = 0; i < a.cols(); ++i) {
+            const float av = a.at(k, i);
+            if (av == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                out.at(i, j) += av * b.at(k, j);
+        }
+}
+
+void
+matmulTransB(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    panic_if(a.cols() != b.cols(), "matmulTransB shape mismatch");
+    out = Matrix(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += a.at(i, k) * b.at(j, k);
+            out.at(i, j) = acc;
+        }
+}
+
+void
+axpy(Matrix &a, const Matrix &b, float scale)
+{
+    panic_if(!a.sameShape(b), "axpy shape mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] += scale * b.data()[i];
+}
+
+} // namespace nn
+} // namespace tb

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal dense-matrix type for the nn library. Row-major float storage
+ * plus the handful of BLAS-like operations the MLP needs. Kept small on
+ * purpose: the Fig 5 experiment needs a *verifiable* trainer, not a fast
+ * one.
+ */
+
+#ifndef TRAINBOX_NN_TENSOR_HH
+#define TRAINBOX_NN_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace tb {
+namespace nn {
+
+/** Row-major float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &at(std::size_t r, std::size_t c);
+    float at(std::size_t r, std::size_t c) const;
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Fill with N(0, stddev) values. */
+    void randomize(Rng &rng, double stddev);
+
+    void fill(float v);
+
+    bool
+    sameShape(const Matrix &o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** out = a x b. Shapes must agree (panics otherwise). */
+void matmul(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** out = a^T x b. */
+void matmulTransA(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** out = a x b^T. */
+void matmulTransB(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** a += scale * b (elementwise, same shape). */
+void axpy(Matrix &a, const Matrix &b, float scale);
+
+} // namespace nn
+} // namespace tb
+
+#endif // TRAINBOX_NN_TENSOR_HH

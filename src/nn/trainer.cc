@@ -1,0 +1,69 @@
+#include "nn/trainer.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tb {
+namespace nn {
+
+TrainHistory
+trainShapeClassifier(const TrainerConfig &cfg, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Rng data_rng = rng.split();
+    Rng aug_rng = rng.split();
+
+    const ShapeDataset train = makeTrainSet(cfg.trainPerClass, data_rng);
+    const ShapeDataset test =
+        makeTestSet(cfg.testPerClass, cfg.testMaxShift, data_rng);
+
+    std::vector<std::size_t> sizes;
+    sizes.push_back(static_cast<std::size_t>(kShapeImageSize) *
+                    kShapeImageSize);
+    for (auto h : cfg.hiddenSizes)
+        sizes.push_back(h);
+    sizes.push_back(kNumShapeClasses);
+    Mlp model(sizes, rng, cfg.optimizer);
+
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    TrainHistory history;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        // Shuffle sample order each epoch.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1],
+                      order[static_cast<std::size_t>(
+                          rng.uniformInt(0, static_cast<std::int64_t>(
+                                                i - 1)))]);
+
+        double loss_sum = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t off = 0; off < train.size();
+             off += cfg.batchSize) {
+            const std::size_t n =
+                std::min(cfg.batchSize, train.size() - off);
+            Matrix batch(n, train.inputs.cols());
+            std::vector<int> labels(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t src = order[off + i];
+                for (std::size_t c = 0; c < train.inputs.cols(); ++c)
+                    batch.at(i, c) = train.inputs.at(src, c);
+                labels[i] = train.labels[src];
+            }
+            if (cfg.augment)
+                augmentBatch(batch, labels, cfg.augmentMaxShift, aug_rng);
+            loss_sum += model.trainStep(batch, labels);
+            ++batches;
+        }
+        history.trainLoss.push_back(loss_sum /
+                                    static_cast<double>(batches));
+
+        const Matrix logits = model.forward(test.inputs);
+        history.testAccuracy.push_back(accuracy(logits, test.labels));
+    }
+    return history;
+}
+
+} // namespace nn
+} // namespace tb

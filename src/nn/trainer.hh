@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Training harness for the Fig 5 experiment: runs epochs of mini-batch
+ * SGD on the shape dataset with or without run-time augmentation and
+ * records per-epoch test accuracy.
+ */
+
+#ifndef TRAINBOX_NN_TRAINER_HH
+#define TRAINBOX_NN_TRAINER_HH
+
+#include <vector>
+
+#include "nn/mlp.hh"
+#include "nn/synth_data.hh"
+
+namespace tb {
+namespace nn {
+
+/** Experiment knobs. */
+struct TrainerConfig
+{
+    int epochs = 20;
+    std::size_t batchSize = 32;
+    bool augment = true;
+    int augmentMaxShift = 3;
+    std::vector<std::size_t> hiddenSizes = {96};
+    SgdOptimizer::Config optimizer{0.05, 0.9, 1e-4};
+    int trainPerClass = 40;
+    int testPerClass = 100;
+    int testMaxShift = 3;
+};
+
+/** Per-epoch results. */
+struct TrainHistory
+{
+    std::vector<double> trainLoss;
+    std::vector<double> testAccuracy;
+
+    double finalAccuracy() const
+    {
+        return testAccuracy.empty() ? 0.0 : testAccuracy.back();
+    }
+};
+
+/** Run the experiment end to end (deterministic given the seed). */
+TrainHistory trainShapeClassifier(const TrainerConfig &cfg,
+                                  std::uint64_t seed);
+
+} // namespace nn
+} // namespace tb
+
+#endif // TRAINBOX_NN_TRAINER_HH

@@ -1,0 +1,115 @@
+#include "pcie/address_map.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace pcie {
+
+AddressMap::AddressMap(const Topology &topo, std::uint64_t bar_bytes,
+                       std::uint64_t base_address)
+    : topo_(topo)
+{
+    panic_if(bar_bytes == 0, "zero BAR size");
+    windows_.resize(topo.numNodes());
+
+    // Depth-first enumeration: devices get consecutive BARs; a
+    // switch's window spans its subtree. Children of a node were
+    // appended in creation order, so recursion keeps windows compact.
+    std::uint64_t cursor = base_address;
+    // Recursive lambda via explicit stack of (node, post-visit flag).
+    struct Frame
+    {
+        NodeId node;
+        bool post;
+    };
+    std::vector<Frame> stack{{topo.root(), false}};
+    std::vector<std::uint64_t> starts(topo.numNodes(), 0);
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const Node &n = topo.node(f.node);
+        if (!f.post) {
+            starts[f.node] = cursor;
+            if (n.kind == NodeKind::Device) {
+                windows_[f.node] = {cursor, bar_bytes};
+                cursor += bar_bytes;
+            } else {
+                stack.push_back({f.node, true});
+                for (auto it = n.children.rbegin();
+                     it != n.children.rend(); ++it)
+                    stack.push_back({*it, false});
+            }
+        } else {
+            windows_[f.node] = {starts[f.node],
+                                cursor - starts[f.node]};
+        }
+    }
+}
+
+AddressRange
+AddressMap::deviceBar(NodeId device) const
+{
+    panic_if(device < 0 ||
+                 device >= static_cast<NodeId>(windows_.size()),
+             "bad node id %d", device);
+    panic_if(topo_.node(device).kind != NodeKind::Device,
+             "node %d is not a device", device);
+    return windows_[device];
+}
+
+AddressRange
+AddressMap::subtreeWindow(NodeId node) const
+{
+    panic_if(node < 0 || node >= static_cast<NodeId>(windows_.size()),
+             "bad node id %d", node);
+    return windows_[node];
+}
+
+NodeId
+AddressMap::resolve(std::uint64_t addr) const
+{
+    for (NodeId id = 0; id < static_cast<NodeId>(windows_.size());
+         ++id) {
+        if (topo_.node(id).kind == NodeKind::Device &&
+            windows_[id].contains(addr))
+            return id;
+    }
+    return kInvalidNode;
+}
+
+NodeId
+AddressMap::nextHop(NodeId current, std::uint64_t addr) const
+{
+    const Node &n = topo_.node(current);
+    // A downstream port claims the address: forward down.
+    for (NodeId child : n.children)
+        if (windows_[child].contains(addr))
+            return child;
+    // Not below us: forward toward the root (the RC terminates what
+    // nothing claims — host memory or an unmapped address).
+    return n.parent;
+}
+
+std::vector<NodeId>
+AddressMap::route(NodeId src, std::uint64_t addr) const
+{
+    std::vector<NodeId> path;
+    if (resolve(addr) == kInvalidNode)
+        return path;
+    NodeId cur = src;
+    // Bounded by twice the tree depth; guard against map corruption.
+    for (std::size_t hops = 0; hops < 4 * windows_.size(); ++hops) {
+        if (topo_.node(cur).kind == NodeKind::Device && cur != src &&
+            windows_[cur].contains(addr))
+            return path;
+        const NodeId next = nextHop(cur, addr);
+        panic_if(next == kInvalidNode,
+                 "packet fell off the root while routing");
+        path.push_back(next);
+        cur = next;
+    }
+    panic("routing loop in address map");
+}
+
+} // namespace pcie
+} // namespace tb

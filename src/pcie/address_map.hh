@@ -1,0 +1,93 @@
+/**
+ * @file
+ * PCIe address map and switch forwarding (§IV-C).
+ *
+ * "At the boot time, the system assigns a unique PCIe address range to
+ * each PCIe device and port of PCIe switches. Later, PCIe switches
+ * forward (rather than broadcast) packets based on their destination
+ * address and the address range of each port."
+ *
+ * This module models exactly that: an enumeration pass assigns each
+ * device a BAR window; every switch port holds the union of the ranges
+ * beneath it; forwarding walks the tree hop by hop from any source to
+ * the port owning the destination address. It is the mechanism that
+ * makes peer-to-peer DMA (Step 2) possible without host involvement,
+ * and tests verify that address-based forwarding reproduces the
+ * tree-routing used by the performance model.
+ */
+
+#ifndef TRAINBOX_PCIE_ADDRESS_MAP_HH
+#define TRAINBOX_PCIE_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pcie/topology.hh"
+
+namespace tb {
+namespace pcie {
+
+/** A [base, base+size) window in PCIe memory space. */
+struct AddressRange
+{
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+
+    bool
+    contains(std::uint64_t addr) const
+    {
+        return addr >= base && addr - base < size;
+    }
+
+    std::uint64_t end() const { return base + size; }
+};
+
+/**
+ * Boot-time enumeration result: per-device BARs plus per-node subtree
+ * windows (what a switch's downstream port claims).
+ */
+class AddressMap
+{
+  public:
+    /**
+     * Enumerate a topology depth-first, assigning @p barBytes of
+     * address space to each device starting at @p baseAddress.
+     */
+    AddressMap(const Topology &topo,
+               std::uint64_t barBytes = 1ull << 24,
+               std::uint64_t baseAddress = 0x4'0000'0000ull);
+
+    /** BAR window of a device node; fatal() for non-device nodes. */
+    AddressRange deviceBar(NodeId device) const;
+
+    /** Subtree window claimed by a node's upstream port. */
+    AddressRange subtreeWindow(NodeId node) const;
+
+    /** Device owning an address, or kInvalidNode. */
+    NodeId resolve(std::uint64_t addr) const;
+
+    /**
+     * One forwarding decision: the next hop a packet at @p current
+     * takes toward @p addr. A switch forwards down the child whose
+     * window contains the address, else up to its parent; the root
+     * forwards down or terminates at the host (kInvalidNode means the
+     * address belongs to host memory / nothing below this root).
+     */
+    NodeId nextHop(NodeId current, std::uint64_t addr) const;
+
+    /**
+     * Full path a memory-write packet takes from @p src to @p addr
+     * (excluding src, including the destination device). Empty when the
+     * address resolves nowhere.
+     */
+    std::vector<NodeId> route(NodeId src, std::uint64_t addr) const;
+
+  private:
+    const Topology &topo_;
+    std::vector<AddressRange> windows_; // per node: subtree window
+};
+
+} // namespace pcie
+} // namespace tb
+
+#endif // TRAINBOX_PCIE_ADDRESS_MAP_HH

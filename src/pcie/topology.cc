@@ -1,0 +1,163 @@
+#include "pcie/topology.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace pcie {
+
+Topology::Topology(FluidNetwork &net, const std::string &rcName,
+                   Rate rcBandwidth)
+    : net_(net)
+{
+    rc_ = net_.addResource(rcName, rcBandwidth);
+    Node root;
+    root.id = 0;
+    root.name = rcName;
+    root.kind = NodeKind::RootComplex;
+    root.parent = kInvalidNode;
+    nodes_.push_back(std::move(root));
+}
+
+NodeId
+Topology::addNode(const std::string &name, NodeKind kind, NodeId parent,
+                  Rate linkBw)
+{
+    panic_if(parent < 0 || parent >= static_cast<NodeId>(nodes_.size()),
+             "invalid parent node %d", parent);
+    panic_if(nodes_[parent].kind == NodeKind::Device,
+             "cannot attach under device node %s",
+             nodes_[parent].name.c_str());
+
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.name = name;
+    n.kind = kind;
+    n.parent = parent;
+    n.up = net_.addResource(name + ".up", linkBw);
+    n.down = net_.addResource(name + ".down", linkBw);
+    nodes_[parent].children.push_back(n.id);
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+NodeId
+Topology::addSwitch(const std::string &name, NodeId parent, Rate linkBw)
+{
+    return addNode(name, NodeKind::Switch, parent, linkBw);
+}
+
+NodeId
+Topology::addDevice(const std::string &name, NodeId parent, Rate linkBw)
+{
+    return addNode(name, NodeKind::Device, parent, linkBw);
+}
+
+const Node &
+Topology::node(NodeId id) const
+{
+    panic_if(id < 0 || id >= static_cast<NodeId>(nodes_.size()),
+             "invalid node id %d", id);
+    return nodes_[id];
+}
+
+int
+Topology::depth(NodeId id) const
+{
+    int d = 0;
+    for (NodeId cur = id; nodes_[cur].parent != kInvalidNode;
+         cur = nodes_[cur].parent)
+        ++d;
+    return d;
+}
+
+NodeId
+Topology::lca(NodeId a, NodeId b) const
+{
+    int da = depth(a);
+    int db = depth(b);
+    while (da > db) {
+        a = nodes_[a].parent;
+        --da;
+    }
+    while (db > da) {
+        b = nodes_[b].parent;
+        --db;
+    }
+    while (a != b) {
+        a = nodes_[a].parent;
+        b = nodes_[b].parent;
+    }
+    return a;
+}
+
+bool
+Topology::routePassesRoot(NodeId src, NodeId dst) const
+{
+    return lca(src, dst) == root();
+}
+
+std::size_t
+Topology::routeHops(NodeId src, NodeId dst) const
+{
+    const NodeId common = lca(src, dst);
+    return static_cast<std::size_t>((depth(src) - depth(common)) +
+                                    (depth(dst) - depth(common)));
+}
+
+std::vector<FlowDemand>
+Topology::routeDemands(NodeId src, NodeId dst, double bytesPerUnit) const
+{
+    std::vector<FlowDemand> demands;
+    if (src == dst)
+        return demands;
+
+    const NodeId common = lca(src, dst);
+    // Upstream half: src climbs to the LCA on 'up' link directions.
+    for (NodeId cur = src; cur != common; cur = nodes_[cur].parent)
+        demands.push_back({nodes_[cur].up, bytesPerUnit});
+    // Downstream half: LCA descends to dst on 'down' link directions.
+    std::vector<FluidResource *> downs;
+    for (NodeId cur = dst; cur != common; cur = nodes_[cur].parent)
+        downs.push_back(nodes_[cur].down);
+    for (auto it = downs.rbegin(); it != downs.rend(); ++it)
+        demands.push_back({*it, bytesPerUnit});
+
+    if (common == root())
+        demands.push_back({rc_, 2.0 * bytesPerUnit});
+    return demands;
+}
+
+std::vector<FlowDemand>
+Topology::hostRouteDemands(NodeId node_id, bool toDevice,
+                           double bytesPerUnit) const
+{
+    std::vector<FlowDemand> demands;
+    if (node_id == root()) {
+        demands.push_back({rc_, bytesPerUnit});
+        return demands;
+    }
+    for (NodeId cur = node_id; cur != root(); cur = nodes_[cur].parent)
+        demands.push_back(
+            {toDevice ? nodes_[cur].down : nodes_[cur].up, bytesPerUnit});
+    demands.push_back({rc_, bytesPerUnit});
+    return demands;
+}
+
+void
+Topology::scaleLinkBandwidth(double factor)
+{
+    panic_if(factor <= 0.0, "non-positive link scale %g", factor);
+    for (auto &n : nodes_) {
+        if (n.up)
+            n.up->setCapacity(n.up->capacity() * factor);
+        if (n.down)
+            n.down->setCapacity(n.down->capacity() * factor);
+    }
+    rc_->setCapacity(rc_->capacity() * factor);
+    net_.capacityChanged();
+}
+
+} // namespace pcie
+} // namespace tb

@@ -1,0 +1,91 @@
+#include "prep/audio/audio_ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tb {
+namespace audio {
+
+void
+applyMasks(Spectrogram &features, const MaskConfig &cfg, Rng &rng)
+{
+    if (features.frames == 0 || features.bins == 0)
+        return;
+    for (std::size_t i = 0; i < cfg.numTimeMasks; ++i) {
+        const std::size_t len = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(std::min(cfg.maxTimeMaskFrames,
+                                                  features.frames))));
+        if (len == 0)
+            continue;
+        const std::size_t start = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(features.frames - len)));
+        for (std::size_t f = start; f < start + len; ++f)
+            for (std::size_t b = 0; b < features.bins; ++b)
+                features.at(f, b) = cfg.fillValue;
+    }
+    for (std::size_t i = 0; i < cfg.numFreqMasks; ++i) {
+        const std::size_t len = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(
+                   std::min(cfg.maxFreqMaskBins, features.bins))));
+        if (len == 0)
+            continue;
+        const std::size_t start = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(features.bins - len)));
+        for (std::size_t f = 0; f < features.frames; ++f)
+            for (std::size_t b = start; b < start + len; ++b)
+                features.at(f, b) = cfg.fillValue;
+    }
+}
+
+void
+addNoise(std::vector<double> &signal, double stddev, Rng &rng)
+{
+    for (auto &s : signal)
+        s += rng.gaussian(0.0, stddev);
+}
+
+std::vector<double>
+columnMeans(const Spectrogram &features)
+{
+    std::vector<double> means(features.bins, 0.0);
+    if (features.frames == 0)
+        return means;
+    for (std::size_t f = 0; f < features.frames; ++f)
+        for (std::size_t b = 0; b < features.bins; ++b)
+            means[b] += features.at(f, b);
+    for (auto &m : means)
+        m /= static_cast<double>(features.frames);
+    return means;
+}
+
+std::vector<double>
+columnStddevs(const Spectrogram &features)
+{
+    std::vector<double> sd(features.bins, 0.0);
+    if (features.frames == 0)
+        return sd;
+    const std::vector<double> means = columnMeans(features);
+    for (std::size_t f = 0; f < features.frames; ++f)
+        for (std::size_t b = 0; b < features.bins; ++b) {
+            const double d = features.at(f, b) - means[b];
+            sd[b] += d * d;
+        }
+    for (auto &s : sd)
+        s = std::sqrt(s / static_cast<double>(features.frames));
+    return sd;
+}
+
+void
+normalize(Spectrogram &features)
+{
+    const std::vector<double> means = columnMeans(features);
+    const std::vector<double> sds = columnStddevs(features);
+    for (std::size_t f = 0; f < features.frames; ++f)
+        for (std::size_t b = 0; b < features.bins; ++b) {
+            const double sd = sds[b] > 1e-12 ? sds[b] : 1.0;
+            features.at(f, b) = (features.at(f, b) - means[b]) / sd;
+        }
+}
+
+} // namespace audio
+} // namespace tb

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Audio augmentation and normalization operators: SpecAugment-style time
+ * and frequency masking on the log-mel features (the Fig 17 "Masking"
+ * engine, after [35]), waveform noise injection (the paper's "add some
+ * noise into sound" example), and per-feature normalization ("Norm").
+ */
+
+#ifndef TRAINBOX_PREP_AUDIO_AUDIO_OPS_HH
+#define TRAINBOX_PREP_AUDIO_AUDIO_OPS_HH
+
+#include "common/random.hh"
+#include "prep/audio/stft.hh"
+
+namespace tb {
+namespace audio {
+
+/** SpecAugment masking parameters. */
+struct MaskConfig
+{
+    std::size_t numTimeMasks = 2;
+    std::size_t maxTimeMaskFrames = 40;
+    std::size_t numFreqMasks = 2;
+    std::size_t maxFreqMaskBins = 15;
+    /** Value masked regions are filled with. */
+    double fillValue = 0.0;
+};
+
+/** Apply SpecAugment time + frequency masks in place. */
+void applyMasks(Spectrogram &features, const MaskConfig &cfg, Rng &rng);
+
+/** Add white gaussian noise to a waveform (augmentation). */
+void addNoise(std::vector<double> &signal, double stddev, Rng &rng);
+
+/** Mean/variance-normalize each feature column in place (CMVN). */
+void normalize(Spectrogram &features);
+
+/** Column means, for testing the normalization. */
+std::vector<double> columnMeans(const Spectrogram &features);
+
+/** Column standard deviations. */
+std::vector<double> columnStddevs(const Spectrogram &features);
+
+} // namespace audio
+} // namespace tb
+
+#endif // TRAINBOX_PREP_AUDIO_AUDIO_OPS_HH

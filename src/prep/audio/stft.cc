@@ -1,0 +1,61 @@
+#include "prep/audio/stft.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "prep/audio/fft.hh"
+
+namespace tb {
+namespace audio {
+
+std::vector<double>
+hannWindow(std::size_t n)
+{
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                    static_cast<double>(n - 1));
+    return w;
+}
+
+std::size_t
+numFrames(std::size_t n, const StftConfig &cfg)
+{
+    if (n < cfg.windowSize)
+        return 0;
+    return 1 + (n - cfg.windowSize) / cfg.hopSize;
+}
+
+Spectrogram
+stft(const std::vector<double> &signal, const StftConfig &cfg)
+{
+    fatal_if(cfg.fftSize < cfg.windowSize,
+             "fftSize %zu smaller than window %zu", cfg.fftSize,
+             cfg.windowSize);
+    fatal_if(!isPow2(cfg.fftSize), "fftSize must be a power of two");
+
+    Spectrogram spec;
+    spec.frames = numFrames(signal.size(), cfg);
+    spec.bins = cfg.fftSize / 2 + 1;
+    spec.power.assign(spec.frames * spec.bins, 0.0);
+
+    const std::vector<double> window = hannWindow(cfg.windowSize);
+    std::vector<Complex> frame(cfg.fftSize);
+
+    for (std::size_t f = 0; f < spec.frames; ++f) {
+        const std::size_t off = f * cfg.hopSize;
+        for (std::size_t i = 0; i < cfg.fftSize; ++i) {
+            const double v = i < cfg.windowSize
+                ? signal[off + i] * window[i] : 0.0;
+            frame[i] = Complex(v, 0.0);
+        }
+        fft(frame);
+        for (std::size_t b = 0; b < spec.bins; ++b)
+            spec.at(f, b) = std::norm(frame[b]);
+    }
+    return spec;
+}
+
+} // namespace audio
+} // namespace tb

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Short-time Fourier transform -> power spectrogram (the audio formatting
+ * stage of Fig 4: "a stream of sound into a Mel spectrogram").
+ */
+
+#ifndef TRAINBOX_PREP_AUDIO_STFT_HH
+#define TRAINBOX_PREP_AUDIO_STFT_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tb {
+namespace audio {
+
+/** STFT framing parameters (defaults: 25 ms window / 10 ms hop @16 kHz). */
+struct StftConfig
+{
+    std::size_t windowSize = 400;
+    std::size_t hopSize = 160;
+    /** FFT size (>= windowSize, power of two). */
+    std::size_t fftSize = 512;
+};
+
+/** Row-major matrix: frames x bins. */
+struct Spectrogram
+{
+    std::size_t frames = 0;
+    std::size_t bins = 0;
+    std::vector<double> power; // frames * bins
+
+    double &
+    at(std::size_t f, std::size_t b)
+    {
+        return power[f * bins + b];
+    }
+
+    double
+    at(std::size_t f, std::size_t b) const
+    {
+        return power[f * bins + b];
+    }
+};
+
+/** Hann window of length n. */
+std::vector<double> hannWindow(std::size_t n);
+
+/**
+ * Power spectrogram of a mono signal: Hann-windowed frames, zero-padded
+ * FFT, |X|^2 over fftSize/2+1 bins.
+ */
+Spectrogram stft(const std::vector<double> &signal,
+                 const StftConfig &cfg = {});
+
+/** Number of frames stft() produces for a signal of length n. */
+std::size_t numFrames(std::size_t n, const StftConfig &cfg = {});
+
+} // namespace audio
+} // namespace tb
+
+#endif // TRAINBOX_PREP_AUDIO_STFT_HH

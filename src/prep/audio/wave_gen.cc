@@ -1,0 +1,55 @@
+#include "prep/audio/wave_gen.hh"
+
+#include <cmath>
+
+#include "common/math_util.hh"
+
+namespace tb {
+namespace audio {
+
+std::vector<double>
+generateUtterance(const WaveGenConfig &cfg, Rng &rng)
+{
+    const std::size_t n =
+        static_cast<std::size_t>(cfg.sampleRate * cfg.durationSec);
+    std::vector<double> out(n, 0.0);
+
+    const double pitch = cfg.pitchHz * rng.uniform(0.8, 1.25);
+    const double vibrato_rate = rng.uniform(4.0, 7.0);
+    const double formant1 = rng.uniform(300.0, 900.0);
+    const double formant2 = rng.uniform(1200.0, 2400.0);
+
+    double phase = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / cfg.sampleRate;
+        // Pitch with a little vibrato.
+        const double f0 =
+            pitch * (1.0 + 0.02 * std::sin(2.0 * M_PI * vibrato_rate * t));
+        phase += 2.0 * M_PI * f0 / cfg.sampleRate;
+
+        // Harmonic stack shaped by two formant-like resonances.
+        double v = 0.0;
+        for (std::size_t h = 1; h <= cfg.numHarmonics; ++h) {
+            const double freq = f0 * static_cast<double>(h);
+            const double g1 =
+                std::exp(-std::pow((freq - formant1) / 250.0, 2.0));
+            const double g2 =
+                std::exp(-std::pow((freq - formant2) / 400.0, 2.0));
+            const double amp =
+                (0.4 * g1 + 0.3 * g2 + 0.3 / static_cast<double>(h));
+            v += amp * std::sin(phase * static_cast<double>(h));
+        }
+
+        // Syllable-rate amplitude envelope (~3 Hz) and breath noise.
+        const double envelope =
+            0.55 + 0.45 * std::sin(2.0 * M_PI * 3.0 * t +
+                                   2.0 * M_PI * rng.uniform() * 0.001);
+        v = v * envelope / static_cast<double>(cfg.numHarmonics);
+        v += cfg.noiseLevel * rng.gaussian();
+        out[i] = clamp(v, -1.0, 1.0);
+    }
+    return out;
+}
+
+} // namespace audio
+} // namespace tb

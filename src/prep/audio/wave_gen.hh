@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Synthetic speech-like waveform generator. Substitutes for LibriSpeech
+ * items (see DESIGN.md): a voiced source (harmonic stack with pitch
+ * drift) shaped by slowly wandering formants plus breath noise — enough
+ * structure that the Mel pipeline produces non-trivial features.
+ */
+
+#ifndef TRAINBOX_PREP_AUDIO_WAVE_GEN_HH
+#define TRAINBOX_PREP_AUDIO_WAVE_GEN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace tb {
+namespace audio {
+
+/** Generator parameters. */
+struct WaveGenConfig
+{
+    double sampleRate = 16000.0;
+    double durationSec = 6.96; // LibriSpeech mean
+    double pitchHz = 120.0;
+    std::size_t numHarmonics = 12;
+    double noiseLevel = 0.02;
+};
+
+/** Generate one mono utterance in [-1, 1]. */
+std::vector<double> generateUtterance(const WaveGenConfig &cfg, Rng &rng);
+
+} // namespace audio
+} // namespace tb
+
+#endif // TRAINBOX_PREP_AUDIO_WAVE_GEN_HH

@@ -1,0 +1,69 @@
+#include "prep/image/image.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tb {
+
+Image::Image(int w, int h, int c)
+    : width(w), height(h), channels(c),
+      pixels(static_cast<std::size_t>(w) * h * c, 0)
+{
+    panic_if(w < 0 || h < 0 || c < 0, "bad image shape %dx%dx%d", w, h, c);
+}
+
+std::uint8_t
+Image::at(int x, int y, int c) const
+{
+    panic_if(x < 0 || x >= width || y < 0 || y >= height || c < 0 ||
+                 c >= channels,
+             "image access (%d,%d,%d) out of %dx%dx%d", x, y, c, width,
+             height, channels);
+    return pixels[(static_cast<std::size_t>(y) * width + x) * channels + c];
+}
+
+std::uint8_t &
+Image::at(int x, int y, int c)
+{
+    panic_if(x < 0 || x >= width || y < 0 || y >= height || c < 0 ||
+                 c >= channels,
+             "image access (%d,%d,%d) out of %dx%dx%d", x, y, c, width,
+             height, channels);
+    return pixels[(static_cast<std::size_t>(y) * width + x) * channels + c];
+}
+
+double
+meanAbsDifference(const Image &a, const Image &b)
+{
+    panic_if(a.width != b.width || a.height != b.height ||
+                 a.channels != b.channels,
+             "image shape mismatch");
+    if (a.pixels.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.pixels.size(); ++i)
+        sum += std::fabs(static_cast<double>(a.pixels[i]) - b.pixels[i]);
+    return sum / static_cast<double>(a.pixels.size());
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    panic_if(a.width != b.width || a.height != b.height ||
+                 a.channels != b.channels,
+             "image shape mismatch");
+    double mse = 0.0;
+    for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+        const double d =
+            static_cast<double>(a.pixels[i]) - b.pixels[i];
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.pixels.size());
+    if (mse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace tb

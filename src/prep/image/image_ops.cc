@@ -1,0 +1,129 @@
+#include "prep/image/image_ops.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace tb {
+namespace imageops {
+
+Image
+crop(const Image &src, int x0, int y0, int w, int h)
+{
+    fatal_if(x0 < 0 || y0 < 0 || x0 + w > src.width ||
+                 y0 + h > src.height || w <= 0 || h <= 0,
+             "crop %dx%d@(%d,%d) outside %dx%d image", w, h, x0, y0,
+             src.width, src.height);
+    Image out(w, h, src.channels);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            for (int c = 0; c < src.channels; ++c)
+                out.at(x, y, c) = src.at(x0 + x, y0 + y, c);
+    return out;
+}
+
+Image
+randomCrop(const Image &src, int w, int h, Rng &rng)
+{
+    fatal_if(w > src.width || h > src.height, "crop larger than image");
+    const int x0 = static_cast<int>(
+        rng.uniformInt(0, src.width - w));
+    const int y0 = static_cast<int>(
+        rng.uniformInt(0, src.height - h));
+    return crop(src, x0, y0, w, h);
+}
+
+Image
+centerCrop(const Image &src, int w, int h)
+{
+    fatal_if(w > src.width || h > src.height, "crop larger than image");
+    return crop(src, (src.width - w) / 2, (src.height - h) / 2, w, h);
+}
+
+Image
+mirrorHorizontal(const Image &src)
+{
+    Image out(src.width, src.height, src.channels);
+    for (int y = 0; y < src.height; ++y)
+        for (int x = 0; x < src.width; ++x)
+            for (int c = 0; c < src.channels; ++c)
+                out.at(x, y, c) = src.at(src.width - 1 - x, y, c);
+    return out;
+}
+
+Image
+addGaussianNoise(const Image &src, double stddev, Rng &rng)
+{
+    Image out = src;
+    for (auto &p : out.pixels) {
+        const double v = p + rng.gaussian(0.0, stddev);
+        p = static_cast<std::uint8_t>(
+            clamp(static_cast<int>(std::lround(v)), 0, 255));
+    }
+    return out;
+}
+
+Image
+resizeBilinear(const Image &src, int w, int h)
+{
+    fatal_if(w <= 0 || h <= 0, "bad resize target %dx%d", w, h);
+    Image out(w, h, src.channels);
+    const double sx = static_cast<double>(src.width) / w;
+    const double sy = static_cast<double>(src.height) / h;
+    for (int y = 0; y < h; ++y) {
+        const double fy = (y + 0.5) * sy - 0.5;
+        const int y0 = clamp(static_cast<int>(std::floor(fy)), 0,
+                             src.height - 1);
+        const int y1 = std::min(y0 + 1, src.height - 1);
+        const double wy = clamp(fy - y0, 0.0, 1.0);
+        for (int x = 0; x < w; ++x) {
+            const double fx = (x + 0.5) * sx - 0.5;
+            const int x0 = clamp(static_cast<int>(std::floor(fx)), 0,
+                                 src.width - 1);
+            const int x1 = std::min(x0 + 1, src.width - 1);
+            const double wx = clamp(fx - x0, 0.0, 1.0);
+            for (int c = 0; c < src.channels; ++c) {
+                const double top = (1.0 - wx) * src.at(x0, y0, c) +
+                                   wx * src.at(x1, y0, c);
+                const double bot = (1.0 - wx) * src.at(x0, y1, c) +
+                                   wx * src.at(x1, y1, c);
+                out.at(x, y, c) = static_cast<std::uint8_t>(clamp(
+                    static_cast<int>(
+                        std::lround((1.0 - wy) * top + wy * bot)),
+                    0, 255));
+            }
+        }
+    }
+    return out;
+}
+
+float
+toBf16(float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    // Round-to-nearest-even on the truncated 16 mantissa bits.
+    const std::uint32_t rounding = 0x7FFF + ((bits >> 16) & 1);
+    bits = (bits + rounding) & 0xFFFF0000u;
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+std::vector<float>
+castToFloatTensor(const Image &src)
+{
+    std::vector<float> out(static_cast<std::size_t>(src.width) *
+                           src.height * src.channels);
+    std::size_t i = 0;
+    for (int c = 0; c < src.channels; ++c)
+        for (int y = 0; y < src.height; ++y)
+            for (int x = 0; x < src.width; ++x)
+                out[i++] = toBf16(src.at(x, y, c) / 255.0f);
+    return out;
+}
+
+} // namespace imageops
+} // namespace tb

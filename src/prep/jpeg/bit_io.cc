@@ -1,0 +1,78 @@
+#include "prep/jpeg/bit_io.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace jpeg {
+
+void
+BitWriter::emitByte(std::uint8_t b)
+{
+    out_.push_back(b);
+    if (b == 0xFF)
+        out_.push_back(0x00); // byte stuffing
+}
+
+void
+BitWriter::put(std::uint32_t bits, int count)
+{
+    panic_if(count < 0 || count > 25, "bad bit count %d", count);
+    acc_ = (acc_ << count) | (bits & ((1u << count) - 1));
+    bitCount_ += count;
+    while (bitCount_ >= 8) {
+        bitCount_ -= 8;
+        emitByte(static_cast<std::uint8_t>((acc_ >> bitCount_) & 0xFF));
+    }
+}
+
+void
+BitWriter::flush()
+{
+    if (bitCount_ > 0) {
+        const int pad = 8 - bitCount_;
+        put((1u << pad) - 1, pad); // pad with 1-bits
+    }
+}
+
+bool
+BitReader::fill()
+{
+    while (bitCount_ <= 24) {
+        if (hitMarker_ || pos_ >= size_) {
+            hitMarker_ = true;
+            return bitCount_ > 0;
+        }
+        std::uint8_t b = data_[pos_];
+        if (b == 0xFF) {
+            if (pos_ + 1 < size_ && data_[pos_ + 1] == 0x00) {
+                pos_ += 2; // stuffed byte
+            } else {
+                hitMarker_ = true; // real marker: stop
+                return bitCount_ > 0;
+            }
+        } else {
+            ++pos_;
+        }
+        acc_ = (acc_ << 8) | b;
+        bitCount_ += 8;
+    }
+    return true;
+}
+
+std::int32_t
+BitReader::get(int count)
+{
+    panic_if(count < 0 || count > 25, "bad bit count %d", count);
+    if (count == 0)
+        return 0;
+    if (bitCount_ < count && !fill())
+        return -1;
+    if (bitCount_ < count)
+        return -1;
+    bitCount_ -= count;
+    return static_cast<std::int32_t>((acc_ >> bitCount_) &
+                                     ((1u << count) - 1));
+}
+
+} // namespace jpeg
+} // namespace tb

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bit-level I/O for the JPEG entropy coder.
+ *
+ * JPEG writes bits MSB-first and byte-stuffs: every 0xFF data byte is
+ * followed by a 0x00 so that scan data never aliases a marker. The reader
+ * removes the stuffing and reports when it hits a marker.
+ */
+
+#ifndef TRAINBOX_PREP_JPEG_BIT_IO_HH
+#define TRAINBOX_PREP_JPEG_BIT_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tb {
+namespace jpeg {
+
+/** MSB-first bit writer with 0xFF byte stuffing. */
+class BitWriter
+{
+  public:
+    explicit BitWriter(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    /** Append the low @p count bits of @p bits (MSB of the field first). */
+    void put(std::uint32_t bits, int count);
+
+    /** Pad the final partial byte with 1-bits (JPEG convention). */
+    void flush();
+
+  private:
+    void emitByte(std::uint8_t b);
+
+    std::vector<std::uint8_t> &out_;
+    std::uint32_t acc_ = 0;
+    int bitCount_ = 0;
+};
+
+/** MSB-first bit reader that un-stuffs 0xFF 0x00 sequences. */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    /**
+     * Read @p count bits (0..25). Returns -1 if the stream is exhausted
+     * or a marker is encountered mid-scan.
+     */
+    std::int32_t get(int count);
+
+    /** Read a single bit (-1 on end). */
+    std::int32_t getBit() { return get(1); }
+
+    /** Byte offset of the next unread byte. */
+    std::size_t position() const { return pos_; }
+
+    /** True once a marker or the end of data was reached. */
+    bool atEnd() const { return hitMarker_ && bitCount_ == 0; }
+
+  private:
+    bool fill();
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::uint32_t acc_ = 0;
+    int bitCount_ = 0;
+    bool hitMarker_ = false;
+};
+
+} // namespace jpeg
+} // namespace tb
+
+#endif // TRAINBOX_PREP_JPEG_BIT_IO_HH

@@ -1,0 +1,88 @@
+#include "prep/jpeg/dct.hh"
+
+#include <cmath>
+
+namespace tb {
+namespace jpeg {
+
+namespace {
+
+/** Cosine basis c[u][x] = cos((2x+1) u pi / 16), with DCT scale factors. */
+struct Basis
+{
+    float cosTab[8][8];
+    float alpha[8];
+
+    Basis()
+    {
+        for (int u = 0; u < 8; ++u) {
+            alpha[u] = u == 0 ? std::sqrt(1.0f / 8.0f)
+                              : std::sqrt(2.0f / 8.0f);
+            for (int x = 0; x < 8; ++x)
+                cosTab[u][x] = std::cos((2.0f * x + 1.0f) * u *
+                                        static_cast<float>(M_PI) / 16.0f);
+        }
+    }
+};
+
+const Basis &
+basis()
+{
+    static const Basis b;
+    return b;
+}
+
+} // namespace
+
+void
+forwardDct8x8(const float in[64], float out[64])
+{
+    const Basis &b = basis();
+    float tmp[64];
+    // Rows.
+    for (int y = 0; y < 8; ++y) {
+        for (int u = 0; u < 8; ++u) {
+            float acc = 0.0f;
+            for (int x = 0; x < 8; ++x)
+                acc += in[y * 8 + x] * b.cosTab[u][x];
+            tmp[y * 8 + u] = acc * b.alpha[u];
+        }
+    }
+    // Columns.
+    for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+            float acc = 0.0f;
+            for (int y = 0; y < 8; ++y)
+                acc += tmp[y * 8 + u] * b.cosTab[v][y];
+            out[v * 8 + u] = acc * b.alpha[v];
+        }
+    }
+}
+
+void
+inverseDct8x8(const float in[64], float out[64])
+{
+    const Basis &b = basis();
+    float tmp[64];
+    // Columns.
+    for (int u = 0; u < 8; ++u) {
+        for (int y = 0; y < 8; ++y) {
+            float acc = 0.0f;
+            for (int v = 0; v < 8; ++v)
+                acc += b.alpha[v] * in[v * 8 + u] * b.cosTab[v][y];
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Rows.
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            float acc = 0.0f;
+            for (int u = 0; u < 8; ++u)
+                acc += b.alpha[u] * tmp[y * 8 + u] * b.cosTab[u][x];
+            out[y * 8 + x] = acc;
+        }
+    }
+}
+
+} // namespace jpeg
+} // namespace tb

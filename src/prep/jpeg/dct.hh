@@ -1,0 +1,23 @@
+/**
+ * @file
+ * 8x8 forward and inverse DCT (type II/III) used by the JPEG codec.
+ * Straightforward separable float implementation — clarity over speed;
+ * the throughput claims of the paper live in the simulator, not here.
+ */
+
+#ifndef TRAINBOX_PREP_JPEG_DCT_HH
+#define TRAINBOX_PREP_JPEG_DCT_HH
+
+namespace tb {
+namespace jpeg {
+
+/** Forward 8x8 DCT: spatial block (row-major) -> coefficients. */
+void forwardDct8x8(const float in[64], float out[64]);
+
+/** Inverse 8x8 DCT: coefficients -> spatial block. */
+void inverseDct8x8(const float in[64], float out[64]);
+
+} // namespace jpeg
+} // namespace tb
+
+#endif // TRAINBOX_PREP_JPEG_DCT_HH

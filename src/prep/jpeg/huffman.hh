@@ -1,0 +1,77 @@
+/**
+ * @file
+ * JPEG Huffman coding: canonical code construction from (BITS, HUFFVAL)
+ * specs, the Annex K standard tables, an encoder, and a decoder using the
+ * MINCODE/MAXCODE/VALPTR scheme of ITU-T T.81 §F.2.2.3. This is exactly
+ * the sequential, data-dependent phase the paper cites as the reason GPUs
+ * handle JPEG formatting poorly (§V-B).
+ */
+
+#ifndef TRAINBOX_PREP_JPEG_HUFFMAN_HH
+#define TRAINBOX_PREP_JPEG_HUFFMAN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prep/jpeg/bit_io.hh"
+
+namespace tb {
+namespace jpeg {
+
+/** A Huffman table spec as stored in a DHT segment. */
+struct HuffmanSpec
+{
+    /** bits[i] = number of codes of length i+1 (i in 0..15). */
+    std::array<std::uint8_t, 16> bits{};
+
+    /** Symbols in code order. */
+    std::vector<std::uint8_t> values;
+};
+
+/** Annex K standard tables. */
+const HuffmanSpec &stdDcLuma();
+const HuffmanSpec &stdAcLuma();
+const HuffmanSpec &stdDcChroma();
+const HuffmanSpec &stdAcChroma();
+
+/** Symbol -> canonical code lookup for encoding. */
+class HuffmanEncoder
+{
+  public:
+    explicit HuffmanEncoder(const HuffmanSpec &spec);
+
+    /** Emit the code for @p symbol. */
+    void encode(BitWriter &bw, std::uint8_t symbol) const;
+
+    /** Code length of a symbol (0 when absent). */
+    int codeLength(std::uint8_t symbol) const
+    {
+        return length_[symbol];
+    }
+
+  private:
+    std::array<std::uint16_t, 256> code_{};
+    std::array<std::uint8_t, 256> length_{};
+};
+
+/** Canonical decoder (bit-serial, MINCODE/MAXCODE/VALPTR). */
+class HuffmanDecoder
+{
+  public:
+    explicit HuffmanDecoder(const HuffmanSpec &spec);
+
+    /** Decode one symbol; -1 on malformed input or end of data. */
+    int decode(BitReader &br) const;
+
+  private:
+    std::array<std::int32_t, 17> minCode_{};
+    std::array<std::int32_t, 17> maxCode_{};
+    std::array<std::int32_t, 17> valPtr_{};
+    std::vector<std::uint8_t> values_;
+};
+
+} // namespace jpeg
+} // namespace tb
+
+#endif // TRAINBOX_PREP_JPEG_HUFFMAN_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared JPEG definitions: markers, zig-zag order, quantization tables
+ * (ITU-T T.81 Annex K) and quality scaling.
+ */
+
+#ifndef TRAINBOX_PREP_JPEG_JPEG_COMMON_HH
+#define TRAINBOX_PREP_JPEG_JPEG_COMMON_HH
+
+#include <array>
+#include <cstdint>
+
+namespace tb {
+namespace jpeg {
+
+/** JPEG marker codes (second byte after 0xFF). */
+enum Marker : std::uint8_t
+{
+    SOI = 0xD8,
+    EOI = 0xD9,
+    SOF0 = 0xC0,
+    DHT = 0xC4,
+    DQT = 0xDB,
+    DRI = 0xDD,
+    SOS = 0xDA,
+    APP0 = 0xE0,
+    COM = 0xFE,
+    RST0 = 0xD0,
+    RST7 = 0xD7,
+};
+
+/** Zig-zag scan order: natural index of the k-th zig-zag coefficient. */
+extern const std::array<int, 64> kZigZag;
+
+/** Annex K luminance quantization table (natural order). */
+extern const std::array<int, 64> kLumaQuant;
+
+/** Annex K chrominance quantization table (natural order). */
+extern const std::array<int, 64> kChromaQuant;
+
+/**
+ * Scale a base quantization table by quality (1..100, libjpeg formula).
+ * Values are clamped to [1, 255] (baseline 8-bit precision).
+ */
+std::array<std::uint16_t, 64> scaleQuantTable(
+    const std::array<int, 64> &base, int quality);
+
+} // namespace jpeg
+} // namespace tb
+
+#endif // TRAINBOX_PREP_JPEG_JPEG_COMMON_HH

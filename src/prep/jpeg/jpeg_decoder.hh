@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Baseline sequential-DCT JPEG decoder.
+ *
+ * Supports: JFIF baseline (SOF0), 8-bit precision, 1 or 3 components,
+ * sampling factors 1 or 2, standard and custom DQT/DHT tables, restart
+ * intervals. This is the CPU-heavy "data formatting" operation of the
+ * paper (and the Huffman phase is the irreducibly sequential part that
+ * motivates FPGA offload, §V-B).
+ */
+
+#ifndef TRAINBOX_PREP_JPEG_JPEG_DECODER_HH
+#define TRAINBOX_PREP_JPEG_JPEG_DECODER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prep/image/image.hh"
+
+namespace tb {
+namespace jpeg {
+
+/** Decode result: image plus error reporting. */
+struct DecodeResult
+{
+    Image image;
+    bool ok = false;
+    std::string error;
+};
+
+/** Decode a baseline JPEG byte stream. Never throws; reports errors. */
+DecodeResult decodeJpeg(const std::uint8_t *data, std::size_t size);
+
+/** Convenience overload. */
+DecodeResult decodeJpeg(const std::vector<std::uint8_t> &data);
+
+} // namespace jpeg
+} // namespace tb
+
+#endif // TRAINBOX_PREP_JPEG_JPEG_DECODER_HH

@@ -1,0 +1,327 @@
+#include "prep/jpeg/jpeg_encoder.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "prep/jpeg/dct.hh"
+#include "prep/jpeg/huffman.hh"
+#include "prep/jpeg/jpeg_common.hh"
+
+namespace tb {
+namespace jpeg {
+
+namespace {
+
+/** Magnitude category (SSSS): bits needed to represent |v|. */
+int
+category(int v)
+{
+    int a = v < 0 ? -v : v;
+    int n = 0;
+    while (a) {
+        ++n;
+        a >>= 1;
+    }
+    return n;
+}
+
+/** Low-bits encoding of a value in its category (T.81 F.1.2.1). */
+std::uint32_t
+magnitudeBits(int v, int cat)
+{
+    return static_cast<std::uint32_t>(v < 0 ? v + (1 << cat) - 1 : v);
+}
+
+void
+put16(std::vector<std::uint8_t> &out, int v)
+{
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void
+putMarker(std::vector<std::uint8_t> &out, std::uint8_t marker)
+{
+    out.push_back(0xFF);
+    out.push_back(marker);
+}
+
+/** One color component being encoded. */
+struct Component
+{
+    int id;
+    int h, v;          // sampling factors
+    int quantTable;    // 0 = luma, 1 = chroma
+    int dcTable, acTable;
+    std::vector<float> plane; // subsampled plane, planeW x planeH
+    int planeW = 0, planeH = 0;
+    int pred = 0;      // DC predictor
+};
+
+/** Encode one quantized 8x8 block (zig-zag order). */
+void
+encodeBlock(BitWriter &bw, const int zz[64], int &pred,
+            const HuffmanEncoder &dc, const HuffmanEncoder &ac)
+{
+    const int diff = zz[0] - pred;
+    pred = zz[0];
+    const int cat = category(diff);
+    dc.encode(bw, static_cast<std::uint8_t>(cat));
+    if (cat > 0)
+        bw.put(magnitudeBits(diff, cat), cat);
+
+    int run = 0;
+    for (int k = 1; k < 64; ++k) {
+        if (zz[k] == 0) {
+            ++run;
+            continue;
+        }
+        while (run > 15) {
+            ac.encode(bw, 0xF0); // ZRL
+            run -= 16;
+        }
+        const int c = category(zz[k]);
+        ac.encode(bw, static_cast<std::uint8_t>((run << 4) | c));
+        bw.put(magnitudeBits(zz[k], c), c);
+        run = 0;
+    }
+    if (run > 0)
+        ac.encode(bw, 0x00); // EOB
+}
+
+/** Fetch an 8x8 block from a plane with edge replication, then quantize. */
+void
+blockFromPlane(const Component &comp, int bx, int by,
+               const std::array<std::uint16_t, 64> &quant, int zz[64])
+{
+    float block[64];
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            const int sx = clamp(bx * 8 + x, 0, comp.planeW - 1);
+            const int sy = clamp(by * 8 + y, 0, comp.planeH - 1);
+            block[y * 8 + x] =
+                comp.plane[static_cast<std::size_t>(sy) * comp.planeW +
+                           sx] -
+                128.0f;
+        }
+    }
+    float coeff[64];
+    forwardDct8x8(block, coeff);
+    for (int k = 0; k < 64; ++k) {
+        const int nat = kZigZag[k];
+        zz[k] = static_cast<int>(
+            std::lround(coeff[nat] / static_cast<float>(quant[nat])));
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeJpeg(const Image &img, const EncoderOptions &opts)
+{
+    fatal_if(img.channels != 3 && img.channels != 1,
+             "JPEG encoder supports 1 or 3 channels, got %d",
+             img.channels);
+    fatal_if(img.width <= 0 || img.height <= 0, "empty image");
+
+    const bool color = img.channels == 3;
+    const auto luma_q = scaleQuantTable(kLumaQuant, opts.quality);
+    const auto chroma_q = scaleQuantTable(kChromaQuant, opts.quality);
+
+    // Color transform + chroma subsampling (4:2:0).
+    std::vector<Component> comps;
+    {
+        Component y{1, color ? 2 : 1, color ? 2 : 1, 0, 0, 0, {}, 0, 0, 0};
+        y.planeW = img.width;
+        y.planeH = img.height;
+        y.plane.resize(static_cast<std::size_t>(y.planeW) * y.planeH);
+        comps.push_back(std::move(y));
+        if (color) {
+            for (int id : {2, 3}) {
+                Component c{id, 1, 1, 1, 1, 1, {}, 0, 0, 0};
+                c.planeW = (img.width + 1) / 2;
+                c.planeH = (img.height + 1) / 2;
+                c.plane.resize(static_cast<std::size_t>(c.planeW) *
+                               c.planeH);
+                comps.push_back(std::move(c));
+            }
+        }
+    }
+    if (color) {
+        std::vector<float> cb(static_cast<std::size_t>(img.width) *
+                              img.height);
+        std::vector<float> cr(cb.size());
+        for (int y = 0; y < img.height; ++y) {
+            for (int x = 0; x < img.width; ++x) {
+                const float r = img.at(x, y, 0);
+                const float g = img.at(x, y, 1);
+                const float b = img.at(x, y, 2);
+                const std::size_t i =
+                    static_cast<std::size_t>(y) * img.width + x;
+                comps[0].plane[i] = 0.299f * r + 0.587f * g + 0.114f * b;
+                cb[i] = 128.0f - 0.168736f * r - 0.331264f * g +
+                        0.5f * b;
+                cr[i] = 128.0f + 0.5f * r - 0.418688f * g -
+                        0.081312f * b;
+            }
+        }
+        // 2x2 average subsampling.
+        for (int cidx : {1, 2}) {
+            Component &c = comps[cidx];
+            const std::vector<float> &src = cidx == 1 ? cb : cr;
+            for (int y = 0; y < c.planeH; ++y) {
+                for (int x = 0; x < c.planeW; ++x) {
+                    float acc = 0.0f;
+                    int n = 0;
+                    for (int dy = 0; dy < 2; ++dy) {
+                        for (int dx = 0; dx < 2; ++dx) {
+                            const int sx = 2 * x + dx;
+                            const int sy = 2 * y + dy;
+                            if (sx < img.width && sy < img.height) {
+                                acc += src[static_cast<std::size_t>(sy) *
+                                               img.width +
+                                           sx];
+                                ++n;
+                            }
+                        }
+                    }
+                    c.plane[static_cast<std::size_t>(y) * c.planeW + x] =
+                        acc / static_cast<float>(n);
+                }
+            }
+        }
+    } else {
+        for (int y = 0; y < img.height; ++y)
+            for (int x = 0; x < img.width; ++x)
+                comps[0].plane[static_cast<std::size_t>(y) * img.width +
+                               x] = img.at(x, y, 0);
+    }
+
+    std::vector<std::uint8_t> out;
+    putMarker(out, SOI);
+
+    // APP0 / JFIF.
+    putMarker(out, APP0);
+    put16(out, 16);
+    for (char ch : {'J', 'F', 'I', 'F', '\0'})
+        out.push_back(static_cast<std::uint8_t>(ch));
+    out.push_back(1);
+    out.push_back(1); // version 1.1
+    out.push_back(0); // aspect-ratio units
+    put16(out, 1);
+    put16(out, 1);
+    out.push_back(0);
+    out.push_back(0); // no thumbnail
+
+    // DQT: two tables in one segment (one for grayscale).
+    const int num_q = color ? 2 : 1;
+    putMarker(out, DQT);
+    put16(out, 2 + num_q * 65);
+    for (int t = 0; t < num_q; ++t) {
+        out.push_back(static_cast<std::uint8_t>(t)); // Pq=0|Tq=t
+        const auto &q = t == 0 ? luma_q : chroma_q;
+        for (int k = 0; k < 64; ++k)
+            out.push_back(static_cast<std::uint8_t>(q[kZigZag[k]]));
+    }
+
+    // SOF0.
+    putMarker(out, SOF0);
+    put16(out, 8 + 3 * static_cast<int>(comps.size()));
+    out.push_back(8); // precision
+    put16(out, img.height);
+    put16(out, img.width);
+    out.push_back(static_cast<std::uint8_t>(comps.size()));
+    for (const auto &c : comps) {
+        out.push_back(static_cast<std::uint8_t>(c.id));
+        out.push_back(static_cast<std::uint8_t>((c.h << 4) | c.v));
+        out.push_back(static_cast<std::uint8_t>(c.quantTable));
+    }
+
+    // DHT: the four standard tables (two for grayscale).
+    auto emit_dht = [&](int tc, int th, const HuffmanSpec &spec) {
+        putMarker(out, DHT);
+        put16(out, 2 + 1 + 16 + static_cast<int>(spec.values.size()));
+        out.push_back(static_cast<std::uint8_t>((tc << 4) | th));
+        for (int i = 0; i < 16; ++i)
+            out.push_back(spec.bits[i]);
+        for (auto v : spec.values)
+            out.push_back(v);
+    };
+    emit_dht(0, 0, stdDcLuma());
+    emit_dht(1, 0, stdAcLuma());
+    if (color) {
+        emit_dht(0, 1, stdDcChroma());
+        emit_dht(1, 1, stdAcChroma());
+    }
+
+    if (opts.restartInterval > 0) {
+        putMarker(out, DRI);
+        put16(out, 4);
+        put16(out, opts.restartInterval);
+    }
+
+    // SOS.
+    putMarker(out, SOS);
+    put16(out, 6 + 2 * static_cast<int>(comps.size()));
+    out.push_back(static_cast<std::uint8_t>(comps.size()));
+    for (const auto &c : comps) {
+        out.push_back(static_cast<std::uint8_t>(c.id));
+        out.push_back(
+            static_cast<std::uint8_t>((c.dcTable << 4) | c.acTable));
+    }
+    out.push_back(0);
+    out.push_back(63);
+    out.push_back(0); // Ss/Se/Ah|Al
+
+    // Entropy-coded scan.
+    const HuffmanEncoder dc_luma(stdDcLuma());
+    const HuffmanEncoder ac_luma(stdAcLuma());
+    const HuffmanEncoder dc_chroma(stdDcChroma());
+    const HuffmanEncoder ac_chroma(stdAcChroma());
+
+    const int hmax = comps[0].h;
+    const int vmax = comps[0].v;
+    const int mcus_x = divCeil(img.width, 8 * hmax);
+    const int mcus_y = divCeil(img.height, 8 * vmax);
+
+    BitWriter bw(out);
+    int rst_index = 0;
+    int mcus_since_restart = 0;
+    for (int my = 0; my < mcus_y; ++my) {
+        for (int mx = 0; mx < mcus_x; ++mx) {
+            if (opts.restartInterval > 0 &&
+                mcus_since_restart == opts.restartInterval) {
+                bw.flush();
+                putMarker(out, static_cast<std::uint8_t>(
+                                   RST0 + (rst_index & 7)));
+                ++rst_index;
+                mcus_since_restart = 0;
+                for (auto &c : comps)
+                    c.pred = 0;
+            }
+            for (auto &c : comps) {
+                const auto &quant = c.quantTable == 0 ? luma_q : chroma_q;
+                const HuffmanEncoder &dc =
+                    c.dcTable == 0 ? dc_luma : dc_chroma;
+                const HuffmanEncoder &ac =
+                    c.acTable == 0 ? ac_luma : ac_chroma;
+                for (int by = 0; by < c.v; ++by) {
+                    for (int bx = 0; bx < c.h; ++bx) {
+                        int zz[64];
+                        blockFromPlane(c, mx * c.h + bx, my * c.v + by,
+                                       quant, zz);
+                        encodeBlock(bw, zz, c.pred, dc, ac);
+                    }
+                }
+            }
+            ++mcus_since_restart;
+        }
+    }
+    bw.flush();
+    putMarker(out, EOI);
+    return out;
+}
+
+} // namespace jpeg
+} // namespace tb

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Baseline sequential-DCT JPEG encoder (JFIF, 4:2:0 for RGB inputs,
+ * single-component for grayscale, standard Annex K tables, optional
+ * restart intervals). Used to synthesize the "stored ImageNet" items the
+ * functional pipeline decodes.
+ */
+
+#ifndef TRAINBOX_PREP_JPEG_JPEG_ENCODER_HH
+#define TRAINBOX_PREP_JPEG_JPEG_ENCODER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prep/image/image.hh"
+
+namespace tb {
+namespace jpeg {
+
+/** Encoder knobs. */
+struct EncoderOptions
+{
+    /** Quality 1..100 (libjpeg quantizer scaling). */
+    int quality = 85;
+
+    /** Restart interval in MCUs (0 = none). */
+    int restartInterval = 0;
+};
+
+/**
+ * Encode an RGB (3-channel) or grayscale (1-channel) image as baseline
+ * JPEG. fatal()s on unsupported channel counts.
+ */
+std::vector<std::uint8_t> encodeJpeg(const Image &img,
+                                     const EncoderOptions &opts = {});
+
+} // namespace jpeg
+} // namespace tb
+
+#endif // TRAINBOX_PREP_JPEG_JPEG_ENCODER_HH

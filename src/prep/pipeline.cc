@@ -1,0 +1,132 @@
+#include "prep/pipeline.hh"
+
+#include <array>
+#include <cmath>
+
+#include "common/math_util.hh"
+#include "prep/image/image_ops.hh"
+#include "prep/jpeg/jpeg_decoder.hh"
+#include "prep/jpeg/jpeg_encoder.hh"
+
+namespace tb {
+namespace prep {
+
+PreparedImage
+ImagePrepPipeline::prepare(const std::vector<std::uint8_t> &jpeg_bytes,
+                           Rng &rng) const
+{
+    PreparedImage out;
+
+    jpeg::DecodeResult decoded = jpeg::decodeJpeg(jpeg_bytes);
+    if (!decoded.ok) {
+        out.error = "decode: " + decoded.error;
+        return out;
+    }
+    if (decoded.image.width < cfg_.cropWidth ||
+        decoded.image.height < cfg_.cropHeight) {
+        out.error = "image smaller than crop";
+        return out;
+    }
+
+    Image img = cfg_.augment
+        ? imageops::randomCrop(decoded.image, cfg_.cropWidth,
+                               cfg_.cropHeight, rng)
+        : imageops::centerCrop(decoded.image, cfg_.cropWidth,
+                               cfg_.cropHeight);
+    if (cfg_.augment) {
+        if (rng.uniform() < cfg_.mirrorProbability)
+            img = imageops::mirrorHorizontal(img);
+        if (cfg_.noiseStddev > 0.0)
+            img = imageops::addGaussianNoise(img, cfg_.noiseStddev, rng);
+    }
+
+    out.tensor = imageops::castToFloatTensor(img);
+    out.width = img.width;
+    out.height = img.height;
+    out.channels = img.channels;
+    out.ok = true;
+    return out;
+}
+
+Image
+makeSyntheticImage(int width, int height, Rng &rng)
+{
+    Image img(width, height, 3);
+
+    // Low-frequency sinusoidal "scene" per channel plus a few blobs.
+    struct Wave
+    {
+        double fx, fy, phase, amp;
+    };
+    std::array<std::array<Wave, 3>, 3> waves;
+    for (auto &chan : waves)
+        for (auto &w : chan)
+            w = {rng.uniform(0.5, 3.0), rng.uniform(0.5, 3.0),
+                 rng.uniform(0.0, 2.0 * M_PI), rng.uniform(20.0, 55.0)};
+
+    struct Blob
+    {
+        double cx, cy, r, amp;
+        int channel;
+    };
+    std::vector<Blob> blobs;
+    for (int i = 0; i < 6; ++i)
+        blobs.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+                         rng.uniform(0.05, 0.25), rng.uniform(-60.0, 60.0),
+                         static_cast<int>(rng.uniformInt(0, 2))});
+
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const double u = static_cast<double>(x) / width;
+            const double v = static_cast<double>(y) / height;
+            for (int c = 0; c < 3; ++c) {
+                double val = 110.0 + 40.0 * u + 20.0 * v;
+                for (const auto &w : waves[c])
+                    val += w.amp *
+                           std::sin(2.0 * M_PI * (w.fx * u + w.fy * v) +
+                                    w.phase);
+                for (const auto &b : blobs) {
+                    if (b.channel != c)
+                        continue;
+                    const double d2 = (u - b.cx) * (u - b.cx) +
+                                      (v - b.cy) * (v - b.cy);
+                    val += b.amp * std::exp(-d2 / (b.r * b.r));
+                }
+                img.at(x, y, c) = static_cast<std::uint8_t>(
+                    clamp(static_cast<int>(std::lround(val)), 0, 255));
+            }
+        }
+    }
+    return img;
+}
+
+std::vector<std::uint8_t>
+makeSyntheticJpeg(int width, int height, Rng &rng, int quality)
+{
+    const Image img = makeSyntheticImage(width, height, rng);
+    jpeg::EncoderOptions opts;
+    opts.quality = quality;
+    return jpeg::encodeJpeg(img, opts);
+}
+
+PreparedAudio
+AudioPrepPipeline::prepare(std::vector<double> waveform, Rng &rng) const
+{
+    PreparedAudio out;
+    if (cfg_.augment && cfg_.waveformNoiseStddev > 0.0)
+        audio::addNoise(waveform, cfg_.waveformNoiseStddev, rng);
+
+    const audio::Spectrogram power = audio::stft(waveform, cfg_.stft);
+    if (power.frames == 0)
+        return out;
+    out.features = audio::logMel(power, cfg_.mel, cfg_.stft.fftSize);
+    if (cfg_.augment)
+        audio::applyMasks(out.features, cfg_.mask, rng);
+    if (cfg_.normalize)
+        audio::normalize(out.features);
+    out.ok = true;
+    return out;
+}
+
+} // namespace prep
+} // namespace tb

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+
+EventId
+EventQueue::schedule(Time when, Callback cb, int priority)
+{
+    panic_if(when < now_, "scheduling event in the past (%g < %g)",
+             when, now_);
+    const Key key{when, priority, nextSeq_++};
+    events_.emplace(key, std::move(cb));
+    bySeq_.emplace(key.seq, key);
+    return EventId{key.seq};
+}
+
+EventId
+EventQueue::scheduleIn(Time delay, Callback cb, int priority)
+{
+    panic_if(delay < 0.0, "negative event delay %g", delay);
+    return schedule(now_ + delay, std::move(cb), priority);
+}
+
+bool
+EventQueue::cancel(EventId &id)
+{
+    if (!id.valid())
+        return false;
+    auto it = bySeq_.find(id.seq);
+    id.invalidate();
+    if (it == bySeq_.end())
+        return false;
+    events_.erase(it->second);
+    bySeq_.erase(it);
+    return true;
+}
+
+Time
+EventQueue::nextTime() const
+{
+    panic_if(events_.empty(), "nextTime() on empty event queue");
+    return events_.begin()->first.when;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    auto it = events_.begin();
+    const Key key = it->first;
+    Callback cb = std::move(it->second);
+    events_.erase(it);
+    bySeq_.erase(key.seq);
+    now_ = key.when;
+    ++numExecuted_;
+    cb();
+    return true;
+}
+
+void
+EventQueue::run(Time until)
+{
+    while (!events_.empty()) {
+        if (until >= 0.0 && events_.begin()->first.when > until) {
+            now_ = until;
+            return;
+        }
+        step();
+    }
+    if (until >= 0.0 && now_ < until)
+        now_ = until;
+}
+
+} // namespace tb

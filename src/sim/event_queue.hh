@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The queue holds (time, priority, sequence) ordered callbacks. Components
+ * schedule std::function callbacks; scheduled events can be cancelled via
+ * the EventId handle. Time is continuous (seconds, double).
+ */
+
+#ifndef TRAINBOX_SIM_EVENT_QUEUE_HH
+#define TRAINBOX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/units.hh"
+
+namespace tb {
+
+/** Handle identifying a scheduled event; usable for cancellation. */
+struct EventId
+{
+    std::uint64_t seq = 0;
+
+    bool valid() const { return seq != 0; }
+    void invalidate() { seq = 0; }
+};
+
+/**
+ * The event queue / simulation clock.
+ *
+ * Events at equal timestamps run in (priority, insertion) order; lower
+ * priority values run first.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Default priority for ordinary events. */
+    static constexpr int defaultPriority = 100;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in seconds. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(Time when, Callback cb, int priority = defaultPriority);
+
+    /** Schedule @p cb to run @p delay seconds from now. */
+    EventId scheduleIn(Time delay, Callback cb,
+                       int priority = defaultPriority);
+
+    /** Cancel a pending event. Returns false if already fired/cancelled. */
+    bool cancel(EventId &id);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Time of the next pending event; panics when empty. */
+    Time nextTime() const;
+
+    /** Run a single event. Returns false when the queue is empty. */
+    bool step();
+
+    /** Run until the queue is empty or @p until is reached (inclusive). */
+    void run(Time until = -1.0);
+
+    /** Total number of events executed so far. */
+    std::uint64_t numExecuted() const { return numExecuted_; }
+
+  private:
+    struct Key
+    {
+        Time when;
+        int priority;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (when != o.when)
+                return when < o.when;
+            if (priority != o.priority)
+                return priority < o.priority;
+            return seq < o.seq;
+        }
+    };
+
+    Time now_ = 0.0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t numExecuted_ = 0;
+    std::map<Key, Callback> events_;
+    std::map<std::uint64_t, Key> bySeq_;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_SIM_EVENT_QUEUE_HH

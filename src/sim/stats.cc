@@ -1,0 +1,86 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+namespace tb {
+namespace stats {
+
+void
+Distribution::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / count_ - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+StatGroup::registerScalar(const std::string &name, Scalar *stat,
+                          const std::string &desc)
+{
+    scalars_.push_back({name, stat, desc});
+}
+
+void
+StatGroup::registerDistribution(const std::string &name, Distribution *stat,
+                                const std::string &desc)
+{
+    dists_.push_back({name, stat, desc});
+}
+
+void
+StatGroup::dump(std::FILE *out) const
+{
+    for (const auto &e : scalars_) {
+        std::fprintf(out, "%s.%s %.6g", name_.c_str(), e.name.c_str(),
+                     e.stat->value());
+        if (!e.desc.empty())
+            std::fprintf(out, " # %s", e.desc.c_str());
+        std::fputc('\n', out);
+    }
+    for (const auto &e : dists_) {
+        std::fprintf(out,
+                     "%s.%s mean=%.6g min=%.6g max=%.6g sd=%.6g n=%zu",
+                     name_.c_str(), e.name.c_str(), e.stat->mean(),
+                     e.stat->minimum(), e.stat->maximum(),
+                     e.stat->stddev(), e.stat->count());
+        if (!e.desc.empty())
+            std::fprintf(out, " # %s", e.desc.c_str());
+        std::fputc('\n', out);
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &e : scalars_)
+        e.stat->reset();
+    for (auto &e : dists_)
+        e.stat->reset();
+}
+
+} // namespace stats
+} // namespace tb

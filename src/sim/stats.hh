@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Lightweight statistics collection (a nod to gem5's stats package).
+ *
+ * Stats are plain value objects registered into a StatGroup by name so a
+ * component can dump all of its counters at once.
+ */
+
+#ifndef TRAINBOX_SIM_STATS_HH
+#define TRAINBOX_SIM_STATS_HH
+
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tb {
+namespace stats {
+
+/** A scalar accumulator (count or sum). */
+class Scalar
+{
+  public:
+    void operator+=(double v) { value_ += v; }
+    void operator++() { value_ += 1.0; }
+    void operator++(int) { value_ += 1.0; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Mean / min / max / stddev over samples. */
+class Distribution
+{
+  public:
+    void sample(double v);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minimum() const { return count_ ? min_ : 0.0; }
+    double maximum() const { return count_ ? max_ : 0.0; }
+    /** Population standard deviation. */
+    double stddev() const;
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Named collection of stats owned by a component. Holds non-owning
+ * pointers; the registering component must outlive the group.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void registerScalar(const std::string &name, Scalar *stat,
+                        const std::string &desc = "");
+    void registerDistribution(const std::string &name, Distribution *stat,
+                              const std::string &desc = "");
+
+    /** Dump all registered stats as "group.name value # desc" lines. */
+    void dump(std::FILE *out = stdout) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct ScalarEntry { std::string name; Scalar *stat; std::string desc; };
+    struct DistEntry
+    {
+        std::string name;
+        Distribution *stat;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<ScalarEntry> scalars_;
+    std::vector<DistEntry> dists_;
+};
+
+} // namespace stats
+} // namespace tb
+
+#endif // TRAINBOX_SIM_STATS_HH

@@ -1,0 +1,118 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+
+namespace tb {
+
+namespace {
+
+/** Escape a string for JSON (we only expect simple identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue;
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+TraceWriter::trackId(const std::string &track)
+{
+    auto it = tracks_.find(track);
+    if (it != tracks_.end())
+        return it->second;
+    const int id = static_cast<int>(tracks_.size()) + 1;
+    tracks_.emplace(track, id);
+    return id;
+}
+
+void
+TraceWriter::complete(const std::string &track, const std::string &name,
+                      Time start, Time duration,
+                      const std::string &category)
+{
+    events_.push_back(
+        {'X', name, category, trackId(track), start, duration});
+}
+
+void
+TraceWriter::instant(const std::string &track, const std::string &name,
+                     Time when, const std::string &category)
+{
+    events_.push_back({'i', name, category, trackId(track), when, 0.0});
+}
+
+std::string
+TraceWriter::toJson() const
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    char buf[256];
+
+    // Thread-name metadata so tracks show readable labels.
+    for (const auto &[name, id] : tracks_) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                      "\"name\":\"thread_name\",\"args\":{\"name\":"
+                      "\"%s\"}}",
+                      first ? "" : ",", id, jsonEscape(name).c_str());
+        out += buf;
+        first = false;
+    }
+
+    for (const auto &e : events_) {
+        if (e.phase == 'X') {
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                          "\"name\":\"%s\",\"cat\":\"%s\","
+                          "\"ts\":%.3f,\"dur\":%.3f}",
+                          first ? "" : ",", e.track,
+                          jsonEscape(e.name).c_str(),
+                          jsonEscape(e.category).c_str(), e.start * 1e6,
+                          e.duration * 1e6);
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
+                          "\"name\":\"%s\",\"cat\":\"%s\","
+                          "\"ts\":%.3f,\"s\":\"t\"}",
+                          first ? "" : ",", e.track,
+                          jsonEscape(e.name).c_str(),
+                          jsonEscape(e.category).c_str(), e.start * 1e6);
+        }
+        out += buf;
+        first = false;
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+TraceWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string json = toJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    return ok;
+}
+
+void
+TraceWriter::clear()
+{
+    events_.clear();
+    tracks_.clear();
+}
+
+} // namespace tb

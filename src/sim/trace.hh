@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Chrome-trace (about://tracing / Perfetto) event writer.
+ *
+ * The training session can record every prep stage, compute span, and
+ * sync span into a TraceWriter; the JSON it emits loads directly into
+ * chrome://tracing or ui.perfetto.dev, giving the same kind of timeline
+ * the paper's latency-decomposition figures summarize.
+ */
+
+#ifndef TRAINBOX_SIM_TRACE_HH
+#define TRAINBOX_SIM_TRACE_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tb {
+
+/** Collects duration events and serializes Chrome trace JSON. */
+class TraceWriter
+{
+  public:
+    /**
+     * Record a complete span ("X" event) on a named track.
+     * Times are simulation seconds; emitted as microseconds.
+     */
+    void complete(const std::string &track, const std::string &name,
+                  Time start, Time duration,
+                  const std::string &category = "sim");
+
+    /** Record an instant event. */
+    void instant(const std::string &track, const std::string &name,
+                 Time when, const std::string &category = "sim");
+
+    /** Number of recorded events. */
+    std::size_t numEvents() const { return events_.size(); }
+
+    /** Serialize to Chrome trace JSON (traceEvents array form). */
+    std::string toJson() const;
+
+    /** Write JSON to a file; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** Drop all events. */
+    void clear();
+
+  private:
+    struct Event
+    {
+        char phase;   // 'X' or 'i'
+        std::string name;
+        std::string category;
+        int track;
+        Time start;
+        Time duration;
+    };
+
+    int trackId(const std::string &track);
+
+    std::map<std::string, int> tracks_;
+    std::vector<Event> events_;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_SIM_TRACE_HH

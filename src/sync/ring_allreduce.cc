@@ -1,0 +1,124 @@
+#include "sync/ring_allreduce.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace tb {
+namespace sync {
+
+namespace {
+
+/** [begin, end) element range of chunk @p c when splitting @p len n ways. */
+std::pair<std::size_t, std::size_t>
+chunkRange(std::size_t len, std::size_t n, std::size_t c)
+{
+    const std::size_t base = len / n;
+    const std::size_t extra = len % n;
+    const std::size_t begin = c * base + std::min(c, extra);
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    return {begin, begin + size};
+}
+
+} // namespace
+
+AllReduceStats
+ringAllReduce(std::vector<std::vector<float>> &buffers)
+{
+    AllReduceStats stats;
+    const std::size_t n = buffers.size();
+    if (n <= 1)
+        return stats;
+
+    const std::size_t len = buffers[0].size();
+    for (const auto &b : buffers)
+        panic_if(b.size() != len, "ring all-reduce with ragged buffers");
+
+    // Reduce-scatter: after n-1 steps device i holds the full sum of
+    // chunk (i+1) mod n.
+    for (std::size_t s = 0; s < n - 1; ++s) {
+        // All devices act simultaneously in a real ring; sequential
+        // emulation is safe because each step's source chunk on the
+        // sender is not written by any other device in the same step.
+        std::vector<std::vector<float>> staged(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = (i + n - s) % n;
+            auto [b, e] = chunkRange(len, n, c);
+            staged[i].assign(buffers[i].begin() + b, buffers[i].begin() + e);
+            stats.elementsSentPerDevice += (e - b) / 1;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t dst = (i + 1) % n;
+            const std::size_t c = (i + n - s) % n;
+            auto [b, e] = chunkRange(len, n, c);
+            for (std::size_t k = b; k < e; ++k)
+                buffers[dst][k] += staged[i][k - b];
+        }
+        ++stats.steps;
+    }
+
+    // All-gather: circulate the fully reduced chunks.
+    for (std::size_t s = 0; s < n - 1; ++s) {
+        std::vector<std::vector<float>> staged(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = (i + 1 + n - s) % n;
+            auto [b, e] = chunkRange(len, n, c);
+            staged[i].assign(buffers[i].begin() + b, buffers[i].begin() + e);
+            stats.elementsSentPerDevice += (e - b);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t dst = (i + 1) % n;
+            const std::size_t c = (i + 1 + n - s) % n;
+            auto [b, e] = chunkRange(len, n, c);
+            std::copy(staged[i].begin(), staged[i].end(),
+                      buffers[dst].begin() + b);
+        }
+        ++stats.steps;
+    }
+
+    // elementsSentPerDevice accumulated over all devices; normalize.
+    stats.elementsSentPerDevice /= n;
+    return stats;
+}
+
+AllReduceStats
+treeAllReduce(std::vector<std::vector<float>> &buffers)
+{
+    AllReduceStats stats;
+    const std::size_t n = buffers.size();
+    if (n <= 1)
+        return stats;
+
+    const std::size_t len = buffers[0].size();
+    for (const auto &b : buffers)
+        panic_if(b.size() != len, "tree all-reduce with ragged buffers");
+
+    // Binomial reduce toward device 0.
+    for (std::size_t stride = 1; stride < n; stride *= 2) {
+        for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+            const std::size_t src = i + stride;
+            for (std::size_t k = 0; k < len; ++k)
+                buffers[i][k] += buffers[src][k];
+            stats.elementsSentPerDevice += len;
+        }
+        ++stats.steps;
+    }
+    // Broadcast back.
+    std::size_t height = 0;
+    for (std::size_t s = 1; s < n; s *= 2)
+        ++height;
+    for (std::size_t level = height; level-- > 0;) {
+        const std::size_t stride = std::size_t{1} << level;
+        for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+            buffers[i + stride] = buffers[i];
+            stats.elementsSentPerDevice += len;
+        }
+        ++stats.steps;
+    }
+    stats.elementsSentPerDevice /= n;
+    return stats;
+}
+
+} // namespace sync
+} // namespace tb

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Functional ring all-reduce.
+ *
+ * Executes the exact reduce-scatter + all-gather schedule NCCL-style ring
+ * reduction uses (§II-B of the paper) over in-memory per-device buffers,
+ * so tests can verify both the arithmetic (every device ends with the
+ * global sum) and the communication volume (2(n-1)/n of the model size
+ * sent per device — the reason ring sync latency saturates at 2x, Fig 2b).
+ */
+
+#ifndef TRAINBOX_SYNC_RING_ALLREDUCE_HH
+#define TRAINBOX_SYNC_RING_ALLREDUCE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tb {
+namespace sync {
+
+/** Communication volume bookkeeping for one all-reduce. */
+struct AllReduceStats
+{
+    /** Ring steps executed (2(n-1) for a ring). */
+    std::size_t steps = 0;
+    /** Elements sent by each device over the whole operation. */
+    std::size_t elementsSentPerDevice = 0;
+};
+
+/**
+ * In-place ring all-reduce (sum) across device buffers.
+ *
+ * @param buffers one buffer per device; all must have equal length.
+ * @return communication statistics.
+ */
+AllReduceStats ringAllReduce(std::vector<std::vector<float>> &buffers);
+
+/**
+ * In-place binomial-tree all-reduce (reduce to device 0, broadcast back).
+ * Used as the non-scalable comparison point.
+ */
+AllReduceStats treeAllReduce(std::vector<std::vector<float>> &buffers);
+
+} // namespace sync
+} // namespace tb
+
+#endif // TRAINBOX_SYNC_RING_ALLREDUCE_HH

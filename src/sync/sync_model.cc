@@ -1,0 +1,79 @@
+#include "sync/sync_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace tb {
+namespace sync {
+
+namespace {
+
+Time
+ringLatency(const SyncConfig &cfg, std::size_t n, Bytes model_bytes)
+{
+    // Chunked pipelined ring: 2(n-1) steps; each step moves one segment of
+    // model/n bytes per device, itself pipelined in chunks. Steady-state
+    // volume term: 2(n-1)/n * M / B. Pipeline/latency term: every step
+    // pays one hop plus one chunk serialization to fill the pipe.
+    const double steps = 2.0 * static_cast<double>(n - 1);
+    const double volume =
+        steps / static_cast<double>(n) * model_bytes / cfg.linkBandwidth;
+    const double per_step =
+        cfg.hopLatency + cfg.chunkBytes / cfg.linkBandwidth;
+    return volume + steps * per_step;
+}
+
+Time
+treeLatency(const SyncConfig &cfg, std::size_t n, Bytes model_bytes)
+{
+    // Reduce + broadcast over a binomial tree: 2*ceil(log2 n) serial
+    // phases, each moving the full model over one link.
+    const double phases =
+        2.0 * std::ceil(std::log2(static_cast<double>(n)));
+    return phases * (model_bytes / cfg.linkBandwidth + cfg.hopLatency);
+}
+
+Time
+parameterServerLatency(const SyncConfig &cfg, std::size_t n,
+                       Bytes model_bytes)
+{
+    // Every device pushes gradients to and pulls parameters from one
+    // server across a shared link: 2 n M / B, fully serialized at the
+    // server's port.
+    return 2.0 * static_cast<double>(n) * model_bytes / cfg.linkBandwidth +
+           2.0 * cfg.hopLatency;
+}
+
+} // namespace
+
+Time
+syncLatency(const SyncConfig &cfg, std::size_t n, Bytes model_bytes)
+{
+    panic_if(model_bytes < 0.0, "negative model size");
+    if (n <= 1 || model_bytes == 0.0)
+        return 0.0;
+    switch (cfg.algorithm) {
+      case Algorithm::Ring:
+        return ringLatency(cfg, n, model_bytes);
+      case Algorithm::Tree:
+        return treeLatency(cfg, n, model_bytes);
+      case Algorithm::ParameterServer:
+        return parameterServerLatency(cfg, n, model_bytes);
+    }
+    panic("unknown sync algorithm");
+}
+
+double
+normalizedSyncLatency(const SyncConfig &cfg, std::size_t n,
+                      Bytes model_bytes)
+{
+    if (n < 2)
+        return 1.0;
+    return syncLatency(cfg, n, model_bytes) /
+           syncLatency(cfg, 2, model_bytes);
+}
+
+} // namespace sync
+} // namespace tb

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Model-synchronization latency models (§II-B, Fig 2b).
+ *
+ * The paper assumes NVLink-class accelerator interconnects and ring-based
+ * reduction, whose latency saturates at roughly twice the two-device
+ * latency. We model a chunked pipelined ring plus, for the bottleneck-shift
+ * study (Fig 3), the slower alternatives it displaced: binomial-tree
+ * reduction and a parameter-server exchange over a shared link.
+ */
+
+#ifndef TRAINBOX_SYNC_SYNC_MODEL_HH
+#define TRAINBOX_SYNC_SYNC_MODEL_HH
+
+#include <cstddef>
+
+#include "common/units.hh"
+
+namespace tb {
+namespace sync {
+
+/** Synchronization algorithm. */
+enum class Algorithm { Ring, Tree, ParameterServer };
+
+/** Parameters of the accelerator interconnect used for synchronization. */
+struct SyncConfig
+{
+    /** Per-link bandwidth in bytes/s (NVLink-like: 150 GB/s effective). */
+    Rate linkBandwidth = 150.0e9;
+
+    /** Per-hop latency (switch traversal + protocol) in seconds. */
+    Time hopLatency = 0.3e-6;
+
+    /** Ring chunk size in bytes (the paper's Fig 2b uses 4 KiB). */
+    Bytes chunkBytes = 4096.0;
+
+    Algorithm algorithm = Algorithm::Ring;
+};
+
+/**
+ * Latency of synchronizing @p modelBytes of gradients across @p n devices.
+ * Returns 0 for n <= 1.
+ */
+Time syncLatency(const SyncConfig &cfg, std::size_t n, Bytes modelBytes);
+
+/**
+ * Fig 2b's quantity: syncLatency(n) / syncLatency(2). Returns 1 for n < 2.
+ */
+double normalizedSyncLatency(const SyncConfig &cfg, std::size_t n,
+                             Bytes modelBytes);
+
+} // namespace sync
+} // namespace tb
+
+#endif // TRAINBOX_SYNC_SYNC_MODEL_HH

@@ -1,0 +1,85 @@
+#include "trainbox/multi_job.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hh"
+#include "devices/prep_accelerator.hh"
+#include "workload/cost_model.hh"
+
+namespace tb {
+
+RackPlan
+planRack(const std::vector<JobRequest> &jobs, std::size_t total_boxes,
+         const BoxConfig &box, const sync::SyncConfig &sync_cfg)
+{
+    using namespace workload;
+
+    RackPlan plan;
+    plan.boxesAvailable = total_boxes;
+
+    for (const auto &req : jobs) {
+        JobAllocation alloc;
+        alloc.request = req;
+        alloc.boxes = divCeil(req.numAccelerators, box.accPerBox);
+        plan.boxesUsed += alloc.boxes;
+
+        const ModelInfo &m = model(req.model);
+        const PrepDemand d = prepDemand(m.input);
+        alloc.demand =
+            targetThroughput(m, req.numAccelerators, sync_cfg);
+        alloc.localCapacity = static_cast<double>(alloc.boxes) *
+                              static_cast<double>(box.prepPerBox) *
+                              d.fpgaChainRate;
+
+        // A lent/borrowed FPGA works at the *borrower's* chain rate,
+        // capped by its 100 Gbps pool port.
+        const Rate pool_rate = std::min(
+            d.fpgaChainRate,
+            PrepAccelerator::defaultEthernetBw /
+                (d.ssdBytes + d.preparedBytes));
+
+        if (alloc.demand > alloc.localCapacity) {
+            const Rate shortfall = alloc.demand - alloc.localCapacity;
+            alloc.deficitFpgas = static_cast<std::size_t>(
+                std::ceil(shortfall / pool_rate));
+            alloc.offloadFraction = shortfall / alloc.demand;
+        } else {
+            // Whole FPGAs this job can give up and still meet demand.
+            const Rate surplus = alloc.localCapacity - alloc.demand;
+            alloc.surplusFpgas = static_cast<std::size_t>(
+                std::floor(surplus / d.fpgaChainRate));
+        }
+        plan.jobs.push_back(alloc);
+    }
+
+    plan.feasible = plan.boxesUsed <= plan.boxesAvailable;
+
+    // Greedy lending: biggest surplus feeds biggest deficit.
+    std::vector<std::size_t> order(plan.jobs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return plan.jobs[a].deficitFpgas > plan.jobs[b].deficitFpgas;
+    });
+
+    std::size_t available = 0;
+    for (const auto &j : plan.jobs)
+        available += j.surplusFpgas;
+
+    for (std::size_t idx : order) {
+        JobAllocation &j = plan.jobs[idx];
+        if (j.deficitFpgas == 0)
+            continue;
+        const std::size_t take = std::min(j.deficitFpgas, available);
+        j.borrowedFpgas = take;
+        j.externalFpgas = j.deficitFpgas - take;
+        available -= take;
+        plan.fpgasLent += take;
+        plan.externalPoolFpgas += j.externalFpgas;
+    }
+    return plan;
+}
+
+} // namespace tb

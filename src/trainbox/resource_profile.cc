@@ -1,0 +1,102 @@
+#include "trainbox/resource_profile.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+
+using workload::PrepStage;
+using workload::stageCategory;
+
+HostDemandBreakdown
+requiredHostDemand(const workload::ModelInfo &m, ArchPreset preset,
+                   std::size_t n, const sync::SyncConfig &sync_cfg)
+{
+    const workload::PrepDemand d = workload::prepDemand(m.input);
+    const Rate target = workload::targetThroughput(m, n, sync_cfg);
+
+    HostDemandBreakdown out;
+    auto add_cpu = [&](const std::string &cat, double core_sec) {
+        if (core_sec <= 0.0)
+            return;
+        out.cpuByCategory[cat] += core_sec * target;
+        out.cpuCores += core_sec * target;
+    };
+    auto add_mem = [&](const std::string &cat, Bytes bytes) {
+        if (bytes <= 0.0)
+            return;
+        out.memByCategory[cat] += bytes * target;
+        out.memBw += bytes * target;
+    };
+    auto add_rc = [&](const std::string &cat, Bytes bytes) {
+        if (bytes <= 0.0)
+            return;
+        out.rcByCategory[cat] += bytes * target;
+        out.rcBw += bytes * target;
+    };
+
+    // Same per-sample control costs as the server builder.
+    constexpr double dma_setup_cpu = 1.0e-5;
+    constexpr double p2p_control_cpu = 5.0e-6;
+
+    auto stage_cpu = [&](PrepStage st) {
+        auto it = d.cpuByStage.find(st);
+        return it == d.cpuByStage.end() ? 0.0 : it->second;
+    };
+    auto stage_mem = [&](PrepStage st) {
+        auto it = d.memByStage.find(st);
+        return it == d.memByStage.end() ? 0.0 : it->second;
+    };
+
+    switch (preset) {
+      case ArchPreset::Baseline:
+        // CPU runs the full chain out of host DRAM; RC carries the
+        // compressed input in and the prepared tensor out.
+        for (PrepStage st :
+             {PrepStage::SsdRead, PrepStage::Formatting,
+              PrepStage::Augmentation, PrepStage::DataLoad,
+              PrepStage::Others}) {
+            add_cpu(stageCategory(st), stage_cpu(st));
+            add_mem(stageCategory(st), stage_mem(st));
+        }
+        add_rc(stageCategory(PrepStage::SsdRead), d.ssdBytes);
+        add_rc(stageCategory(PrepStage::DataLoad), d.preparedBytes);
+        break;
+
+      case ArchPreset::BaselineAccFpga:
+      case ArchPreset::BaselineAccGpu:
+        // Offloaded compute, but every transfer stages through host
+        // DRAM: RC pressure doubles (§IV-D).
+        add_cpu(stageCategory(PrepStage::SsdRead),
+                stage_cpu(PrepStage::SsdRead));
+        add_cpu("data_copy", 2.0 * dma_setup_cpu);
+        add_cpu(stageCategory(PrepStage::DataLoad), dma_setup_cpu);
+        add_cpu(stageCategory(PrepStage::Others),
+                stage_cpu(PrepStage::Others));
+        add_mem(stageCategory(PrepStage::SsdRead), d.ssdBytes);
+        add_mem("data_copy", d.ssdBytes + d.preparedBytes);
+        add_mem(stageCategory(PrepStage::DataLoad), d.preparedBytes);
+        add_rc(stageCategory(PrepStage::SsdRead), d.ssdBytes);
+        add_rc("data_copy", d.ssdBytes + d.preparedBytes);
+        add_rc(stageCategory(PrepStage::DataLoad), d.preparedBytes);
+        break;
+
+      case ArchPreset::BaselineAccP2p:
+      case ArchPreset::BaselineAccP2pGen4:
+        // P2P frees DRAM and the CPU, but inter-box routes still hop
+        // up-and-over the RC (2x per transfer) — total RC bytes match
+        // the staged variant.
+        add_cpu(stageCategory(PrepStage::Others), 3.0 * p2p_control_cpu);
+        add_rc(stageCategory(PrepStage::SsdRead), 2.0 * d.ssdBytes);
+        add_rc(stageCategory(PrepStage::DataLoad), 2.0 * d.preparedBytes);
+        break;
+
+      case ArchPreset::TrainBoxNoPool:
+      case ArchPreset::TrainBox:
+        // Clustering localizes every transfer inside a train box.
+        add_cpu(stageCategory(PrepStage::Others), 2.0 * p2p_control_cpu);
+        break;
+    }
+    return out;
+}
+
+} // namespace tb

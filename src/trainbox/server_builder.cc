@@ -1,0 +1,592 @@
+#include "trainbox/server_builder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace tb {
+
+using workload::PrepStage;
+using workload::stageCategory;
+
+namespace {
+
+/** Host CPU cost of programming one staged DMA (core-sec/sample). */
+constexpr double kDmaSetupCpu = 1.0e-5;
+
+/** Host CPU cost per sample when devices run the datapath (P2P). */
+constexpr double kP2pControlCpu = 5.0e-6;
+
+/** Shared state while assembling one server. */
+struct Builder
+{
+    Server &s;
+    const ServerConfig &cfg;
+
+    std::size_t nAcc;
+    std::size_t accPerGroup;
+    std::size_t nGroups;
+    Rate engineRate;
+
+    /** Per-group device assignments. */
+    std::vector<std::vector<NnAccelerator *>> groupAccs;
+    std::vector<std::vector<PrepAccelerator *>> groupPreps;
+    std::vector<std::vector<NvmeSsd *>> groupSsds;
+
+    explicit Builder(Server &server)
+        : s(server), cfg(server.cfg)
+    {
+        nAcc = cfg.numAccelerators;
+        accPerGroup = std::min<std::size_t>(cfg.box.accPerBox, nAcc);
+        nGroups = divCeil(nAcc, accPerGroup);
+        const workload::PrepDemand &d = s.demand;
+        engineRate = cfg.preset == ArchPreset::BaselineAccGpu
+            ? d.gpuChainRate : d.fpgaChainRate;
+        groupAccs.resize(nGroups);
+        groupPreps.resize(nGroups);
+        groupSsds.resize(nGroups);
+    }
+
+    double stageCpu(PrepStage st) const
+    {
+        auto it = s.demand.cpuByStage.find(st);
+        return it == s.demand.cpuByStage.end() ? 0.0 : it->second;
+    }
+
+    double stageMem(PrepStage st) const
+    {
+        auto it = s.demand.memByStage.find(st);
+        return it == s.demand.memByStage.end() ? 0.0 : it->second;
+    }
+
+    double
+    cpuCap(double core_sec) const
+    {
+        return core_sec > 0.0
+            ? cfg.maxPrepParallelism / core_sec : 0.0;
+    }
+
+    /**
+     * Fair-share weight for a CPU-bound stage: inversely proportional
+     * to its per-sample cost, so concurrent stages split core *time*
+     * equally (OS-scheduler semantics) and stage wall time scales with
+     * stage work.
+     */
+    static double
+    cpuFair(double core_sec)
+    {
+        return core_sec > 0.0 ? 1.0e-4 / core_sec : 1.0;
+    }
+
+    /** Build the non-clustered presets (Figs 12-14 + Gen4 + GPU). */
+    void buildCentral();
+
+    /** Build the clustered presets (Fig 15). */
+    void buildClustered();
+
+    void makeCentralStages(std::size_t g);
+    void makeClusteredStages(std::size_t g);
+};
+
+void
+Builder::buildCentral()
+{
+    auto &topo = *s.topo;
+
+    // Accelerator boxes: one 8-accelerator box per group.
+    for (std::size_t g = 0; g < nGroups; ++g) {
+        const std::string box = "accbox" + std::to_string(g);
+        const pcie::NodeId sw =
+            topo.addSwitch(box, topo.root(), pcie::gen::gen3x16);
+        const std::size_t count =
+            std::min(accPerGroup, nAcc - g * accPerGroup);
+        for (std::size_t i = 0; i < count; ++i) {
+            s.accs.push_back(std::make_unique<NnAccelerator>(
+                topo, box + ".acc" + std::to_string(i), sw));
+            groupAccs[g].push_back(s.accs.back().get());
+        }
+    }
+
+    // SSD boxes: same aggregate SSD count as the clustered design.
+    const std::size_t n_ssd =
+        std::max<std::size_t>(cfg.box.ssdsPerBox,
+                              nGroups * cfg.box.ssdsPerBox);
+    const std::size_t per_box = cfg.box.ssdsPerSsdBox;
+    const std::size_t n_ssd_boxes = divCeil(n_ssd, per_box);
+    for (std::size_t b = 0; b < n_ssd_boxes; ++b) {
+        const std::string box = "ssdbox" + std::to_string(b);
+        const pcie::NodeId sw =
+            topo.addSwitch(box, topo.root(), pcie::gen::gen3x16);
+        for (std::size_t i = 0;
+             i < per_box && s.ssds.size() < n_ssd; ++i) {
+            s.ssds.push_back(std::make_unique<NvmeSsd>(
+                s.net, topo, box + ".ssd" + std::to_string(i), sw));
+        }
+    }
+    // Reads are striped across the whole SSD array for every group.
+    for (std::size_t g = 0; g < nGroups; ++g)
+        for (auto &ssd : s.ssds)
+            groupSsds[g].push_back(ssd.get());
+
+    // Prep boxes (all presets but Baseline): 1 engine per 4 accelerators,
+    // eight engines per box (§III-A box structure).
+    if (presetUsesPrepAccelerators(cfg.preset)) {
+        const std::size_t n_prep = std::max<std::size_t>(1, nAcc / 4);
+        const PrepEngineKind kind =
+            cfg.preset == ArchPreset::BaselineAccGpu
+                ? PrepEngineKind::Gpu : PrepEngineKind::Fpga;
+        pcie::NodeId sw = pcie::kInvalidNode;
+        for (std::size_t i = 0; i < n_prep; ++i) {
+            if (i % 8 == 0) {
+                const std::string box =
+                    "prepbox" + std::to_string(i / 8);
+                sw = topo.addSwitch(box, topo.root(),
+                                    pcie::gen::gen3x16);
+            }
+            s.preps.push_back(std::make_unique<PrepAccelerator>(
+                s.net, topo, "prep" + std::to_string(i), sw, kind,
+                engineRate, /*withEthernet=*/false));
+        }
+        // Assign engines to groups round-robin so every group has at
+        // least one.
+        for (std::size_t i = 0; i < std::max(n_prep, nGroups); ++i)
+            groupPreps[i % nGroups].push_back(
+                s.preps[i % n_prep].get());
+    }
+
+    for (std::size_t g = 0; g < nGroups; ++g)
+        makeCentralStages(g);
+}
+
+void
+Builder::makeCentralStages(std::size_t g)
+{
+    auto &topo = *s.topo;
+    const workload::PrepDemand &d = s.demand;
+    PrepGroup group;
+    group.name = "group" + std::to_string(g);
+    group.numAccelerators = groupAccs[g].size();
+
+    const auto &accs = groupAccs[g];
+    const auto &preps = groupPreps[g];
+    const auto &ssds = groupSsds[g];
+    const double acc_share = 1.0 / static_cast<double>(accs.size());
+    const double ssd_share = 1.0 / static_cast<double>(ssds.size());
+    const double prep_share =
+        preps.empty() ? 0.0 : 1.0 / static_cast<double>(preps.size());
+
+    const bool p2p = presetUsesP2p(cfg.preset);
+
+    // --- Stage: SSD read ---------------------------------------------
+    {
+        StageTemplate st;
+        st.name = "ssd_read";
+        st.category = stageCategory(PrepStage::SsdRead);
+        DemandSet ds;
+        for (auto *ssd : ssds) {
+            ds.add(ssd->readDemand(d.ssdBytes * ssd_share).resource,
+                   d.ssdBytes * ssd_share);
+            if (p2p) {
+                // Direct SSD -> prep-engine DMA (P2P handler on FPGA).
+                for (auto *prep : preps)
+                    ds.add(topo.routeDemands(
+                               ssd->node(), prep->node(),
+                               d.ssdBytes * ssd_share * prep_share));
+            } else {
+                ds.add(topo.hostRouteDemands(ssd->node(), false,
+                                             d.ssdBytes * ssd_share));
+            }
+        }
+        if (p2p) {
+            ds.add(s.cpu->resource(), kP2pControlCpu);
+        } else {
+            ds.add(s.hostMem->resource(), d.ssdBytes);
+            ds.add(s.cpu->resource(), stageCpu(PrepStage::SsdRead));
+            if (preps.empty())
+                st.fairWeight = cpuFair(stageCpu(PrepStage::SsdRead));
+        }
+        st.demandsPerSample = ds.build();
+        group.stages.push_back(std::move(st));
+    }
+
+    if (preps.empty()) {
+        // --- Baseline: CPU formatting --------------------------------
+        {
+            StageTemplate st;
+            st.name = "formatting";
+            st.category = stageCategory(PrepStage::Formatting);
+            DemandSet ds;
+            ds.add(s.cpu->resource(), stageCpu(PrepStage::Formatting));
+            ds.add(s.hostMem->resource(), stageMem(PrepStage::Formatting));
+            st.demandsPerSample = ds.build();
+            st.rateCap = cpuCap(stageCpu(PrepStage::Formatting));
+            st.fairWeight = cpuFair(stageCpu(PrepStage::Formatting));
+            group.stages.push_back(std::move(st));
+        }
+        // --- Baseline: CPU augmentation ------------------------------
+        {
+            StageTemplate st;
+            st.name = "augmentation";
+            st.category = stageCategory(PrepStage::Augmentation);
+            DemandSet ds;
+            ds.add(s.cpu->resource(), stageCpu(PrepStage::Augmentation));
+            ds.add(s.hostMem->resource(),
+                   stageMem(PrepStage::Augmentation));
+            st.demandsPerSample = ds.build();
+            st.rateCap = cpuCap(stageCpu(PrepStage::Augmentation));
+            st.fairWeight = cpuFair(stageCpu(PrepStage::Augmentation));
+            group.stages.push_back(std::move(st));
+        }
+    } else if (!p2p) {
+        // --- Step 1 only: staged copy host -> prep engines -----------
+        {
+            StageTemplate st;
+            st.name = "copy_to_prep";
+            st.category = "data_copy";
+            DemandSet ds;
+            ds.add(s.hostMem->resource(), d.ssdBytes);
+            ds.add(s.cpu->resource(), kDmaSetupCpu);
+            for (auto *prep : preps)
+                ds.add(topo.hostRouteDemands(prep->node(), true,
+                                             d.ssdBytes * prep_share));
+            st.demandsPerSample = ds.build();
+            group.stages.push_back(std::move(st));
+        }
+    }
+
+    if (!preps.empty()) {
+        // --- Offloaded formatting + augmentation ---------------------
+        StageTemplate st;
+        st.name = "formatting";
+        st.category = stageCategory(PrepStage::Formatting);
+        DemandSet ds;
+        for (auto *prep : preps)
+            ds.add(prep->engine(), prep_share);
+        st.demandsPerSample = ds.build();
+        group.stages.push_back(std::move(st));
+
+        if (!p2p) {
+            // --- Staged copy prep engines -> host --------------------
+            StageTemplate back;
+            back.name = "copy_from_prep";
+            back.category = "data_copy";
+            DemandSet bs;
+            bs.add(s.hostMem->resource(), d.preparedBytes);
+            bs.add(s.cpu->resource(), kDmaSetupCpu);
+            for (auto *prep : preps)
+                bs.add(topo.hostRouteDemands(prep->node(), false,
+                                             d.preparedBytes *
+                                                 prep_share));
+            back.demandsPerSample = bs.build();
+            group.stages.push_back(std::move(back));
+        }
+    }
+
+    // --- Stage: data load into the accelerators ----------------------
+    {
+        StageTemplate st;
+        st.name = "data_load";
+        st.category = stageCategory(PrepStage::DataLoad);
+        DemandSet ds;
+        if (p2p) {
+            // Direct prep engine -> accelerator DMA.
+            for (auto *prep : preps)
+                for (auto *acc : accs)
+                    ds.add(topo.routeDemands(prep->node(), acc->node(),
+                                             d.preparedBytes *
+                                                 prep_share * acc_share));
+            ds.add(s.cpu->resource(), kP2pControlCpu);
+        } else {
+            ds.add(s.hostMem->resource(), d.preparedBytes);
+            for (auto *acc : accs)
+                ds.add(topo.hostRouteDemands(acc->node(), true,
+                                             d.preparedBytes * acc_share));
+            ds.add(s.cpu->resource(),
+                   preps.empty() ? stageCpu(PrepStage::DataLoad)
+                                 : kDmaSetupCpu);
+        }
+        st.demandsPerSample = ds.build();
+        if (preps.empty()) {
+            st.rateCap = cpuCap(stageCpu(PrepStage::DataLoad));
+            st.fairWeight = cpuFair(stageCpu(PrepStage::DataLoad));
+        }
+        group.stages.push_back(std::move(st));
+    }
+
+    // --- Stage: framework overheads ----------------------------------
+    {
+        StageTemplate st;
+        st.name = "others";
+        st.category = stageCategory(PrepStage::Others);
+        DemandSet ds;
+        const double cpu = preps.empty()
+            ? stageCpu(PrepStage::Others)
+            : (p2p ? kP2pControlCpu : stageCpu(PrepStage::Others));
+        ds.add(s.cpu->resource(), cpu);
+        st.demandsPerSample = ds.build();
+        st.rateCap = cpuCap(cpu);
+        if (preps.empty())
+            st.fairWeight = cpuFair(cpu);
+        group.stages.push_back(std::move(st));
+    }
+
+    s.groups.push_back(std::move(group));
+}
+
+void
+Builder::buildClustered()
+{
+    auto &topo = *s.topo;
+
+    // Train boxes: top switch with two sub-switches (4 accs + 1 FPGA
+    // each) and the box's SSDs (§V-D / Fig 18).
+    for (std::size_t g = 0; g < nGroups; ++g) {
+        const std::string box = "tbox" + std::to_string(g);
+        const pcie::NodeId top =
+            topo.addSwitch(box, topo.root(), pcie::gen::gen3x16);
+
+        const std::size_t count =
+            std::min(accPerGroup, nAcc - g * accPerGroup);
+        const std::size_t n_sub = count > 4 ? 2 : 1;
+        std::vector<pcie::NodeId> subs;
+        for (std::size_t i = 0; i < n_sub; ++i)
+            subs.push_back(topo.addSwitch(
+                box + ".sw" + std::to_string(i), top,
+                pcie::gen::gen3x16));
+
+        for (std::size_t i = 0; i < count; ++i) {
+            s.accs.push_back(std::make_unique<NnAccelerator>(
+                topo, box + ".acc" + std::to_string(i),
+                subs[i % n_sub]));
+            groupAccs[g].push_back(s.accs.back().get());
+        }
+        for (std::size_t i = 0;
+             i < std::max<std::size_t>(1, cfg.box.prepPerBox * n_sub / 2);
+             ++i) {
+            s.preps.push_back(std::make_unique<PrepAccelerator>(
+                s.net, topo, box + ".fpga" + std::to_string(i),
+                subs[i % n_sub], PrepEngineKind::Fpga, engineRate,
+                /*withEthernet=*/true));
+            groupPreps[g].push_back(s.preps.back().get());
+        }
+        for (std::size_t i = 0; i < cfg.box.ssdsPerBox; ++i) {
+            s.ssds.push_back(std::make_unique<NvmeSsd>(
+                s.net, topo, box + ".ssd" + std::to_string(i), top));
+            groupSsds[g].push_back(s.ssds.back().get());
+        }
+    }
+
+    // Prep-pool over Ethernet.
+    std::size_t pool_size = 0;
+    if (cfg.preset == ArchPreset::TrainBox) {
+        pool_size = cfg.prepPoolFpgas >= 0
+            ? static_cast<std::size_t>(cfg.prepPoolFpgas)
+            : s.plan.poolFpgas;
+    }
+    if (pool_size > 0) {
+        s.pool = std::make_unique<PrepPool>(s.net, "pool");
+        for (std::size_t i = 0; i < pool_size; ++i)
+            s.pool->addFpga(engineRate);
+    }
+
+    for (std::size_t g = 0; g < nGroups; ++g)
+        makeClusteredStages(g);
+}
+
+void
+Builder::makeClusteredStages(std::size_t g)
+{
+    auto &topo = *s.topo;
+    const workload::PrepDemand &d = s.demand;
+    PrepGroup group;
+    group.name = "tbox" + std::to_string(g);
+    group.numAccelerators = groupAccs[g].size();
+
+    const auto &accs = groupAccs[g];
+    const auto &preps = groupPreps[g];
+    const auto &ssds = groupSsds[g];
+    const double acc_share = 1.0 / static_cast<double>(accs.size());
+    const double ssd_share = 1.0 / static_cast<double>(ssds.size());
+    const double prep_share = 1.0 / static_cast<double>(preps.size());
+
+    // Local SSD -> FPGA fetch demands (shared by local/offload chains).
+    auto fetch_demands = [&]() {
+        DemandSet ds;
+        for (auto *ssd : ssds) {
+            ds.add(ssd->readDemand(d.ssdBytes * ssd_share).resource,
+                   d.ssdBytes * ssd_share);
+            for (auto *prep : preps)
+                ds.add(topo.routeDemands(ssd->node(), prep->node(),
+                                         d.ssdBytes * ssd_share *
+                                             prep_share));
+        }
+        return ds;
+    };
+    // Local FPGA -> accelerator delivery demands.
+    auto deliver_demands = [&]() {
+        DemandSet ds;
+        for (auto *prep : preps)
+            for (auto *acc : accs)
+                ds.add(topo.routeDemands(prep->node(), acc->node(),
+                                         d.preparedBytes * prep_share *
+                                             acc_share));
+        return ds;
+    };
+
+    // --- Local chain --------------------------------------------------
+    {
+        StageTemplate st;
+        st.name = "ssd_read";
+        st.category = stageCategory(PrepStage::SsdRead);
+        DemandSet ds = fetch_demands();
+        ds.add(s.cpu->resource(), kP2pControlCpu);
+        st.demandsPerSample = ds.build();
+        group.stages.push_back(std::move(st));
+    }
+    {
+        StageTemplate st;
+        st.name = "formatting";
+        st.category = stageCategory(PrepStage::Formatting);
+        DemandSet ds;
+        for (auto *prep : preps)
+            ds.add(prep->engine(), prep_share);
+        st.demandsPerSample = ds.build();
+        group.stages.push_back(std::move(st));
+    }
+    {
+        StageTemplate st;
+        st.name = "data_load";
+        st.category = stageCategory(PrepStage::DataLoad);
+        st.demandsPerSample = deliver_demands().build();
+        group.stages.push_back(std::move(st));
+    }
+    {
+        StageTemplate st;
+        st.name = "others";
+        st.category = stageCategory(PrepStage::Others);
+        DemandSet ds;
+        ds.add(s.cpu->resource(), kP2pControlCpu);
+        st.demandsPerSample = ds.build();
+        st.rateCap = cpuCap(kP2pControlCpu);
+        group.stages.push_back(std::move(st));
+    }
+
+    // --- Offload chain (prep-pool) -------------------------------------
+    if (s.pool && s.plan.offloadFraction > 0.0) {
+        group.offloadFraction = s.plan.offloadFraction;
+        const auto &pool = s.pool->fpgas();
+        const double pool_share =
+            1.0 / static_cast<double>(pool.size());
+
+        {
+            StageTemplate st;
+            st.name = "ssd_read";
+            st.category = stageCategory(PrepStage::SsdRead);
+            DemandSet ds = fetch_demands();
+            ds.add(s.cpu->resource(), kP2pControlCpu);
+            st.demandsPerSample = ds.build();
+            group.offloadStages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "pool_send";
+            st.category = "data_copy";
+            DemandSet ds;
+            for (auto *prep : preps)
+                ds.add(prep->ethernetPort(), d.ssdBytes * prep_share);
+            ds.add(s.pool->fabric(), d.ssdBytes);
+            for (const auto &f : pool)
+                ds.add(f.port, d.ssdBytes * pool_share);
+            st.demandsPerSample = ds.build();
+            group.offloadStages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "formatting";
+            st.category = stageCategory(PrepStage::Formatting);
+            DemandSet ds;
+            for (const auto &f : pool)
+                ds.add(f.engine, pool_share);
+            st.demandsPerSample = ds.build();
+            group.offloadStages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "pool_recv";
+            st.category = "data_copy";
+            DemandSet ds;
+            for (const auto &f : pool)
+                ds.add(f.port, d.preparedBytes * pool_share);
+            ds.add(s.pool->fabric(), d.preparedBytes);
+            for (auto *prep : preps)
+                ds.add(prep->ethernetPort(),
+                       d.preparedBytes * prep_share);
+            st.demandsPerSample = ds.build();
+            group.offloadStages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "data_load";
+            st.category = stageCategory(PrepStage::DataLoad);
+            st.demandsPerSample = deliver_demands().build();
+            group.offloadStages.push_back(std::move(st));
+        }
+    }
+
+    s.groups.push_back(std::move(group));
+}
+
+} // namespace
+
+Server::Server(const ServerConfig &config)
+    : cfg(config),
+      model(workload::model(config.model)),
+      demand(workload::prepDemand(model.input)),
+      plan(planPreparation(config)),
+      net(eq)
+{
+}
+
+Time
+Server::computeTime() const
+{
+    return workload::computeLatency(model, batchSize());
+}
+
+Time
+Server::syncTime() const
+{
+    return sync::syncLatency(cfg.sync, cfg.numAccelerators,
+                             model.modelBytes);
+}
+
+std::unique_ptr<Server>
+buildServer(const ServerConfig &cfg)
+{
+    fatal_if(cfg.numAccelerators == 0,
+             "a server needs at least one accelerator");
+    fatal_if(cfg.prefetchDepth < 2,
+             "prefetchDepth must be >= 2 (next-batch prefetch)");
+
+    auto server = std::make_unique<Server>(cfg);
+    server->topo = std::make_unique<pcie::Topology>(
+        server->net, "pcie.rc", cfg.host.rcBandwidth);
+    server->hostMem =
+        std::make_unique<HostMemory>(server->net, cfg.host.memBandwidth);
+    server->cpu = std::make_unique<CpuPool>(server->net, cfg.host.cpuCores);
+
+    Builder builder(*server);
+    if (presetUsesClustering(cfg.preset))
+        builder.buildClustered();
+    else
+        builder.buildCentral();
+
+    if (cfg.preset == ArchPreset::BaselineAccP2pGen4)
+        server->topo->scaleLinkBandwidth(2.0);
+
+    return server;
+}
+
+} // namespace tb

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Server assembly.
+ *
+ * buildServer() turns a ServerConfig into a fully wired simulation: the
+ * PCIe tree with the preset's box structure, the host resources, the
+ * device array, and — per prep group (one group == one 8-accelerator
+ * box) — the chain of *stage templates* describing how a batch moves
+ * through the machine under that preset. The TrainingSession executes the
+ * templates as fluid flows.
+ */
+
+#ifndef TRAINBOX_TRAINBOX_SERVER_BUILDER_HH
+#define TRAINBOX_TRAINBOX_SERVER_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "devices/ethernet.hh"
+#include "devices/nn_accelerator.hh"
+#include "devices/prep_accelerator.hh"
+#include "devices/ssd.hh"
+#include "memsys/cpu_pool.hh"
+#include "memsys/host_memory.hh"
+#include "pcie/topology.hh"
+#include "trainbox/server_config.hh"
+#include "trainbox/train_initializer.hh"
+#include "workload/cost_model.hh"
+
+namespace tb {
+
+/** One serial step of a batch's journey (per prep group). */
+struct StageTemplate
+{
+    /** Stage name for latency reporting ("ssd_read", "formatting", ...). */
+    std::string name;
+
+    /** Accounting category charged on every resource the stage touches. */
+    std::string category;
+
+    /** Demands per sample (bytes, core-seconds, engine-samples...). */
+    std::vector<FlowDemand> demandsPerSample;
+
+    /** Absolute rate cap in samples/s (0 = uncapped). */
+    double rateCap = 0.0;
+
+    /** Fair-share weight (see FlowSpec::fairWeight). */
+    double fairWeight = 1.0;
+};
+
+/** A set of accelerators fed by one preparation pipeline. */
+struct PrepGroup
+{
+    std::string name;
+
+    /** Accelerators consuming this group's batches. */
+    std::size_t numAccelerators = 0;
+
+    /** Serial chain executed for the locally prepared fraction. */
+    std::vector<StageTemplate> stages;
+
+    /** Fraction of each batch prepared by the prep-pool (TrainBox). */
+    double offloadFraction = 0.0;
+
+    /** Serial chain for the offloaded fraction (runs in parallel). */
+    std::vector<StageTemplate> offloadStages;
+};
+
+/** A fully assembled simulated server. */
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &cfg);
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    ServerConfig cfg;
+    workload::ModelInfo model;
+    workload::PrepDemand demand;
+    PrepPlan plan;
+
+    EventQueue eq;
+    FluidNetwork net;
+    std::unique_ptr<pcie::Topology> topo;
+    std::unique_ptr<HostMemory> hostMem;
+    std::unique_ptr<CpuPool> cpu;
+
+    std::vector<std::unique_ptr<NvmeSsd>> ssds;
+    std::vector<std::unique_ptr<NnAccelerator>> accs;
+    std::vector<std::unique_ptr<PrepAccelerator>> preps;
+    std::unique_ptr<PrepPool> pool;
+
+    std::vector<PrepGroup> groups;
+
+    /** Per-accelerator batch size actually used. */
+    std::size_t batchSize() const { return cfg.effectiveBatchSize(); }
+
+    /** Compute time of one batch on one accelerator. */
+    Time computeTime() const;
+
+    /** Ring-sync time across all accelerators. */
+    Time syncTime() const;
+};
+
+/** Build the server described by @p cfg. fatal()s on invalid configs. */
+std::unique_ptr<Server> buildServer(const ServerConfig &cfg);
+
+} // namespace tb
+
+#endif // TRAINBOX_TRAINBOX_SERVER_BUILDER_HH

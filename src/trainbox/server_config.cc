@@ -1,0 +1,97 @@
+#include "trainbox/server_config.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+
+const char *
+presetName(ArchPreset p)
+{
+    switch (p) {
+      case ArchPreset::Baseline:
+        return "Baseline";
+      case ArchPreset::BaselineAccFpga:
+        return "B+Acc";
+      case ArchPreset::BaselineAccGpu:
+        return "B+Acc(GPU)";
+      case ArchPreset::BaselineAccP2p:
+        return "B+Acc+P2P";
+      case ArchPreset::BaselineAccP2pGen4:
+        return "B+Acc+P2P+Gen4";
+      case ArchPreset::TrainBoxNoPool:
+        return "TrainBox w/o pool";
+      case ArchPreset::TrainBox:
+        return "TrainBox";
+    }
+    return "?";
+}
+
+const char *
+presetDescription(ArchPreset p)
+{
+    switch (p) {
+      case ArchPreset::Baseline:
+        return "CPU data preparation, host-DRAM staging (Fig 12)";
+      case ArchPreset::BaselineAccFpga:
+        return "FPGA prep boxes, host-DRAM staging (Fig 13, Step 1)";
+      case ArchPreset::BaselineAccGpu:
+        return "GPU prep (1 GPU per 4 accelerators), host-DRAM staging";
+      case ArchPreset::BaselineAccP2p:
+        return "FPGA prep + peer-to-peer DMA (Fig 14, Steps 1-2)";
+      case ArchPreset::BaselineAccP2pGen4:
+        return "Steps 1-2 with PCIe Gen4 links";
+      case ArchPreset::TrainBoxNoPool:
+        return "clustered train boxes, no prep-pool (Fig 15 minus pool)";
+      case ArchPreset::TrainBox:
+        return "clustered train boxes + Ethernet prep-pool (Fig 15)";
+    }
+    return "?";
+}
+
+const std::vector<ArchPreset> &
+allPresets()
+{
+    static const std::vector<ArchPreset> presets = {
+        ArchPreset::Baseline,        ArchPreset::BaselineAccFpga,
+        ArchPreset::BaselineAccP2p,  ArchPreset::BaselineAccP2pGen4,
+        ArchPreset::TrainBoxNoPool,  ArchPreset::TrainBox,
+        ArchPreset::BaselineAccGpu,
+    };
+    return presets;
+}
+
+bool
+presetUsesPrepAccelerators(ArchPreset p)
+{
+    return p != ArchPreset::Baseline;
+}
+
+bool
+presetUsesP2p(ArchPreset p)
+{
+    switch (p) {
+      case ArchPreset::BaselineAccP2p:
+      case ArchPreset::BaselineAccP2pGen4:
+      case ArchPreset::TrainBoxNoPool:
+      case ArchPreset::TrainBox:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+presetUsesClustering(ArchPreset p)
+{
+    return p == ArchPreset::TrainBoxNoPool || p == ArchPreset::TrainBox;
+}
+
+std::size_t
+ServerConfig::effectiveBatchSize() const
+{
+    if (batchSize != 0)
+        return batchSize;
+    return workload::model(model).batchSize;
+}
+
+} // namespace tb

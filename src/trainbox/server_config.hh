@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Server architecture presets and configuration.
+ *
+ * The presets mirror the paper's evaluation series (Fig 19/21/22):
+ *
+ *   Baseline          — Fig 12: CPU data preparation, staging in host DRAM
+ *   BaselineAccFpga   — Fig 13: + FPGA prep boxes (Step 1)
+ *   BaselineAccGpu    — Step 1 with GPUs instead of FPGAs (Fig 21 series)
+ *   BaselineAccP2p    — Fig 14: + peer-to-peer DMA, host DRAM bypassed
+ *                       (Step 2; traffic still funnels through the RC)
+ *   BaselineAccP2pGen4— Step 2 with doubled PCIe bandwidth
+ *   TrainBoxNoPool    — Fig 15 without the Ethernet prep-pool
+ *   TrainBox          — the full design (Steps 1+2+3 + prep-pool)
+ */
+
+#ifndef TRAINBOX_TRAINBOX_SERVER_CONFIG_HH
+#define TRAINBOX_TRAINBOX_SERVER_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sync/sync_model.hh"
+#include "workload/model_zoo.hh"
+
+namespace tb {
+
+/** Architecture variant under evaluation. */
+enum class ArchPreset
+{
+    Baseline,
+    BaselineAccFpga,
+    BaselineAccGpu,
+    BaselineAccP2p,
+    BaselineAccP2pGen4,
+    TrainBoxNoPool,
+    TrainBox,
+};
+
+/** Short display name ("B", "B+Acc", ..., "TrainBox"). */
+const char *presetName(ArchPreset p);
+
+/** Long description of the preset. */
+const char *presetDescription(ArchPreset p);
+
+/** All presets in Fig 19 order (GPU variant last). */
+const std::vector<ArchPreset> &allPresets();
+
+/** True when data preparation runs on offload engines (not host CPUs). */
+bool presetUsesPrepAccelerators(ArchPreset p);
+
+/** True when transfers bypass host DRAM (Step 2 applied). */
+bool presetUsesP2p(ArchPreset p);
+
+/** True when devices are clustered into train boxes (Step 3 applied). */
+bool presetUsesClustering(ArchPreset p);
+
+/** Host-side resource capacities (DGX-2-class reference, §III-B/C). */
+struct HostConfig
+{
+    /** Two-socket Xeon: 48 physical cores. */
+    double cpuCores = 48.0;
+
+    /** DGX-2 DRAM bandwidth: 239 GB/s. */
+    Rate memBandwidth = 239.0e9;
+
+    /** Effective aggregate PCIe root-complex bandwidth. */
+    Rate rcBandwidth = 64.0e9;
+};
+
+/** Physical structure constants (§V-D). */
+struct BoxConfig
+{
+    /** NN accelerators per box (DGX-2 / Supermicro style). */
+    std::size_t accPerBox = 8;
+
+    /** Prep accelerators per 8-accelerator box (1 per 4 accs). */
+    std::size_t prepPerBox = 2;
+
+    /** NVMe SSDs per train box. */
+    std::size_t ssdsPerBox = 2;
+
+    /** SSDs per dedicated SSD box (non-clustered presets). */
+    std::size_t ssdsPerSsdBox = 4;
+};
+
+/** Everything needed to instantiate a simulated server. */
+struct ServerConfig
+{
+    ArchPreset preset = ArchPreset::TrainBox;
+    workload::ModelId model = workload::ModelId::Resnet50;
+
+    /** Number of NN accelerators (the paper's target scale is 256). */
+    std::size_t numAccelerators = 256;
+
+    /** Per-accelerator batch size; 0 = the model's Table I batch. */
+    std::size_t batchSize = 0;
+
+    HostConfig host;
+    BoxConfig box;
+    sync::SyncConfig sync;
+
+    /** Batches in flight per prep group (next-batch prefetch >= 2). */
+    std::size_t prefetchDepth = 4;
+
+    /**
+     * Sub-chunks a group batch is split into while flowing through the
+     * prep chain. Local and offloaded streams are always decoupled;
+     * values > 1 additionally pipeline within a batch (finer-grained
+     * events at higher simulation cost; throughput is insensitive to
+     * this in steady state — see the ablation test).
+     */
+    std::size_t prepChunks = 1;
+
+    /** Max CPU cores one batch's prep may use at once (sw pipelining). */
+    double maxPrepParallelism = 48.0;
+
+    /**
+     * Prep-pool FPGAs. Negative = let the train initializer size the
+     * pool; 0 = no pool; positive = fixed pool size.
+     */
+    int prepPoolFpgas = -1;
+
+    /** Resolved per-accelerator batch size. */
+    std::size_t effectiveBatchSize() const;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_TRAINBOX_SERVER_CONFIG_HH

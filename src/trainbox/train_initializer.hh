@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Train initializer (§V-A).
+ *
+ * Before training starts, the initializer measures the per-batch execution
+ * time of the model (here: the calibrated compute + sync models), derives
+ * the preparation throughput each train box must sustain, and — when the
+ * in-box FPGAs cannot keep up — sizes an allocation from the prep-pool by
+ * dividing the shortfall by the per-accelerator preparation throughput.
+ */
+
+#ifndef TRAINBOX_TRAINBOX_TRAIN_INITIALIZER_HH
+#define TRAINBOX_TRAINBOX_TRAIN_INITIALIZER_HH
+
+#include <cstddef>
+
+#include "trainbox/server_config.hh"
+
+namespace tb {
+
+/** Result of the initializer's resource-planning pass. */
+struct PrepPlan
+{
+    /** Samples/s of prepared data each train box must deliver. */
+    Rate perBoxDemand = 0.0;
+
+    /** Samples/s the box's own prep accelerators can deliver. */
+    Rate perBoxLocalCapacity = 0.0;
+
+    /** Fraction of every batch forwarded to the prep-pool. */
+    double offloadFraction = 0.0;
+
+    /** Pool FPGAs to allocate across the whole server. */
+    std::size_t poolFpgas = 0;
+
+    /** Aggregate pool throughput required (samples/s). */
+    Rate poolCapacityNeeded = 0.0;
+
+    /** Extra prep capacity relative to local capacity (Fig 21's +54%). */
+    double poolOvercapacityRatio = 0.0;
+
+    /** Offload traffic per FPGA Ethernet port (bytes/s). */
+    Rate ethernetPerPort = 0.0;
+
+    /** True when the 100 Gbps ports can carry the offload traffic. */
+    bool ethernetFeasible = true;
+};
+
+/**
+ * Plan preparation resources for a configuration (§V-A). Meaningful for
+ * the clustered presets; for others it reports the demand/capacity split
+ * of the shared prep-device array.
+ */
+PrepPlan planPreparation(const ServerConfig &cfg);
+
+} // namespace tb
+
+#endif // TRAINBOX_TRAINBOX_TRAIN_INITIALIZER_HH

@@ -1,0 +1,247 @@
+#include "trainbox/training_session.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace tb {
+
+double
+SessionResult::cpuCoresUsed() const
+{
+    double total = 0.0;
+    for (const auto &[cat, v] : cpuCoresByCategory)
+        total += v;
+    return total;
+}
+
+double
+SessionResult::memBwUsed() const
+{
+    double total = 0.0;
+    for (const auto &[cat, v] : memBwByCategory)
+        total += v;
+    return total;
+}
+
+double
+SessionResult::rcBwUsed() const
+{
+    double total = 0.0;
+    for (const auto &[cat, v] : rcBwByCategory)
+        total += v;
+    return total;
+}
+
+TrainingSession::TrainingSession(Server &server) : server_(server)
+{
+    groups_.resize(server_.groups.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        groups_[g].spec = &server_.groups[g];
+}
+
+bool
+TrainingSession::measuring() const
+{
+    return syncedSteps_ >= warmupSteps_ && !done_;
+}
+
+void
+TrainingSession::runChain(const std::string &track,
+                          const std::vector<StageTemplate> &stages,
+                          double samples, std::size_t idx,
+                          std::function<void()> done)
+{
+    if (idx >= stages.size()) {
+        done();
+        return;
+    }
+    const StageTemplate &st = stages[idx];
+    const Time start = server_.eq.now();
+    FlowSpec spec;
+    spec.category = st.category;
+    spec.size = samples;
+    spec.rateCap = st.rateCap;
+    spec.fairWeight = st.fairWeight;
+    spec.demands = st.demandsPerSample;
+    spec.onComplete = [this, track, &stages, samples, idx, start,
+                       done = std::move(done)](Time now) {
+        if (measuring()) {
+            stageTimeSum_[stages[idx].name] += now - start;
+            ++stageTimeCount_[stages[idx].name];
+        }
+        if (trace_)
+            trace_->complete(track, stages[idx].name, start, now - start,
+                             "prep");
+        runChain(track, stages, samples, idx + 1, done);
+    };
+    server_.net.startFlow(std::move(spec));
+}
+
+std::size_t
+TrainingSession::chunksPerBatch() const
+{
+    return std::max<std::size_t>(1, server_.cfg.prepChunks);
+}
+
+double
+TrainingSession::groupBatchSamples(std::size_t g) const
+{
+    return static_cast<double>(server_.batchSize()) *
+           static_cast<double>(groups_[g].spec->numAccelerators);
+}
+
+void
+TrainingSession::launchPrep(std::size_t g)
+{
+    GroupState &gs = groups_[g];
+    if (done_)
+        return;
+    const double batch = groupBatchSamples(g);
+    const double chunk = batch / static_cast<double>(chunksPerBatch());
+    const double f = gs.spec->offloadFraction;
+    const double window =
+        static_cast<double>(server_.cfg.prefetchDepth) * batch;
+
+    // Launch chunk chains as window slots free up; the local and
+    // offloaded streams are independent producers of prepared samples,
+    // so a slow prep-pool round-trip never stalls completed local work.
+    while (gs.readySamples + gs.inFlightSamples < window - 1e-6) {
+        gs.inFlightSamples += chunk;
+        const Time start = server_.eq.now();
+        const double local = chunk * (1.0 - f);
+        runChain(gs.spec->name, gs.spec->stages, local, 0,
+                 [this, g, local, start] {
+                     onChainDone(g, local, start);
+                 });
+        if (f > 0.0) {
+            const double remote = chunk * f;
+            runChain(gs.spec->name + ".offload", gs.spec->offloadStages,
+                     remote, 0, [this, g, remote, start] {
+                         onChainDone(g, remote, start);
+                     });
+        }
+    }
+}
+
+void
+TrainingSession::onChainDone(std::size_t g, double samples,
+                             Time chain_start)
+{
+    GroupState &gs = groups_[g];
+    gs.inFlightSamples -= samples;
+    gs.readySamples += samples;
+    if (measuring()) {
+        prepLatencySum_ += server_.eq.now() - chain_start;
+        ++prepLatencyCount_;
+    }
+    tryStartCompute(g);
+    launchPrep(g);
+}
+
+void
+TrainingSession::tryStartCompute(std::size_t g)
+{
+    GroupState &gs = groups_[g];
+    if (done_ || gs.computing ||
+        gs.readySamples + 1e-6 < groupBatchSamples(g) ||
+        gs.stepsComputed != syncedSteps_)
+        return;
+    gs.readySamples -= groupBatchSamples(g);
+    gs.computing = true;
+    const Time start = server_.eq.now();
+    server_.eq.scheduleIn(server_.computeTime(), [this, g, start] {
+        if (trace_)
+            trace_->complete(groups_[g].spec->name, "compute", start,
+                             server_.eq.now() - start, "compute");
+        onComputeDone(g);
+    });
+    launchPrep(g);
+}
+
+void
+TrainingSession::onComputeDone(std::size_t g)
+{
+    GroupState &gs = groups_[g];
+    gs.computing = false;
+    ++gs.stepsComputed;
+    if (++barrier_ == groups_.size()) {
+        barrier_ = 0;
+        const Time start = server_.eq.now();
+        server_.eq.scheduleIn(server_.syncTime(), [this, start] {
+            if (trace_)
+                trace_->complete("sync", "ring_allreduce", start,
+                                 server_.eq.now() - start, "sync");
+            onSyncDone();
+        });
+    }
+}
+
+void
+TrainingSession::onSyncDone()
+{
+    ++syncedSteps_;
+    if (syncedSteps_ == warmupSteps_) {
+        windowStart_ = server_.eq.now();
+        server_.net.resetAccounting();
+        stageTimeSum_.clear();
+        stageTimeCount_.clear();
+        prepLatencySum_ = 0.0;
+        prepLatencyCount_ = 0;
+    }
+    if (syncedSteps_ >= totalSteps_) {
+        windowEnd_ = server_.eq.now();
+        done_ = true;
+        return;
+    }
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        tryStartCompute(g);
+}
+
+SessionResult
+TrainingSession::run(std::size_t warmup, std::size_t measure)
+{
+    panic_if(measure == 0, "need at least one measured step");
+    warmupSteps_ = warmup;
+    totalSteps_ = warmup + measure;
+
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        launchPrep(g);
+
+    while (!done_ && server_.eq.step()) {
+    }
+    panic_if(!done_,
+             "training stalled: event queue drained after %zu/%zu steps",
+             syncedSteps_, totalSteps_);
+
+    SessionResult res;
+    const Time elapsed = windowEnd_ - windowStart_;
+    panic_if(elapsed <= 0.0, "empty measurement window");
+
+    res.stepsMeasured = measure;
+    res.stepTime = elapsed / static_cast<double>(measure);
+    res.computeTime = server_.computeTime();
+    res.syncTime = server_.syncTime();
+    res.throughput = static_cast<double>(server_.cfg.numAccelerators) *
+                     static_cast<double>(server_.batchSize()) *
+                     static_cast<double>(measure) / elapsed;
+
+    for (const auto &[name, sum] : stageTimeSum_)
+        res.prepStageTime[name] =
+            sum / static_cast<double>(stageTimeCount_[name]);
+    if (prepLatencyCount_ > 0)
+        res.prepLatency =
+            prepLatencySum_ / static_cast<double>(prepLatencyCount_);
+
+    auto collect = [elapsed](const FluidResource *r,
+                             std::map<std::string, double> &out) {
+        for (const auto &[cat, units] : r->servedByCategory())
+            out[cat] = units / elapsed;
+    };
+    collect(server_.cpu->resource(), res.cpuCoresByCategory);
+    collect(server_.hostMem->resource(), res.memBwByCategory);
+    collect(server_.topo->rcResource(), res.rcBwByCategory);
+    return res;
+}
+
+} // namespace tb

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Training-session driver.
+ *
+ * Executes synchronous data-parallel training on a built Server:
+ * per prep group, batches flow through the group's stage chain as fluid
+ * flows (with next-batch prefetching); compute starts on a group once its
+ * batch is ready and the previous global step has synchronized; model
+ * synchronization is a global barrier followed by the ring-sync latency.
+ *
+ * The session measures steady-state throughput over a measurement window
+ * (after warmup), per-stage preparation latencies (Fig 9), and per-
+ * category host-resource consumption (Figs 11/22) via the fluid
+ * accounting.
+ */
+
+#ifndef TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
+#define TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "trainbox/server_builder.hh"
+
+namespace tb {
+
+/** Everything a session run reports. */
+struct SessionResult
+{
+    /** Aggregate training throughput (samples/s). */
+    double throughput = 0.0;
+
+    /** Average time per global training step. */
+    Time stepTime = 0.0;
+
+    /** Batch compute time on one accelerator. */
+    Time computeTime = 0.0;
+
+    /** Ring-sync time per step. */
+    Time syncTime = 0.0;
+
+    /** Average wall time each prep stage took per group batch. */
+    std::map<std::string, Time> prepStageTime;
+
+    /** Average end-to-end prep latency per group batch. */
+    Time prepLatency = 0.0;
+
+    /** Steps included in the measurement window. */
+    std::size_t stepsMeasured = 0;
+
+    /** Host CPU demand by category (cores, i.e., core-sec per second). */
+    std::map<std::string, double> cpuCoresByCategory;
+
+    /** Host DRAM bandwidth by category (bytes/s). */
+    std::map<std::string, double> memBwByCategory;
+
+    /** PCIe root-complex bandwidth by category (bytes/s). */
+    std::map<std::string, double> rcBwByCategory;
+
+    /** Sums of the per-category maps. */
+    double cpuCoresUsed() const;
+    double memBwUsed() const;
+    double rcBwUsed() const;
+};
+
+/** Runs training steps on a Server and measures steady state. */
+class TrainingSession
+{
+  public:
+    explicit TrainingSession(Server &server);
+
+    /**
+     * Run @p warmup + @p measure global steps and report steady-state
+     * metrics over the measurement window.
+     */
+    SessionResult run(std::size_t warmup = 4, std::size_t measure = 8);
+
+    /**
+     * Record a Chrome-trace timeline (prep stages per group, compute
+     * spans, sync spans) into @p trace. Must be set before run();
+     * the writer must outlive the session.
+     */
+    void setTrace(TraceWriter *trace) { trace_ = trace; }
+
+  private:
+    struct GroupState
+    {
+        const PrepGroup *spec;
+        double readySamples = 0.0;    ///< prepared samples buffered
+        double inFlightSamples = 0.0; ///< samples in running chains
+        bool computing = false;
+        std::size_t stepsComputed = 0;
+        // Per in-flight chain bookkeeping is closure-captured.
+    };
+
+    void launchPrep(std::size_t g);
+    void runChain(const std::string &track,
+                  const std::vector<StageTemplate> &stages, double samples,
+                  std::size_t idx, std::function<void()> done);
+    void onChainDone(std::size_t g, double samples, Time chain_start);
+    bool measuring() const;
+    std::size_t chunksPerBatch() const;
+    double groupBatchSamples(std::size_t g) const;
+    void tryStartCompute(std::size_t g);
+    void onComputeDone(std::size_t g);
+    void onSyncDone();
+
+    Server &server_;
+    std::vector<GroupState> groups_;
+    TraceWriter *trace_ = nullptr;
+
+    std::size_t barrier_ = 0;
+    std::size_t syncedSteps_ = 0;
+    std::size_t warmupSteps_ = 0;
+    std::size_t totalSteps_ = 0;
+    bool done_ = false;
+    Time windowStart_ = 0.0;
+    Time windowEnd_ = 0.0;
+
+    // measurement accumulators
+    std::map<std::string, Time> stageTimeSum_;
+    std::map<std::string, std::size_t> stageTimeCount_;
+    Time prepLatencySum_ = 0.0;
+    std::size_t prepLatencyCount_ = 0;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_TRAINBOX_TRAINING_SESSION_HH

@@ -1,0 +1,65 @@
+#include "workload/cost_model.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace tb {
+namespace workload {
+
+PrepDemand
+prepDemand(InputType input)
+{
+    PrepDemand d;
+    d.fpgaChainRate = std::numeric_limits<double>::infinity();
+    d.gpuChainRate = std::numeric_limits<double>::infinity();
+
+    const DatasetInfo &ds = datasetFor(input);
+    d.ssdBytes = ds.itemStoredBytes;
+    d.preparedBytes = ds.itemPreparedBytes;
+
+    for (const auto &op : prepChain(input)) {
+        d.cpuCoreSec += op.cpuCoreSec;
+        d.cpuByStage[op.stage] += op.cpuCoreSec;
+        const Bytes bytes = op.memReadBytes + op.memWriteBytes;
+        d.memBytes += bytes;
+        d.memByStage[op.stage] += bytes;
+        // A pipelined engine's chain rate is its slowest stage; operators
+        // an engine cannot run (rate 0) are stage-copy/driver work that
+        // disappears when offloaded.
+        if (op.fpgaRate > 0.0)
+            d.fpgaChainRate = std::min(d.fpgaChainRate, op.fpgaRate);
+        if (op.gpuRate > 0.0)
+            d.gpuChainRate = std::min(d.gpuChainRate, op.gpuRate);
+    }
+    return d;
+}
+
+Rate
+effectiveDeviceThroughput(const ModelInfo &m, std::size_t n,
+                          const sync::SyncConfig &sync_cfg,
+                          std::size_t batch_size)
+{
+    const Time t_comp = computeLatency(m, batch_size);
+    const Time t_sync = sync::syncLatency(sync_cfg, n, m.modelBytes);
+    return static_cast<double>(batch_size) / (t_comp + t_sync);
+}
+
+Rate
+effectiveDeviceThroughput(const ModelInfo &m, std::size_t n,
+                          const sync::SyncConfig &sync_cfg)
+{
+    const Time t_comp = computeLatency(m);
+    const Time t_sync = sync::syncLatency(sync_cfg, n, m.modelBytes);
+    return static_cast<double>(m.batchSize) / (t_comp + t_sync);
+}
+
+Rate
+targetThroughput(const ModelInfo &m, std::size_t n,
+                 const sync::SyncConfig &sync_cfg)
+{
+    return static_cast<double>(n) *
+           effectiveDeviceThroughput(m, n, sync_cfg);
+}
+
+} // namespace workload
+} // namespace tb

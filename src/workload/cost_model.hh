@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Aggregated per-sample demand model.
+ *
+ * Collapses a preparation chain (prep_ops.hh) into the per-sample demands
+ * the server builder places on simulated resources, and combines Table I
+ * compute throughput with the sync model into the *effective* accelerator
+ * demand at a given scale.
+ */
+
+#ifndef TRAINBOX_WORKLOAD_COST_MODEL_HH
+#define TRAINBOX_WORKLOAD_COST_MODEL_HH
+
+#include <map>
+
+#include "sync/sync_model.hh"
+#include "workload/dataset.hh"
+#include "workload/prep_ops.hh"
+
+namespace tb {
+namespace workload {
+
+/** Per-sample demand summary of one preparation chain. */
+struct PrepDemand
+{
+    /** Total CPU core-seconds per sample (baseline execution). */
+    double cpuCoreSec = 0.0;
+
+    /** CPU core-seconds per sample, split by stage. */
+    std::map<PrepStage, double> cpuByStage;
+
+    /** Total host-DRAM bytes (read+write) per sample on the CPU path. */
+    Bytes memBytes = 0.0;
+
+    /** Host-DRAM bytes per sample, split by stage. */
+    std::map<PrepStage, Bytes> memByStage;
+
+    /** Bytes read from SSD per sample (stored item size). */
+    Bytes ssdBytes = 0.0;
+
+    /** Bytes delivered to the accelerator per sample. */
+    Bytes preparedBytes = 0.0;
+
+    /** Chain throughput of one FPGA prep engine (samples/s). */
+    Rate fpgaChainRate = 0.0;
+
+    /** Chain throughput of one GPU used for preparation (samples/s). */
+    Rate gpuChainRate = 0.0;
+};
+
+/** Demand summary for the given input type. */
+PrepDemand prepDemand(InputType input);
+
+/**
+ * Effective per-accelerator training throughput at scale @p n: one batch
+ * takes compute + ring-sync time. This is the demand the prep system must
+ * satisfy per accelerator (samples/s).
+ */
+Rate effectiveDeviceThroughput(const ModelInfo &m, std::size_t n,
+                               const sync::SyncConfig &sync_cfg);
+
+/** Same, at a non-default per-accelerator batch size (Fig 20). */
+Rate effectiveDeviceThroughput(const ModelInfo &m, std::size_t n,
+                               const sync::SyncConfig &sync_cfg,
+                               std::size_t batch_size);
+
+/** Aggregate target throughput of @p n accelerators (samples/s). */
+Rate targetThroughput(const ModelInfo &m, std::size_t n,
+                      const sync::SyncConfig &sync_cfg);
+
+} // namespace workload
+} // namespace tb
+
+#endif // TRAINBOX_WORKLOAD_COST_MODEL_HH

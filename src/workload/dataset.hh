@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Dataset descriptors (§III-B1 of the paper).
+ *
+ * The performance model only needs the size statistics of the training
+ * data: ImageNet-like 256x256 JPEGs for image workloads, LibriSpeech-like
+ * 6.96 s sound streams for audio workloads. The functional pipelines in
+ * src/prep generate synthetic items with exactly these shapes.
+ */
+
+#ifndef TRAINBOX_WORKLOAD_DATASET_HH
+#define TRAINBOX_WORKLOAD_DATASET_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hh"
+#include "workload/model_zoo.hh"
+
+namespace tb {
+namespace workload {
+
+/** Size statistics of one dataset. */
+struct DatasetInfo
+{
+    std::string name;
+    InputType input;
+
+    /** Mean stored (compressed) item size on SSD. */
+    Bytes itemStoredBytes;
+
+    /** Item size right after decode (raw RGB / PCM samples). */
+    Bytes itemDecodedBytes;
+
+    /** Item size delivered to the accelerator (float tensor / log-mel). */
+    Bytes itemPreparedBytes;
+
+    /** Number of items (for the static-preparation storage argument). */
+    std::size_t numItems;
+};
+
+/** Dataset used by workloads of the given input type. */
+const DatasetInfo &datasetFor(InputType input);
+
+/**
+ * Storage needed to *statically* pre-augment the dataset (§III-D): each
+ * item expands into @p variantsPerItem variants of @p bytesPerVariant
+ * bytes (0 = the dataset's prepared size). Reproduces the paper's
+ * ~2.2 PB argument against static data preparation (which counts
+ * 224x224x3 uint8 = 0.15 MB variants).
+ */
+Bytes staticPreparationBytes(const DatasetInfo &ds,
+                             std::size_t variantsPerItem,
+                             Bytes bytesPerVariant = 0.0);
+
+} // namespace workload
+} // namespace tb
+
+#endif // TRAINBOX_WORKLOAD_DATASET_HH

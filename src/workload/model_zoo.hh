@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The seven training workloads of Table I.
+ *
+ * Throughput values are per TPU-v3-8-class accelerator at the listed batch
+ * size, exactly as the paper reports them; the simulator treats them as
+ * the accelerator's compute capability (sync cost is added separately).
+ */
+
+#ifndef TRAINBOX_WORKLOAD_MODEL_ZOO_HH
+#define TRAINBOX_WORKLOAD_MODEL_ZOO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tb {
+namespace workload {
+
+/** Neural network family (Table I, first column). */
+enum class NnType { Cnn, Rnn, Transformer };
+
+/** What kind of training samples the model consumes. */
+enum class InputType { Image, Audio };
+
+/** Identifier for each Table I workload. */
+enum class ModelId
+{
+    Vgg19,
+    Resnet50,
+    InceptionV4,
+    RnnS,
+    RnnL,
+    TfSr,
+    TfAa,
+};
+
+/** Static description of one workload (one Table I row). */
+struct ModelInfo
+{
+    ModelId id;
+    std::string name;
+    std::string task;
+    NnType type;
+    InputType input;
+    /** Per-accelerator batch size. */
+    std::size_t batchSize;
+    /** Gradient/model size synchronized each step. */
+    Bytes modelBytes;
+    /** Samples/s one accelerator sustains (compute only). */
+    Rate deviceThroughput;
+};
+
+/** All seven workloads in Table I order. */
+const std::vector<ModelInfo> &modelZoo();
+
+/** Lookup by id. */
+const ModelInfo &model(ModelId id);
+
+/** Lookup by name; fatal() on unknown names (user-facing). */
+const ModelInfo &modelByName(const std::string &name);
+
+/** Compute time of one batch on one accelerator (no sync). */
+Time computeLatency(const ModelInfo &m);
+
+/** Compute time at an alternative batch size (throughput derated for
+ *  small batches — accelerators lose efficiency under-filled, Fig 20). */
+Time computeLatency(const ModelInfo &m, std::size_t batch_size);
+
+/** Effective accelerator throughput at a given batch size (samples/s). */
+Rate deviceThroughputAtBatch(const ModelInfo &m, std::size_t batch_size);
+
+/** Human-readable names. */
+const char *toString(NnType t);
+const char *toString(InputType t);
+
+} // namespace workload
+} // namespace tb
+
+#endif // TRAINBOX_WORKLOAD_MODEL_ZOO_HH

@@ -1,0 +1,66 @@
+#include "workload/prep_ops.hh"
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace workload {
+
+const char *
+stageCategory(PrepStage s)
+{
+    switch (s) {
+      case PrepStage::SsdRead:
+        return "ssd_read";
+      case PrepStage::Formatting:
+        return "formatting";
+      case PrepStage::Augmentation:
+        return "augmentation";
+      case PrepStage::DataLoad:
+        return "data_load";
+      case PrepStage::Others:
+        return "others";
+    }
+    return "?";
+}
+
+const std::vector<PrepOpCost> &
+prepChain(InputType input)
+{
+    // Image sizes: 50,000 B JPEG -> 196,608 B RGB -> 150,528 B crop
+    // (in-place view) -> 301,056 B bf16 tensor. CPU total = 1.572
+    // ms/sample (see DESIGN.md §4 for the calibration anchors).
+    static const std::vector<PrepOpCost> image = {
+        // name            stage                     cpu(s)    memR      memW      fpga     gpu
+        {"nvme_read",      PrepStage::SsdRead,       0.050e-3, 0.0,      50000.0,  0.0,     0.0},
+        {"jpeg_decode",    PrepStage::Formatting,    0.800e-3, 50000.0,  196608.0, 45000.0, 11000.0},
+        {"crop",           PrepStage::Formatting,    0.030e-3, 196608.0, 0.0,      400000.0, 90000.0},
+        {"mirror",         PrepStage::Augmentation,  0.060e-3, 150528.0, 150528.0, 600000.0, 120000.0},
+        {"gaussian_noise", PrepStage::Augmentation,  0.400e-3, 150528.0, 150528.0, 250000.0, 60000.0},
+        {"cast_bf16",      PrepStage::Formatting,    0.100e-3, 150528.0, 301056.0, 500000.0, 150000.0},
+        {"stage_copy",     PrepStage::DataLoad,      0.100e-3, 301056.0, 0.0,      0.0,     0.0},
+        {"framework",      PrepStage::Others,        0.032e-3, 0.0,      0.0,      0.0,     0.0},
+    };
+
+    // Audio sizes: 222,720 B PCM -> spectrogram -> 222,080 B log-mel.
+    // CPU total = 5.45 ms/sample.
+    static const std::vector<PrepOpCost> audio = {
+        {"nvme_read",      PrepStage::SsdRead,       0.080e-3, 0.0,      222720.0, 0.0,     0.0},
+        {"spectrogram",    PrepStage::Formatting,    2.600e-3, 222720.0, 712192.0, 5200.0,  4000.0},
+        {"mel_filterbank", PrepStage::Formatting,    0.900e-3, 712192.0, 222080.0, 20000.0, 15000.0},
+        {"masking",        PrepStage::Augmentation,  0.700e-3, 222080.0, 222080.0, 40000.0, 30000.0},
+        {"normalize",      PrepStage::Formatting,    0.720e-3, 222080.0, 222080.0, 50000.0, 35000.0},
+        {"stage_copy",     PrepStage::DataLoad,      0.300e-3, 222080.0, 0.0,      0.0,     0.0},
+        {"framework",      PrepStage::Others,        0.150e-3, 0.0,      0.0,      0.0,     0.0},
+    };
+
+    switch (input) {
+      case InputType::Image:
+        return image;
+      case InputType::Audio:
+        return audio;
+    }
+    panic("unknown input type");
+}
+
+} // namespace workload
+} // namespace tb

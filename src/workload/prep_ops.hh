@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Data-preparation operator chains and per-operator costs.
+ *
+ * Each input type has a fixed chain of operators (Fig 4 / §II-A):
+ *
+ *   image: load -> JPEG decode -> crop -> mirror -> gaussian noise -> cast
+ *   audio: load -> spectrogram -> Mel filterbank -> masking -> normalize
+ *
+ * Every operator carries:
+ *   - its pipeline stage (drives the accounting categories of Figs 11/22),
+ *   - CPU cost in core-seconds per sample (baseline execution),
+ *   - host-DRAM bytes read/written per sample (baseline execution),
+ *   - FPGA and GPU engine throughput in samples/s (offloaded execution;
+ *     0 = the engine cannot run this operator).
+ *
+ * CPU costs are calibrated against the paper's anchors (see DESIGN.md §4):
+ * the per-sample totals make Inception-v4 saturate at 18.3 accelerators
+ * and TF-SR at 4.4 on a 48-core host, and put the maximum core demand at
+ * 256 accelerators at ~4,833 cores = 100.7x DGX-2 (all §III-B/§III-C
+ * numbers).
+ */
+
+#ifndef TRAINBOX_WORKLOAD_PREP_OPS_HH
+#define TRAINBOX_WORKLOAD_PREP_OPS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "workload/model_zoo.hh"
+
+namespace tb {
+namespace workload {
+
+/** Pipeline stage == accounting category (Figs 9/11/22 legends). */
+enum class PrepStage
+{
+    SsdRead,      ///< NVMe driver work / SSD DMA
+    Formatting,   ///< decode, crop, cast, spectrogram, mel, normalize
+    Augmentation, ///< mirror, noise, masking
+    DataLoad,     ///< staging copies into accelerator-visible buffers
+    Others,       ///< framework overheads
+};
+
+/** Accounting-category string used on FluidResources. */
+const char *stageCategory(PrepStage s);
+
+/** One operator of a preparation chain. */
+struct PrepOpCost
+{
+    std::string name;
+    PrepStage stage;
+
+    /** Host-CPU execution cost (core-seconds per sample). */
+    double cpuCoreSec;
+
+    /** Host DRAM bytes read per sample when executed on the CPU. */
+    Bytes memReadBytes;
+
+    /** Host DRAM bytes written per sample when executed on the CPU. */
+    Bytes memWriteBytes;
+
+    /** Offloaded throughput per FPGA engine (samples/s; 0 = n/a). */
+    Rate fpgaRate;
+
+    /** Offloaded throughput per GPU (samples/s; 0 = n/a). */
+    Rate gpuRate;
+};
+
+/** The full operator chain for an input type. */
+const std::vector<PrepOpCost> &prepChain(InputType input);
+
+} // namespace workload
+} // namespace tb
+
+#endif // TRAINBOX_WORKLOAD_PREP_OPS_HH

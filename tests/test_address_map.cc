@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the PCIe address map and switch forwarding (§IV-C), and
+ * its consistency with the tree routing the performance model uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcie/address_map.hh"
+
+namespace tb {
+namespace pcie {
+namespace {
+
+struct AddressMapTest : public ::testing::Test
+{
+    EventQueue eq;
+    FluidNetwork net{eq};
+    Topology topo{net, "rc", 64e9};
+
+    NodeId sw0, sw1, a, b, c;
+
+    void
+    SetUp() override
+    {
+        sw0 = topo.addSwitch("sw0", topo.root(), 16e9);
+        sw1 = topo.addSwitch("sw1", topo.root(), 16e9);
+        a = topo.addDevice("a", sw0, 16e9);
+        b = topo.addDevice("b", sw0, 16e9);
+        c = topo.addDevice("c", sw1, 16e9);
+    }
+};
+
+TEST_F(AddressMapTest, BarsAreDisjointAndSized)
+{
+    const AddressMap map(topo, 1 << 20);
+    const AddressRange ra = map.deviceBar(a);
+    const AddressRange rb = map.deviceBar(b);
+    const AddressRange rc_ = map.deviceBar(c);
+    EXPECT_EQ(ra.size, 1u << 20);
+    EXPECT_EQ(rb.size, 1u << 20);
+    // Disjoint and ordered by enumeration.
+    EXPECT_LE(ra.end(), rb.base);
+    EXPECT_LE(rb.end(), rc_.base);
+}
+
+TEST_F(AddressMapTest, SwitchWindowsCoverSubtrees)
+{
+    const AddressMap map(topo);
+    const AddressRange w0 = map.subtreeWindow(sw0);
+    EXPECT_TRUE(w0.contains(map.deviceBar(a).base));
+    EXPECT_TRUE(w0.contains(map.deviceBar(b).end() - 1));
+    EXPECT_FALSE(w0.contains(map.deviceBar(c).base));
+    const AddressRange root_w = map.subtreeWindow(topo.root());
+    EXPECT_TRUE(root_w.contains(map.deviceBar(c).base));
+}
+
+TEST_F(AddressMapTest, ResolveFindsOwningDevice)
+{
+    const AddressMap map(topo);
+    EXPECT_EQ(map.resolve(map.deviceBar(a).base), a);
+    EXPECT_EQ(map.resolve(map.deviceBar(c).base + 100), c);
+    EXPECT_EQ(map.resolve(0x10), kInvalidNode); // below every BAR
+}
+
+TEST_F(AddressMapTest, PeerRouteStaysUnderCommonSwitch)
+{
+    // The §IV-C mechanism behind clustering: a -> b never leaves sw0.
+    const AddressMap map(topo);
+    const auto path = map.route(a, map.deviceBar(b).base);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], sw0);
+    EXPECT_EQ(path[1], b);
+}
+
+TEST_F(AddressMapTest, CrossSwitchRouteClimbsThroughRoot)
+{
+    const AddressMap map(topo);
+    const auto path = map.route(a, map.deviceBar(c).base);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path[0], sw0);
+    EXPECT_EQ(path[1], topo.root());
+    EXPECT_EQ(path[2], sw1);
+    EXPECT_EQ(path[3], c);
+}
+
+TEST_F(AddressMapTest, ForwardingMatchesTreeRoutingEverywhere)
+{
+    // Property: for every (src, dst) device pair, hop count via address
+    // forwarding equals the performance model's routeHops.
+    const AddressMap map(topo);
+    for (NodeId src : {a, b, c}) {
+        for (NodeId dst : {a, b, c}) {
+            if (src == dst)
+                continue;
+            const auto path = map.route(src, map.deviceBar(dst).base);
+            EXPECT_EQ(path.size(), topo.routeHops(src, dst))
+                << src << "->" << dst;
+            EXPECT_EQ(path.back(), dst);
+        }
+    }
+}
+
+TEST_F(AddressMapTest, RouteToUnmappedAddressIsEmpty)
+{
+    const AddressMap map(topo);
+    EXPECT_TRUE(map.route(a, 0x10).empty());
+}
+
+TEST_F(AddressMapTest, DeepTreeForwarding)
+{
+    const NodeId mid = topo.addSwitch("mid", sw1, 16e9);
+    const NodeId leaf = topo.addDevice("leaf", mid, 16e9);
+    const AddressMap map(topo);
+    const auto path = map.route(a, map.deviceBar(leaf).base);
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path[0], sw0);
+    EXPECT_EQ(path[1], topo.root());
+    EXPECT_EQ(path[2], sw1);
+    EXPECT_EQ(path[3], mid);
+    EXPECT_EQ(path[4], leaf);
+}
+
+TEST(AddressMapDeath, BarOfSwitchIsFatal)
+{
+    EventQueue eq;
+    FluidNetwork net(eq);
+    Topology topo(net, "rc", 1e9);
+    const NodeId sw = topo.addSwitch("sw", topo.root(), 1e9);
+    const AddressMap map(topo);
+    EXPECT_DEATH(map.deviceBar(sw), "not a device");
+}
+
+} // namespace
+} // namespace pcie
+} // namespace tb

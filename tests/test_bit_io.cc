@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the JPEG bit-level I/O (MSB-first order, byte stuffing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "prep/jpeg/bit_io.hh"
+
+namespace tb {
+namespace jpeg {
+namespace {
+
+TEST(BitIo, SingleByteRoundTrip)
+{
+    std::vector<std::uint8_t> out;
+    BitWriter bw(out);
+    bw.put(0xA5, 8);
+    bw.flush();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0xA5);
+
+    BitReader br(out.data(), out.size());
+    EXPECT_EQ(br.get(8), 0xA5);
+}
+
+TEST(BitIo, MsbFirstOrdering)
+{
+    std::vector<std::uint8_t> out;
+    BitWriter bw(out);
+    bw.put(1, 1); // 1
+    bw.put(0, 1); // 10
+    bw.put(3, 2); // 1011
+    bw.put(0x0, 4);
+    bw.flush();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0xB0);
+}
+
+TEST(BitIo, FlushPadsWithOnes)
+{
+    std::vector<std::uint8_t> out;
+    BitWriter bw(out);
+    bw.put(0, 2);
+    bw.flush();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x3F); // 00 followed by six 1-bits
+}
+
+TEST(BitIo, FfIsStuffed)
+{
+    std::vector<std::uint8_t> out;
+    BitWriter bw(out);
+    bw.put(0xFF, 8);
+    bw.put(0x12, 8);
+    bw.flush();
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 0xFF);
+    EXPECT_EQ(out[1], 0x00);
+    EXPECT_EQ(out[2], 0x12);
+
+    BitReader br(out.data(), out.size());
+    EXPECT_EQ(br.get(8), 0xFF);
+    EXPECT_EQ(br.get(8), 0x12);
+}
+
+TEST(BitIo, ReaderStopsAtMarker)
+{
+    const std::uint8_t data[] = {0xAB, 0xFF, 0xD9}; // EOI marker
+    BitReader br(data, sizeof(data));
+    EXPECT_EQ(br.get(8), 0xAB);
+    EXPECT_EQ(br.get(8), -1); // marker is not scan data
+}
+
+TEST(BitIo, ReaderReportsEndOfData)
+{
+    const std::uint8_t data[] = {0x80};
+    BitReader br(data, sizeof(data));
+    EXPECT_EQ(br.get(8), 0x80);
+    EXPECT_EQ(br.getBit(), -1);
+    EXPECT_TRUE(br.atEnd());
+}
+
+class BitIoRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitIoRoundTrip, RandomFieldsSurvive)
+{
+    Rng rng(GetParam());
+    std::vector<std::pair<std::uint32_t, int>> fields;
+    for (int i = 0; i < 500; ++i) {
+        const int len = static_cast<int>(rng.uniformInt(1, 16));
+        const std::uint32_t bits =
+            static_cast<std::uint32_t>(rng()) & ((1u << len) - 1);
+        fields.emplace_back(bits, len);
+    }
+    std::vector<std::uint8_t> out;
+    BitWriter bw(out);
+    for (const auto &[bits, len] : fields)
+        bw.put(bits, len);
+    bw.flush();
+
+    BitReader br(out.data(), out.size());
+    for (const auto &[bits, len] : fields)
+        ASSERT_EQ(br.get(len), static_cast<std::int32_t>(bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRoundTrip,
+                         ::testing::Values(1, 2, 3, 99, 12345));
+
+} // namespace
+} // namespace jpeg
+} // namespace tb

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the discrete-event core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace tb {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3.0, [&] { order.push_back(3); });
+    eq.schedule(1.0, [&] { order.push_back(1); });
+    eq.schedule(2.0, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, TieBrokenByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1.0, [&] { order.push_back(0); }, 50);
+    eq.schedule(1.0, [&] { order.push_back(1); }, 10);
+    eq.schedule(1.0, [&] { order.push_back(2); }, 50);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(EventQueue, ScheduleInUsesRelativeTime)
+{
+    EventQueue eq;
+    double fired_at = -1.0;
+    eq.schedule(2.0, [&] {
+        eq.scheduleIn(1.5, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id)); // second cancel is a no-op
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireFails)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(1.0, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, RunUntilStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1.0, [&] { ++count; });
+    eq.schedule(5.0, [&] { ++count; });
+    eq.run(2.0);
+    EXPECT_EQ(count, 1);
+    EXPECT_DOUBLE_EQ(eq.now(), 2.0);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1.0, [&] { ++count; });
+    eq.schedule(2.0, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            eq.scheduleIn(0.5, chain);
+    };
+    eq.scheduleIn(0.5, chain);
+    eq.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_DOUBLE_EQ(eq.now(), 5.0);
+    EXPECT_EQ(eq.numExecuted(), 10u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(5.0, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(1.0, [] {}), "past");
+}
+
+TEST(EventQueueDeath, NextTimeOnEmptyPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.nextTime(), "empty");
+}
+
+} // namespace
+} // namespace tb

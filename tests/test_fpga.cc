@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the FPGA resource model against the paper's Tables II/III.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/engine_library.hh"
+
+namespace tb {
+namespace fpga {
+namespace {
+
+TEST(Fpga, DeviceCapacity)
+{
+    const Device &dev = xcvu9p();
+    EXPECT_EQ(dev.name, "XCVU9P");
+    EXPECT_DOUBLE_EQ(dev.capacity.lut, 1'182'240.0);
+    EXPECT_DOUBLE_EQ(dev.capacity.dsp, 6'840.0);
+}
+
+TEST(Fpga, ResourcesAdd)
+{
+    Resources a{1, 2, 3, 4};
+    const Resources b{10, 20, 30, 40};
+    const Resources c = a + b;
+    EXPECT_DOUBLE_EQ(c.lut, 11);
+    EXPECT_DOUBLE_EQ(c.dsp, 44);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.ff, 22);
+}
+
+TEST(Fpga, ImagePlanMatchesTableII)
+{
+    const Floorplan plan = imageFloorplan();
+    EXPECT_EQ(plan.engines().size(), 7u);
+    const Utilization u = plan.utilization();
+    // Paper totals: 78.7% LUT, 38.1% FF, 30.5% DSP.
+    EXPECT_NEAR(u.lutPct, 78.7, 0.5);
+    EXPECT_NEAR(u.ffPct, 38.1, 0.5);
+    EXPECT_NEAR(u.dspPct, 30.5, 0.5);
+    EXPECT_TRUE(plan.fits());
+}
+
+TEST(Fpga, AudioPlanMatchesTableIII)
+{
+    const Floorplan plan = audioFloorplan();
+    const Utilization u = plan.utilization();
+    // Paper totals: 80.2% LUT, 46.3% FF, 77.1% BRAM, 12.2% DSP.
+    EXPECT_NEAR(u.lutPct, 80.2, 0.5);
+    EXPECT_NEAR(u.ffPct, 46.3, 0.5);
+    EXPECT_NEAR(u.bramPct, 77.1, 0.5);
+    EXPECT_NEAR(u.dspPct, 12.2, 0.5);
+    EXPECT_TRUE(plan.fits());
+}
+
+TEST(Fpga, JpegDecoderDominatesImagePlan)
+{
+    // §VI-B: "the JPEG decoder takes most of the resources".
+    const Floorplan plan = imageFloorplan();
+    const Utilization u = plan.utilizationOf(jpegDecoderEngine());
+    EXPECT_NEAR(u.lutPct, 59.5, 0.3);
+    for (const auto &e : plan.engines())
+        EXPECT_LE(e.cost.lut, jpegDecoderEngine().cost.lut);
+}
+
+TEST(Fpga, SpectrogramDominatesAudioPlan)
+{
+    const Floorplan plan = audioFloorplan();
+    for (const auto &e : plan.engines())
+        EXPECT_LE(e.cost.lut, spectrogramEngine().cost.lut);
+}
+
+TEST(Fpga, OverfilledPlanDoesNotFit)
+{
+    Floorplan plan(xcvu9p());
+    for (int i = 0; i < 3; ++i)
+        plan.add(jpegDecoderEngine()); // 3 x 704k LUTs > 1.18M
+    EXPECT_FALSE(plan.fits());
+    EXPECT_GT(plan.utilization().lutPct, 100.0);
+}
+
+TEST(Fpga, BothPipelinesCannotShareOneDevice)
+{
+    // Rationale for partial reconfiguration (§V-C): image + audio
+    // engines together exceed the part.
+    Floorplan plan = imageFloorplan();
+    plan.add(spectrogramEngine());
+    plan.add(melFilterBankEngine());
+    EXPECT_FALSE(plan.fits());
+}
+
+} // namespace
+} // namespace fpga
+} // namespace tb

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for JPEG Huffman coding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prep/jpeg/huffman.hh"
+
+namespace tb {
+namespace jpeg {
+namespace {
+
+const HuffmanSpec &
+specFor(int idx)
+{
+    switch (idx) {
+      case 0:
+        return stdDcLuma();
+      case 1:
+        return stdAcLuma();
+      case 2:
+        return stdDcChroma();
+      default:
+        return stdAcChroma();
+    }
+}
+
+TEST(Huffman, StandardTableSizes)
+{
+    EXPECT_EQ(stdDcLuma().values.size(), 12u);
+    EXPECT_EQ(stdDcChroma().values.size(), 12u);
+    EXPECT_EQ(stdAcLuma().values.size(), 162u);
+    EXPECT_EQ(stdAcChroma().values.size(), 162u);
+}
+
+TEST(Huffman, BitsMatchValueCounts)
+{
+    for (int i = 0; i < 4; ++i) {
+        const HuffmanSpec &spec = specFor(i);
+        std::size_t total = 0;
+        for (auto b : spec.bits)
+            total += b;
+        EXPECT_EQ(total, spec.values.size());
+    }
+}
+
+class HuffmanRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HuffmanRoundTrip, AllSymbolsSurvive)
+{
+    const HuffmanSpec &spec = specFor(GetParam());
+    const HuffmanEncoder enc(spec);
+    const HuffmanDecoder dec(spec);
+
+    std::vector<std::uint8_t> out;
+    BitWriter bw(out);
+    for (auto sym : spec.values)
+        enc.encode(bw, sym);
+    bw.flush();
+
+    BitReader br(out.data(), out.size());
+    for (auto sym : spec.values)
+        ASSERT_EQ(dec.decode(br), sym);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTables, HuffmanRoundTrip,
+                         ::testing::Range(0, 4));
+
+TEST(Huffman, CodeLengthsFollowSpecOrder)
+{
+    // Canonical construction: symbols listed earlier get codes no longer
+    // than later symbols.
+    const HuffmanSpec &spec = stdAcLuma();
+    const HuffmanEncoder enc(spec);
+    int prev = 0;
+    for (auto sym : spec.values) {
+        const int len = enc.codeLength(sym);
+        EXPECT_GE(len, prev);
+        EXPECT_GE(len, 1);
+        EXPECT_LE(len, 16);
+        prev = len;
+    }
+}
+
+TEST(Huffman, EobAndZrlHaveCodes)
+{
+    const HuffmanEncoder enc(stdAcLuma());
+    EXPECT_GT(enc.codeLength(0x00), 0); // EOB
+    EXPECT_GT(enc.codeLength(0xF0), 0); // ZRL
+}
+
+TEST(Huffman, DecoderRejectsGarbage)
+{
+    // All-ones longer than any code must fail, not loop.
+    const HuffmanDecoder dec(stdDcLuma());
+    const std::uint8_t ones[] = {0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00};
+    BitReader br(ones, sizeof(ones));
+    const int first = dec.decode(br);
+    // DC luma's deepest code is 9 bits of ones = symbol 11; repeated
+    // decodes eventually exhaust the buffer and return -1.
+    int last = first;
+    for (int i = 0; i < 10; ++i)
+        last = dec.decode(br);
+    EXPECT_EQ(last, -1);
+}
+
+TEST(Huffman, MixedStreamRoundTrip)
+{
+    const HuffmanSpec &dc = stdDcLuma();
+    const HuffmanSpec &ac = stdAcLuma();
+    const HuffmanEncoder dc_enc(dc), ac_enc(ac);
+    const HuffmanDecoder dc_dec(dc), ac_dec(ac);
+
+    std::vector<std::uint8_t> out;
+    BitWriter bw(out);
+    dc_enc.encode(bw, 5);
+    ac_enc.encode(bw, 0xF0);
+    ac_enc.encode(bw, 0x21);
+    dc_enc.encode(bw, 0);
+    bw.flush();
+
+    BitReader br(out.data(), out.size());
+    EXPECT_EQ(dc_dec.decode(br), 5);
+    EXPECT_EQ(ac_dec.decode(br), 0xF0);
+    EXPECT_EQ(ac_dec.decode(br), 0x21);
+    EXPECT_EQ(dc_dec.decode(br), 0);
+}
+
+} // namespace
+} // namespace jpeg
+} // namespace tb

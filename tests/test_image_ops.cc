@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the image formatting/augmentation operators.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "prep/image/image_ops.hh"
+#include "prep/pipeline.hh"
+
+namespace tb {
+namespace imageops {
+namespace {
+
+Image
+gradientImage(int w, int h, int c)
+{
+    Image img(w, h, c);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            for (int ch = 0; ch < c; ++ch)
+                img.at(x, y, ch) =
+                    static_cast<std::uint8_t>((x + y * 2 + ch * 7) % 256);
+    return img;
+}
+
+TEST(ImageOps, CropExtractsWindow)
+{
+    const Image src = gradientImage(32, 24, 3);
+    const Image out = crop(src, 5, 7, 10, 8);
+    EXPECT_EQ(out.width, 10);
+    EXPECT_EQ(out.height, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 10; ++x)
+            for (int c = 0; c < 3; ++c)
+                ASSERT_EQ(out.at(x, y, c), src.at(5 + x, 7 + y, c));
+}
+
+TEST(ImageOps, CenterCropIsCentered)
+{
+    const Image src = gradientImage(32, 32, 1);
+    const Image out = centerCrop(src, 16, 16);
+    EXPECT_EQ(out.at(0, 0, 0), src.at(8, 8, 0));
+}
+
+TEST(ImageOps, RandomCropStaysInBounds)
+{
+    Rng rng(3);
+    const Image src = gradientImage(40, 30, 3);
+    for (int i = 0; i < 50; ++i) {
+        const Image out = randomCrop(src, 24, 24, rng);
+        EXPECT_EQ(out.width, 24);
+        EXPECT_EQ(out.height, 24);
+    }
+}
+
+TEST(ImageOps, RandomCropVaries)
+{
+    Rng rng(5);
+    const Image src = gradientImage(256, 256, 3);
+    const Image a = randomCrop(src, 224, 224, rng);
+    const Image b = randomCrop(src, 224, 224, rng);
+    // With a 32x32 offset space, two crops almost surely differ.
+    EXPECT_NE(a.pixels, b.pixels);
+}
+
+TEST(ImageOps, MirrorIsInvolution)
+{
+    const Image src = gradientImage(31, 17, 3);
+    EXPECT_EQ(mirrorHorizontal(mirrorHorizontal(src)), src);
+}
+
+TEST(ImageOps, MirrorFlipsColumns)
+{
+    const Image src = gradientImage(8, 4, 1);
+    const Image out = mirrorHorizontal(src);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 8; ++x)
+            ASSERT_EQ(out.at(x, y, 0), src.at(7 - x, y, 0));
+}
+
+TEST(ImageOps, NoiseHasRequestedSpread)
+{
+    Rng rng(7);
+    Image flat(64, 64, 1);
+    for (auto &p : flat.pixels)
+        p = 128;
+    const Image noisy = addGaussianNoise(flat, 5.0, rng);
+    const double mad = meanAbsDifference(flat, noisy);
+    // E|N(0,5)| = 5 * sqrt(2/pi) ~ 3.99.
+    EXPECT_NEAR(mad, 3.99, 0.4);
+}
+
+TEST(ImageOps, ZeroNoiseIsIdentity)
+{
+    Rng rng(9);
+    const Image src = gradientImage(16, 16, 3);
+    EXPECT_EQ(addGaussianNoise(src, 0.0, rng), src);
+}
+
+TEST(ImageOps, ResizeIdentity)
+{
+    const Image src = gradientImage(20, 20, 3);
+    const Image out = resizeBilinear(src, 20, 20);
+    EXPECT_LT(meanAbsDifference(src, out), 0.5);
+}
+
+TEST(ImageOps, ResizeDownAndUp)
+{
+    const Image src = gradientImage(32, 32, 3);
+    const Image small = resizeBilinear(src, 16, 16);
+    EXPECT_EQ(small.width, 16);
+    const Image back = resizeBilinear(small, 32, 32);
+    // Smooth gradient survives a down/up cycle approximately.
+    EXPECT_LT(meanAbsDifference(src, back), 8.0);
+}
+
+TEST(ImageOps, CastTensorShapeAndRange)
+{
+    const Image src = gradientImage(8, 6, 3);
+    const std::vector<float> t = castToFloatTensor(src);
+    EXPECT_EQ(t.size(), 8u * 6u * 3u);
+    for (float v : t) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+    // CHW layout: first plane is channel 0.
+    EXPECT_NEAR(t[0], toBf16(src.at(0, 0, 0) / 255.0f), 1e-6);
+    EXPECT_NEAR(t[8 * 6], toBf16(src.at(0, 0, 1) / 255.0f), 1e-6);
+}
+
+TEST(ImageOps, Bf16RoundingLosesLowMantissa)
+{
+    EXPECT_EQ(toBf16(1.0f), 1.0f);
+    EXPECT_EQ(toBf16(0.0f), 0.0f);
+    const float v = 0.1234567f;
+    const float r = toBf16(v);
+    EXPECT_NEAR(r, v, 0.001f);
+    EXPECT_EQ(toBf16(r), r); // idempotent
+}
+
+TEST(ImageOpsDeath, OutOfBoundsCropIsFatal)
+{
+    const Image src = gradientImage(16, 16, 3);
+    EXPECT_DEATH(crop(src, 10, 10, 10, 10), "crop");
+}
+
+TEST(ImagePipeline, PreparesTensorFromJpeg)
+{
+    Rng rng(21);
+    const auto bytes = prep::makeSyntheticJpeg(256, 256, rng);
+    prep::ImagePrepPipeline pipe;
+    const prep::PreparedImage out = pipe.prepare(bytes, rng);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.width, 224);
+    EXPECT_EQ(out.height, 224);
+    EXPECT_EQ(out.channels, 3);
+    EXPECT_EQ(out.tensor.size(), 224u * 224u * 3u);
+}
+
+TEST(ImagePipeline, AugmentationVariesOutput)
+{
+    Rng item_rng(23);
+    const auto bytes = prep::makeSyntheticJpeg(256, 256, item_rng);
+    prep::ImagePrepPipeline pipe;
+    Rng rng_a(1), rng_b(2);
+    const auto a = pipe.prepare(bytes, rng_a);
+    const auto b = pipe.prepare(bytes, rng_b);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_NE(a.tensor, b.tensor);
+}
+
+TEST(ImagePipeline, NoAugmentIsDeterministic)
+{
+    Rng item_rng(25);
+    const auto bytes = prep::makeSyntheticJpeg(256, 256, item_rng);
+    prep::ImagePrepConfig cfg;
+    cfg.augment = false;
+    prep::ImagePrepPipeline pipe(cfg);
+    Rng rng_a(1), rng_b(2);
+    const auto a = pipe.prepare(bytes, rng_a);
+    const auto b = pipe.prepare(bytes, rng_b);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.tensor, b.tensor);
+}
+
+TEST(ImagePipeline, RejectsTooSmallImages)
+{
+    Rng rng(27);
+    const auto bytes = prep::makeSyntheticJpeg(64, 64, rng);
+    prep::ImagePrepPipeline pipe;
+    const auto out = pipe.prepare(bytes, rng);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("smaller"), std::string::npos);
+}
+
+TEST(ImagePipeline, RejectsCorruptItems)
+{
+    prep::ImagePrepPipeline pipe;
+    Rng rng(29);
+    const std::vector<std::uint8_t> junk(100, 0x42);
+    const auto out = pipe.prepare(junk, rng);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("decode"), std::string::npos);
+}
+
+} // namespace
+} // namespace imageops
+} // namespace tb

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the logging helpers (error semantics per the gem5 style).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace tb {
+namespace {
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("broken invariant %d", 42), "broken invariant 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LoggingDeath, PanicIfFiresOnlyWhenTrue)
+{
+    panic_if(false, "must not fire");
+    EXPECT_DEATH(panic_if(true, "fired"), "fired");
+}
+
+TEST(LoggingDeath, FatalIfFiresOnlyWhenTrue)
+{
+    fatal_if(false, "must not fire");
+    EXPECT_EXIT(fatal_if(true, "fired"),
+                ::testing::ExitedWithCode(1), "fired");
+}
+
+TEST(Logging, QuietSuppressesInform)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    inform("this must be suppressed");
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(Logging, WarnAlwaysEmits)
+{
+    // warn() is not gated by quiet(); just exercise the path.
+    setQuiet(true);
+    warn("a survivable condition %d", 1);
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the numeric helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hh"
+
+namespace tb {
+namespace {
+
+TEST(MathUtil, Clamp)
+{
+    EXPECT_EQ(clamp(5, 0, 10), 5);
+    EXPECT_EQ(clamp(-1, 0, 10), 0);
+    EXPECT_EQ(clamp(11, 0, 10), 10);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, ApproxEqual)
+{
+    EXPECT_TRUE(approxEqual(1.0, 1.0));
+    EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(approxEqual(1.0, 1.001));
+    EXPECT_TRUE(approxEqual(1e12, 1e12 + 1.0, 1e-9));
+    EXPECT_TRUE(approxEqual(0.0, 0.0));
+}
+
+TEST(MathUtil, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(mean({7.0}), 7.0);
+}
+
+class Pow2Case
+    : public ::testing::TestWithParam<std::pair<std::uint64_t,
+                                                std::uint64_t>>
+{
+};
+
+TEST_P(Pow2Case, NextPow2)
+{
+    const auto [in, expected] = GetParam();
+    EXPECT_EQ(nextPow2(in), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, Pow2Case,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{2, 2},
+                      std::pair<std::uint64_t, std::uint64_t>{3, 4},
+                      std::pair<std::uint64_t, std::uint64_t>{5, 8},
+                      std::pair<std::uint64_t, std::uint64_t>{1023, 1024},
+                      std::pair<std::uint64_t, std::uint64_t>{1024, 1024},
+                      std::pair<std::uint64_t, std::uint64_t>{1025,
+                                                              2048}));
+
+TEST(MathUtil, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(MathUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 3), 4);
+    EXPECT_EQ(divCeil(9, 3), 3);
+    EXPECT_EQ(divCeil(1, 8), 1);
+    EXPECT_EQ(divCeil(std::size_t{256}, std::size_t{8}), 32u);
+}
+
+} // namespace
+} // namespace tb

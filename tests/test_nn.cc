@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the nn library: numeric gradient checks, training
+ * convergence, and the Fig 5 augmentation claim as an invariant.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/trainer.hh"
+
+namespace tb {
+namespace nn {
+namespace {
+
+TEST(Matrix, BasicOps)
+{
+    Matrix a(2, 3);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(0, 2) = 3;
+    a.at(1, 0) = 4;
+    a.at(1, 1) = 5;
+    a.at(1, 2) = 6;
+    Matrix b(3, 2);
+    for (std::size_t i = 0; i < 6; ++i)
+        b.data()[i] = static_cast<float>(i + 1);
+    Matrix c;
+    matmul(a, b, c);
+    ASSERT_EQ(c.rows(), 2u);
+    ASSERT_EQ(c.cols(), 2u);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 28.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 49.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 64.0f);
+}
+
+TEST(Matrix, TransposedProductsAgreeWithExplicit)
+{
+    Rng rng(3);
+    Matrix a(4, 3), b(4, 5);
+    a.randomize(rng, 1.0);
+    b.randomize(rng, 1.0);
+    // a^T b via matmulTransA vs manual transpose.
+    Matrix at(3, 4);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            at.at(c, r) = a.at(r, c);
+    Matrix expected, actual;
+    matmul(at, b, expected);
+    matmulTransA(a, b, actual);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        ASSERT_NEAR(actual.data()[i], expected.data()[i], 1e-5);
+}
+
+TEST(Loss, SoftmaxRowsSumToOne)
+{
+    Rng rng(5);
+    Matrix logits(4, 7);
+    logits.randomize(rng, 3.0);
+    const Matrix probs = softmax(logits);
+    for (std::size_t r = 0; r < 4; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 7; ++c) {
+            EXPECT_GE(probs.at(r, c), 0.0f);
+            sum += probs.at(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Loss, CrossEntropyOfPerfectPredictionIsSmall)
+{
+    Matrix logits(1, 3);
+    logits.at(0, 0) = 100.0f;
+    const LossResult res = softmaxCrossEntropy(logits, {0});
+    EXPECT_LT(res.loss, 1e-6);
+}
+
+TEST(Loss, GradientMatchesNumericDifference)
+{
+    // Numeric gradient check of softmax cross-entropy.
+    Rng rng(7);
+    Matrix logits(2, 5);
+    logits.randomize(rng, 1.0);
+    const std::vector<int> labels = {1, 3};
+    const LossResult res = softmaxCrossEntropy(logits, labels);
+
+    const float eps = 1e-3f;
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 5; ++c) {
+            Matrix plus = logits, minus = logits;
+            plus.at(r, c) += eps;
+            minus.at(r, c) -= eps;
+            const double num =
+                (softmaxCrossEntropy(plus, labels).loss -
+                 softmaxCrossEntropy(minus, labels).loss) /
+                (2.0 * eps);
+            ASSERT_NEAR(res.gradient.at(r, c), num, 1e-3);
+        }
+    }
+}
+
+TEST(Loss, TopKAccuracy)
+{
+    Matrix logits(2, 4);
+    // Row 0: class 2 highest, label 2 -> top-1 hit.
+    logits.at(0, 2) = 5.0f;
+    logits.at(0, 1) = 4.0f;
+    // Row 1: label 3 is second-best -> top-1 miss, top-2 hit.
+    logits.at(1, 0) = 9.0f;
+    logits.at(1, 3) = 8.0f;
+    const std::vector<int> labels = {2, 3};
+    EXPECT_DOUBLE_EQ(accuracy(logits, labels), 0.5);
+    EXPECT_DOUBLE_EQ(topKAccuracy(logits, labels, 2), 1.0);
+}
+
+TEST(Dense, GradientCheck)
+{
+    // Check dW numerically through a scalar loss L = sum(y).
+    Rng rng(9);
+    DenseLayer layer(3, 2, rng);
+    Matrix x(4, 3);
+    x.randomize(rng, 1.0);
+
+    layer.zeroGrad();
+    Matrix y = layer.forward(x);
+    Matrix dy(4, 2, 1.0f); // dL/dy = 1
+    layer.backward(dy);
+
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < layer.weights().size(); ++i) {
+        const float orig = layer.weights().data()[i];
+        auto loss_with = [&](float w) {
+            layer.weights().data()[i] = w;
+            Matrix out = layer.forward(x);
+            double sum = 0.0;
+            for (std::size_t k = 0; k < out.size(); ++k)
+                sum += out.data()[k];
+            layer.weights().data()[i] = orig;
+            return sum;
+        };
+        const double num =
+            (loss_with(orig + eps) - loss_with(orig - eps)) / (2.0 * eps);
+        ASSERT_NEAR(layer.weightGrad().data()[i], num, 2e-2);
+    }
+}
+
+TEST(Relu, ForwardAndBackward)
+{
+    ReluLayer relu;
+    Matrix x(1, 4);
+    x.at(0, 0) = -1.0f;
+    x.at(0, 1) = 0.0f;
+    x.at(0, 2) = 2.0f;
+    x.at(0, 3) = -3.0f;
+    const Matrix y = relu.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+
+    Matrix dy(1, 4, 1.0f);
+    const Matrix dx = relu.backward(dy);
+    EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(dx.at(0, 2), 1.0f);
+}
+
+TEST(Optimizer, MomentumAcceleratesDescent)
+{
+    Matrix p(1, 1);
+    p.at(0, 0) = 1.0f;
+    Matrix g(1, 1);
+    g.at(0, 0) = 1.0f;
+    SgdOptimizer opt({0.1, 0.9, 0.0});
+    opt.attach(&p, &g);
+    opt.step();
+    EXPECT_NEAR(p.at(0, 0), 0.9f, 1e-6); // v = -0.1
+    opt.step();
+    EXPECT_NEAR(p.at(0, 0), 0.71f, 1e-6); // v = -0.19
+}
+
+TEST(Mlp, OverfitsTinyProblem)
+{
+    Rng rng(11);
+    Mlp model({4, 16, 2}, rng, {0.1, 0.9, 0.0});
+    Matrix x(4, 4);
+    x.randomize(rng, 1.0);
+    const std::vector<int> labels = {0, 1, 0, 1};
+    double loss = 0.0;
+    for (int i = 0; i < 200; ++i)
+        loss = model.trainStep(x, labels);
+    EXPECT_LT(loss, 0.05);
+    EXPECT_DOUBLE_EQ(accuracy(model.forward(x), labels), 1.0);
+}
+
+TEST(Mlp, ParameterCount)
+{
+    Rng rng(13);
+    Mlp model({256, 96, 8}, rng);
+    EXPECT_EQ(model.numParameters(), 256u * 96u + 96u + 96u * 8u + 8u);
+    EXPECT_EQ(model.inputSize(), 256u);
+    EXPECT_EQ(model.numClasses(), 8u);
+}
+
+TEST(SynthData, ShapesAreDistinct)
+{
+    Rng rng(15);
+    for (int a = 0; a < kNumShapeClasses; ++a)
+        for (int b = a + 1; b < kNumShapeClasses; ++b) {
+            const auto ia = renderShape(a, 0, 0, false, 0.0, rng);
+            const auto ib = renderShape(b, 0, 0, false, 0.0, rng);
+            EXPECT_NE(ia, ib) << shapeName(a) << " vs " << shapeName(b);
+        }
+}
+
+TEST(SynthData, TranslationMovesPixels)
+{
+    Rng rng(17);
+    const auto base = renderShape(1, 0, 0, false, 0.0, rng);
+    const auto moved = renderShape(1, 3, 0, false, 0.0, rng);
+    EXPECT_NE(base, moved);
+    // Same number of lit pixels (shape fully inside canvas).
+    double sum_base = 0.0, sum_moved = 0.0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        sum_base += base[i];
+        sum_moved += moved[i];
+    }
+    EXPECT_DOUBLE_EQ(sum_base, sum_moved);
+}
+
+TEST(SynthData, DatasetShapes)
+{
+    Rng rng(19);
+    const ShapeDataset train = makeTrainSet(10, rng);
+    EXPECT_EQ(train.size(), 80u);
+    EXPECT_EQ(train.inputs.cols(), 256u);
+    const ShapeDataset test = makeTestSet(5, 3, rng);
+    EXPECT_EQ(test.size(), 40u);
+}
+
+TEST(Trainer, AugmentationImprovesGeneralization)
+{
+    // The Fig 5 claim as a regression test.
+    TrainerConfig cfg;
+    cfg.epochs = 15;
+    cfg.augment = false;
+    const double plain =
+        trainShapeClassifier(cfg, 99).finalAccuracy();
+    cfg.augment = true;
+    const double augmented =
+        trainShapeClassifier(cfg, 99).finalAccuracy();
+    EXPECT_GT(augmented, plain + 0.2);
+    EXPECT_GT(augmented, 0.9);
+}
+
+TEST(Trainer, LossDecreases)
+{
+    TrainerConfig cfg;
+    cfg.epochs = 10;
+    const TrainHistory h = trainShapeClassifier(cfg, 7);
+    EXPECT_LT(h.trainLoss.back(), h.trainLoss.front());
+}
+
+TEST(Trainer, DeterministicForSeed)
+{
+    TrainerConfig cfg;
+    cfg.epochs = 3;
+    const TrainHistory a = trainShapeClassifier(cfg, 42);
+    const TrainHistory b = trainShapeClassifier(cfg, 42);
+    EXPECT_EQ(a.testAccuracy, b.testAccuracy);
+}
+
+} // namespace
+} // namespace nn
+} // namespace tb

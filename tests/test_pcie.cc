@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the PCIe tree topology and routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcie/topology.hh"
+
+namespace tb {
+namespace {
+
+using pcie::NodeId;
+using pcie::Topology;
+
+struct PcieTest : public ::testing::Test
+{
+    EventQueue eq;
+    FluidNetwork net{eq};
+    Topology topo{net, "rc", 64e9};
+
+    double
+    weightOn(const std::vector<FlowDemand> &demands,
+             const FluidResource *res)
+    {
+        double w = 0.0;
+        for (const auto &d : demands)
+            if (d.resource == res)
+                w += d.weight;
+        return w;
+    }
+};
+
+TEST_F(PcieTest, RootExists)
+{
+    EXPECT_EQ(topo.root(), 0);
+    EXPECT_EQ(topo.node(0).kind, pcie::NodeKind::RootComplex);
+    EXPECT_EQ(topo.rcResource()->capacity(), 64e9);
+}
+
+TEST_F(PcieTest, TreeConstruction)
+{
+    const NodeId sw = topo.addSwitch("sw0", topo.root(),
+                                     pcie::gen::gen3x16);
+    const NodeId dev = topo.addDevice("dev0", sw, pcie::gen::gen3x16);
+    EXPECT_EQ(topo.node(sw).parent, topo.root());
+    EXPECT_EQ(topo.node(dev).parent, sw);
+    EXPECT_EQ(topo.depth(dev), 2);
+    EXPECT_EQ(topo.depth(sw), 1);
+    EXPECT_EQ(topo.depth(topo.root()), 0);
+    EXPECT_EQ(topo.numNodes(), 3u);
+}
+
+TEST_F(PcieTest, LcaAndRootCrossing)
+{
+    const NodeId sw0 = topo.addSwitch("sw0", topo.root(), 16e9);
+    const NodeId sw1 = topo.addSwitch("sw1", topo.root(), 16e9);
+    const NodeId a = topo.addDevice("a", sw0, 16e9);
+    const NodeId b = topo.addDevice("b", sw0, 16e9);
+    const NodeId c = topo.addDevice("c", sw1, 16e9);
+
+    EXPECT_EQ(topo.lca(a, b), sw0);
+    EXPECT_EQ(topo.lca(a, c), topo.root());
+    EXPECT_EQ(topo.lca(a, a), a);
+    EXPECT_FALSE(topo.routePassesRoot(a, b));
+    EXPECT_TRUE(topo.routePassesRoot(a, c));
+    EXPECT_EQ(topo.routeHops(a, b), 2u);
+    EXPECT_EQ(topo.routeHops(a, c), 4u);
+}
+
+TEST_F(PcieTest, LocalRouteAvoidsRootComplex)
+{
+    const NodeId sw = topo.addSwitch("sw", topo.root(), 16e9);
+    const NodeId a = topo.addDevice("a", sw, 16e9);
+    const NodeId b = topo.addDevice("b", sw, 16e9);
+    const auto demands = topo.routeDemands(a, b, 10.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.rcResource()), 0.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(a).up), 10.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(b).down), 10.0);
+    // Switch links untouched: traffic turns around inside the switch.
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(sw).up), 0.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(sw).down), 0.0);
+}
+
+TEST_F(PcieTest, CrossTreeP2pChargesRootComplexTwice)
+{
+    const NodeId sw0 = topo.addSwitch("sw0", topo.root(), 16e9);
+    const NodeId sw1 = topo.addSwitch("sw1", topo.root(), 16e9);
+    const NodeId a = topo.addDevice("a", sw0, 16e9);
+    const NodeId c = topo.addDevice("c", sw1, 16e9);
+    const auto demands = topo.routeDemands(a, c, 1.0);
+    // Up-and-over: both root ports plus 2x RC (§IV-D).
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.rcResource()), 2.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(a).up), 1.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(sw0).up), 1.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(sw1).down), 1.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(c).down), 1.0);
+}
+
+TEST_F(PcieTest, HostRouteChargesRootComplexOnce)
+{
+    const NodeId sw = topo.addSwitch("sw", topo.root(), 16e9);
+    const NodeId a = topo.addDevice("a", sw, 16e9);
+    const auto to_dev = topo.hostRouteDemands(a, true, 3.0);
+    EXPECT_DOUBLE_EQ(weightOn(to_dev, topo.rcResource()), 3.0);
+    EXPECT_DOUBLE_EQ(weightOn(to_dev, topo.node(a).down), 3.0);
+    EXPECT_DOUBLE_EQ(weightOn(to_dev, topo.node(a).up), 0.0);
+
+    const auto from_dev = topo.hostRouteDemands(a, false, 3.0);
+    EXPECT_DOUBLE_EQ(weightOn(from_dev, topo.rcResource()), 3.0);
+    EXPECT_DOUBLE_EQ(weightOn(from_dev, topo.node(a).up), 3.0);
+    EXPECT_DOUBLE_EQ(weightOn(from_dev, topo.node(a).down), 0.0);
+}
+
+TEST_F(PcieTest, SelfRouteIsEmpty)
+{
+    const NodeId sw = topo.addSwitch("sw", topo.root(), 16e9);
+    const NodeId a = topo.addDevice("a", sw, 16e9);
+    EXPECT_TRUE(topo.routeDemands(a, a).empty());
+}
+
+TEST_F(PcieTest, LinkScalingDoublesEverything)
+{
+    const NodeId sw = topo.addSwitch("sw", topo.root(), 16e9);
+    const NodeId a = topo.addDevice("a", sw, 16e9);
+    const Rate rc_before = topo.rcResource()->capacity();
+    topo.scaleLinkBandwidth(2.0);
+    EXPECT_DOUBLE_EQ(topo.node(a).up->capacity(), 32e9);
+    EXPECT_DOUBLE_EQ(topo.node(a).down->capacity(), 32e9);
+    EXPECT_DOUBLE_EQ(topo.node(sw).up->capacity(), 32e9);
+    EXPECT_DOUBLE_EQ(topo.rcResource()->capacity(), 2.0 * rc_before);
+}
+
+TEST_F(PcieTest, DeepRouteTraversesAllLevels)
+{
+    const NodeId top = topo.addSwitch("top", topo.root(), 16e9);
+    const NodeId mid = topo.addSwitch("mid", top, 16e9);
+    const NodeId dev = topo.addDevice("dev", mid, 16e9);
+    const auto demands = topo.hostRouteDemands(dev, true, 1.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(top).down), 1.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(mid).down), 1.0);
+    EXPECT_DOUBLE_EQ(weightOn(demands, topo.node(dev).down), 1.0);
+    EXPECT_EQ(demands.size(), 4u); // 3 links + RC
+}
+
+TEST(PcieDeath, AttachUnderDevicePanics)
+{
+    EventQueue eq;
+    FluidNetwork net(eq);
+    Topology topo(net, "rc", 1e9);
+    const NodeId dev = topo.addDevice("d", topo.root(), 1e9);
+    EXPECT_DEATH(topo.addDevice("x", dev, 1e9), "device");
+}
+
+TEST(PcieDeath, InvalidParentPanics)
+{
+    EventQueue eq;
+    FluidNetwork net(eq);
+    Topology topo(net, "rc", 1e9);
+    EXPECT_DEATH(topo.addSwitch("s", 99, 1e9), "invalid parent");
+}
+
+} // namespace
+} // namespace tb

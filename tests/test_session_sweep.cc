@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Parameterized sweep over (architecture preset x workload x scale):
+ * every combination must simulate to completion and satisfy the basic
+ * physics — positive throughput, never above the ideal target, step
+ * time no shorter than compute + sync.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+namespace tb {
+namespace {
+
+using SweepParam = std::tuple<ArchPreset, workload::ModelId, std::size_t>;
+
+class SessionSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(SessionSweep, SimulatesWithinPhysicalBounds)
+{
+    const auto [preset, model_id, n] = GetParam();
+
+    ServerConfig cfg;
+    cfg.preset = preset;
+    cfg.model = model_id;
+    cfg.numAccelerators = n;
+    auto server = buildServer(cfg);
+    TrainingSession session(*server);
+    const SessionResult res = session.run(4, 8);
+
+    const workload::ModelInfo &m = workload::model(model_id);
+    const double target = workload::targetThroughput(m, n, cfg.sync);
+
+    EXPECT_GT(res.throughput, 0.0);
+    // Prefetch-buffer drain can inflate short measurement windows by at
+    // most depth/measure; allow that slack but no more.
+    EXPECT_LE(res.throughput, 1.6 * target);
+    EXPECT_GE(res.stepTime * 1.0001, res.computeTime + res.syncTime);
+    EXPECT_GT(res.prepLatency, 0.0);
+    EXPECT_LE(res.cpuCoresUsed(), cfg.host.cpuCores * 1.0001);
+    EXPECT_LE(res.memBwUsed(), cfg.host.memBandwidth * 1.0001);
+    EXPECT_LE(res.rcBwUsed(), cfg.host.rcBandwidth *
+                                  (preset ==
+                                           ArchPreset::BaselineAccP2pGen4
+                                       ? 2.0001
+                                       : 1.0001));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, SessionSweep,
+    ::testing::Combine(
+        ::testing::ValuesIn(allPresets()),
+        ::testing::Values(workload::ModelId::InceptionV4,
+                          workload::ModelId::TfSr),
+        ::testing::Values<std::size_t>(1, 8, 32)),
+    [](const ::testing::TestParamInfo<SweepParam> &info) {
+        std::string name = presetName(std::get<0>(info.param));
+        for (auto &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        name += std::get<1>(info.param) ==
+                        workload::ModelId::InceptionV4
+            ? "_img" : "_aud";
+        name += "_n" + std::to_string(std::get<2>(info.param));
+        return name;
+    });
+
+TEST(SessionSweepExtra, ThroughputMonotoneInScaleForTrainBox)
+{
+    double prev = 0.0;
+    for (std::size_t n : {1u, 4u, 16u, 64u}) {
+        ServerConfig cfg;
+        cfg.preset = ArchPreset::TrainBox;
+        cfg.model = workload::ModelId::Resnet50;
+        cfg.numAccelerators = n;
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        const double thpt = session.run(4, 8).throughput;
+        EXPECT_GT(thpt, prev);
+        prev = thpt;
+    }
+}
+
+TEST(SessionSweepExtra, RepeatedRunsAreDeterministic)
+{
+    auto once = [] {
+        ServerConfig cfg;
+        cfg.preset = ArchPreset::TrainBox;
+        cfg.model = workload::ModelId::TfAa;
+        cfg.numAccelerators = 32;
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        return session.run(4, 8).throughput;
+    };
+    EXPECT_DOUBLE_EQ(once(), once());
+}
+
+} // namespace
+} // namespace tb

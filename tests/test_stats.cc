@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the statistics package.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace tb {
+namespace {
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    s++;
+    EXPECT_DOUBLE_EQ(s.value(), 4.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s.set(7.0);
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Distribution d;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.minimum(), 1.0);
+    EXPECT_DOUBLE_EQ(d.maximum(), 4.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, EmptyDistributionIsZero)
+{
+    stats::Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minimum(), 0.0);
+    EXPECT_DOUBLE_EQ(d.maximum(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Stats, DistributionReset)
+{
+    stats::Distribution d;
+    d.sample(5.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(1.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+}
+
+TEST(Stats, GroupDumpContainsEntries)
+{
+    stats::Scalar s;
+    s.set(42.0);
+    stats::Distribution d;
+    d.sample(3.0);
+
+    stats::StatGroup group("cpu");
+    group.registerScalar("busy", &s, "busy cycles");
+    group.registerDistribution("latency", &d);
+
+    char buf[512] = {0};
+    std::FILE *mem = fmemopen(buf, sizeof(buf), "w");
+    group.dump(mem);
+    std::fclose(mem);
+    const std::string out(buf);
+    EXPECT_NE(out.find("cpu.busy 42"), std::string::npos);
+    EXPECT_NE(out.find("busy cycles"), std::string::npos);
+    EXPECT_NE(out.find("cpu.latency"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAll)
+{
+    stats::Scalar s;
+    s.set(1.0);
+    stats::Distribution d;
+    d.sample(1.0);
+    stats::StatGroup group("g");
+    group.registerScalar("s", &s);
+    group.registerDistribution("d", &d);
+    group.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+} // namespace
+} // namespace tb

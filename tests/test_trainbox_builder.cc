@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for server assembly and the train initializer (§V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trainbox/server_builder.hh"
+
+namespace tb {
+namespace {
+
+ServerConfig
+baseConfig(ArchPreset preset, workload::ModelId model, std::size_t n)
+{
+    ServerConfig cfg;
+    cfg.preset = preset;
+    cfg.model = model;
+    cfg.numAccelerators = n;
+    return cfg;
+}
+
+TEST(Builder, BaselineDeviceCounts)
+{
+    auto server = buildServer(baseConfig(ArchPreset::Baseline,
+                                         workload::ModelId::Resnet50, 256));
+    EXPECT_EQ(server->accs.size(), 256u);
+    EXPECT_TRUE(server->preps.empty());
+    EXPECT_EQ(server->ssds.size(), 64u); // same array as TrainBox
+    EXPECT_EQ(server->groups.size(), 32u);
+    EXPECT_FALSE(server->pool);
+    for (const auto &g : server->groups)
+        EXPECT_EQ(g.numAccelerators, 8u);
+}
+
+TEST(Builder, AccPresetAddsOneEnginePerFourAccelerators)
+{
+    for (ArchPreset p : {ArchPreset::BaselineAccFpga,
+                         ArchPreset::BaselineAccGpu,
+                         ArchPreset::BaselineAccP2p}) {
+        auto server = buildServer(
+            baseConfig(p, workload::ModelId::Resnet50, 64));
+        EXPECT_EQ(server->preps.size(), 16u) << presetName(p);
+    }
+}
+
+TEST(Builder, GpuPresetUsesGpuEngineRate)
+{
+    auto fpga = buildServer(baseConfig(ArchPreset::BaselineAccFpga,
+                                       workload::ModelId::Resnet50, 64));
+    auto gpu = buildServer(baseConfig(ArchPreset::BaselineAccGpu,
+                                      workload::ModelId::Resnet50, 64));
+    EXPECT_DOUBLE_EQ(fpga->preps[0]->engine()->capacity(), 45000.0);
+    EXPECT_DOUBLE_EQ(gpu->preps[0]->engine()->capacity(), 11000.0);
+    EXPECT_EQ(gpu->preps[0]->kind(), PrepEngineKind::Gpu);
+}
+
+TEST(Builder, TrainBoxStructure)
+{
+    auto server = buildServer(baseConfig(ArchPreset::TrainBox,
+                                         workload::ModelId::Resnet50, 256));
+    EXPECT_EQ(server->accs.size(), 256u);
+    EXPECT_EQ(server->preps.size(), 64u); // 2 FPGAs per box
+    EXPECT_EQ(server->ssds.size(), 64u);  // 2 SSDs per box
+    EXPECT_EQ(server->groups.size(), 32u);
+    // Clustered FPGAs carry prep-pool Ethernet ports.
+    for (const auto &p : server->preps)
+        EXPECT_NE(p->ethernetPort(), nullptr);
+}
+
+TEST(Builder, TrainBoxRoutesAreLocal)
+{
+    auto server = buildServer(baseConfig(ArchPreset::TrainBox,
+                                         workload::ModelId::Resnet50, 32));
+    // No local prep stage may touch the root complex.
+    FluidResource *rc = server->topo->rcResource();
+    for (const auto &g : server->groups)
+        for (const auto &st : g.stages)
+            for (const auto &d : st.demandsPerSample)
+                EXPECT_NE(d.resource, rc)
+                    << g.name << "/" << st.name;
+}
+
+TEST(Builder, CentralizedRoutesCrossTheRootComplex)
+{
+    auto server = buildServer(baseConfig(ArchPreset::BaselineAccP2p,
+                                         workload::ModelId::Resnet50, 32));
+    FluidResource *rc = server->topo->rcResource();
+    bool touches_rc = false;
+    for (const auto &g : server->groups)
+        for (const auto &st : g.stages)
+            for (const auto &d : st.demandsPerSample)
+                touches_rc |= d.resource == rc;
+    EXPECT_TRUE(touches_rc);
+}
+
+TEST(Builder, Gen4DoublesFabricBandwidth)
+{
+    auto gen3 = buildServer(baseConfig(ArchPreset::BaselineAccP2p,
+                                       workload::ModelId::Resnet50, 32));
+    auto gen4 = buildServer(baseConfig(ArchPreset::BaselineAccP2pGen4,
+                                       workload::ModelId::Resnet50, 32));
+    EXPECT_DOUBLE_EQ(gen4->topo->rcResource()->capacity(),
+                     2.0 * gen3->topo->rcResource()->capacity());
+}
+
+TEST(Builder, SmallScaleSingleGroup)
+{
+    for (ArchPreset p : {ArchPreset::Baseline, ArchPreset::TrainBox,
+                         ArchPreset::BaselineAccFpga}) {
+        auto server =
+            buildServer(baseConfig(p, workload::ModelId::InceptionV4, 1));
+        EXPECT_EQ(server->groups.size(), 1u) << presetName(p);
+        EXPECT_EQ(server->accs.size(), 1u);
+        EXPECT_GE(server->groups[0].stages.size(), 3u);
+    }
+}
+
+TEST(Builder, StagesHaveDemands)
+{
+    for (ArchPreset p : allPresets()) {
+        auto server =
+            buildServer(baseConfig(p, workload::ModelId::TfSr, 16));
+        for (const auto &g : server->groups) {
+            EXPECT_FALSE(g.stages.empty());
+            for (const auto &st : g.stages) {
+                EXPECT_FALSE(st.demandsPerSample.empty() &&
+                             st.rateCap == 0.0)
+                    << presetName(p) << " stage " << st.name;
+                EXPECT_FALSE(st.category.empty());
+            }
+        }
+    }
+}
+
+TEST(Initializer, InceptionNeedsNoPool)
+{
+    const PrepPlan plan = planPreparation(
+        baseConfig(ArchPreset::TrainBox, workload::ModelId::InceptionV4,
+                   256));
+    EXPECT_DOUBLE_EQ(plan.offloadFraction, 0.0);
+    EXPECT_EQ(plan.poolFpgas, 0u);
+    EXPECT_GT(plan.perBoxLocalCapacity, plan.perBoxDemand);
+}
+
+TEST(Initializer, TfSrNeeds54PercentExtraCapacity)
+{
+    // Fig 21: TF-SR reaches the target with ~54% more FPGA resources.
+    const PrepPlan plan = planPreparation(
+        baseConfig(ArchPreset::TrainBox, workload::ModelId::TfSr, 256));
+    EXPECT_GT(plan.offloadFraction, 0.0);
+    EXPECT_NEAR(plan.poolOvercapacityRatio, 0.54, 0.03);
+    EXPECT_GT(plan.poolFpgas, 0u);
+    EXPECT_TRUE(plan.ethernetFeasible);
+}
+
+TEST(Initializer, PoolSizedForPortLimits)
+{
+    // Image offload is port-limited (35.6k samples/s per 100G port vs
+    // 45k engine rate), so the pool must be sized by the port rate.
+    const PrepPlan plan = planPreparation(
+        baseConfig(ArchPreset::TrainBox, workload::ModelId::RnnS, 256));
+    ASSERT_GT(plan.poolFpgas, 0u);
+    const double port_rate =
+        PrepAccelerator::defaultEthernetBw /
+        (workload::prepDemand(workload::InputType::Image).ssdBytes +
+         workload::prepDemand(workload::InputType::Image).preparedBytes);
+    EXPECT_GE(static_cast<double>(plan.poolFpgas) * port_rate,
+              plan.poolCapacityNeeded * 0.999);
+}
+
+TEST(Initializer, PoolMatchesBuilder)
+{
+    const ServerConfig cfg =
+        baseConfig(ArchPreset::TrainBox, workload::ModelId::TfSr, 256);
+    const PrepPlan plan = planPreparation(cfg);
+    auto server = buildServer(cfg);
+    ASSERT_TRUE(server->pool);
+    EXPECT_EQ(server->pool->size(), plan.poolFpgas);
+    for (const auto &g : server->groups) {
+        EXPECT_DOUBLE_EQ(g.offloadFraction, plan.offloadFraction);
+        EXPECT_FALSE(g.offloadStages.empty());
+    }
+}
+
+TEST(Initializer, NoPoolPresetHasNoOffload)
+{
+    auto server = buildServer(
+        baseConfig(ArchPreset::TrainBoxNoPool, workload::ModelId::TfSr,
+                   256));
+    EXPECT_FALSE(server->pool);
+    for (const auto &g : server->groups)
+        EXPECT_DOUBLE_EQ(g.offloadFraction, 0.0);
+}
+
+TEST(Initializer, ExplicitPoolSizeOverride)
+{
+    ServerConfig cfg =
+        baseConfig(ArchPreset::TrainBox, workload::ModelId::TfSr, 256);
+    cfg.prepPoolFpgas = 100;
+    auto server = buildServer(cfg);
+    ASSERT_TRUE(server->pool);
+    EXPECT_EQ(server->pool->size(), 100u);
+}
+
+TEST(ServerConfig, PresetPredicates)
+{
+    EXPECT_FALSE(presetUsesPrepAccelerators(ArchPreset::Baseline));
+    EXPECT_TRUE(presetUsesPrepAccelerators(ArchPreset::TrainBox));
+    EXPECT_FALSE(presetUsesP2p(ArchPreset::BaselineAccFpga));
+    EXPECT_TRUE(presetUsesP2p(ArchPreset::BaselineAccP2p));
+    EXPECT_TRUE(presetUsesClustering(ArchPreset::TrainBoxNoPool));
+    EXPECT_FALSE(presetUsesClustering(ArchPreset::BaselineAccP2pGen4));
+    EXPECT_EQ(allPresets().size(), 7u);
+}
+
+TEST(ServerConfig, EffectiveBatchSize)
+{
+    ServerConfig cfg;
+    cfg.model = workload::ModelId::Resnet50;
+    EXPECT_EQ(cfg.effectiveBatchSize(), 8192u);
+    cfg.batchSize = 128;
+    EXPECT_EQ(cfg.effectiveBatchSize(), 128u);
+}
+
+TEST(ServerDeath, ZeroAcceleratorsIsFatal)
+{
+    ServerConfig cfg;
+    cfg.numAccelerators = 0;
+    EXPECT_DEATH(buildServer(cfg), "at least one");
+}
+
+} // namespace
+} // namespace tb

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the workload model: Table I values, the calibrated prep cost
+ * model and its paper anchors, dataset statistics, and the derated
+ * batch-throughput model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/cost_model.hh"
+
+namespace tb {
+namespace {
+
+using namespace workload;
+
+TEST(ModelZoo, HasSevenTableIModels)
+{
+    EXPECT_EQ(modelZoo().size(), 7u);
+}
+
+TEST(ModelZoo, TableIValues)
+{
+    const ModelInfo &resnet = model(ModelId::Resnet50);
+    EXPECT_EQ(resnet.batchSize, 8192u);
+    EXPECT_DOUBLE_EQ(resnet.modelBytes, 97.5e6);
+    EXPECT_DOUBLE_EQ(resnet.deviceThroughput, 7431.0);
+    EXPECT_EQ(resnet.input, InputType::Image);
+    EXPECT_EQ(resnet.type, NnType::Cnn);
+
+    const ModelInfo &tfsr = model(ModelId::TfSr);
+    EXPECT_EQ(tfsr.batchSize, 512u);
+    EXPECT_DOUBLE_EQ(tfsr.deviceThroughput, 2001.0);
+    EXPECT_EQ(tfsr.input, InputType::Audio);
+    EXPECT_EQ(tfsr.type, NnType::Transformer);
+}
+
+TEST(ModelZoo, LookupByName)
+{
+    EXPECT_EQ(modelByName("VGG-19").id, ModelId::Vgg19);
+    EXPECT_EQ(modelByName("Transformer-AA").id, ModelId::TfAa);
+}
+
+TEST(ModelZoo, ComputeLatencyMatchesThroughput)
+{
+    for (const auto &m : modelZoo()) {
+        EXPECT_NEAR(computeLatency(m),
+                    static_cast<double>(m.batchSize) / m.deviceThroughput,
+                    1e-12);
+        // Default batch through the derated model is exact by design.
+        EXPECT_NEAR(deviceThroughputAtBatch(m, m.batchSize),
+                    m.deviceThroughput, 1e-6);
+    }
+}
+
+TEST(ModelZoo, SmallBatchesLoseEfficiency)
+{
+    const ModelInfo &m = model(ModelId::Resnet50);
+    const Rate full = deviceThroughputAtBatch(m, m.batchSize);
+    const Rate small = deviceThroughputAtBatch(m, m.batchSize / 64);
+    EXPECT_LT(small, full);
+    EXPECT_GT(small, 0.0);
+    // Monotone in batch size.
+    Rate prev = 0.0;
+    for (std::size_t b = 8; b <= m.batchSize; b *= 4) {
+        const Rate t = deviceThroughputAtBatch(m, b);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(PrepDemand, ImageCpuAnchorIs1572Microseconds)
+{
+    // Calibration anchor (DESIGN.md §4): Inception-v4 saturates the
+    // 48-core host at 18.3 accelerators.
+    const PrepDemand d = prepDemand(InputType::Image);
+    EXPECT_NEAR(d.cpuCoreSec, 1.572e-3, 1e-6);
+    EXPECT_NEAR(48.0 / (d.cpuCoreSec * 1669.0), 18.3, 0.1);
+}
+
+TEST(PrepDemand, AudioCpuAnchorIs5450Microseconds)
+{
+    // TF-SR saturates at 4.4 accelerators.
+    const PrepDemand d = prepDemand(InputType::Audio);
+    EXPECT_NEAR(d.cpuCoreSec, 5.45e-3, 1e-6);
+    EXPECT_NEAR(48.0 / (d.cpuCoreSec * 2001.0), 4.4, 0.05);
+}
+
+TEST(PrepDemand, MaxCoreDemandMatchesPaper)
+{
+    // "up to 4,833 cores = 100.7x DGX-2" at 256 accelerators (§III-C).
+    double max_cores = 0.0;
+    sync::SyncConfig sync_cfg;
+    for (const auto &m : modelZoo()) {
+        const PrepDemand d = prepDemand(m.input);
+        max_cores = std::max(
+            max_cores, targetThroughput(m, 256, sync_cfg) * d.cpuCoreSec);
+    }
+    EXPECT_NEAR(max_cores / 48.0, 100.7, 3.0);
+}
+
+TEST(PrepDemand, StagesSumToTotals)
+{
+    for (InputType input : {InputType::Image, InputType::Audio}) {
+        const PrepDemand d = prepDemand(input);
+        double cpu = 0.0, mem = 0.0;
+        for (const auto &[stage, v] : d.cpuByStage)
+            cpu += v;
+        for (const auto &[stage, v] : d.memByStage)
+            mem += v;
+        EXPECT_NEAR(cpu, d.cpuCoreSec, 1e-12);
+        EXPECT_NEAR(mem, d.memBytes, 1e-6);
+    }
+}
+
+TEST(PrepDemand, FormattingDominatesCpu)
+{
+    // Fig 11: formatting + augmentation dominate the CPU cost.
+    for (InputType input : {InputType::Image, InputType::Audio}) {
+        const PrepDemand d = prepDemand(input);
+        const double fmt_aug = d.cpuByStage.at(PrepStage::Formatting) +
+                               d.cpuByStage.at(PrepStage::Augmentation);
+        EXPECT_GT(fmt_aug / d.cpuCoreSec, 0.75);
+    }
+}
+
+TEST(PrepDemand, ChainRates)
+{
+    EXPECT_DOUBLE_EQ(prepDemand(InputType::Image).fpgaChainRate, 45000.0);
+    EXPECT_DOUBLE_EQ(prepDemand(InputType::Audio).fpgaChainRate, 5200.0);
+    // GPUs lose badly on JPEG decode (Huffman) — §V-B.
+    EXPECT_LT(prepDemand(InputType::Image).gpuChainRate,
+              prepDemand(InputType::Image).fpgaChainRate / 3.0);
+}
+
+TEST(Dataset, ImageSizes)
+{
+    const DatasetInfo &ds = datasetFor(InputType::Image);
+    EXPECT_DOUBLE_EQ(ds.itemDecodedBytes, 256.0 * 256.0 * 3.0);
+    EXPECT_DOUBLE_EQ(ds.itemPreparedBytes, 224.0 * 224.0 * 3.0 * 2.0);
+    EXPECT_EQ(ds.numItems, 14'000'000u);
+}
+
+TEST(Dataset, AudioSizesMatchStftGeometry)
+{
+    const DatasetInfo &ds = datasetFor(InputType::Audio);
+    // 6.96 s at 16 kHz, 16-bit.
+    EXPECT_NEAR(ds.itemStoredBytes, 6.96 * 16000.0 * 2.0, 100.0);
+    // ~694 frames x 80 mels x 4 B.
+    EXPECT_NEAR(ds.itemPreparedBytes, 694.0 * 80.0 * 4.0, 2000.0);
+}
+
+TEST(Dataset, StaticPreparationIsPetabytes)
+{
+    // §III-D: 32x32 crops x 0.15 MB x 14 M items ~ 2.2 PB.
+    const DatasetInfo &ds = datasetFor(InputType::Image);
+    const Bytes pb = staticPreparationBytes(ds, 32 * 32, 150528.0);
+    EXPECT_NEAR(pb / 1e15, 2.2, 0.1);
+}
+
+TEST(CostModel, SyncShrinksEffectiveThroughput)
+{
+    sync::SyncConfig sync_cfg;
+    const ModelInfo &m = model(ModelId::Vgg19); // largest model: 548 MB
+    const Rate solo = effectiveDeviceThroughput(m, 1, sync_cfg);
+    const Rate at256 = effectiveDeviceThroughput(m, 256, sync_cfg);
+    EXPECT_LT(at256, solo);
+    EXPECT_GT(at256, 0.9 * solo); // ring keeps the cost small
+    EXPECT_NEAR(solo, m.deviceThroughput, 1e-6);
+}
+
+TEST(CostModel, TargetThroughputScalesWithN)
+{
+    sync::SyncConfig sync_cfg;
+    const ModelInfo &m = model(ModelId::Resnet50);
+    const Rate t64 = targetThroughput(m, 64, sync_cfg);
+    const Rate t256 = targetThroughput(m, 256, sync_cfg);
+    EXPECT_NEAR(t256 / t64, 4.0, 0.05);
+}
+
+TEST(Workload, StageCategoriesAreStable)
+{
+    EXPECT_STREQ(stageCategory(PrepStage::SsdRead), "ssd_read");
+    EXPECT_STREQ(stageCategory(PrepStage::Formatting), "formatting");
+    EXPECT_STREQ(stageCategory(PrepStage::Augmentation), "augmentation");
+    EXPECT_STREQ(stageCategory(PrepStage::DataLoad), "data_load");
+    EXPECT_STREQ(stageCategory(PrepStage::Others), "others");
+}
+
+} // namespace
+} // namespace tb
