@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02b_sync_scaling.dir/fig02b_sync_scaling.cc.o"
+  "CMakeFiles/fig02b_sync_scaling.dir/fig02b_sync_scaling.cc.o.d"
+  "fig02b_sync_scaling"
+  "fig02b_sync_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02b_sync_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_bottleneck_shift.dir/fig03_bottleneck_shift.cc.o"
+  "CMakeFiles/fig03_bottleneck_shift.dir/fig03_bottleneck_shift.cc.o.d"
+  "fig03_bottleneck_shift"
+  "fig03_bottleneck_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_bottleneck_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_augmentation.dir/fig05_augmentation.cc.o"
+  "CMakeFiles/fig05_augmentation.dir/fig05_augmentation.cc.o.d"
+  "fig05_augmentation"
+  "fig05_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

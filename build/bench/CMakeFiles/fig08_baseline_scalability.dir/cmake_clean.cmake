@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_baseline_scalability.dir/fig08_baseline_scalability.cc.o"
+  "CMakeFiles/fig08_baseline_scalability.dir/fig08_baseline_scalability.cc.o.d"
+  "fig08_baseline_scalability"
+  "fig08_baseline_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_baseline_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

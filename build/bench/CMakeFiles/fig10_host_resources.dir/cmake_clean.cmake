@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_host_resources.dir/fig10_host_resources.cc.o"
+  "CMakeFiles/fig10_host_resources.dir/fig10_host_resources.cc.o.d"
+  "fig10_host_resources"
+  "fig10_host_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_host_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_resource_decomposition.dir/fig11_resource_decomposition.cc.o"
+  "CMakeFiles/fig11_resource_decomposition.dir/fig11_resource_decomposition.cc.o.d"
+  "fig11_resource_decomposition"
+  "fig11_resource_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resource_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

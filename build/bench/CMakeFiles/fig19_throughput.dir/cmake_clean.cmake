@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_throughput.dir/fig19_throughput.cc.o"
+  "CMakeFiles/fig19_throughput.dir/fig19_throughput.cc.o.d"
+  "fig19_throughput"
+  "fig19_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

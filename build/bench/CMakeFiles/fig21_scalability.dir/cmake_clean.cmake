@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_scalability.dir/fig21_scalability.cc.o"
+  "CMakeFiles/fig21_scalability.dir/fig21_scalability.cc.o.d"
+  "fig21_scalability"
+  "fig21_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_host_utilization.dir/fig22_host_utilization.cc.o"
+  "CMakeFiles/fig22_host_utilization.dir/fig22_host_utilization.cc.o.d"
+  "fig22_host_utilization"
+  "fig22_host_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_host_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

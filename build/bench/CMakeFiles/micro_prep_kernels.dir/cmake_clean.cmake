@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_prep_kernels.dir/micro_prep_kernels.cc.o"
+  "CMakeFiles/micro_prep_kernels.dir/micro_prep_kernels.cc.o.d"
+  "micro_prep_kernels"
+  "micro_prep_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_prep_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_core.dir/micro_sim_core.cc.o"
+  "CMakeFiles/micro_sim_core.dir/micro_sim_core.cc.o.d"
+  "micro_sim_core"
+  "micro_sim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

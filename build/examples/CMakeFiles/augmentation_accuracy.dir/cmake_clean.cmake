@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmentation_accuracy.dir/augmentation_accuracy.cpp.o"
+  "CMakeFiles/augmentation_accuracy.dir/augmentation_accuracy.cpp.o.d"
+  "augmentation_accuracy"
+  "augmentation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmentation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_job_rack.dir/multi_job_rack.cpp.o"
+  "CMakeFiles/multi_job_rack.dir/multi_job_rack.cpp.o.d"
+  "multi_job_rack"
+  "multi_job_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prep_pipeline_demo.dir/prep_pipeline_demo.cpp.o"
+  "CMakeFiles/prep_pipeline_demo.dir/prep_pipeline_demo.cpp.o.d"
+  "prep_pipeline_demo"
+  "prep_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prep_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_common.dir/common/logging.cc.o"
+  "CMakeFiles/tb_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/tb_common.dir/common/random.cc.o"
+  "CMakeFiles/tb_common.dir/common/random.cc.o.d"
+  "CMakeFiles/tb_common.dir/common/table.cc.o"
+  "CMakeFiles/tb_common.dir/common/table.cc.o.d"
+  "libtb_common.a"
+  "libtb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

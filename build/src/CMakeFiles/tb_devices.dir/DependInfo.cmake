@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/ethernet.cc" "src/CMakeFiles/tb_devices.dir/devices/ethernet.cc.o" "gcc" "src/CMakeFiles/tb_devices.dir/devices/ethernet.cc.o.d"
+  "/root/repo/src/devices/nn_accelerator.cc" "src/CMakeFiles/tb_devices.dir/devices/nn_accelerator.cc.o" "gcc" "src/CMakeFiles/tb_devices.dir/devices/nn_accelerator.cc.o.d"
+  "/root/repo/src/devices/nvme_queue.cc" "src/CMakeFiles/tb_devices.dir/devices/nvme_queue.cc.o" "gcc" "src/CMakeFiles/tb_devices.dir/devices/nvme_queue.cc.o.d"
+  "/root/repo/src/devices/prep_accelerator.cc" "src/CMakeFiles/tb_devices.dir/devices/prep_accelerator.cc.o" "gcc" "src/CMakeFiles/tb_devices.dir/devices/prep_accelerator.cc.o.d"
+  "/root/repo/src/devices/ssd.cc" "src/CMakeFiles/tb_devices.dir/devices/ssd.cc.o" "gcc" "src/CMakeFiles/tb_devices.dir/devices/ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

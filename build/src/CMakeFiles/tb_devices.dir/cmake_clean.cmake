@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_devices.dir/devices/ethernet.cc.o"
+  "CMakeFiles/tb_devices.dir/devices/ethernet.cc.o.d"
+  "CMakeFiles/tb_devices.dir/devices/nn_accelerator.cc.o"
+  "CMakeFiles/tb_devices.dir/devices/nn_accelerator.cc.o.d"
+  "CMakeFiles/tb_devices.dir/devices/nvme_queue.cc.o"
+  "CMakeFiles/tb_devices.dir/devices/nvme_queue.cc.o.d"
+  "CMakeFiles/tb_devices.dir/devices/prep_accelerator.cc.o"
+  "CMakeFiles/tb_devices.dir/devices/prep_accelerator.cc.o.d"
+  "CMakeFiles/tb_devices.dir/devices/ssd.cc.o"
+  "CMakeFiles/tb_devices.dir/devices/ssd.cc.o.d"
+  "libtb_devices.a"
+  "libtb_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_fluid.dir/fluid/fluid.cc.o"
+  "CMakeFiles/tb_fluid.dir/fluid/fluid.cc.o.d"
+  "libtb_fluid.a"
+  "libtb_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

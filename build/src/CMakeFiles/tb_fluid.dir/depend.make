@@ -1,0 +1,2 @@
+# Empty dependencies file for tb_fluid.
+# This may be replaced when dependencies are built.

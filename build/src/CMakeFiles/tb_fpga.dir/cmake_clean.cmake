@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_fpga.dir/fpga/engine_library.cc.o"
+  "CMakeFiles/tb_fpga.dir/fpga/engine_library.cc.o.d"
+  "CMakeFiles/tb_fpga.dir/fpga/resource_model.cc.o"
+  "CMakeFiles/tb_fpga.dir/fpga/resource_model.cc.o.d"
+  "libtb_fpga.a"
+  "libtb_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtb_fpga.a"
+)

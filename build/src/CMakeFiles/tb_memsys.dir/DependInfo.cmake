@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/cpu_pool.cc" "src/CMakeFiles/tb_memsys.dir/memsys/cpu_pool.cc.o" "gcc" "src/CMakeFiles/tb_memsys.dir/memsys/cpu_pool.cc.o.d"
+  "/root/repo/src/memsys/host_memory.cc" "src/CMakeFiles/tb_memsys.dir/memsys/host_memory.cc.o" "gcc" "src/CMakeFiles/tb_memsys.dir/memsys/host_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_memsys.dir/memsys/cpu_pool.cc.o"
+  "CMakeFiles/tb_memsys.dir/memsys/cpu_pool.cc.o.d"
+  "CMakeFiles/tb_memsys.dir/memsys/host_memory.cc.o"
+  "CMakeFiles/tb_memsys.dir/memsys/host_memory.cc.o.d"
+  "libtb_memsys.a"
+  "libtb_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/tb_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/tb_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/tb_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/tb_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/tb_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/tb_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/tb_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/tb_nn.dir/nn/synth_data.cc.o"
+  "CMakeFiles/tb_nn.dir/nn/synth_data.cc.o.d"
+  "CMakeFiles/tb_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/tb_nn.dir/nn/tensor.cc.o.d"
+  "CMakeFiles/tb_nn.dir/nn/trainer.cc.o"
+  "CMakeFiles/tb_nn.dir/nn/trainer.cc.o.d"
+  "libtb_nn.a"
+  "libtb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/address_map.cc" "src/CMakeFiles/tb_pcie.dir/pcie/address_map.cc.o" "gcc" "src/CMakeFiles/tb_pcie.dir/pcie/address_map.cc.o.d"
+  "/root/repo/src/pcie/topology.cc" "src/CMakeFiles/tb_pcie.dir/pcie/topology.cc.o" "gcc" "src/CMakeFiles/tb_pcie.dir/pcie/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

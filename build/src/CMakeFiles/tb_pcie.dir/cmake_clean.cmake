@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_pcie.dir/pcie/address_map.cc.o"
+  "CMakeFiles/tb_pcie.dir/pcie/address_map.cc.o.d"
+  "CMakeFiles/tb_pcie.dir/pcie/topology.cc.o"
+  "CMakeFiles/tb_pcie.dir/pcie/topology.cc.o.d"
+  "libtb_pcie.a"
+  "libtb_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prep/audio/audio_ops.cc" "src/CMakeFiles/tb_prep.dir/prep/audio/audio_ops.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/audio/audio_ops.cc.o.d"
+  "/root/repo/src/prep/audio/fft.cc" "src/CMakeFiles/tb_prep.dir/prep/audio/fft.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/audio/fft.cc.o.d"
+  "/root/repo/src/prep/audio/mel.cc" "src/CMakeFiles/tb_prep.dir/prep/audio/mel.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/audio/mel.cc.o.d"
+  "/root/repo/src/prep/audio/stft.cc" "src/CMakeFiles/tb_prep.dir/prep/audio/stft.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/audio/stft.cc.o.d"
+  "/root/repo/src/prep/audio/wave_gen.cc" "src/CMakeFiles/tb_prep.dir/prep/audio/wave_gen.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/audio/wave_gen.cc.o.d"
+  "/root/repo/src/prep/image/image.cc" "src/CMakeFiles/tb_prep.dir/prep/image/image.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/image/image.cc.o.d"
+  "/root/repo/src/prep/image/image_ops.cc" "src/CMakeFiles/tb_prep.dir/prep/image/image_ops.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/image/image_ops.cc.o.d"
+  "/root/repo/src/prep/jpeg/bit_io.cc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/bit_io.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/bit_io.cc.o.d"
+  "/root/repo/src/prep/jpeg/dct.cc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/dct.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/dct.cc.o.d"
+  "/root/repo/src/prep/jpeg/huffman.cc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/huffman.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/huffman.cc.o.d"
+  "/root/repo/src/prep/jpeg/jpeg_common.cc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_common.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_common.cc.o.d"
+  "/root/repo/src/prep/jpeg/jpeg_decoder.cc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_decoder.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_decoder.cc.o.d"
+  "/root/repo/src/prep/jpeg/jpeg_encoder.cc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_encoder.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_encoder.cc.o.d"
+  "/root/repo/src/prep/pipeline.cc" "src/CMakeFiles/tb_prep.dir/prep/pipeline.cc.o" "gcc" "src/CMakeFiles/tb_prep.dir/prep/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_prep.dir/prep/audio/audio_ops.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/audio/audio_ops.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/audio/fft.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/audio/fft.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/audio/mel.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/audio/mel.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/audio/stft.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/audio/stft.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/audio/wave_gen.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/audio/wave_gen.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/image/image.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/image/image.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/image/image_ops.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/image/image_ops.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/bit_io.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/bit_io.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/dct.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/dct.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/huffman.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/huffman.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_common.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_common.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_decoder.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_decoder.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_encoder.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/jpeg/jpeg_encoder.cc.o.d"
+  "CMakeFiles/tb_prep.dir/prep/pipeline.cc.o"
+  "CMakeFiles/tb_prep.dir/prep/pipeline.cc.o.d"
+  "libtb_prep.a"
+  "libtb_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/tb_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/tb_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/tb_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/tb_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/tb_sim.dir/sim/trace.cc.o.d"
+  "libtb_sim.a"
+  "libtb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

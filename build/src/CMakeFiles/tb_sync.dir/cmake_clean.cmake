@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_sync.dir/sync/ring_allreduce.cc.o"
+  "CMakeFiles/tb_sync.dir/sync/ring_allreduce.cc.o.d"
+  "CMakeFiles/tb_sync.dir/sync/sync_model.cc.o"
+  "CMakeFiles/tb_sync.dir/sync/sync_model.cc.o.d"
+  "libtb_sync.a"
+  "libtb_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

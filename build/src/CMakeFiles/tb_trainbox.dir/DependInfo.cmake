@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trainbox/multi_job.cc" "src/CMakeFiles/tb_trainbox.dir/trainbox/multi_job.cc.o" "gcc" "src/CMakeFiles/tb_trainbox.dir/trainbox/multi_job.cc.o.d"
+  "/root/repo/src/trainbox/resource_profile.cc" "src/CMakeFiles/tb_trainbox.dir/trainbox/resource_profile.cc.o" "gcc" "src/CMakeFiles/tb_trainbox.dir/trainbox/resource_profile.cc.o.d"
+  "/root/repo/src/trainbox/server_builder.cc" "src/CMakeFiles/tb_trainbox.dir/trainbox/server_builder.cc.o" "gcc" "src/CMakeFiles/tb_trainbox.dir/trainbox/server_builder.cc.o.d"
+  "/root/repo/src/trainbox/server_config.cc" "src/CMakeFiles/tb_trainbox.dir/trainbox/server_config.cc.o" "gcc" "src/CMakeFiles/tb_trainbox.dir/trainbox/server_config.cc.o.d"
+  "/root/repo/src/trainbox/train_initializer.cc" "src/CMakeFiles/tb_trainbox.dir/trainbox/train_initializer.cc.o" "gcc" "src/CMakeFiles/tb_trainbox.dir/trainbox/train_initializer.cc.o.d"
+  "/root/repo/src/trainbox/training_session.cc" "src/CMakeFiles/tb_trainbox.dir/trainbox/training_session.cc.o" "gcc" "src/CMakeFiles/tb_trainbox.dir/trainbox/training_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_trainbox.dir/trainbox/multi_job.cc.o"
+  "CMakeFiles/tb_trainbox.dir/trainbox/multi_job.cc.o.d"
+  "CMakeFiles/tb_trainbox.dir/trainbox/resource_profile.cc.o"
+  "CMakeFiles/tb_trainbox.dir/trainbox/resource_profile.cc.o.d"
+  "CMakeFiles/tb_trainbox.dir/trainbox/server_builder.cc.o"
+  "CMakeFiles/tb_trainbox.dir/trainbox/server_builder.cc.o.d"
+  "CMakeFiles/tb_trainbox.dir/trainbox/server_config.cc.o"
+  "CMakeFiles/tb_trainbox.dir/trainbox/server_config.cc.o.d"
+  "CMakeFiles/tb_trainbox.dir/trainbox/train_initializer.cc.o"
+  "CMakeFiles/tb_trainbox.dir/trainbox/train_initializer.cc.o.d"
+  "CMakeFiles/tb_trainbox.dir/trainbox/training_session.cc.o"
+  "CMakeFiles/tb_trainbox.dir/trainbox/training_session.cc.o.d"
+  "libtb_trainbox.a"
+  "libtb_trainbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_trainbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

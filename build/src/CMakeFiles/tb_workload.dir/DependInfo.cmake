@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cost_model.cc" "src/CMakeFiles/tb_workload.dir/workload/cost_model.cc.o" "gcc" "src/CMakeFiles/tb_workload.dir/workload/cost_model.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/tb_workload.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/tb_workload.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/model_zoo.cc" "src/CMakeFiles/tb_workload.dir/workload/model_zoo.cc.o" "gcc" "src/CMakeFiles/tb_workload.dir/workload/model_zoo.cc.o.d"
+  "/root/repo/src/workload/prep_ops.cc" "src/CMakeFiles/tb_workload.dir/workload/prep_ops.cc.o" "gcc" "src/CMakeFiles/tb_workload.dir/workload/prep_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_workload.dir/workload/cost_model.cc.o"
+  "CMakeFiles/tb_workload.dir/workload/cost_model.cc.o.d"
+  "CMakeFiles/tb_workload.dir/workload/dataset.cc.o"
+  "CMakeFiles/tb_workload.dir/workload/dataset.cc.o.d"
+  "CMakeFiles/tb_workload.dir/workload/model_zoo.cc.o"
+  "CMakeFiles/tb_workload.dir/workload/model_zoo.cc.o.d"
+  "CMakeFiles/tb_workload.dir/workload/prep_ops.cc.o"
+  "CMakeFiles/tb_workload.dir/workload/prep_ops.cc.o.d"
+  "libtb_workload.a"
+  "libtb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

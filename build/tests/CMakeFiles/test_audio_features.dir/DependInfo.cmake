@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_audio_features.cc" "tests/CMakeFiles/test_audio_features.dir/test_audio_features.cc.o" "gcc" "tests/CMakeFiles/test_audio_features.dir/test_audio_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_trainbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_io.dir/test_bit_io.cc.o"
+  "CMakeFiles/test_bit_io.dir/test_bit_io.cc.o.d"
+  "test_bit_io"
+  "test_bit_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

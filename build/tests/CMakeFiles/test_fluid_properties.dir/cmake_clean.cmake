@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid_properties.dir/test_fluid_properties.cc.o"
+  "CMakeFiles/test_fluid_properties.dir/test_fluid_properties.cc.o.d"
+  "test_fluid_properties"
+  "test_fluid_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

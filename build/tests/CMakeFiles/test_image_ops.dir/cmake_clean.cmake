@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image_ops.dir/test_image_ops.cc.o"
+  "CMakeFiles/test_image_ops.dir/test_image_ops.cc.o.d"
+  "test_image_ops"
+  "test_image_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jpeg.dir/test_jpeg.cc.o"
+  "CMakeFiles/test_jpeg.dir/test_jpeg.cc.o.d"
+  "test_jpeg"
+  "test_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsys_devices.dir/test_memsys_devices.cc.o"
+  "CMakeFiles/test_memsys_devices.dir/test_memsys_devices.cc.o.d"
+  "test_memsys_devices"
+  "test_memsys_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsys_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_job.dir/test_multi_job.cc.o"
+  "CMakeFiles/test_multi_job.dir/test_multi_job.cc.o.d"
+  "test_multi_job"
+  "test_multi_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

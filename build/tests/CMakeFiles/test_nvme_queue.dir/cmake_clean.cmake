@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme_queue.dir/test_nvme_queue.cc.o"
+  "CMakeFiles/test_nvme_queue.dir/test_nvme_queue.cc.o.d"
+  "test_nvme_queue"
+  "test_nvme_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

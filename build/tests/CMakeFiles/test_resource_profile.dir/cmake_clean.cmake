@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_profile.dir/test_resource_profile.cc.o"
+  "CMakeFiles/test_resource_profile.dir/test_resource_profile.cc.o.d"
+  "test_resource_profile"
+  "test_resource_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

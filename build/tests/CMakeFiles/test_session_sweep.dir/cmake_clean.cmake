@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_sweep.dir/test_session_sweep.cc.o"
+  "CMakeFiles/test_session_sweep.dir/test_session_sweep.cc.o.d"
+  "test_session_sweep"
+  "test_session_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

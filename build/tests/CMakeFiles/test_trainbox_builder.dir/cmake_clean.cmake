@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainbox_builder.dir/test_trainbox_builder.cc.o"
+  "CMakeFiles/test_trainbox_builder.dir/test_trainbox_builder.cc.o.d"
+  "test_trainbox_builder"
+  "test_trainbox_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainbox_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_training_session.dir/test_training_session.cc.o"
+  "CMakeFiles/test_training_session.dir/test_training_session.cc.o.d"
+  "test_training_session"
+  "test_training_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_training_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
