@@ -5,14 +5,22 @@
  * FPGA capacity, the prep-pool allocation, Ethernet feasibility, and the
  * host resources a baseline server would have needed instead.
  *
- *   ./capacity_planner [model-name] [num-accelerators]
+ * With `--calibrate`, the baseline host demand is additionally
+ * recomputed from a live prep-throughput measurement on this machine
+ * (parallel executor, src/prep/executor/) instead of the Table I
+ * constants.
+ *
+ *   ./capacity_planner [model-name] [num-accelerators] [--calibrate]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/table.hh"
 #include "fpga/engine_library.hh"
+#include "prep/executor/calibration.hh"
 #include "trainbox/resource_profile.hh"
 #include "trainbox/train_initializer.hh"
 
@@ -21,9 +29,18 @@ main(int argc, char **argv)
 {
     using namespace tb;
 
-    const std::string model_name = argc > 1 ? argv[1] : "Transformer-SR";
-    const std::size_t n =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+    std::string model_name = "Transformer-SR";
+    std::size_t n = 256;
+    bool calibrate = false;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--calibrate") == 0)
+            calibrate = true;
+        else if (positional++ == 0)
+            model_name = argv[i];
+        else
+            n = static_cast<std::size_t>(std::atoll(argv[i]));
+    }
 
     const workload::ModelInfo &m = workload::modelByName(model_name);
     ServerConfig cfg;
@@ -80,5 +97,27 @@ main(int argc, char **argv)
                 host.cpuCores, host.cpuCores / ref.cpuCores,
                 host.memBw / 1e9, host.memBw / ref.memBw,
                 host.rcBw / 1e9, host.rcBw / ref.rcBw);
+
+    if (calibrate) {
+        // Replace the Table I prep-cost constants with a live
+        // measurement of this machine's functional chains.
+        prep::ThroughputMeasureConfig mcfg;
+        mcfg.numWorkers = 0; // hardware concurrency
+        const prep::PrepThroughputMeasurement meas =
+            prep::measurePrepThroughput(mcfg);
+        PrepCostCalibration calib;
+        calib.imageCoreSecPerSample = meas.imageCoreSecPerSample;
+        calib.audioCoreSecPerSample = meas.audioCoreSecPerSample;
+        const HostDemandBreakdown live = requiredHostDemand(
+            m, ArchPreset::Baseline, n, cfg.sync, calib);
+        std::printf("\nCalibrated from live measurement (%zu workers: "
+                    "image %.2f core-ms/sample, audio %.2f): "
+                    "%.0f CPU cores (%.1fx DGX-2) — unoptimized scalar "
+                    "kernels vs the paper's DALI-class constants\n",
+                    meas.numWorkers,
+                    meas.imageCoreSecPerSample * 1e3,
+                    meas.audioCoreSecPerSample * 1e3, live.cpuCores,
+                    live.cpuCores / ref.cpuCores);
+    }
     return 0;
 }

@@ -7,16 +7,25 @@
  * sizes, i.e. the quantities the performance model's prep_ops table is
  * calibrated from.
  *
- *   ./prep_pipeline_demo [items-per-type]
+ * With `--threads N` the same batches additionally run through the
+ * parallel prep executor (src/prep/executor/) and the aggregate
+ * samples/s plus executor counters are reported — the measured
+ * host-CPU prep ceiling the paper's Fig 3 is about.
+ *
+ *   ./prep_pipeline_demo [items-per-type] [--threads N]
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "common/table.hh"
 #include "prep/audio/wave_gen.hh"
+#include "prep/executor/prep_executor.hh"
 #include "prep/pipeline.hh"
+#include "sim/stats.hh"
 
 namespace {
 
@@ -28,13 +37,67 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Run both chains through the executor and dump throughput + stats. */
+void
+runExecutorDemo(int items, std::size_t threads)
+{
+    using namespace tb;
+
+    Rng gen(2026);
+    std::vector<std::vector<std::uint8_t>> jpegs;
+    for (int i = 0; i < items; ++i)
+        jpegs.push_back(prep::makeSyntheticJpeg(256, 256, gen));
+    audio::WaveGenConfig wcfg;
+    std::vector<std::vector<double>> waves;
+    for (int i = 0; i < items; ++i)
+        waves.push_back(audio::generateUtterance(wcfg, gen));
+
+    prep::ExecutorConfig cfg;
+    cfg.numWorkers = threads;
+    cfg.baseSeed = 2026;
+    prep::PrepExecutor executor(cfg);
+
+    std::printf("\nParallel executor: %zu worker(s), queue bound %zu\n",
+                executor.numWorkers(), cfg.queueCapacity);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto image_futures = executor.submitImageBatch(std::move(jpegs));
+    for (auto &f : image_futures)
+        f.wait();
+    const double image_wall = secondsSince(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    auto audio_futures = executor.submitAudioBatch(std::move(waves));
+    for (auto &f : audio_futures)
+        f.wait();
+    const double audio_wall = secondsSince(t1);
+
+    std::printf("image batch: %d items in %.1f ms -> %.1f samples/s\n",
+                items, image_wall * 1e3, items / image_wall);
+    std::printf("audio batch: %d items in %.1f ms -> %.1f samples/s\n",
+                items, audio_wall * 1e3, items / audio_wall);
+
+    stats::StatGroup group("prep_executor");
+    executor.registerStats(group);
+    executor.shutdown();
+    std::printf("\n");
+    group.dump();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace tb;
-    const int items = argc > 1 ? std::atoi(argv[1]) : 8;
+    int items = 8;
+    std::size_t threads = 0; // 0 = serial-only demo
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+        else
+            items = std::atoi(argv[i]);
+    }
 
     Rng rng(2026);
 
@@ -102,5 +165,8 @@ main(int argc, char **argv)
                     "calibration: 5.45 ms/core)\n",
                     total_ms / items);
     }
+
+    if (threads > 0)
+        runExecutorDemo(items, threads);
     return 0;
 }

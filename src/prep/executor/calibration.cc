@@ -1,0 +1,80 @@
+#include "prep/executor/calibration.hh"
+
+#include <chrono>
+#include <vector>
+
+#include "prep/audio/wave_gen.hh"
+#include "prep/executor/prep_executor.hh"
+
+namespace tb {
+namespace prep {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+PrepThroughputMeasurement
+measurePrepThroughput(const ThroughputMeasureConfig &cfg)
+{
+    PrepThroughputMeasurement out;
+
+    ExecutorConfig ecfg;
+    ecfg.numWorkers = cfg.numWorkers;
+    ecfg.baseSeed = cfg.seed;
+    // Item generation is kept outside the timed region: it stands in
+    // for the SSD read, not for preparation work.
+    Rng gen(cfg.seed);
+
+    PrepExecutor executor(ecfg);
+    out.numWorkers = executor.numWorkers();
+
+    if (cfg.imageItems > 0) {
+        std::vector<std::vector<std::uint8_t>> jpegs;
+        jpegs.reserve(cfg.imageItems);
+        for (std::size_t i = 0; i < cfg.imageItems; ++i)
+            jpegs.push_back(makeSyntheticJpeg(cfg.imageWidth,
+                                              cfg.imageHeight, gen));
+
+        const auto t0 = std::chrono::steady_clock::now();
+        auto futures = executor.submitImageBatch(std::move(jpegs));
+        for (auto &f : futures)
+            f.wait();
+        const double wall = secondsSince(t0);
+        if (wall > 0.0) {
+            out.imageSamplesPerSec = cfg.imageItems / wall;
+            out.imageCoreSecPerSample =
+                out.numWorkers * wall / cfg.imageItems;
+        }
+    }
+
+    if (cfg.audioItems > 0) {
+        audio::WaveGenConfig wcfg;
+        std::vector<std::vector<double>> waves;
+        waves.reserve(cfg.audioItems);
+        for (std::size_t i = 0; i < cfg.audioItems; ++i)
+            waves.push_back(audio::generateUtterance(wcfg, gen));
+
+        const auto t0 = std::chrono::steady_clock::now();
+        auto futures = executor.submitAudioBatch(std::move(waves));
+        for (auto &f : futures)
+            f.wait();
+        const double wall = secondsSince(t0);
+        if (wall > 0.0) {
+            out.audioSamplesPerSec = cfg.audioItems / wall;
+            out.audioCoreSecPerSample =
+                out.numWorkers * wall / cfg.audioItems;
+        }
+    }
+    return out;
+}
+
+} // namespace prep
+} // namespace tb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Live prep-throughput measurement (the measured analogue of the
+ * paper's Fig 3 host-CPU prep ceiling).
+ *
+ * Runs the functional image/audio chains through a PrepExecutor at a
+ * chosen worker count and reports samples/s plus the per-sample
+ * core-seconds that implies. The result plugs straight into the
+ * host-demand model: trainbox/resource_profile.hh accepts a
+ * PrepCostCalibration whose fields match this struct's
+ * *CoreSecPerSample members, replacing the Table I-derived constants
+ * (c_img = 1.572 ms, c_audio = 5.45 ms; DESIGN.md §4) with numbers
+ * measured on the machine the simulation runs on.
+ */
+
+#ifndef TRAINBOX_PREP_EXECUTOR_CALIBRATION_HH
+#define TRAINBOX_PREP_EXECUTOR_CALIBRATION_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tb {
+namespace prep {
+
+/** What to measure and how hard. */
+struct ThroughputMeasureConfig
+{
+    /** Worker threads (0 = hardware concurrency). */
+    std::size_t numWorkers = 1;
+
+    /** Items per chain; 0 skips that chain entirely. */
+    std::size_t imageItems = 16;
+    std::size_t audioItems = 4;
+
+    /** Stored-item geometry (paper flow: 256x256 JPEG -> 224 crop). */
+    int imageWidth = 256;
+    int imageHeight = 256;
+
+    std::uint64_t seed = 2026;
+};
+
+/** Measured prep throughput at one worker count. */
+struct PrepThroughputMeasurement
+{
+    std::size_t numWorkers = 0;
+
+    /** Batch throughput (samples/s); 0 if the chain was skipped. */
+    double imageSamplesPerSec = 0.0;
+    double audioSamplesPerSec = 0.0;
+
+    /**
+     * Per-sample cost in core-seconds at this worker count
+     * (workers * wall / items) — comparable with the cost model's
+     * per-sample CPU constants.
+     */
+    double imageCoreSecPerSample = 0.0;
+    double audioCoreSecPerSample = 0.0;
+};
+
+/**
+ * Generate synthetic stored items, push them through a fresh executor,
+ * and time each chain as a batch. Deterministic for a fixed config.
+ */
+PrepThroughputMeasurement
+measurePrepThroughput(const ThroughputMeasureConfig &cfg = {});
+
+} // namespace prep
+} // namespace tb
+
+#endif // TRAINBOX_PREP_EXECUTOR_CALIBRATION_HH

@@ -1,0 +1,290 @@
+#include "prep/executor/prep_executor.hh"
+
+#include <chrono>
+
+namespace tb {
+namespace prep {
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** splitmix64 finalizer: decorrelates consecutive item indices. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+PrepExecutor::PrepExecutor(ExecutorConfig cfg)
+    : cfg_(cfg), queue_(cfg.queueCapacity)
+{
+    std::size_t n = cfg_.numWorkers;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    cfg_.numWorkers = n;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+PrepExecutor::~PrepExecutor()
+{
+    shutdown();
+}
+
+std::uint64_t
+PrepExecutor::itemSeed(std::uint64_t index) const
+{
+    // Two rounds of mixing so (base, index) pairs map to unrelated
+    // xoshiro initial states even for adjacent indices.
+    return mix64(cfg_.baseSeed ^ mix64(index + 0x9e3779b97f4a7c15ull));
+}
+
+bool
+PrepExecutor::enqueue(Task &task)
+{
+    {
+        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        if (shutdown_)
+            return false;
+    }
+    // push() blocks for room (backpressure) and fails only if the
+    // queue was closed by a concurrent shutdown(). On failure the task
+    // stays valid so the caller can fail or run it inline.
+    return queue_.push(task);
+}
+
+void
+PrepExecutor::workerLoop(std::size_t)
+{
+    Task task;
+    while (queue_.pop(task)) {
+        const double waited = nowSeconds() - task.submitSeconds;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            queueWaitSeconds_ += waited;
+        }
+        task.run();
+    }
+}
+
+std::vector<std::future<PreparedImage>>
+PrepExecutor::submitImageBatch(std::vector<std::vector<std::uint8_t>> jpegs)
+{
+    std::vector<std::future<PreparedImage>> futures;
+    futures.reserve(jpegs.size());
+    for (auto &jpeg_bytes : jpegs) {
+        std::promise<PreparedImage> promise;
+        futures.push_back(promise.get_future());
+
+        const std::uint64_t seed = itemSeed(nextItemIndex_++);
+        Task task;
+        task.submitSeconds = nowSeconds();
+        task.run = std::packaged_task<void()>(
+            [this, seed, bytes = std::move(jpeg_bytes),
+             promise = std::move(promise)]() mutable {
+                Rng rng(seed);
+                ImagePrepPipeline pipe(cfg_.image);
+                const double t0 = nowSeconds();
+                PreparedImage out = pipe.prepare(bytes, rng);
+                const double dt = nowSeconds() - t0;
+                {
+                    std::lock_guard<std::mutex> lock(statsMutex_);
+                    if (out.ok) {
+                        ++itemsPrepared_;
+                        ++imageItems_;
+                        bytesIn_ += static_cast<double>(bytes.size());
+                        // Tensor values are bf16-rounded; count 2 B each
+                        // (the prepared-item size the datapath carries).
+                        bytesOut_ +=
+                            static_cast<double>(out.tensor.size() * 2);
+                    } else {
+                        ++itemsFailed_;
+                    }
+                    imagePrepSeconds_ += dt;
+                    imagePrepMs_.sample(dt * 1e3);
+                }
+                promise.set_value(std::move(out));
+            });
+        if (!enqueue(task)) {
+            // Executor already shut down: fail the item immediately.
+            PreparedImage failed;
+            failed.error = "executor shut down";
+            std::promise<PreparedImage> p;
+            futures.back() = p.get_future();
+            p.set_value(std::move(failed));
+        }
+    }
+    return futures;
+}
+
+void
+PrepExecutor::submitImageBatch(
+    std::vector<std::vector<std::uint8_t>> jpegs,
+    std::function<void(std::size_t, PreparedImage &&)> done)
+{
+    auto futures = submitImageBatch(std::move(jpegs));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        std::promise<PreparedImage> relay;
+        std::future<PreparedImage> original = std::move(futures[i]);
+        // Chain through one more queued task so the callback runs on a
+        // worker thread without blocking the submitter.
+        Task task;
+        task.submitSeconds = nowSeconds();
+        task.run = std::packaged_task<void()>(
+            [i, done, original = std::move(original)]() mutable {
+                done(i, original.get());
+            });
+        if (!enqueue(task)) {
+            // Shutdown raced the relay: run it inline. The prep future
+            // either drains (shutdown is graceful) or was already
+            // failed at submission, so get() cannot block forever.
+            task.run();
+        }
+    }
+}
+
+std::vector<std::future<PreparedAudio>>
+PrepExecutor::submitAudioBatch(std::vector<std::vector<double>> waveforms)
+{
+    std::vector<std::future<PreparedAudio>> futures;
+    futures.reserve(waveforms.size());
+    for (auto &wave : waveforms) {
+        std::promise<PreparedAudio> promise;
+        futures.push_back(promise.get_future());
+
+        const std::uint64_t seed = itemSeed(nextItemIndex_++);
+        Task task;
+        task.submitSeconds = nowSeconds();
+        task.run = std::packaged_task<void()>(
+            [this, seed, wave = std::move(wave),
+             promise = std::move(promise)]() mutable {
+                Rng rng(seed);
+                AudioPrepPipeline pipe(cfg_.audio);
+                const std::size_t pcm_bytes = wave.size() * 2;
+                const double t0 = nowSeconds();
+                PreparedAudio out = pipe.prepare(std::move(wave), rng);
+                const double dt = nowSeconds() - t0;
+                {
+                    std::lock_guard<std::mutex> lock(statsMutex_);
+                    if (out.ok) {
+                        ++itemsPrepared_;
+                        ++audioItems_;
+                        bytesIn_ += static_cast<double>(pcm_bytes);
+                        bytesOut_ += static_cast<double>(
+                            out.features.frames * out.features.bins * 4);
+                    } else {
+                        ++itemsFailed_;
+                    }
+                    audioPrepSeconds_ += dt;
+                    audioPrepMs_.sample(dt * 1e3);
+                }
+                promise.set_value(std::move(out));
+            });
+        if (!enqueue(task)) {
+            PreparedAudio failed;
+            std::promise<PreparedAudio> p;
+            futures.back() = p.get_future();
+            p.set_value(std::move(failed));
+        }
+    }
+    return futures;
+}
+
+void
+PrepExecutor::submitAudioBatch(
+    std::vector<std::vector<double>> waveforms,
+    std::function<void(std::size_t, PreparedAudio &&)> done)
+{
+    auto futures = submitAudioBatch(std::move(waveforms));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        std::future<PreparedAudio> original = std::move(futures[i]);
+        Task task;
+        task.submitSeconds = nowSeconds();
+        task.run = std::packaged_task<void()>(
+            [i, done, original = std::move(original)]() mutable {
+                done(i, original.get());
+            });
+        if (!enqueue(task)) {
+            task.run();
+        }
+    }
+}
+
+void
+PrepExecutor::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        if (shutdown_)
+            return;
+        shutdown_ = true;
+    }
+    // close() rejects new pushes; workers drain what is queued, then
+    // pop() returns false and each loop exits.
+    queue_.close();
+    for (auto &w : workers_)
+        if (w.joinable())
+            w.join();
+}
+
+ExecutorStatsSnapshot
+PrepExecutor::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ExecutorStatsSnapshot s;
+    s.itemsPrepared = itemsPrepared_.value();
+    s.imageItems = imageItems_.value();
+    s.audioItems = audioItems_.value();
+    s.itemsFailed = itemsFailed_.value();
+    s.bytesIn = bytesIn_.value();
+    s.bytesOut = bytesOut_.value();
+    s.imagePrepSeconds = imagePrepSeconds_.value();
+    s.audioPrepSeconds = audioPrepSeconds_.value();
+    s.queueWaitSeconds = queueWaitSeconds_.value();
+    return s;
+}
+
+void
+PrepExecutor::registerStats(stats::StatGroup &group)
+{
+    group.registerScalar("items_prepared", &itemsPrepared_,
+                         "items prepared successfully");
+    group.registerScalar("image_items", &imageItems_,
+                         "image items prepared");
+    group.registerScalar("audio_items", &audioItems_,
+                         "audio items prepared");
+    group.registerScalar("items_failed", &itemsFailed_,
+                         "items whose chain reported an error");
+    group.registerScalar("bytes_in", &bytesIn_,
+                         "stored/compressed bytes consumed");
+    group.registerScalar("bytes_out", &bytesOut_,
+                         "prepared tensor bytes produced");
+    group.registerScalar("image_prep_seconds", &imagePrepSeconds_,
+                         "summed image-chain wall time (core-seconds)");
+    group.registerScalar("audio_prep_seconds", &audioPrepSeconds_,
+                         "summed audio-chain wall time (core-seconds)");
+    group.registerScalar("queue_wait_seconds", &queueWaitSeconds_,
+                         "summed submit-to-start wait");
+    group.registerDistribution("image_prep_ms", &imagePrepMs_,
+                               "per-item image chain latency");
+    group.registerDistribution("audio_prep_ms", &audioPrepMs_,
+                               "per-item audio chain latency");
+}
+
+} // namespace prep
+} // namespace tb

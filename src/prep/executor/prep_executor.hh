@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Parallel data-preparation executor: a fixed-size worker thread pool
+ * running the functional prep chains (pipeline.hh) over a bounded MPMC
+ * work queue.
+ *
+ * This is the measurement substrate for the paper's central claim
+ * (Figs 3/8): data preparation saturates the host CPU long before the
+ * accelerators do. The simulator *models* that ceiling from Table I
+ * constants; the executor lets us *measure* it — samples/s as a
+ * function of worker count on real kernels — and feed the measured
+ * per-sample cost back into the host-demand model
+ * (trainbox/resource_profile.hh, via calibration.hh).
+ *
+ * Determinism: every submitted item gets its own RNG stream derived
+ * from (base seed, global item index), so output tensors are
+ * bit-identical for any worker count and any scheduling order. See
+ * docs/CONCURRENCY.md for why per-item — not per-worker — streams are
+ * required for that guarantee.
+ *
+ * Thread-safety: submit/shutdown/stats methods may be called from any
+ * thread. `tb::Rng` itself is NOT thread-safe and is never shared; each
+ * task owns its stream.
+ */
+
+#ifndef TRAINBOX_PREP_EXECUTOR_PREP_EXECUTOR_HH
+#define TRAINBOX_PREP_EXECUTOR_PREP_EXECUTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "prep/executor/work_queue.hh"
+#include "prep/pipeline.hh"
+#include "sim/stats.hh"
+
+namespace tb {
+namespace prep {
+
+/** Executor sizing and determinism knobs. */
+struct ExecutorConfig
+{
+    /** Worker threads (0 = std::thread::hardware_concurrency()). */
+    std::size_t numWorkers = 0;
+
+    /** Work-queue bound; producers block when it is full. */
+    std::size_t queueCapacity = 256;
+
+    /** Base seed; item i runs with stream derive(baseSeed, i). */
+    std::uint64_t baseSeed = 0x9e3779b97f4a7c15ull;
+
+    ImagePrepConfig image;
+    AudioPrepConfig audio;
+};
+
+/** Consistent copy of the executor's counters (taken under the lock). */
+struct ExecutorStatsSnapshot
+{
+    double itemsPrepared = 0.0;
+    double imageItems = 0.0;
+    double audioItems = 0.0;
+    double itemsFailed = 0.0;
+
+    /** Stored/compressed bytes in, prepared-tensor bytes out. */
+    double bytesIn = 0.0;
+    double bytesOut = 0.0;
+
+    /** Per-stage wall time, summed over workers (core-seconds). */
+    double imagePrepSeconds = 0.0;
+    double audioPrepSeconds = 0.0;
+    double queueWaitSeconds = 0.0;
+};
+
+/**
+ * Fixed-size thread pool executing image/audio preparation chains.
+ *
+ * Batch submission returns one future per item, in item order; the
+ * callback overloads instead invoke `done(index, result)` from a worker
+ * thread as each item completes. After shutdown() — or destruction —
+ * submissions complete immediately with ok=false.
+ */
+class PrepExecutor
+{
+  public:
+    explicit PrepExecutor(ExecutorConfig cfg = {});
+
+    /** Drains pending work and joins the workers. */
+    ~PrepExecutor();
+
+    PrepExecutor(const PrepExecutor &) = delete;
+    PrepExecutor &operator=(const PrepExecutor &) = delete;
+
+    /** Prepare a batch of stored JPEG items; futures in item order. */
+    std::vector<std::future<PreparedImage>>
+    submitImageBatch(std::vector<std::vector<std::uint8_t>> jpegs);
+
+    /** Callback flavour: done(index, result) runs on a worker thread. */
+    void submitImageBatch(
+        std::vector<std::vector<std::uint8_t>> jpegs,
+        std::function<void(std::size_t, PreparedImage &&)> done);
+
+    /** Prepare a batch of waveforms; futures in item order. */
+    std::vector<std::future<PreparedAudio>>
+    submitAudioBatch(std::vector<std::vector<double>> waveforms);
+
+    /** Callback flavour: done(index, result) runs on a worker thread. */
+    void submitAudioBatch(
+        std::vector<std::vector<double>> waveforms,
+        std::function<void(std::size_t, PreparedAudio &&)> done);
+
+    /**
+     * Graceful shutdown: stop accepting work, let the workers drain the
+     * queue, join them. Idempotent; also run by the destructor.
+     */
+    void shutdown();
+
+    std::size_t numWorkers() const { return workers_.size(); }
+
+    const ExecutorConfig &config() const { return cfg_; }
+
+    /** Consistent copy of all counters. */
+    ExecutorStatsSnapshot statsSnapshot() const;
+
+    /**
+     * Register the counters into a sim/stats.hh group (dump after the
+     * workers are quiesced; the group must not outlive the executor).
+     */
+    void registerStats(stats::StatGroup &group);
+
+  private:
+    struct Task
+    {
+        /** Runs the prep chain and fulfills the promise/callback. */
+        std::packaged_task<void()> run;
+
+        /** steady_clock seconds at submission (for queue-wait time). */
+        double submitSeconds = 0.0;
+    };
+
+    void workerLoop(std::size_t worker_id);
+    bool enqueue(Task &task);
+
+    /** Stream for item @p index: same for every worker count. */
+    std::uint64_t itemSeed(std::uint64_t index) const;
+
+    ExecutorConfig cfg_;
+    BoundedWorkQueue<Task> queue_;
+    std::vector<std::thread> workers_;
+
+    std::mutex shutdownMutex_;
+    bool shutdown_ = false;
+
+    /** Global item counter; drives per-item RNG stream derivation. */
+    std::atomic<std::uint64_t> nextItemIndex_{0};
+
+    /** All counters below are guarded by statsMutex_. */
+    mutable std::mutex statsMutex_;
+    stats::Scalar itemsPrepared_;
+    stats::Scalar imageItems_;
+    stats::Scalar audioItems_;
+    stats::Scalar itemsFailed_;
+    stats::Scalar bytesIn_;
+    stats::Scalar bytesOut_;
+    stats::Scalar imagePrepSeconds_;
+    stats::Scalar audioPrepSeconds_;
+    stats::Scalar queueWaitSeconds_;
+    stats::Distribution imagePrepMs_;
+    stats::Distribution audioPrepMs_;
+};
+
+} // namespace prep
+} // namespace tb
+
+#endif // TRAINBOX_PREP_EXECUTOR_PREP_EXECUTOR_HH

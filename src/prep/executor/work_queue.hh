@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer blocking work queue.
+ *
+ * The queue is the hand-off point between batch submitters and the
+ * executor's worker threads. It is intentionally small and boring:
+ * a mutex-guarded ring with two condition variables. Capacity bounds
+ * give natural backpressure — a producer submitting faster than the
+ * workers can prepare blocks in push() instead of growing memory
+ * without limit (the same role the simulator's bounded staging buffers
+ * play in the modeled datapath).
+ *
+ * Shutdown protocol (see docs/CONCURRENCY.md):
+ *   - close() rejects further push() calls but lets consumers drain
+ *     what was already queued;
+ *   - pop() returns false only when the queue is closed AND empty,
+ *     which is each worker's signal to exit.
+ */
+
+#ifndef TRAINBOX_PREP_EXECUTOR_WORK_QUEUE_HH
+#define TRAINBOX_PREP_EXECUTOR_WORK_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace tb {
+namespace prep {
+
+/** Bounded blocking MPMC queue of move-only items. */
+template <typename T>
+class BoundedWorkQueue
+{
+  public:
+    explicit BoundedWorkQueue(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {}
+
+    BoundedWorkQueue(const BoundedWorkQueue &) = delete;
+    BoundedWorkQueue &operator=(const BoundedWorkQueue &) = delete;
+
+    /**
+     * Block until there is room, then enqueue. Returns false — leaving
+     * @p item untouched so the caller can still dispose of it — if the
+     * queue was closed before room appeared.
+     */
+    bool
+    push(T &item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is drained-and-
+     * closed. Returns false only in the latter case.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false; // closed and fully drained
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Reject new work; wake every blocked producer and consumer. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace prep
+} // namespace tb
+
+#endif // TRAINBOX_PREP_EXECUTOR_WORK_QUEUE_HH

@@ -7,11 +7,59 @@ namespace tb {
 using workload::PrepStage;
 using workload::stageCategory;
 
+namespace {
+
+/**
+ * Rescale the formatting + augmentation stage CPU costs so their sum
+ * matches the live-measured per-sample cost (the executor measures
+ * exactly that slice of the chain); 0 keeps the modeled constants.
+ */
+void
+applyCalibration(workload::PrepDemand &d, workload::InputType input,
+                 const PrepCostCalibration &calib)
+{
+    const double measured = input == workload::InputType::Image
+        ? calib.imageCoreSecPerSample
+        : calib.audioCoreSecPerSample;
+    if (measured <= 0.0)
+        return;
+
+    double modeled = 0.0;
+    for (PrepStage st : {PrepStage::Formatting, PrepStage::Augmentation}) {
+        auto it = d.cpuByStage.find(st);
+        if (it != d.cpuByStage.end())
+            modeled += it->second;
+    }
+    if (modeled <= 0.0)
+        return;
+
+    const double scale = measured / modeled;
+    for (PrepStage st : {PrepStage::Formatting, PrepStage::Augmentation}) {
+        auto it = d.cpuByStage.find(st);
+        if (it == d.cpuByStage.end())
+            continue;
+        d.cpuCoreSec += it->second * (scale - 1.0);
+        it->second *= scale;
+    }
+}
+
+} // namespace
+
 HostDemandBreakdown
 requiredHostDemand(const workload::ModelInfo &m, ArchPreset preset,
                    std::size_t n, const sync::SyncConfig &sync_cfg)
 {
-    const workload::PrepDemand d = workload::prepDemand(m.input);
+    return requiredHostDemand(m, preset, n, sync_cfg,
+                              PrepCostCalibration{});
+}
+
+HostDemandBreakdown
+requiredHostDemand(const workload::ModelInfo &m, ArchPreset preset,
+                   std::size_t n, const sync::SyncConfig &sync_cfg,
+                   const PrepCostCalibration &calib)
+{
+    workload::PrepDemand d = workload::prepDemand(m.input);
+    applyCalibration(d, m.input, calib);
     const Rate target = workload::targetThroughput(m, n, sync_cfg);
 
     HostDemandBreakdown out;

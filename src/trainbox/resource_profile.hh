@@ -47,12 +47,32 @@ struct Dgx2Reference
 };
 
 /**
+ * Optional live-measured per-sample prep CPU cost (core-seconds), as
+ * produced by `tb::prep::measurePrepThroughput()`. A field of 0 keeps
+ * the corresponding Table I-derived constant (DESIGN.md §4). The
+ * measured chain covers formatting + augmentation, so only those stage
+ * costs are rescaled; SSD read / data load / framework overheads keep
+ * their modeled values.
+ */
+struct PrepCostCalibration
+{
+    double imageCoreSecPerSample = 0.0;
+    double audioCoreSecPerSample = 0.0;
+};
+
+/**
  * Host demand of the given preset's datapath when sustaining the target
  * throughput of @p n accelerators running @p m.
  */
 HostDemandBreakdown requiredHostDemand(const workload::ModelInfo &m,
                                        ArchPreset preset, std::size_t n,
                                        const sync::SyncConfig &sync_cfg);
+
+/** Same, with the prep CPU cost calibrated from a live measurement. */
+HostDemandBreakdown requiredHostDemand(const workload::ModelInfo &m,
+                                       ArchPreset preset, std::size_t n,
+                                       const sync::SyncConfig &sync_cfg,
+                                       const PrepCostCalibration &calib);
 
 } // namespace tb
 

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the parallel prep executor: determinism across worker
+ * counts, graceful shutdown with pending work, empty batches, the
+ * callback submission flavour, stats accounting, and an MPMC stress
+ * run sized for -fsanitize=thread (see TB_SANITIZE in CMakeLists.txt).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prep/audio/wave_gen.hh"
+#include "prep/executor/calibration.hh"
+#include "prep/executor/prep_executor.hh"
+#include "prep/executor/work_queue.hh"
+
+namespace tb {
+namespace {
+
+/** Small stored items so the suite stays fast under TSan. */
+std::vector<std::vector<std::uint8_t>>
+makeJpegs(std::size_t count, int size = 96)
+{
+    Rng gen(7);
+    std::vector<std::vector<std::uint8_t>> jpegs;
+    for (std::size_t i = 0; i < count; ++i)
+        jpegs.push_back(prep::makeSyntheticJpeg(size, size, gen));
+    return jpegs;
+}
+
+std::vector<std::vector<double>>
+makeWaves(std::size_t count, double duration_sec = 0.3)
+{
+    Rng gen(11);
+    audio::WaveGenConfig cfg;
+    cfg.durationSec = duration_sec;
+    std::vector<std::vector<double>> waves;
+    for (std::size_t i = 0; i < count; ++i)
+        waves.push_back(audio::generateUtterance(cfg, gen));
+    return waves;
+}
+
+prep::ExecutorConfig
+smallImageConfig(std::size_t workers)
+{
+    prep::ExecutorConfig cfg;
+    cfg.numWorkers = workers;
+    cfg.baseSeed = 99;
+    cfg.image.cropWidth = 64;
+    cfg.image.cropHeight = 64;
+    return cfg;
+}
+
+/** Results of one full image+audio run at the given worker count. */
+struct RunOutput
+{
+    std::vector<std::vector<float>> imageTensors;
+    std::vector<std::vector<double>> audioFeatures;
+};
+
+RunOutput
+runBoth(std::size_t workers)
+{
+    prep::PrepExecutor executor(smallImageConfig(workers));
+    auto image_futures = executor.submitImageBatch(makeJpegs(12));
+    auto audio_futures = executor.submitAudioBatch(makeWaves(6));
+
+    RunOutput out;
+    for (auto &f : image_futures) {
+        prep::PreparedImage img = f.get();
+        EXPECT_TRUE(img.ok) << img.error;
+        out.imageTensors.push_back(std::move(img.tensor));
+    }
+    for (auto &f : audio_futures) {
+        prep::PreparedAudio a = f.get();
+        EXPECT_TRUE(a.ok);
+        out.audioFeatures.push_back(std::move(a.features.power));
+    }
+    return out;
+}
+
+// The determinism guarantee: per-item RNG streams derived from
+// (base seed, item index) make the output independent of worker count
+// and scheduling. Futures come back in item order, so element-wise
+// comparison is the "sorted by item index" check.
+TEST(PrepExecutor, DeterministicAcrossWorkerCounts)
+{
+    const RunOutput ref = runBoth(1);
+    ASSERT_EQ(ref.imageTensors.size(), 12u);
+    ASSERT_EQ(ref.audioFeatures.size(), 6u);
+
+    for (std::size_t workers : {2u, 8u}) {
+        const RunOutput got = runBoth(workers);
+        ASSERT_EQ(got.imageTensors.size(), ref.imageTensors.size());
+        for (std::size_t i = 0; i < ref.imageTensors.size(); ++i)
+            EXPECT_EQ(got.imageTensors[i], ref.imageTensors[i])
+                << "image tensor " << i << " differs at " << workers
+                << " workers";
+        ASSERT_EQ(got.audioFeatures.size(), ref.audioFeatures.size());
+        for (std::size_t i = 0; i < ref.audioFeatures.size(); ++i)
+            EXPECT_EQ(got.audioFeatures[i], ref.audioFeatures[i])
+                << "audio features " << i << " differ at " << workers
+                << " workers";
+    }
+}
+
+TEST(PrepExecutor, ShutdownDrainsPendingWork)
+{
+    prep::ExecutorConfig cfg = smallImageConfig(1);
+    cfg.queueCapacity = 4; // force most of the batch to be pending
+    prep::PrepExecutor executor(cfg);
+
+    auto futures = executor.submitImageBatch(makeJpegs(16, 80));
+    executor.shutdown();
+
+    for (auto &f : futures) {
+        prep::PreparedImage img = f.get();
+        EXPECT_TRUE(img.ok) << img.error;
+    }
+    EXPECT_DOUBLE_EQ(executor.statsSnapshot().itemsPrepared, 16.0);
+}
+
+TEST(PrepExecutor, SubmitAfterShutdownFailsFast)
+{
+    prep::PrepExecutor executor(smallImageConfig(2));
+    executor.shutdown();
+
+    auto futures = executor.submitImageBatch(makeJpegs(2, 80));
+    ASSERT_EQ(futures.size(), 2u);
+    for (auto &f : futures) {
+        prep::PreparedImage img = f.get();
+        EXPECT_FALSE(img.ok);
+        EXPECT_EQ(img.error, "executor shut down");
+    }
+
+    auto audio_futures = executor.submitAudioBatch(makeWaves(2));
+    for (auto &f : audio_futures)
+        EXPECT_FALSE(f.get().ok);
+}
+
+TEST(PrepExecutor, EmptyBatchesComplete)
+{
+    prep::PrepExecutor executor(smallImageConfig(2));
+    EXPECT_TRUE(executor.submitImageBatch({}).empty());
+    EXPECT_TRUE(executor.submitAudioBatch({}).empty());
+    executor.shutdown();
+    EXPECT_DOUBLE_EQ(executor.statsSnapshot().itemsPrepared, 0.0);
+}
+
+TEST(PrepExecutor, CallbackFlavourDeliversEveryIndex)
+{
+    prep::PrepExecutor executor(smallImageConfig(4));
+
+    std::atomic<std::size_t> delivered{0};
+    std::atomic<std::uint64_t> index_mask{0};
+    executor.submitImageBatch(
+        makeJpegs(8, 80),
+        [&](std::size_t index, prep::PreparedImage &&img) {
+            EXPECT_TRUE(img.ok) << img.error;
+            index_mask.fetch_or(1ull << index);
+            delivered.fetch_add(1);
+        });
+    executor.shutdown();
+    EXPECT_EQ(delivered.load(), 8u);
+    EXPECT_EQ(index_mask.load(), 0xffull);
+}
+
+TEST(PrepExecutor, StatsCountItemsAndBytes)
+{
+    prep::PrepExecutor executor(smallImageConfig(2));
+    auto jpegs = makeJpegs(4, 80);
+    double bytes_in = 0.0;
+    for (const auto &j : jpegs)
+        bytes_in += static_cast<double>(j.size());
+
+    for (auto &f : executor.submitImageBatch(std::move(jpegs)))
+        f.wait();
+    for (auto &f : executor.submitAudioBatch(makeWaves(2)))
+        f.wait();
+
+    const prep::ExecutorStatsSnapshot s = executor.statsSnapshot();
+    EXPECT_DOUBLE_EQ(s.itemsPrepared, 6.0);
+    EXPECT_DOUBLE_EQ(s.imageItems, 4.0);
+    EXPECT_DOUBLE_EQ(s.audioItems, 2.0);
+    EXPECT_DOUBLE_EQ(s.itemsFailed, 0.0);
+    EXPECT_GE(s.bytesIn, bytes_in); // images plus the audio PCM
+    // 64x64x3 bf16 tensors: 4 items x 24576 B, plus audio features.
+    EXPECT_GT(s.bytesOut, 4.0 * 64 * 64 * 3 * 2 - 1.0);
+    EXPECT_GT(s.imagePrepSeconds, 0.0);
+    EXPECT_GT(s.audioPrepSeconds, 0.0);
+}
+
+TEST(PrepExecutor, CorruptItemReportsFailureNotCrash)
+{
+    prep::PrepExecutor executor(smallImageConfig(2));
+    std::vector<std::vector<std::uint8_t>> bogus;
+    bogus.push_back({0x00, 0x01, 0x02, 0x03});
+    auto futures = executor.submitImageBatch(std::move(bogus));
+    prep::PreparedImage img = futures[0].get();
+    EXPECT_FALSE(img.ok);
+    EXPECT_FALSE(img.error.empty());
+    executor.shutdown();
+    EXPECT_DOUBLE_EQ(executor.statsSnapshot().itemsFailed, 1.0);
+}
+
+// MPMC stress: >=1000 items through >=4 workers with a tight queue
+// bound, plus a concurrent audio producer thread. Run under
+// -DTB_SANITIZE=thread to validate the locking protocol.
+TEST(PrepExecutor, StressManyItemsManyWorkers)
+{
+    prep::ExecutorConfig cfg = smallImageConfig(4);
+    cfg.queueCapacity = 32;
+    prep::PrepExecutor executor(cfg);
+
+    // Cycle a few distinct stored items; each submission still gets its
+    // own RNG stream so the prepared tensors differ.
+    const auto base = makeJpegs(4, 64);
+    std::vector<std::vector<std::uint8_t>> jpegs;
+    constexpr std::size_t kImages = 1000;
+    jpegs.reserve(kImages);
+    for (std::size_t i = 0; i < kImages; ++i)
+        jpegs.push_back(base[i % base.size()]);
+
+    std::atomic<std::size_t> audio_ok{0};
+    std::thread audio_producer([&] {
+        auto futures = executor.submitAudioBatch(makeWaves(24, 0.2));
+        for (auto &f : futures)
+            if (f.get().ok)
+                audio_ok.fetch_add(1);
+    });
+
+    std::size_t image_ok = 0;
+    for (auto &f : executor.submitImageBatch(std::move(jpegs)))
+        if (f.get().ok)
+            ++image_ok;
+    audio_producer.join();
+    executor.shutdown();
+
+    EXPECT_EQ(image_ok, kImages);
+    EXPECT_EQ(audio_ok.load(), 24u);
+    const prep::ExecutorStatsSnapshot s = executor.statsSnapshot();
+    EXPECT_DOUBLE_EQ(s.itemsPrepared, static_cast<double>(kImages + 24));
+}
+
+TEST(BoundedWorkQueue, CloseUnblocksProducerAndPreservesItem)
+{
+    prep::BoundedWorkQueue<int> q(1);
+    int a = 1;
+    ASSERT_TRUE(q.push(a));
+
+    std::atomic<bool> pushed{false};
+    int b = 2;
+    std::thread producer([&] {
+        pushed.store(q.push(b)); // blocks: queue full
+    });
+    while (q.size() != 1)
+        std::this_thread::yield();
+    q.close();
+    producer.join();
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(b, 2); // rejected item left intact
+
+    int out = 0;
+    EXPECT_TRUE(q.pop(out)); // drain what was queued before close
+    EXPECT_EQ(out, 1);
+    EXPECT_FALSE(q.pop(out)); // closed and empty
+}
+
+TEST(MeasurePrepThroughput, ReportsPositiveRates)
+{
+    prep::ThroughputMeasureConfig cfg;
+    cfg.numWorkers = 2;
+    cfg.imageItems = 4;
+    cfg.audioItems = 2;
+    const prep::PrepThroughputMeasurement m =
+        prep::measurePrepThroughput(cfg);
+    EXPECT_EQ(m.numWorkers, 2u);
+    EXPECT_GT(m.imageSamplesPerSec, 0.0);
+    EXPECT_GT(m.audioSamplesPerSec, 0.0);
+    EXPECT_GT(m.imageCoreSecPerSample, 0.0);
+    EXPECT_GT(m.audioCoreSecPerSample, 0.0);
+}
+
+} // namespace
+} // namespace tb

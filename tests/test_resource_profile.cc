@@ -108,6 +108,42 @@ TEST(Profile, ImageDataLoadExceedsSsdRead)
               d.rcByCategory.at("ssd_read"));
 }
 
+TEST(Profile, CalibrationRescalesPrepCpuOnly)
+{
+    sync::SyncConfig sync_cfg;
+    const auto &m = workload::model(ModelId::Resnet50);
+    const auto modeled =
+        requiredHostDemand(m, ArchPreset::Baseline, 64, sync_cfg);
+
+    // A machine whose measured formatting+augmentation cost is double
+    // the Table I constant should need proportionally more cores for
+    // those stages — and identical bandwidth.
+    const double modeled_prep =
+        modeled.cpuByCategory.at("formatting") +
+        modeled.cpuByCategory.at("augmentation");
+    const double target = workload::targetThroughput(m, 64, sync_cfg);
+
+    PrepCostCalibration calib;
+    calib.imageCoreSecPerSample = 2.0 * modeled_prep / target;
+    const auto measured =
+        requiredHostDemand(m, ArchPreset::Baseline, 64, sync_cfg, calib);
+
+    EXPECT_NEAR(measured.cpuByCategory.at("formatting"),
+                2.0 * modeled.cpuByCategory.at("formatting"), 1e-6);
+    EXPECT_NEAR(measured.cpuByCategory.at("augmentation"),
+                2.0 * modeled.cpuByCategory.at("augmentation"), 1e-6);
+    EXPECT_NEAR(measured.cpuCores - modeled.cpuCores, modeled_prep, 1e-6);
+    EXPECT_DOUBLE_EQ(measured.memBw, modeled.memBw);
+    EXPECT_DOUBLE_EQ(measured.rcBw, modeled.rcBw);
+
+    // Audio calibration must not perturb an image workload.
+    PrepCostCalibration audio_only;
+    audio_only.audioCoreSecPerSample = 1.0;
+    const auto unchanged = requiredHostDemand(m, ArchPreset::Baseline, 64,
+                                              sync_cfg, audio_only);
+    EXPECT_DOUBLE_EQ(unchanged.cpuCores, modeled.cpuCores);
+}
+
 TEST(Profile, DemandScalesLinearlyWithN)
 {
     sync::SyncConfig sync_cfg;
