@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fault sweep: throughput degradation of the TrainBox preset under
+ * injected faults (docs/ROBUSTNESS.md).
+ *
+ * Three experiments on a 32-accelerator TrainBox (ResNet-50, forced
+ * 8-FPGA prep-pool):
+ *
+ *  1. SSD failure-rate sweep — per-attempt read-failure probability from
+ *     0 to 30%, reporting goodput (throughput / fault-free throughput),
+ *     retries, and abandoned chunks. Printed twice from two independent
+ *     runs to demonstrate that the seeded schedule reproduces the curve
+ *     exactly.
+ *  2. SSD outage-window sweep — windowed bandwidth collapses (to 1% of
+ *     line rate) at increasing arrival rates.
+ *  3. Prep-FPGA crash scenario — a crash outliving the run, with the
+ *     failover policy on vs off, showing the survivors + prep-pool
+ *     keeping goodput high while the no-failover machine collapses.
+ */
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+namespace {
+
+tb::ServerConfig
+baseConfig()
+{
+    tb::ServerConfig cfg;
+    cfg.preset = tb::ArchPreset::TrainBox;
+    cfg.model = tb::workload::ModelId::Resnet50;
+    cfg.numAccelerators = 32;
+    cfg.prepPoolFpgas = 8;
+    return cfg;
+}
+
+tb::SessionResult
+run(const tb::ServerConfig &cfg)
+{
+    auto server = tb::buildServer(cfg);
+    tb::TrainingSession session(*server);
+    return session.run(4, 8);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const SessionResult healthy = run(baseConfig());
+
+    // --- 1. SSD read-failure sweep -----------------------------------
+    bench::banner("Fault sweep: SSD read-failure probability "
+                  "(TrainBox, 32 accelerators, ResNet-50)");
+    Table fail_table({"read_fail_prob", "goodput_run1", "goodput_run2",
+                      "retries", "abandoned", "reproduced"});
+    for (double p : {0.0, 0.01, 0.05, 0.1, 0.2, 0.3}) {
+        ServerConfig cfg = baseConfig();
+        cfg.faults.enabled = true;
+        cfg.faults.ssdReadFailureProb = p;
+        const SessionResult a = run(cfg);
+        const SessionResult b = run(cfg);
+        fail_table.row()
+            .add(p)
+            .add(a.goodput(healthy.throughput), 4)
+            .add(b.goodput(healthy.throughput), 4)
+            .add(a.faults.ssdRetries)
+            .add(a.faults.chunksAbandoned)
+            .add(a.throughput == b.throughput ? "yes" : "NO");
+    }
+    bench::emit(fail_table, csv);
+
+    // --- 2. SSD outage-window sweep ----------------------------------
+    bench::banner("Fault sweep: SSD outage windows (bandwidth -> 1%, "
+                  "window length = 1 step)");
+    Table win_table({"outages_per_step", "goodput", "degraded_s",
+                     "windows"});
+    for (double per_step : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+        ServerConfig cfg = baseConfig();
+        cfg.faults.enabled = true;
+        cfg.faults.ssdDegrade.ratePerSec = per_step / healthy.stepTime;
+        cfg.faults.ssdDegrade.duration = healthy.stepTime;
+        cfg.faults.ssdDegrade.magnitude = 0.01;
+        const SessionResult r = run(cfg);
+        win_table.row()
+            .add(per_step)
+            .add(r.goodput(healthy.throughput), 4)
+            .add(r.faults.degradedTime, 3)
+            .add(r.faults.faultsInjected);
+    }
+    bench::emit(win_table, csv);
+
+    // --- 3. Prep-FPGA crash: failover on vs off ----------------------
+    bench::banner("Prep-FPGA crash outliving the run: pool failover "
+                  "on vs off");
+    Table crash_table({"policy", "goodput", "failovers", "degraded_s"});
+    for (bool failover : {true, false}) {
+        ServerConfig cfg = baseConfig();
+        cfg.faults.enabled = true;
+        cfg.faults.prepCrash.ratePerSec = 4.0 / healthy.stepTime;
+        cfg.faults.prepCrash.duration = 1000.0 * healthy.stepTime;
+        cfg.faults.poolFailover = failover;
+        const SessionResult r = run(cfg);
+        crash_table.row()
+            .add(failover ? "failover" : "no_failover")
+            .add(r.goodput(healthy.throughput), 4)
+            .add(r.faults.prepFailovers)
+            .add(r.faults.degradedTime, 3);
+    }
+    bench::emit(crash_table, csv);
+
+    return 0;
+}

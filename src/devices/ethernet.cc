@@ -1,12 +1,26 @@
 #include "devices/ethernet.hh"
 
+#include "common/logging.hh"
+
 namespace tb {
 
 PrepPool::PrepPool(FluidNetwork &net, const std::string &name,
                    Rate fabric_bw)
     : net_(net), name_(name),
-      fabric_(net.addResource(name + ".fabric", fabric_bw))
+      fabric_(net.addResource(name + ".fabric", fabric_bw)),
+      nominalFabricBw_(fabric_bw)
 {
+}
+
+void
+PrepPool::setFabricBandwidthScale(double scale)
+{
+    panic_if(scale <= 0.0, "fabric scale must be positive");
+    if (scale == fabricScale_)
+        return;
+    fabricScale_ = scale;
+    fabric_->setCapacity(nominalFabricBw_ * scale);
+    net_.capacityChanged();
 }
 
 PoolFpga &

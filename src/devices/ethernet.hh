@@ -47,10 +47,21 @@ class PrepPool
     /** Aggregate engine capacity of the pool (samples/s). */
     Rate totalEngineRate() const;
 
+    /**
+     * Scale the switch fabric to @p scale x nominal bandwidth (fault
+     * injection: Ethernet degradation windows). 1.0 restores health.
+     */
+    void setFabricBandwidthScale(double scale);
+
+    /** Current fabric scale (1.0 = healthy). */
+    double fabricBandwidthScale() const { return fabricScale_; }
+
   private:
     FluidNetwork &net_;
     std::string name_;
     FluidResource *fabric_;
+    Rate nominalFabricBw_;
+    double fabricScale_ = 1.0;
     std::vector<PoolFpga> fpgas_;
 };
 

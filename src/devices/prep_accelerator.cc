@@ -7,13 +7,26 @@ PrepAccelerator::PrepAccelerator(FluidNetwork &net, pcie::Topology &topo,
                                  pcie::NodeId parent, PrepEngineKind kind,
                                  Rate engine_rate, bool with_ethernet,
                                  Rate link_bw)
-    : name_(name),
+    : net_(net),
+      name_(name),
       node_(topo.addDevice(name, parent, link_bw)),
       kind_(kind),
-      engine_(net.addResource(name + ".engine", engine_rate))
+      engine_(net.addResource(name + ".engine", engine_rate)),
+      nominalEngineRate_(engine_rate)
 {
     if (with_ethernet)
         ethPort_ = net.addResource(name + ".eth", defaultEthernetBw);
+}
+
+void
+PrepAccelerator::setFailed(bool failed)
+{
+    if (failed == failed_)
+        return;
+    failed_ = failed;
+    engine_->setCapacity(nominalEngineRate_ *
+                         (failed ? kFailedCapacityScale : 1.0));
+    net_.capacityChanged();
 }
 
 } // namespace tb

@@ -56,12 +56,29 @@ class PrepAccelerator
     /** Demand on the engine per sample. */
     FlowDemand engineDemand() const { return {engine_, 1.0}; }
 
+    /**
+     * Crash / repair the accelerator (fault injection). A failed engine
+     * keeps a vestigial capacity (kFailedCapacityScale x nominal) so
+     * stranded flows striped across it crawl instead of dividing by
+     * zero — recovery policies are expected to cancel and re-dispatch
+     * them (see docs/ROBUSTNESS.md).
+     */
+    void setFailed(bool failed);
+
+    bool failed() const { return failed_; }
+
+    /** Residual engine capacity of a crashed accelerator. */
+    static constexpr double kFailedCapacityScale = 1e-9;
+
   private:
+    FluidNetwork &net_;
     std::string name_;
     pcie::NodeId node_;
     PrepEngineKind kind_;
     FluidResource *engine_;
     FluidResource *ethPort_ = nullptr;
+    Rate nominalEngineRate_;
+    bool failed_ = false;
 };
 
 } // namespace tb

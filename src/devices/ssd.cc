@@ -1,14 +1,29 @@
 #include "devices/ssd.hh"
 
+#include "common/logging.hh"
+
 namespace tb {
 
 NvmeSsd::NvmeSsd(FluidNetwork &net, pcie::Topology &topo,
                  const std::string &name, pcie::NodeId parent,
                  Rate link_bw, Rate read_bw)
-    : name_(name),
+    : net_(net),
+      name_(name),
       node_(topo.addDevice(name, parent, link_bw)),
-      readBw_(net.addResource(name + ".flash", read_bw))
+      readBw_(net.addResource(name + ".flash", read_bw)),
+      nominalReadBw_(read_bw)
 {
+}
+
+void
+NvmeSsd::setReadBandwidthScale(double scale)
+{
+    panic_if(scale <= 0.0, "read-bandwidth scale must be positive");
+    if (scale == readScale_)
+        return;
+    readScale_ = scale;
+    readBw_->setCapacity(nominalReadBw_ * scale);
+    net_.capacityChanged();
 }
 
 } // namespace tb

@@ -45,10 +45,23 @@ class NvmeSsd
         return {readBw_, bytesPerUnit};
     }
 
+    /**
+     * Scale the read path to @p scale x nominal bandwidth (fault
+     * injection: latency-spike windows). 1.0 restores full health;
+     * in-flight flows re-converge immediately.
+     */
+    void setReadBandwidthScale(double scale);
+
+    /** Current read-path scale (1.0 = healthy). */
+    double readBandwidthScale() const { return readScale_; }
+
   private:
+    FluidNetwork &net_;
     std::string name_;
     pcie::NodeId node_;
     FluidResource *readBw_;
+    Rate nominalReadBw_;
+    double readScale_ = 1.0;
 };
 
 } // namespace tb

@@ -24,11 +24,21 @@ NodeId
 Topology::addNode(const std::string &name, NodeKind kind, NodeId parent,
                   Rate linkBw)
 {
-    panic_if(parent < 0 || parent >= static_cast<NodeId>(nodes_.size()),
-             "invalid parent node %d", parent);
-    panic_if(nodes_[parent].kind == NodeKind::Device,
-             "cannot attach under device node %s",
-             nodes_[parent].name.c_str());
+    // Malformed attachment requests are recoverable: topology builders
+    // consume machine descriptions, and a bad description should fail
+    // the build, not abort the process. The tree is left untouched.
+    if (parent < 0 || parent >= static_cast<NodeId>(nodes_.size())) {
+        lastError_ = "invalid parent node " + std::to_string(parent) +
+                     " for \"" + name + "\"";
+        warn("%s", lastError_.c_str());
+        return kInvalidNode;
+    }
+    if (nodes_[parent].kind == NodeKind::Device) {
+        lastError_ = "cannot attach \"" + name + "\" under device node " +
+                     nodes_[parent].name;
+        warn("%s", lastError_.c_str());
+        return kInvalidNode;
+    }
 
     Node n;
     n.id = static_cast<NodeId>(nodes_.size());

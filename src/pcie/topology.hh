@@ -72,11 +72,18 @@ class Topology
     Topology(FluidNetwork &net, const std::string &rcName,
              Rate rcBandwidth);
 
-    /** Attach a switch under @p parent with per-direction link bw. */
+    /**
+     * Attach a switch under @p parent with per-direction link bw.
+     * Returns kInvalidNode — with the reason in lastError() — when
+     * @p parent does not exist or is a device; the tree is unchanged.
+     */
     NodeId addSwitch(const std::string &name, NodeId parent, Rate linkBw);
 
-    /** Attach a device under @p parent with per-direction link bw. */
+    /** Attach a device under @p parent; same error contract. */
     NodeId addDevice(const std::string &name, NodeId parent, Rate linkBw);
+
+    /** Reason the most recent addSwitch/addDevice returned kInvalidNode. */
+    const std::string &lastError() const { return lastError_; }
 
     /** The root complex node id (always 0). */
     NodeId root() const { return 0; }
@@ -128,6 +135,7 @@ class Topology
     FluidNetwork &net_;
     FluidResource *rc_;
     std::vector<Node> nodes_;
+    std::string lastError_;
 };
 
 } // namespace pcie

@@ -91,19 +91,33 @@ PrepExecutor::submitImageBatch(std::vector<std::vector<std::uint8_t>> jpegs)
         std::promise<PreparedImage> promise;
         futures.push_back(promise.get_future());
 
-        const std::uint64_t seed = itemSeed(nextItemIndex_++);
+        const std::uint64_t index = nextItemIndex_++;
+        const std::uint64_t seed = itemSeed(index);
         Task task;
         task.submitSeconds = nowSeconds();
         task.run = std::packaged_task<void()>(
-            [this, seed, bytes = std::move(jpeg_bytes),
+            [this, index, seed, bytes = std::move(jpeg_bytes),
              promise = std::move(promise)]() mutable {
-                Rng rng(seed);
                 ImagePrepPipeline pipe(cfg_.image);
                 const double t0 = nowSeconds();
-                PreparedImage out = pipe.prepare(bytes, rng);
+                // Bounded in-task retry: attempt a>0 reruns the chain
+                // with a fresh stream derived from (seed, a), still a
+                // pure function of the item index. The item is never
+                // re-enqueued, so a poison item costs at most
+                // 1 + maxItemRetries attempts.
+                PreparedImage out;
+                std::size_t retries = 0;
+                for (std::size_t a = 0;; ++a) {
+                    Rng rng(a == 0 ? seed : mix64(seed + a));
+                    out = pipe.prepare(bytes, rng);
+                    if (out.ok || a >= cfg_.maxItemRetries)
+                        break;
+                    ++retries;
+                }
                 const double dt = nowSeconds() - t0;
                 {
                     std::lock_guard<std::mutex> lock(statsMutex_);
+                    itemsRetried_ += static_cast<double>(retries);
                     if (out.ok) {
                         ++itemsPrepared_;
                         ++imageItems_;
@@ -114,6 +128,8 @@ PrepExecutor::submitImageBatch(std::vector<std::vector<std::uint8_t>> jpegs)
                             static_cast<double>(out.tensor.size() * 2);
                     } else {
                         ++itemsFailed_;
+                        ++itemsQuarantined_;
+                        quarantine_.push_back({index, out.error});
                     }
                     imagePrepSeconds_ += dt;
                     imagePrepMs_.sample(dt * 1e3);
@@ -167,20 +183,31 @@ PrepExecutor::submitAudioBatch(std::vector<std::vector<double>> waveforms)
         std::promise<PreparedAudio> promise;
         futures.push_back(promise.get_future());
 
-        const std::uint64_t seed = itemSeed(nextItemIndex_++);
+        const std::uint64_t index = nextItemIndex_++;
+        const std::uint64_t seed = itemSeed(index);
         Task task;
         task.submitSeconds = nowSeconds();
         task.run = std::packaged_task<void()>(
-            [this, seed, wave = std::move(wave),
+            [this, index, seed, wave = std::move(wave),
              promise = std::move(promise)]() mutable {
-                Rng rng(seed);
                 AudioPrepPipeline pipe(cfg_.audio);
                 const std::size_t pcm_bytes = wave.size() * 2;
                 const double t0 = nowSeconds();
-                PreparedAudio out = pipe.prepare(std::move(wave), rng);
+                // Same bounded retry policy as the image path; the
+                // waveform is kept so later attempts see the input.
+                PreparedAudio out;
+                std::size_t retries = 0;
+                for (std::size_t a = 0;; ++a) {
+                    Rng rng(a == 0 ? seed : mix64(seed + a));
+                    out = pipe.prepare(wave, rng);
+                    if (out.ok || a >= cfg_.maxItemRetries)
+                        break;
+                    ++retries;
+                }
                 const double dt = nowSeconds() - t0;
                 {
                     std::lock_guard<std::mutex> lock(statsMutex_);
+                    itemsRetried_ += static_cast<double>(retries);
                     if (out.ok) {
                         ++itemsPrepared_;
                         ++audioItems_;
@@ -189,6 +216,9 @@ PrepExecutor::submitAudioBatch(std::vector<std::vector<double>> waveforms)
                             out.features.frames * out.features.bins * 4);
                     } else {
                         ++itemsFailed_;
+                        ++itemsQuarantined_;
+                        quarantine_.push_back(
+                            {index, "audio chain failed"});
                     }
                     audioPrepSeconds_ += dt;
                     audioPrepMs_.sample(dt * 1e3);
@@ -251,12 +281,21 @@ PrepExecutor::statsSnapshot() const
     s.imageItems = imageItems_.value();
     s.audioItems = audioItems_.value();
     s.itemsFailed = itemsFailed_.value();
+    s.itemsRetried = itemsRetried_.value();
+    s.itemsQuarantined = itemsQuarantined_.value();
     s.bytesIn = bytesIn_.value();
     s.bytesOut = bytesOut_.value();
     s.imagePrepSeconds = imagePrepSeconds_.value();
     s.audioPrepSeconds = audioPrepSeconds_.value();
     s.queueWaitSeconds = queueWaitSeconds_.value();
     return s;
+}
+
+std::vector<QuarantinedItem>
+PrepExecutor::quarantined() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return quarantine_;
 }
 
 void
@@ -270,6 +309,10 @@ PrepExecutor::registerStats(stats::StatGroup &group)
                          "audio items prepared");
     group.registerScalar("items_failed", &itemsFailed_,
                          "items whose chain reported an error");
+    group.registerScalar("items_retried", &itemsRetried_,
+                         "in-task retry attempts performed");
+    group.registerScalar("items_quarantined", &itemsQuarantined_,
+                         "poison items that exhausted every retry");
     group.registerScalar("bytes_in", &bytesIn_,
                          "stored/compressed bytes consumed");
     group.registerScalar("bytes_out", &bytesOut_,

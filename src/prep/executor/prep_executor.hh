@@ -31,6 +31,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -53,8 +54,28 @@ struct ExecutorConfig
     /** Base seed; item i runs with stream derive(baseSeed, i). */
     std::uint64_t baseSeed = 0x9e3779b97f4a7c15ull;
 
+    /**
+     * Extra in-task attempts for an item whose chain reports an error
+     * (0 = fail immediately, the historical behaviour). Each attempt
+     * runs with a fresh stream derived from (base seed, item index,
+     * attempt), so retried outputs stay deterministic for any worker
+     * count. Items that exhaust every attempt are quarantined —
+     * recorded with their error and reported failed, never re-enqueued.
+     */
+    std::size_t maxItemRetries = 0;
+
     ImagePrepConfig image;
     AudioPrepConfig audio;
+};
+
+/** A poison item: failed its initial attempt and every retry. */
+struct QuarantinedItem
+{
+    /** Global submission index (the same index that picks the seed). */
+    std::uint64_t itemIndex = 0;
+
+    /** Error reported by the final attempt. */
+    std::string error;
 };
 
 /** Consistent copy of the executor's counters (taken under the lock). */
@@ -64,6 +85,10 @@ struct ExecutorStatsSnapshot
     double imageItems = 0.0;
     double audioItems = 0.0;
     double itemsFailed = 0.0;
+
+    /** Retry attempts performed / items quarantined as poison. */
+    double itemsRetried = 0.0;
+    double itemsQuarantined = 0.0;
 
     /** Stored/compressed bytes in, prepared-tensor bytes out. */
     double bytesIn = 0.0;
@@ -126,6 +151,12 @@ class PrepExecutor
     ExecutorStatsSnapshot statsSnapshot() const;
 
     /**
+     * Items that failed their initial attempt and every configured
+     * retry, in completion order. Snapshot copy; safe from any thread.
+     */
+    std::vector<QuarantinedItem> quarantined() const;
+
+    /**
      * Register the counters into a sim/stats.hh group (dump after the
      * workers are quiesced; the group must not outlive the executor).
      */
@@ -163,6 +194,8 @@ class PrepExecutor
     stats::Scalar imageItems_;
     stats::Scalar audioItems_;
     stats::Scalar itemsFailed_;
+    stats::Scalar itemsRetried_;
+    stats::Scalar itemsQuarantined_;
     stats::Scalar bytesIn_;
     stats::Scalar bytesOut_;
     stats::Scalar imagePrepSeconds_;
@@ -170,6 +203,9 @@ class PrepExecutor
     stats::Scalar queueWaitSeconds_;
     stats::Distribution imagePrepMs_;
     stats::Distribution audioPrepMs_;
+
+    /** Poison items, in completion order; guarded by statsMutex_. */
+    std::vector<QuarantinedItem> quarantine_;
 };
 
 } // namespace prep

@@ -16,6 +16,13 @@ namespace jpeg {
 
 namespace {
 
+/**
+ * Upper bound on width x height. A fuzzed SOF0 can claim up to
+ * 65535 x 65535 (~17 GB per component plane); real inputs this decoder
+ * serves are dataset images, so cap allocations at 64 Mpixels.
+ */
+constexpr std::uint64_t kMaxPixels = 1ull << 26;
+
 /** EXTEND: map magnitude bits back to a signed value (T.81 F.2.2.1). */
 int
 extend(int v, int cat)
@@ -148,6 +155,11 @@ parseSof0(DecoderState &st, std::size_t seg_end)
     const int nc = st.u8();
     if (st.width <= 0 || st.height <= 0)
         return st.fail("bad frame dimensions");
+    if (static_cast<std::uint64_t>(st.width) *
+            static_cast<std::uint64_t>(st.height) > kMaxPixels)
+        return st.fail("frame dimensions exceed decoder limit");
+    if (!st.comps.empty())
+        return st.fail("multiple SOF0 frames");
     if (nc != 1 && nc != 3)
         return st.fail("only 1 or 3 components supported");
     for (int i = 0; i < nc; ++i) {
@@ -325,14 +337,19 @@ assembleImage(DecoderState &st)
                     0, 255));
         return img;
     }
-    // YCbCr -> RGB with (nearest) chroma upsampling.
+    // YCbCr -> RGB with (nearest) upsampling. Every component is
+    // indexed through its own sampling factors: planes only cover
+    // width * h / hmax samples, so a luma plane subsampled relative to
+    // chroma (legal per the syntax) must not be read at full resolution.
     const auto &cy = st.comps[0];
     const auto &cb = st.comps[1];
     const auto &cr = st.comps[2];
     for (int y = 0; y < st.height; ++y) {
         for (int x = 0; x < st.width; ++x) {
+            const int yx = x * cy.h / hmax;
+            const int yy = y * cy.v / vmax;
             const float Y =
-                cy.plane[static_cast<std::size_t>(y) * cy.planeW + x];
+                cy.plane[static_cast<std::size_t>(yy) * cy.planeW + yx];
             const int bx = x * cb.h / hmax;
             const int by = y * cb.v / vmax;
             const float Cb =
@@ -385,6 +402,12 @@ decodeJpeg(const std::uint8_t *data, std::size_t size)
             return res;
         }
         const int seg_len = st.u16();
+        if (seg_len < 2) {
+            // The length field counts itself; anything smaller would
+            // rewind the cursor and re-parse bytes already consumed.
+            res.error = "segment length below 2";
+            return res;
+        }
         const std::size_t seg_end = st.pos + seg_len - 2;
         if (seg_end > st.size) {
             res.error = "segment overruns file";
@@ -403,6 +426,10 @@ decodeJpeg(const std::uint8_t *data, std::size_t size)
             have_frame = true;
             break;
           case DRI:
+            if (seg_end - st.pos < 2 || !st.need(2)) {
+                res.error = "truncated DRI";
+                return res;
+            }
             st.restartInterval = st.u16();
             break;
           case SOS:

@@ -1,0 +1,177 @@
+#include "sim/fault_injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tb {
+
+namespace {
+
+/** splitmix64 finalizer — derives unrelated streams from one seed. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Per-class stream tags (keep stable: they define the schedules). */
+constexpr std::uint64_t kReadFailStream = 0x5245414446ull;
+constexpr std::uint64_t kStragglerStream = 0x5354524147ull;
+
+std::uint64_t
+classStreamTag(FaultKind kind)
+{
+    return 0x57494e444f57ull + static_cast<std::uint64_t>(kind);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SsdDegrade:
+        return "ssd_degrade";
+      case FaultKind::PrepCrash:
+        return "prep_crash";
+      case FaultKind::EthDegrade:
+        return "eth_degrade";
+      case FaultKind::RouteLoss:
+        return "route_loss";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg,
+                             const FaultTargets &targets)
+    : cfg_(cfg),
+      targets_(targets),
+      readFailRng_(mix64(cfg.seed ^ kReadFailStream)),
+      classes_(makeClasses(cfg, targets))
+{
+    panic_if(cfg_.ssdReadFailureProb < 0.0 ||
+                 cfg_.ssdReadFailureProb >= 1.0,
+             "ssdReadFailureProb must be in [0, 1), got %g",
+             cfg_.ssdReadFailureProb);
+    panic_if(cfg_.stragglerFactor < 1.0,
+             "stragglerFactor must be >= 1, got %g", cfg_.stragglerFactor);
+}
+
+std::vector<FaultInjector::ClassState>
+FaultInjector::makeClasses(const FaultConfig &cfg,
+                           const FaultTargets &targets)
+{
+    std::vector<ClassState> classes;
+    auto add = [&](FaultKind kind, const FaultClassConfig &cc,
+                   std::size_t n_targets) {
+        if (cc.ratePerSec <= 0.0 || cc.duration <= 0.0 || n_targets == 0)
+            return;
+        ClassState cs{kind, cc, n_targets,
+                      Rng(mix64(cfg.seed ^ classStreamTag(kind))), 0.0};
+        classes.push_back(std::move(cs));
+    };
+    add(FaultKind::SsdDegrade, cfg.ssdDegrade, targets.numSsds);
+    add(FaultKind::PrepCrash, cfg.prepCrash, targets.numGroups);
+    add(FaultKind::EthDegrade, cfg.ethDegrade, 1);
+    add(FaultKind::RouteLoss, cfg.routeLoss, targets.numGroups);
+    return classes;
+}
+
+FaultEvent
+FaultInjector::nextEvent(ClassState &cs)
+{
+    // Exponential inter-arrival measured from the end of the previous
+    // window, so windows of one class never overlap.
+    const double u = cs.rng.uniform();
+    const Time gap = -std::log(1.0 - u) / cs.cfg.ratePerSec;
+    FaultEvent ev;
+    ev.kind = cs.kind;
+    ev.target = static_cast<std::size_t>(cs.rng.uniformInt(
+        0, static_cast<std::int64_t>(cs.numTargets) - 1));
+    ev.start = cs.prevEnd + gap;
+    ev.duration = cs.cfg.duration;
+    ev.magnitude = cs.cfg.magnitude;
+    cs.prevEnd = ev.start + ev.duration;
+    return ev;
+}
+
+bool
+FaultInjector::ssdReadAttemptFails()
+{
+    if (cfg_.ssdReadFailureProb <= 0.0)
+        return false;
+    const bool fails = readFailRng_.uniform() < cfg_.ssdReadFailureProb;
+    if (fails)
+        ++readFailures_;
+    return fails;
+}
+
+double
+FaultInjector::stragglerFactor(std::size_t group, std::size_t step) const
+{
+    if (cfg_.stragglerProb <= 0.0)
+        return 1.0;
+    const std::uint64_t h = mix64(
+        cfg_.seed ^ kStragglerStream ^
+        mix64(group * 0x9e3779b97f4a7c15ull + step + 1));
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53; // uniform in [0, 1)
+    return u < cfg_.stragglerProb ? cfg_.stragglerFactor : 1.0;
+}
+
+void
+FaultInjector::scheduleClass(EventQueue &eq, std::size_t idx)
+{
+    ClassState &cs = classes_[idx];
+    const FaultEvent ev = nextEvent(cs);
+    eq.schedule(ev.start, [this, &eq, idx, ev] {
+        ++faultsInjected_;
+        if (onFault_)
+            onFault_(ev);
+        eq.schedule(ev.start + ev.duration, [this, ev] {
+            if (onRepair_)
+                onRepair_(ev);
+        });
+        // Chain the class's next window (drawn lazily so the schedule
+        // extends as far as the simulation runs).
+        scheduleClass(eq, idx);
+    });
+}
+
+void
+FaultInjector::arm(EventQueue &eq, FaultHandler onFault,
+                   FaultHandler onRepair)
+{
+    onFault_ = std::move(onFault);
+    onRepair_ = std::move(onRepair);
+    for (std::size_t i = 0; i < classes_.size(); ++i)
+        scheduleClass(eq, i);
+}
+
+std::vector<FaultEvent>
+FaultInjector::schedule(const FaultConfig &cfg, const FaultTargets &targets,
+                        Time horizon)
+{
+    std::vector<FaultEvent> events;
+    for (ClassState &cs : makeClasses(cfg, targets)) {
+        while (true) {
+            const FaultEvent ev = nextEvent(cs);
+            if (ev.start >= horizon)
+                break;
+            events.push_back(ev);
+        }
+    }
+    // Merge the per-class streams into global time order (stable for
+    // identical timestamps: class declaration order).
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.start < b.start;
+                     });
+    return events;
+}
+
+} // namespace tb

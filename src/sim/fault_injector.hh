@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Deterministic fault injection for the server simulator.
+ *
+ * At 256 accelerators the interesting property of the clustered design
+ * (§V) is not peak throughput but how gracefully it degrades: an SSD
+ * that starts throwing read errors, a prep FPGA that dies, an Ethernet
+ * link that drops to a fraction of line rate, an accelerator that
+ * straggles. The injector turns a FaultConfig into a *reproducible*
+ * stream of such events: every decision is drawn from seed-derived
+ * tb::Rng streams, so two runs with the same config produce the same
+ * fault schedule and the same degradation curve.
+ *
+ * Two kinds of faults are modeled:
+ *
+ *  - **per-attempt faults** queried synchronously by the training
+ *    session (does this SSD read attempt fail? is this group's compute
+ *    a straggler this step?);
+ *  - **windowed faults** (SSD latency spike, prep-FPGA crash, Ethernet
+ *    degradation, loss of a switch-local P2P route) generated as
+ *    non-overlapping (per class) windows with exponential inter-arrival
+ *    times and played onto the EventQueue by arm().
+ *
+ * Recovery *policy* knobs (retry budgets, backoff, failover switches)
+ * also live in FaultConfig so a whole scenario is one struct; the
+ * policies themselves are implemented by the TrainingSession. See
+ * docs/ROBUSTNESS.md.
+ */
+
+#ifndef TRAINBOX_SIM_FAULT_INJECTOR_HH
+#define TRAINBOX_SIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/event_queue.hh"
+
+namespace tb {
+
+/** Classes of windowed faults the injector can schedule. */
+enum class FaultKind
+{
+    SsdDegrade,  ///< one SSD's read path slows (latency spike window)
+    PrepCrash,   ///< one group's prep FPGA dies until repaired
+    EthDegrade,  ///< the prep-pool Ethernet fabric loses capacity
+    RouteLoss,   ///< one group loses its switch-local P2P route
+};
+
+/** Display name of a fault kind ("ssd_degrade", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One windowed-fault class: arrival rate, outage length, severity. */
+struct FaultClassConfig
+{
+    /** Mean arrivals per simulated second (0 = class disabled). */
+    double ratePerSec = 0.0;
+
+    /** Length of each fault window in simulated seconds. */
+    Time duration = 0.0;
+
+    /**
+     * Severity while the window is open. For capacity faults this is
+     * the factor the resource capacity is scaled by (0.1 = 10% left);
+     * unused for PrepCrash/RouteLoss which are binary.
+     */
+    double magnitude = 0.1;
+};
+
+/** Full fault-injection + recovery-policy scenario description. */
+struct FaultConfig
+{
+    /** Master switch. When false the fault path costs nothing. */
+    bool enabled = false;
+
+    /** Seed for every injection stream (schedules are reproducible). */
+    std::uint64_t seed = 0x7472626f78666c74ull;
+
+    // --- per-attempt faults -----------------------------------------
+
+    /** Probability one chunk's SSD read attempt returns bad data. */
+    double ssdReadFailureProb = 0.0;
+
+    /** Probability a group's compute straggles on a given step. */
+    double stragglerProb = 0.0;
+
+    /** Compute-time multiplier of a straggling step. */
+    double stragglerFactor = 4.0;
+
+    // --- windowed faults --------------------------------------------
+
+    FaultClassConfig ssdDegrade;
+    FaultClassConfig prepCrash;
+    FaultClassConfig ethDegrade;
+    FaultClassConfig routeLoss;
+
+    // --- recovery policy --------------------------------------------
+
+    /** Read retries per chunk before it is abandoned and re-dispatched. */
+    std::size_t maxReadRetries = 3;
+
+    /** First retry backoff; doubles per subsequent attempt. */
+    Time retryBackoffBase = 50e-6;
+
+    /**
+     * Straggler-tolerant barrier: when a step's compute exceeds
+     * stepTimeoutFactor x the nominal compute time, the group's chain
+     * is re-dispatched (fresh compute from the timeout instant).
+     * 0 disables the timeout (the barrier waits the straggler out).
+     */
+    double stepTimeoutFactor = 1.5;
+
+    /** Fail a dead FPGA's load over to survivors / the prep-pool. */
+    bool poolFailover = true;
+
+    /** Fall back to the host-memory path on P2P route loss. */
+    bool hostFallback = true;
+};
+
+/** Target-space sizes the injector picks victims from. */
+struct FaultTargets
+{
+    std::size_t numSsds = 0;
+    std::size_t numGroups = 0;
+};
+
+/** One scheduled windowed fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::SsdDegrade;
+
+    /** Victim index (SSD index or prep-group index, per kind). */
+    std::size_t target = 0;
+
+    Time start = 0.0;
+    Time duration = 0.0;
+    double magnitude = 1.0;
+};
+
+/**
+ * Draws every fault decision for one simulation run. Construct one per
+ * session; per-attempt streams are consumed in simulation order, which
+ * is itself deterministic, so runs reproduce exactly.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultConfig &cfg, const FaultTargets &targets);
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Does the next SSD read attempt fail? (consumes the stream) */
+    bool ssdReadAttemptFails();
+
+    /**
+     * Compute-time multiplier for (group, step); 1.0 = healthy.
+     * Pure hash of (seed, group, step) — order-independent.
+     */
+    double stragglerFactor(std::size_t group, std::size_t step) const;
+
+    using FaultHandler = std::function<void(const FaultEvent &)>;
+
+    /**
+     * Play the windowed-fault schedule onto @p eq: @p onFault fires at
+     * each window's start, @p onRepair at its end. Windows of one class
+     * never overlap; the schedule is a pure function of (config,
+     * targets) and is exactly what schedule() previews.
+     */
+    void arm(EventQueue &eq, FaultHandler onFault, FaultHandler onRepair);
+
+    /**
+     * Deterministically enumerate the windowed events in [0, horizon)
+     * for a scenario, without an event queue — what arm() will play.
+     */
+    static std::vector<FaultEvent> schedule(const FaultConfig &cfg,
+                                            const FaultTargets &targets,
+                                            Time horizon);
+
+    /** Windowed faults injected so far (after arm()). */
+    std::size_t faultsInjected() const { return faultsInjected_; }
+
+    /** SSD read-attempt failures injected so far. */
+    std::size_t readFailuresInjected() const { return readFailures_; }
+
+  private:
+    /** Lazy per-class arrival generator state. */
+    struct ClassState
+    {
+        FaultKind kind;
+        FaultClassConfig cfg;
+        std::size_t numTargets = 0;
+        Rng rng;
+        Time prevEnd = 0.0;
+    };
+
+    static std::vector<ClassState> makeClasses(const FaultConfig &cfg,
+                                               const FaultTargets &targets);
+
+    /** Draw the class's next window (start measured from prevEnd). */
+    static FaultEvent nextEvent(ClassState &cs);
+
+    void scheduleClass(EventQueue &eq, std::size_t idx);
+
+    FaultConfig cfg_;
+    FaultTargets targets_;
+    Rng readFailRng_;
+    std::vector<ClassState> classes_;
+    FaultHandler onFault_;
+    FaultHandler onRepair_;
+    std::size_t faultsInjected_ = 0;
+    std::size_t readFailures_ = 0;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_SIM_FAULT_INJECTOR_HH

@@ -168,6 +168,7 @@ Builder::makeCentralStages(std::size_t g)
     PrepGroup group;
     group.name = "group" + std::to_string(g);
     group.numAccelerators = groupAccs[g].size();
+    group.preps = groupPreps[g];
 
     const auto &accs = groupAccs[g];
     const auto &preps = groupPreps[g];
@@ -403,16 +404,19 @@ Builder::makeClusteredStages(std::size_t g)
     PrepGroup group;
     group.name = "tbox" + std::to_string(g);
     group.numAccelerators = groupAccs[g].size();
+    group.preps = groupPreps[g];
 
     const auto &accs = groupAccs[g];
-    const auto &preps = groupPreps[g];
     const auto &ssds = groupSsds[g];
     const double acc_share = 1.0 / static_cast<double>(accs.size());
     const double ssd_share = 1.0 / static_cast<double>(ssds.size());
-    const double prep_share = 1.0 / static_cast<double>(preps.size());
+
+    using PrepVec = std::vector<PrepAccelerator *>;
+    const PrepVec &all_preps = groupPreps[g];
 
     // Local SSD -> FPGA fetch demands (shared by local/offload chains).
-    auto fetch_demands = [&]() {
+    auto fetch_demands = [&](const PrepVec &preps) {
+        const double prep_share = 1.0 / static_cast<double>(preps.size());
         DemandSet ds;
         for (auto *ssd : ssds) {
             ds.add(ssd->readDemand(d.ssdBytes * ssd_share).resource,
@@ -425,7 +429,8 @@ Builder::makeClusteredStages(std::size_t g)
         return ds;
     };
     // Local FPGA -> accelerator delivery demands.
-    auto deliver_demands = [&]() {
+    auto deliver_demands = [&](const PrepVec &preps) {
+        const double prep_share = 1.0 / static_cast<double>(preps.size());
         DemandSet ds;
         for (auto *prep : preps)
             for (auto *acc : accs)
@@ -435,59 +440,64 @@ Builder::makeClusteredStages(std::size_t g)
         return ds;
     };
 
-    // --- Local chain --------------------------------------------------
-    {
-        StageTemplate st;
-        st.name = "ssd_read";
-        st.category = stageCategory(PrepStage::SsdRead);
-        DemandSet ds = fetch_demands();
-        ds.add(s.cpu->resource(), kP2pControlCpu);
-        st.demandsPerSample = ds.build();
-        group.stages.push_back(std::move(st));
-    }
-    {
-        StageTemplate st;
-        st.name = "formatting";
-        st.category = stageCategory(PrepStage::Formatting);
-        DemandSet ds;
-        for (auto *prep : preps)
-            ds.add(prep->engine(), prep_share);
-        st.demandsPerSample = ds.build();
-        group.stages.push_back(std::move(st));
-    }
-    {
-        StageTemplate st;
-        st.name = "data_load";
-        st.category = stageCategory(PrepStage::DataLoad);
-        st.demandsPerSample = deliver_demands().build();
-        group.stages.push_back(std::move(st));
-    }
-    {
-        StageTemplate st;
-        st.name = "others";
-        st.category = stageCategory(PrepStage::Others);
-        DemandSet ds;
-        ds.add(s.cpu->resource(), kP2pControlCpu);
-        st.demandsPerSample = ds.build();
-        st.rateCap = cpuCap(kP2pControlCpu);
-        group.stages.push_back(std::move(st));
-    }
-
-    // --- Offload chain (prep-pool) -------------------------------------
-    if (s.pool && s.plan.offloadFraction > 0.0) {
-        group.offloadFraction = s.plan.offloadFraction;
-        const auto &pool = s.pool->fpgas();
-        const double pool_share =
-            1.0 / static_cast<double>(pool.size());
-
+    // The in-box P2P chain striped over @p preps (all FPGAs for the
+    // healthy template, the survivors for the degraded one).
+    auto local_chain = [&](const PrepVec &preps) {
+        const double prep_share = 1.0 / static_cast<double>(preps.size());
+        std::vector<StageTemplate> stages;
         {
             StageTemplate st;
             st.name = "ssd_read";
             st.category = stageCategory(PrepStage::SsdRead);
-            DemandSet ds = fetch_demands();
+            DemandSet ds = fetch_demands(preps);
             ds.add(s.cpu->resource(), kP2pControlCpu);
             st.demandsPerSample = ds.build();
-            group.offloadStages.push_back(std::move(st));
+            stages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "formatting";
+            st.category = stageCategory(PrepStage::Formatting);
+            DemandSet ds;
+            for (auto *prep : preps)
+                ds.add(prep->engine(), prep_share);
+            st.demandsPerSample = ds.build();
+            stages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "data_load";
+            st.category = stageCategory(PrepStage::DataLoad);
+            st.demandsPerSample = deliver_demands(preps).build();
+            stages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "others";
+            st.category = stageCategory(PrepStage::Others);
+            DemandSet ds;
+            ds.add(s.cpu->resource(), kP2pControlCpu);
+            st.demandsPerSample = ds.build();
+            st.rateCap = cpuCap(kP2pControlCpu);
+            stages.push_back(std::move(st));
+        }
+        return stages;
+    };
+
+    // The prep-pool chain entering/leaving through @p preps' Ethernet.
+    auto offload_chain = [&](const PrepVec &preps) {
+        const double prep_share = 1.0 / static_cast<double>(preps.size());
+        const auto &pool = s.pool->fpgas();
+        const double pool_share = 1.0 / static_cast<double>(pool.size());
+        std::vector<StageTemplate> stages;
+        {
+            StageTemplate st;
+            st.name = "ssd_read";
+            st.category = stageCategory(PrepStage::SsdRead);
+            DemandSet ds = fetch_demands(preps);
+            ds.add(s.cpu->resource(), kP2pControlCpu);
+            st.demandsPerSample = ds.build();
+            stages.push_back(std::move(st));
         }
         {
             StageTemplate st;
@@ -500,7 +510,7 @@ Builder::makeClusteredStages(std::size_t g)
             for (const auto &f : pool)
                 ds.add(f.port, d.ssdBytes * pool_share);
             st.demandsPerSample = ds.build();
-            group.offloadStages.push_back(std::move(st));
+            stages.push_back(std::move(st));
         }
         {
             StageTemplate st;
@@ -510,7 +520,7 @@ Builder::makeClusteredStages(std::size_t g)
             for (const auto &f : pool)
                 ds.add(f.engine, pool_share);
             st.demandsPerSample = ds.build();
-            group.offloadStages.push_back(std::move(st));
+            stages.push_back(std::move(st));
         }
         {
             StageTemplate st;
@@ -524,14 +534,113 @@ Builder::makeClusteredStages(std::size_t g)
                 ds.add(prep->ethernetPort(),
                        d.preparedBytes * prep_share);
             st.demandsPerSample = ds.build();
-            group.offloadStages.push_back(std::move(st));
+            stages.push_back(std::move(st));
         }
         {
             StageTemplate st;
             st.name = "data_load";
             st.category = stageCategory(PrepStage::DataLoad);
-            st.demandsPerSample = deliver_demands().build();
-            group.offloadStages.push_back(std::move(st));
+            st.demandsPerSample = deliver_demands(preps).build();
+            stages.push_back(std::move(st));
+        }
+        return stages;
+    };
+
+    // Host-memory fallback chain (P2P route lost): the box's data takes
+    // the central presets' Step-1 staging path through host DRAM.
+    auto host_chain = [&]() {
+        const double prep_share =
+            1.0 / static_cast<double>(all_preps.size());
+        std::vector<StageTemplate> stages;
+        {
+            StageTemplate st;
+            st.name = "ssd_read";
+            st.category = stageCategory(PrepStage::SsdRead);
+            DemandSet ds;
+            for (auto *ssd : ssds) {
+                ds.add(ssd->readDemand(d.ssdBytes * ssd_share).resource,
+                       d.ssdBytes * ssd_share);
+                ds.add(topo.hostRouteDemands(ssd->node(), false,
+                                             d.ssdBytes * ssd_share));
+            }
+            ds.add(s.hostMem->resource(), d.ssdBytes);
+            ds.add(s.cpu->resource(), kDmaSetupCpu);
+            st.demandsPerSample = ds.build();
+            stages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "copy_to_prep";
+            st.category = "data_copy";
+            DemandSet ds;
+            ds.add(s.hostMem->resource(), d.ssdBytes);
+            ds.add(s.cpu->resource(), kDmaSetupCpu);
+            for (auto *prep : all_preps)
+                ds.add(topo.hostRouteDemands(prep->node(), true,
+                                             d.ssdBytes * prep_share));
+            st.demandsPerSample = ds.build();
+            stages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "formatting";
+            st.category = stageCategory(PrepStage::Formatting);
+            DemandSet ds;
+            for (auto *prep : all_preps)
+                ds.add(prep->engine(), prep_share);
+            st.demandsPerSample = ds.build();
+            stages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "copy_from_prep";
+            st.category = "data_copy";
+            DemandSet ds;
+            ds.add(s.hostMem->resource(), d.preparedBytes);
+            ds.add(s.cpu->resource(), kDmaSetupCpu);
+            for (auto *prep : all_preps)
+                ds.add(topo.hostRouteDemands(prep->node(), false,
+                                             d.preparedBytes *
+                                                 prep_share));
+            st.demandsPerSample = ds.build();
+            stages.push_back(std::move(st));
+        }
+        {
+            StageTemplate st;
+            st.name = "data_load";
+            st.category = stageCategory(PrepStage::DataLoad);
+            DemandSet ds;
+            ds.add(s.hostMem->resource(), d.preparedBytes);
+            ds.add(s.cpu->resource(), kDmaSetupCpu);
+            for (auto *acc : accs)
+                ds.add(topo.hostRouteDemands(acc->node(), true,
+                                             d.preparedBytes * acc_share));
+            st.demandsPerSample = ds.build();
+            stages.push_back(std::move(st));
+        }
+        return stages;
+    };
+
+    // --- Local chain --------------------------------------------------
+    group.stages = local_chain(all_preps);
+
+    // --- Recovery templates (exercised only under fault injection) ----
+    group.hostPathStages = host_chain();
+    if (all_preps.size() > 1) {
+        const PrepVec survivors(all_preps.begin(), all_preps.end() - 1);
+        group.degradedStages = local_chain(survivors);
+    }
+
+    // --- Offload chain (prep-pool) -------------------------------------
+    // Built whenever the pool exists — even at offloadFraction 0 — so
+    // crash failover can lend pool capacity to a degraded box.
+    if (s.pool) {
+        group.offloadFraction = s.plan.offloadFraction;
+        group.offloadStages = offload_chain(all_preps);
+        if (all_preps.size() > 1) {
+            const PrepVec survivors(all_preps.begin(),
+                                    all_preps.end() - 1);
+            group.degradedOffloadStages = offload_chain(survivors);
         }
     }
 

@@ -65,6 +65,27 @@ struct PrepGroup
 
     /** Serial chain for the offloaded fraction (runs in parallel). */
     std::vector<StageTemplate> offloadStages;
+
+    /** Prep accelerators serving this group (builder-assigned order). */
+    std::vector<PrepAccelerator *> preps;
+
+    /**
+     * Recovery-path templates (clustered presets; see
+     * docs/ROBUSTNESS.md). The fault convention is that a prep-FPGA
+     * crash kills preps.back(); the degraded chains stripe over the
+     * survivors only. Empty when the group has no survivor (single
+     * FPGA) — then only the prep-pool can absorb the load.
+     */
+    std::vector<StageTemplate> degradedStages;
+
+    /** Offload chain avoiding the crashed FPGA's Ethernet port. */
+    std::vector<StageTemplate> degradedOffloadStages;
+
+    /**
+     * Local chain staged through host memory — the fallback when the
+     * switch-local P2P route is lost (route-loss faults).
+     */
+    std::vector<StageTemplate> hostPathStages;
 };
 
 /** A fully assembled simulated server. */

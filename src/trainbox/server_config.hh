@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault_injector.hh"
 #include "sync/sync_model.hh"
 #include "workload/model_zoo.hh"
 
@@ -121,6 +122,14 @@ struct ServerConfig
      * pool; 0 = no pool; positive = fixed pool size.
      */
     int prepPoolFpgas = -1;
+
+    /**
+     * Fault-injection scenario + recovery policy (docs/ROBUSTNESS.md).
+     * Disabled by default; when disabled the session takes exactly the
+     * fault-free path (results are bit-identical to a build without
+     * the fault subsystem).
+     */
+    FaultConfig faults;
 
     /** Resolved per-accelerator batch size. */
     std::size_t effectiveBatchSize() const;

@@ -33,6 +33,13 @@ SessionResult::rcBwUsed() const
     return total;
 }
 
+double
+SessionResult::goodput(double fault_free_throughput) const
+{
+    return fault_free_throughput > 0.0
+        ? throughput / fault_free_throughput : 0.0;
+}
+
 TrainingSession::TrainingSession(Server &server) : server_(server)
 {
     groups_.resize(server_.groups.size());
@@ -108,6 +115,17 @@ TrainingSession::launchPrep(std::size_t g)
     // so a slow prep-pool round-trip never stalls completed local work.
     while (gs.readySamples + gs.inFlightSamples < window - 1e-6) {
         gs.inFlightSamples += chunk;
+        if (fault_) {
+            // Tracked chains so faults can cancel and re-dispatch them;
+            // a crashed FPGA's share shifts onto the prep-pool.
+            const double fe = effectiveOffload(g);
+            const double local = chunk * (1.0 - fe);
+            if (local > 0.0)
+                launchFaultChain(g, /*offload=*/false, local);
+            if (fe > 0.0)
+                launchFaultChain(g, /*offload=*/true, chunk * fe);
+            continue;
+        }
         const Time start = server_.eq.now();
         const double local = chunk * (1.0 - f);
         runChain(gs.spec->name, gs.spec->stages, local, 0,
@@ -139,6 +157,238 @@ TrainingSession::onChainDone(std::size_t g, double samples,
     launchPrep(g);
 }
 
+// --- fault-injection path ------------------------------------------------
+//
+// Under fault injection every prep chain is a tracked ChainRun so that an
+// open fault window can cancel its current flow and re-dispatch it on a
+// recovery template. The fault-free path above never allocates any of
+// this.
+
+const std::vector<StageTemplate> &
+TrainingSession::selectStages(const ChainRun &run) const
+{
+    const GroupState &gs = groups_[run.group];
+    const PrepGroup &spec = *gs.spec;
+    if (run.offload) {
+        if (gs.prepDegraded && !spec.degradedOffloadStages.empty())
+            return spec.degradedOffloadStages;
+        return spec.offloadStages;
+    }
+    if (gs.routeLost && fault_->config().hostFallback &&
+        !spec.hostPathStages.empty())
+        return spec.hostPathStages;
+    if (gs.prepDegraded && fault_->config().poolFailover &&
+        !spec.degradedStages.empty())
+        return spec.degradedStages;
+    return spec.stages;
+}
+
+double
+TrainingSession::effectiveOffload(std::size_t g) const
+{
+    const GroupState &gs = groups_[g];
+    const double f = gs.spec->offloadFraction;
+    if (!gs.prepDegraded || !fault_->config().poolFailover ||
+        gs.spec->offloadStages.empty())
+        return f;
+    if (gs.spec->degradedStages.empty())
+        return 1.0; // no surviving FPGA: the pool takes the whole chunk
+    // The dead FPGA's share of the local fraction moves to the pool.
+    const double share =
+        1.0 / static_cast<double>(gs.spec->preps.size());
+    return f + (1.0 - f) * share;
+}
+
+void
+TrainingSession::launchFaultChain(std::size_t g, bool offload,
+                                  double samples)
+{
+    const std::uint64_t cid = nextChainId_++;
+    ChainRun run;
+    run.group = g;
+    run.offload = offload;
+    run.samples = samples;
+    run.start = server_.eq.now();
+    run.track = groups_[g].spec->name + (offload ? ".offload" : "");
+    auto [it, inserted] = chains_.emplace(cid, std::move(run));
+    it->second.stages = &selectStages(it->second);
+    startChainStage(cid, 0);
+}
+
+void
+TrainingSession::startChainStage(std::uint64_t cid, std::size_t idx)
+{
+    auto cit = chains_.find(cid);
+    if (cit == chains_.end())
+        return;
+    ChainRun &run = cit->second;
+    const std::vector<StageTemplate> &stages = *run.stages;
+    if (idx >= stages.size()) {
+        const std::size_t g = run.group;
+        const double samples = run.samples;
+        const Time chain_start = run.start;
+        chains_.erase(cit);
+        onChainDone(g, samples, chain_start);
+        return;
+    }
+    const StageTemplate &st = stages[idx];
+    const Time start = server_.eq.now();
+    const std::uint64_t epoch = run.epoch;
+    FlowSpec spec;
+    spec.category = st.category;
+    spec.size = run.samples;
+    spec.rateCap = st.rateCap;
+    spec.fairWeight = st.fairWeight;
+    spec.demands = st.demandsPerSample;
+    spec.onComplete = [this, cid, idx, start, epoch](Time now) {
+        auto it = chains_.find(cid);
+        if (it == chains_.end() || it->second.epoch != epoch)
+            return;
+        ChainRun &run = it->second;
+        run.flow = 0;
+        const StageTemplate &done = (*run.stages)[idx];
+        if (measuring()) {
+            stageTimeSum_[done.name] += now - start;
+            ++stageTimeCount_[done.name];
+        }
+        if (trace_)
+            trace_->complete(run.track, done.name, start, now - start,
+                             "prep");
+        if (done.name == "ssd_read" && handleReadFailure(cid, idx))
+            return;
+        startChainStage(cid, idx + 1);
+    };
+    run.flow = server_.net.startFlow(std::move(spec));
+}
+
+/**
+ * Bounded-retry policy for SSD reads. Returns true when the read failed
+ * and this function took over scheduling (retry after backoff, or chain
+ * restart once the retry budget is exhausted).
+ */
+bool
+TrainingSession::handleReadFailure(std::uint64_t cid, std::size_t idx)
+{
+    ChainRun &run = chains_.find(cid)->second;
+    const FaultConfig &fc = fault_->config();
+    if (fc.ssdReadFailureProb <= 0.0 || !fault_->ssdReadAttemptFails()) {
+        run.readAttempts = 0;
+        return false;
+    }
+    const Time now = server_.eq.now();
+    if (run.readAttempts < fc.maxReadRetries) {
+        const Time backoff = fc.retryBackoffBase *
+            static_cast<double>(std::uint64_t{1} << run.readAttempts);
+        ++run.readAttempts;
+        ++faultStats_.ssdRetries;
+        if (trace_)
+            trace_->instant(run.track, "read_retry", now, "fault");
+        const std::uint64_t epoch = run.epoch;
+        server_.eq.scheduleIn(backoff, [this, cid, idx, epoch] {
+            auto it = chains_.find(cid);
+            if (it == chains_.end() || it->second.epoch != epoch)
+                return;
+            startChainStage(cid, idx);
+        });
+        return true;
+    }
+    // Retry budget exhausted: abandon the chunk and restart the chain on
+    // fresh data (the dataset is sharded; another replica serves it).
+    ++faultStats_.chunksAbandoned;
+    run.readAttempts = 0;
+    run.stages = &selectStages(run);
+    ++run.epoch;
+    if (trace_)
+        trace_->instant(run.track, "chunk_abandoned", now, "fault");
+    startChainStage(cid, 0);
+    return true;
+}
+
+void
+TrainingSession::redispatchLocalChains(std::size_t g)
+{
+    for (auto &[cid, run] : chains_) {
+        if (run.group != g || run.offload)
+            continue;
+        if (run.flow != 0) {
+            server_.net.cancelFlow(run.flow);
+            run.flow = 0;
+        }
+        run.stages = &selectStages(run);
+        run.readAttempts = 0;
+        ++run.epoch;
+        startChainStage(cid, 0);
+    }
+}
+
+void
+TrainingSession::onFault(const FaultEvent &ev)
+{
+    if (activeFaultWindows_++ == 0)
+        degradedStart_ = server_.eq.now();
+    if (trace_)
+        trace_->complete("faults", faultKindName(ev.kind), ev.start,
+                         ev.duration, "fault");
+    switch (ev.kind) {
+      case FaultKind::SsdDegrade:
+        server_.ssds[ev.target]->setReadBandwidthScale(ev.magnitude);
+        break;
+      case FaultKind::PrepCrash: {
+        GroupState &gs = groups_[ev.target];
+        if (gs.spec->preps.empty())
+            break;
+        gs.spec->preps.back()->setFailed(true);
+        gs.prepDegraded = true;
+        if (fault_->config().poolFailover) {
+            ++faultStats_.prepFailovers;
+            redispatchLocalChains(ev.target);
+        }
+        break;
+      }
+      case FaultKind::EthDegrade:
+        if (server_.pool)
+            server_.pool->setFabricBandwidthScale(ev.magnitude);
+        break;
+      case FaultKind::RouteLoss: {
+        GroupState &gs = groups_[ev.target];
+        gs.routeLost = true;
+        if (fault_->config().hostFallback &&
+            !gs.spec->hostPathStages.empty())
+            redispatchLocalChains(ev.target);
+        break;
+      }
+    }
+}
+
+void
+TrainingSession::onRepair(const FaultEvent &ev)
+{
+    switch (ev.kind) {
+      case FaultKind::SsdDegrade:
+        server_.ssds[ev.target]->setReadBandwidthScale(1.0);
+        break;
+      case FaultKind::PrepCrash: {
+        GroupState &gs = groups_[ev.target];
+        if (gs.spec->preps.empty())
+            break;
+        gs.spec->preps.back()->setFailed(false);
+        gs.prepDegraded = false;
+        // In-flight degraded chains finish where they are; chains
+        // launched from now on use the healthy templates again.
+        break;
+      }
+      case FaultKind::EthDegrade:
+        if (server_.pool)
+            server_.pool->setFabricBandwidthScale(1.0);
+        break;
+      case FaultKind::RouteLoss:
+        groups_[ev.target].routeLost = false;
+        break;
+    }
+    if (--activeFaultWindows_ == 0)
+        degradedTime_ += server_.eq.now() - degradedStart_;
+}
+
 void
 TrainingSession::tryStartCompute(std::size_t g)
 {
@@ -150,7 +400,29 @@ TrainingSession::tryStartCompute(std::size_t g)
     gs.readySamples -= groupBatchSamples(g);
     gs.computing = true;
     const Time start = server_.eq.now();
-    server_.eq.scheduleIn(server_.computeTime(), [this, g, start] {
+    Time duration = server_.computeTime();
+    if (fault_) {
+        const double factor =
+            fault_->stragglerFactor(g, gs.stepsComputed);
+        if (factor > 1.0) {
+            ++faultStats_.stragglerSteps;
+            const Time nominal = duration;
+            duration = nominal * factor;
+            // Straggler-tolerant barrier: if waiting the straggler out
+            // costs more than aborting at the timeout and re-running the
+            // group's compute from scratch, re-dispatch.
+            const double tf = fault_->config().stepTimeoutFactor;
+            const Time timeout = nominal * tf;
+            if (tf > 0.0 && timeout + nominal < duration) {
+                duration = timeout + nominal;
+                ++faultStats_.computeRedispatches;
+                if (trace_)
+                    trace_->instant(gs.spec->name, "compute_redispatch",
+                                    start + timeout, "fault");
+            }
+        }
+    }
+    server_.eq.scheduleIn(duration, [this, g, start] {
         if (trace_)
             trace_->complete(groups_[g].spec->name, "compute", start,
                              server_.eq.now() - start, "compute");
@@ -205,6 +477,17 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     warmupSteps_ = warmup;
     totalSteps_ = warmup + measure;
 
+    if (server_.cfg.faults.enabled) {
+        FaultTargets targets;
+        targets.numSsds = server_.ssds.size();
+        targets.numGroups = groups_.size();
+        fault_ = std::make_unique<FaultInjector>(server_.cfg.faults,
+                                                 targets);
+        fault_->arm(
+            server_.eq, [this](const FaultEvent &ev) { onFault(ev); },
+            [this](const FaultEvent &ev) { onRepair(ev); });
+    }
+
     for (std::size_t g = 0; g < groups_.size(); ++g)
         launchPrep(g);
 
@@ -241,6 +524,23 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     collect(server_.cpu->resource(), res.cpuCoresByCategory);
     collect(server_.hostMem->resource(), res.memBwByCategory);
     collect(server_.topo->rcResource(), res.rcBwByCategory);
+
+    if (fault_) {
+        // Fault windows still open when the run ends never see their
+        // repair event; close the degradation interval at the end time.
+        if (activeFaultWindows_ > 0) {
+            degradedTime_ += server_.eq.now() - degradedStart_;
+            activeFaultWindows_ = 0;
+        }
+        res.faults = faultStats_;
+        res.faults.faultsInjected = fault_->faultsInjected();
+        res.faults.readFailures = fault_->readFailuresInjected();
+        res.faults.degradedTime = degradedTime_;
+    }
+
+    // The trace writer is borrowed; drop it so a writer destroyed after
+    // run() can never be reached through this session.
+    trace_ = nullptr;
     return res;
 }
 

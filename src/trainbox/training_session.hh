@@ -12,15 +12,27 @@
  * (after warmup), per-stage preparation latencies (Fig 9), and per-
  * category host-resource consumption (Figs 11/22) via the fluid
  * accounting.
+ *
+ * When ServerConfig::faults.enabled is set the session additionally
+ * drives a FaultInjector and implements the recovery policies described
+ * in docs/ROBUSTNESS.md: bounded SSD read retries with exponential
+ * backoff, prep-FPGA crash failover onto the survivors and the prep
+ * pool, host-memory fallback on P2P route loss, and a straggler-
+ * tolerant sync barrier. With injection disabled (the default) the
+ * fault path is never taken and results are bit-identical to a session
+ * without the fault subsystem.
  */
 
 #ifndef TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
 #define TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/fault_injector.hh"
 #include "sim/trace.hh"
 #include "trainbox/server_builder.hh"
 
@@ -59,6 +71,26 @@ struct SessionResult
     /** PCIe root-complex bandwidth by category (bytes/s). */
     std::map<std::string, double> rcBwByCategory;
 
+    /** Fault-injection and recovery counters (all zero when disabled). */
+    struct FaultStats
+    {
+        std::size_t faultsInjected = 0;      ///< fault windows opened
+        std::size_t readFailures = 0;        ///< failed SSD read attempts
+        std::size_t ssdRetries = 0;          ///< reads retried after backoff
+        std::size_t chunksAbandoned = 0;     ///< chunks restarted from scratch
+        std::size_t prepFailovers = 0;       ///< crashes absorbed by failover
+        std::size_t computeRedispatches = 0; ///< straggler timeouts fired
+        std::size_t stragglerSteps = 0;      ///< group-steps that straggled
+        Time degradedTime = 0.0; ///< wall time with >=1 open fault window
+    };
+    FaultStats faults;
+
+    /**
+     * Goodput fraction: this run's throughput relative to a fault-free
+     * reference throughput (same config with faults.enabled = false).
+     */
+    double goodput(double faultFreeThroughput) const;
+
     /** Sums of the per-category maps. */
     double cpuCoresUsed() const;
     double memBwUsed() const;
@@ -79,8 +111,10 @@ class TrainingSession
 
     /**
      * Record a Chrome-trace timeline (prep stages per group, compute
-     * spans, sync spans) into @p trace. Must be set before run();
-     * the writer must outlive the session.
+     * spans, sync spans, fault windows) into @p trace. Must be set
+     * before run(); the writer is only dereferenced *during* run() and
+     * the session drops the pointer when run() returns, so the writer
+     * must outlive the run() call (not the session).
      */
     void setTrace(TraceWriter *trace) { trace_ = trace; }
 
@@ -92,7 +126,28 @@ class TrainingSession
         double inFlightSamples = 0.0; ///< samples in running chains
         bool computing = false;
         std::size_t stepsComputed = 0;
-        // Per in-flight chain bookkeeping is closure-captured.
+        bool prepDegraded = false; ///< its prep FPGA is currently down
+        bool routeLost = false;    ///< its P2P route is currently down
+        // Per in-flight chain bookkeeping is closure-captured
+        // (fault-free) or held in ChainRun records (fault injection).
+    };
+
+    /** One in-flight prep chain (tracked only under fault injection). */
+    struct ChainRun
+    {
+        std::size_t group = 0;
+        bool offload = false;
+        double samples = 0.0;
+        Time start = 0.0;
+        std::string track;
+
+        /** Template in use; re-selected on every (re-)dispatch. */
+        const std::vector<StageTemplate> *stages = nullptr;
+
+        FlowId flow = 0;              ///< current stage's flow (0 = none)
+        std::size_t readAttempts = 0; ///< failed reads of current chunk
+        std::uint64_t epoch = 0;      ///< bumped on re-dispatch; stales
+                                      ///< pending retry events
     };
 
     void launchPrep(std::size_t g);
@@ -107,9 +162,28 @@ class TrainingSession
     void onComputeDone(std::size_t g);
     void onSyncDone();
 
+    // --- fault-injection path (never reached when fault_ is null) ----
+    void onFault(const FaultEvent &ev);
+    void onRepair(const FaultEvent &ev);
+    void launchFaultChain(std::size_t g, bool offload, double samples);
+    void startChainStage(std::uint64_t cid, std::size_t idx);
+    bool handleReadFailure(std::uint64_t cid, std::size_t idx);
+    const std::vector<StageTemplate> &selectStages(const ChainRun &run)
+        const;
+    double effectiveOffload(std::size_t g) const;
+    void redispatchLocalChains(std::size_t g);
+
     Server &server_;
     std::vector<GroupState> groups_;
     TraceWriter *trace_ = nullptr;
+
+    std::unique_ptr<FaultInjector> fault_;
+    std::map<std::uint64_t, ChainRun> chains_;
+    std::uint64_t nextChainId_ = 1;
+    SessionResult::FaultStats faultStats_;
+    std::size_t activeFaultWindows_ = 0;
+    Time degradedStart_ = 0.0;
+    Time degradedTime_ = 0.0;
 
     std::size_t barrier_ = 0;
     std::size_t syncedSteps_ = 0;

@@ -143,21 +143,36 @@ TEST_F(PcieTest, DeepRouteTraversesAllLevels)
     EXPECT_EQ(demands.size(), 4u); // 3 links + RC
 }
 
-TEST(PcieDeath, AttachUnderDevicePanics)
+// Malformed attachments are recoverable build errors, not aborts: the
+// call returns pcie::kInvalidNode, records the reason, and leaves the tree
+// untouched so a builder can reject the machine description cleanly.
+TEST(PcieError, AttachUnderDeviceRejected)
 {
     EventQueue eq;
     FluidNetwork net(eq);
     Topology topo(net, "rc", 1e9);
     const NodeId dev = topo.addDevice("d", topo.root(), 1e9);
-    EXPECT_DEATH(topo.addDevice("x", dev, 1e9), "device");
+    const std::size_t before = topo.numNodes();
+    EXPECT_EQ(topo.addDevice("x", dev, 1e9), pcie::kInvalidNode);
+    EXPECT_NE(topo.lastError().find("device"), std::string::npos);
+    EXPECT_EQ(topo.numNodes(), before);
+    EXPECT_TRUE(topo.node(dev).children.empty());
 }
 
-TEST(PcieDeath, InvalidParentPanics)
+TEST(PcieError, InvalidParentRejected)
 {
     EventQueue eq;
     FluidNetwork net(eq);
     Topology topo(net, "rc", 1e9);
-    EXPECT_DEATH(topo.addSwitch("s", 99, 1e9), "invalid parent");
+    const std::size_t before = topo.numNodes();
+    EXPECT_EQ(topo.addSwitch("s", 99, 1e9), pcie::kInvalidNode);
+    EXPECT_NE(topo.lastError().find("invalid parent"), std::string::npos);
+    EXPECT_EQ(topo.numNodes(), before);
+
+    // A later valid attachment still works and clears nothing it
+    // should not: the error string describes only the failed call.
+    const NodeId sw = topo.addSwitch("s", topo.root(), 1e9);
+    EXPECT_NE(sw, pcie::kInvalidNode);
 }
 
 } // namespace

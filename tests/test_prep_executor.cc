@@ -207,6 +207,58 @@ TEST(PrepExecutor, CorruptItemReportsFailureNotCrash)
     EXPECT_DOUBLE_EQ(executor.statsSnapshot().itemsFailed, 1.0);
 }
 
+// A poison item is retried a bounded number of times in-task, then
+// quarantined with its submission index and error — never re-enqueued.
+TEST(PrepExecutor, PoisonItemQuarantinedAfterBoundedRetries)
+{
+    prep::ExecutorConfig cfg = smallImageConfig(2);
+    cfg.maxItemRetries = 2;
+    prep::PrepExecutor executor(cfg);
+
+    auto jpegs = makeJpegs(3, 80);
+    jpegs[1] = {0xDE, 0xAD, 0xBE, 0xEF}; // poison at index 1
+    auto futures = executor.submitImageBatch(std::move(jpegs));
+    EXPECT_TRUE(futures[0].get().ok);
+    prep::PreparedImage poison = futures[1].get();
+    EXPECT_FALSE(poison.ok);
+    EXPECT_FALSE(poison.error.empty());
+    EXPECT_TRUE(futures[2].get().ok);
+    executor.shutdown();
+
+    const prep::ExecutorStatsSnapshot s = executor.statsSnapshot();
+    EXPECT_DOUBLE_EQ(s.itemsPrepared, 2.0);
+    EXPECT_DOUBLE_EQ(s.itemsFailed, 1.0);
+    // The deterministic decode fails on every attempt: the initial try
+    // plus exactly maxItemRetries retries, no more.
+    EXPECT_DOUBLE_EQ(s.itemsRetried, 2.0);
+    EXPECT_DOUBLE_EQ(s.itemsQuarantined, 1.0);
+
+    const auto quarantined = executor.quarantined();
+    ASSERT_EQ(quarantined.size(), 1u);
+    EXPECT_EQ(quarantined[0].itemIndex, 1u);
+    EXPECT_EQ(quarantined[0].error, poison.error);
+}
+
+// Attempt 0 uses the same per-item stream whether or not retries are
+// enabled, so turning the policy on cannot change healthy outputs.
+TEST(PrepExecutor, RetryPolicyDoesNotPerturbHealthyItems)
+{
+    auto run = [](std::size_t retries) {
+        prep::ExecutorConfig cfg = smallImageConfig(2);
+        cfg.maxItemRetries = retries;
+        prep::PrepExecutor executor(cfg);
+        std::vector<std::vector<float>> tensors;
+        for (auto &f : executor.submitImageBatch(makeJpegs(6, 80)))
+            tensors.push_back(f.get().tensor);
+        const prep::ExecutorStatsSnapshot s = executor.statsSnapshot();
+        EXPECT_DOUBLE_EQ(s.itemsRetried, 0.0);
+        EXPECT_DOUBLE_EQ(s.itemsQuarantined, 0.0);
+        EXPECT_TRUE(executor.quarantined().empty());
+        return tensors;
+    };
+    EXPECT_EQ(run(0), run(3));
+}
+
 // MPMC stress: >=1000 items through >=4 workers with a tight queue
 // bound, plus a concurrent audio producer thread. Run under
 // -DTB_SANITIZE=thread to validate the locking protocol.

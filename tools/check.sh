@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the tier-1 test suite under ASan+UBSan and run it.
+#
+# The robustness suites (tests/test_jpeg_corrupt.cc in particular) claim
+# "no out-of-bounds access on corrupt input"; that claim is only
+# machine-checked when the decoder actually runs instrumented. This
+# script is that check: a separate build tree configured with
+# -DTB_SANITIZE=address+undefined, then the full ctest run.
+#
+# Usage: tools/check.sh [build-dir] [ctest-args...]
+#   build-dir defaults to build-asan (kept apart from the plain build).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan}"
+shift || true
+
+# Fail hard on any sanitizer report instead of continuing.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+    -DTB_SANITIZE=address+undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
