@@ -1,5 +1,7 @@
 #include "devices/ethernet.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace tb {
@@ -15,11 +17,16 @@ PrepPool::PrepPool(FluidNetwork &net, const std::string &name,
 void
 PrepPool::setFabricBandwidthScale(double scale)
 {
-    panic_if(scale <= 0.0, "fabric scale must be positive");
+    if (scale < 0.0 || scale > 1.0) {
+        warn("pool %s: fabric scale %g outside [0, 1]; clamping",
+             name_.c_str(), scale);
+        scale = std::clamp(scale, 0.0, 1.0);
+    }
     if (scale == fabricScale_)
         return;
     fabricScale_ = scale;
-    fabric_->setCapacity(nominalFabricBw_ * scale);
+    // Keep a tiny floor so in-flight flows stay finite-time.
+    fabric_->setCapacity(nominalFabricBw_ * std::max(scale, 1e-9));
     net_.capacityChanged();
 }
 

@@ -50,6 +50,7 @@ class PrepPool
     /**
      * Scale the switch fabric to @p scale x nominal bandwidth (fault
      * injection: Ethernet degradation windows). 1.0 restores health.
+     * Values outside [0, 1] are clamped with a logged warning.
      */
     void setFabricBandwidthScale(double scale);
 

@@ -6,6 +6,13 @@
  * (flash channels + controller). Reads place demand on the internal
  * resource and on the PCIe route toward the destination; the builder
  * composes the two.
+ *
+ * Writes (checkpoint drains) use a separate, slower internal write path
+ * — NAND program operations — but are not free for concurrent readers:
+ * program/erase cycles steal controller and channel time, so each
+ * written byte also consumes a fraction of the read path
+ * (kWriteReadInterference). This is what makes checkpoint traffic
+ * contend with data-preparation reads on the very SSDs that feed them.
  */
 
 #ifndef TRAINBOX_DEVICES_SSD_HH
@@ -24,14 +31,21 @@ class NvmeSsd
     /** Typical datacenter NVMe sequential-read bandwidth. */
     static constexpr Rate defaultReadBandwidth = 3.2e9;
 
+    /** Sequential-write (NAND program) bandwidth; well below reads. */
+    static constexpr Rate defaultWriteBandwidth = 1.8e9;
+
+    /** Read-path capacity consumed per written byte (mixed workload). */
+    static constexpr double kWriteReadInterference = 0.35;
+
     /**
-     * Create the device: attaches a PCIe leaf under @p parent and an
-     * internal read-bandwidth resource in @p net.
+     * Create the device: attaches a PCIe leaf under @p parent and
+     * internal read/write bandwidth resources in @p net.
      */
     NvmeSsd(FluidNetwork &net, pcie::Topology &topo,
             const std::string &name, pcie::NodeId parent,
             Rate linkBw = pcie::gen::gen3x16 / 4.0,
-            Rate readBw = defaultReadBandwidth);
+            Rate readBw = defaultReadBandwidth,
+            Rate writeBw = defaultWriteBandwidth);
 
     const std::string &name() const { return name_; }
     pcie::NodeId node() const { return node_; }
@@ -39,16 +53,36 @@ class NvmeSsd
     /** Internal read-path resource. */
     FluidResource *readBandwidth() const { return readBw_; }
 
+    /** Internal write-path (NAND program) resource. */
+    FluidResource *writeBandwidth() const { return writeBw_; }
+
     /** Demand on the internal read path per flow base unit. */
     FlowDemand readDemand(double bytesPerUnit) const
     {
         return {readBw_, bytesPerUnit};
     }
 
+    /** Demand on the internal write path per flow base unit. */
+    FlowDemand writeDemand(double bytesPerUnit) const
+    {
+        return {writeBw_, bytesPerUnit};
+    }
+
+    /**
+     * Read-path capacity a write flow steals per base unit — writes
+     * and reads share controller/channel time, so checkpoint drains
+     * slow concurrent prep reads even with a dedicated write resource.
+     */
+    FlowDemand writeReadInterference(double bytesPerUnit) const
+    {
+        return {readBw_, bytesPerUnit * kWriteReadInterference};
+    }
+
     /**
      * Scale the read path to @p scale x nominal bandwidth (fault
      * injection: latency-spike windows). 1.0 restores full health;
-     * in-flight flows re-converge immediately.
+     * in-flight flows re-converge immediately. Values outside [0, 1]
+     * are clamped with a logged warning.
      */
     void setReadBandwidthScale(double scale);
 
@@ -60,6 +94,7 @@ class NvmeSsd
     std::string name_;
     pcie::NodeId node_;
     FluidResource *readBw_;
+    FluidResource *writeBw_;
     Rate nominalReadBw_;
     double readScale_ = 1.0;
 };

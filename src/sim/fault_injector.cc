@@ -42,6 +42,8 @@ faultKindName(FaultKind kind)
         return "eth_degrade";
       case FaultKind::RouteLoss:
         return "route_loss";
+      case FaultKind::FatalCrash:
+        return "fatal_crash";
     }
     return "unknown";
 }
@@ -78,6 +80,18 @@ FaultInjector::makeClasses(const FaultConfig &cfg,
     add(FaultKind::PrepCrash, cfg.prepCrash, targets.numGroups);
     add(FaultKind::EthDegrade, cfg.ethDegrade, 1);
     add(FaultKind::RouteLoss, cfg.routeLoss, targets.numGroups);
+    // Fatal crashes are point events: the configured duration is
+    // ignored (forced to 0) so arrivals stay a Poisson process with
+    // MTBF = 1/rate regardless of what the scenario struct says.
+    if (cfg.fatalCrash.ratePerSec > 0.0) {
+        FaultClassConfig fatal = cfg.fatalCrash;
+        fatal.duration = 0.0;
+        fatal.magnitude = 0.0;
+        classes.push_back(ClassState{
+            FaultKind::FatalCrash, fatal, 1,
+            Rng(mix64(cfg.seed ^ classStreamTag(FaultKind::FatalCrash))),
+            0.0});
+    }
     return classes;
 }
 

@@ -46,6 +46,7 @@ enum class FaultKind
     PrepCrash,   ///< one group's prep FPGA dies until repaired
     EthDegrade,  ///< the prep-pool Ethernet fabric loses capacity
     RouteLoss,   ///< one group loses its switch-local P2P route
+    FatalCrash,  ///< whole-machine crash: rollback to last checkpoint
 };
 
 /** Display name of a fault kind ("ssd_degrade", ...). */
@@ -94,6 +95,18 @@ struct FaultConfig
     FaultClassConfig prepCrash;
     FaultClassConfig ethDegrade;
     FaultClassConfig routeLoss;
+
+    /**
+     * Whole-machine fatal crashes (training process dies, state is
+     * lost). Point events: `duration` and `magnitude` are ignored and
+     * the window machinery schedules an instantaneous fault+repair
+     * pair. The mean time between failures is 1 / ratePerSec — the
+     * MTBF the Young–Daly interval analysis consumes
+     * (trainbox/checkpoint.hh). Recovery — rollback to the last
+     * durable checkpoint, replay, restart latency — is implemented by
+     * TrainingSession + Checkpointer.
+     */
+    FaultClassConfig fatalCrash;
 
     // --- recovery policy --------------------------------------------
 

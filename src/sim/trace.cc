@@ -51,6 +51,13 @@ TraceWriter::instant(const std::string &track, const std::string &name,
     events_.push_back({'i', name, category, trackId(track), when, 0.0});
 }
 
+void
+TraceWriter::counter(const std::string &track, const std::string &name,
+                     Time when, double value)
+{
+    events_.push_back({'C', name, "sim", trackId(track), when, value});
+}
+
 std::string
 TraceWriter::toJson() const
 {
@@ -79,6 +86,14 @@ TraceWriter::toJson() const
                           jsonEscape(e.name).c_str(),
                           jsonEscape(e.category).c_str(), e.start * 1e6,
                           e.duration * 1e6);
+        } else if (e.phase == 'C') {
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"ph\":\"C\",\"pid\":1,\"tid\":%d,"
+                          "\"name\":\"%s\",\"ts\":%.3f,"
+                          "\"args\":{\"value\":%g}}",
+                          first ? "" : ",", e.track,
+                          jsonEscape(e.name).c_str(), e.start * 1e6,
+                          e.duration);
         } else {
             std::snprintf(buf, sizeof(buf),
                           "%s{\"ph\":\"i\",\"pid\":1,\"tid\":%d,"

@@ -36,6 +36,10 @@ class TraceWriter
     void instant(const std::string &track, const std::string &name,
                  Time when, const std::string &category = "sim");
 
+    /** Record a counter sample ("C" event) — a stepped value track. */
+    void counter(const std::string &track, const std::string &name,
+                 Time when, double value);
+
     /** Number of recorded events. */
     std::size_t numEvents() const { return events_.size(); }
 
@@ -51,12 +55,12 @@ class TraceWriter
   private:
     struct Event
     {
-        char phase;   // 'X' or 'i'
+        char phase;   // 'X', 'i', or 'C'
         std::string name;
         std::string category;
         int track;
         Time start;
-        Time duration;
+        Time duration; // counter value for 'C' events
     };
 
     int trackId(const std::string &track);

@@ -19,6 +19,14 @@ constexpr double kDmaSetupCpu = 1.0e-5;
 /** Host CPU cost per sample when devices run the datapath (P2P). */
 constexpr double kP2pControlCpu = 5.0e-6;
 
+/**
+ * Host CPU cost of serializing + writing one checkpoint byte
+ * (core-sec/byte, ~1 core per GB/s). Central presets only: there the
+ * host process owns the checkpoint write path, whereas clustered boxes
+ * drain FPGA-staged snapshots to their SSDs without host involvement.
+ */
+constexpr double kCkptSerializeCpu = 1.0e-9;
+
 /** Shared state while assembling one server. */
 struct Builder
 {
@@ -333,6 +341,32 @@ Builder::makeCentralStages(std::size_t g)
         group.stages.push_back(std::move(st));
     }
 
+    // --- Checkpoint drain path (base unit: one byte) -----------------
+    // Central presets stage the snapshot through host DRAM and funnel
+    // it through the RC to the shared SSD boxes — the same RC the prep
+    // reads cross, so a drain directly steals prep bandwidth.
+    {
+        StageTemplate st;
+        st.name = "ckpt_write";
+        st.category = "checkpoint";
+        // The drain flows in bytes while prep flows in samples; under
+        // progressive filling a frozen flow's rate is level*weight, so
+        // weight by one sample's bytes to give the drain the fair share
+        // of one prep stream on every contended resource.
+        st.fairWeight = d.ssdBytes;
+        DemandSet ds;
+        ds.add(s.hostMem->resource(), 1.0);
+        ds.add(s.cpu->resource(), kCkptSerializeCpu);
+        for (auto *ssd : ssds) {
+            ds.add(ssd->writeDemand(ssd_share).resource, ssd_share);
+            ds.add(ssd->writeReadInterference(ssd_share).resource,
+                   ssd_share * NvmeSsd::kWriteReadInterference);
+            ds.add(topo.hostRouteDemands(ssd->node(), true, ssd_share));
+        }
+        st.demandsPerSample = ds.build();
+        group.checkpointWrite = std::move(st);
+    }
+
     s.groups.push_back(std::move(group));
 }
 
@@ -644,6 +678,32 @@ Builder::makeClusteredStages(std::size_t g)
         }
     }
 
+    // --- Checkpoint drain path (base unit: one byte) -------------------
+    // Clustered boxes drain through their FPGAs to their *own* SSDs over
+    // the box switch — the write direction opposes the read direction on
+    // the switch links and never crosses the RC, so checkpoint traffic
+    // costs the prep path far less than in the central designs.
+    {
+        const double prep_share =
+            1.0 / static_cast<double>(all_preps.size());
+        StageTemplate st;
+        st.name = "ckpt_write";
+        st.category = "checkpoint";
+        // Same byte-vs-sample weight normalization as the central path.
+        st.fairWeight = d.ssdBytes;
+        DemandSet ds;
+        for (auto *ssd : ssds) {
+            ds.add(ssd->writeDemand(ssd_share).resource, ssd_share);
+            ds.add(ssd->writeReadInterference(ssd_share).resource,
+                   ssd_share * NvmeSsd::kWriteReadInterference);
+            for (auto *prep : all_preps)
+                ds.add(topo.routeDemands(prep->node(), ssd->node(),
+                                         ssd_share * prep_share));
+        }
+        st.demandsPerSample = ds.build();
+        group.checkpointWrite = std::move(st);
+    }
+
     s.groups.push_back(std::move(group));
 }
 
@@ -674,10 +734,8 @@ Server::syncTime() const
 std::unique_ptr<Server>
 buildServer(const ServerConfig &cfg)
 {
-    fatal_if(cfg.numAccelerators == 0,
-             "a server needs at least one accelerator");
-    fatal_if(cfg.prefetchDepth < 2,
-             "prefetchDepth must be >= 2 (next-batch prefetch)");
+    const std::string err = cfg.validate();
+    fatal_if(!err.empty(), "invalid server config: %s", err.c_str());
 
     auto server = std::make_unique<Server>(cfg);
     server->topo = std::make_unique<pcie::Topology>(

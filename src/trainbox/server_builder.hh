@@ -86,6 +86,15 @@ struct PrepGroup
      * switch-local P2P route is lost (route-loss faults).
      */
     std::vector<StageTemplate> hostPathStages;
+
+    /**
+     * Checkpoint drain path for this group's snapshot shard (base unit:
+     * one byte). Clustered presets write to the box's own SSDs over the
+     * box switch; central presets funnel through the RC to the SSD
+     * boxes — contending with prep reads either way. Used only by the
+     * Checkpointer; costs nothing when checkpointing is disabled.
+     */
+    StageTemplate checkpointWrite;
 };
 
 /** A fully assembled simulated server. */

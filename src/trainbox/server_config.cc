@@ -1,5 +1,7 @@
 #include "trainbox/server_config.hh"
 
+#include <cstdio>
+
 #include "common/logging.hh"
 
 namespace tb {
@@ -92,6 +94,113 @@ ServerConfig::effectiveBatchSize() const
     if (batchSize != 0)
         return batchSize;
     return workload::model(model).batchSize;
+}
+
+namespace {
+
+/** snprintf into a std::string (validation messages only). */
+template <typename... Args>
+std::string
+fmt(const char *format, Args... args)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), format, args...);
+    return buf;
+}
+
+/** Windowed-fault classes must have windows that end after they start. */
+std::string
+checkFaultClass(const char *name, const FaultClassConfig &cc)
+{
+    if (cc.ratePerSec < 0.0)
+        return fmt("faults.%s.ratePerSec must be >= 0, got %g", name,
+                   cc.ratePerSec);
+    if (cc.ratePerSec > 0.0 && cc.duration <= 0.0)
+        return fmt("faults.%s window ends at or before it starts "
+                   "(duration %g <= 0)",
+                   name, cc.duration);
+    if (cc.magnitude < 0.0)
+        return fmt("faults.%s.magnitude must be >= 0, got %g", name,
+                   cc.magnitude);
+    return "";
+}
+
+} // namespace
+
+std::string
+ServerConfig::validate() const
+{
+    if (numAccelerators == 0)
+        return "a server needs at least one accelerator "
+               "(numAccelerators == 0)";
+    if (prefetchDepth < 2)
+        return fmt("prefetchDepth must be >= 2 (next-batch prefetch), "
+                   "got %zu",
+                   prefetchDepth);
+    if (prepChunks == 0)
+        return "prepChunks must be > 0";
+    if (maxPrepParallelism <= 0.0)
+        return fmt("maxPrepParallelism must be > 0, got %g",
+                   maxPrepParallelism);
+
+    if (box.accPerBox == 0)
+        return "box.accPerBox must be > 0";
+    if (box.prepPerBox == 0)
+        return "box.prepPerBox must be > 0";
+    if (box.ssdsPerBox == 0)
+        return "box.ssdsPerBox must be > 0";
+    if (box.ssdsPerSsdBox == 0)
+        return "box.ssdsPerSsdBox must be > 0";
+
+    if (host.cpuCores <= 0.0)
+        return fmt("host.cpuCores must be > 0, got %g", host.cpuCores);
+    if (host.memBandwidth <= 0.0)
+        return fmt("host.memBandwidth must be > 0, got %g",
+                   host.memBandwidth);
+    if (host.rcBandwidth <= 0.0)
+        return fmt("host.rcBandwidth must be > 0, got %g",
+                   host.rcBandwidth);
+
+    if (faults.ssdReadFailureProb < 0.0 ||
+        faults.ssdReadFailureProb >= 1.0)
+        return fmt("faults.ssdReadFailureProb must be in [0, 1), got %g",
+                   faults.ssdReadFailureProb);
+    if (faults.stragglerProb < 0.0 || faults.stragglerProb > 1.0)
+        return fmt("faults.stragglerProb must be in [0, 1], got %g",
+                   faults.stragglerProb);
+    if (faults.stragglerFactor < 1.0)
+        return fmt("faults.stragglerFactor must be >= 1, got %g",
+                   faults.stragglerFactor);
+    std::string err;
+    if (!(err = checkFaultClass("ssdDegrade", faults.ssdDegrade)).empty())
+        return err;
+    if (!(err = checkFaultClass("prepCrash", faults.prepCrash)).empty())
+        return err;
+    if (!(err = checkFaultClass("ethDegrade", faults.ethDegrade)).empty())
+        return err;
+    if (!(err = checkFaultClass("routeLoss", faults.routeLoss)).empty())
+        return err;
+    // fatalCrash is a point event: duration is ignored, only the rate
+    // must be sane.
+    if (faults.fatalCrash.ratePerSec < 0.0)
+        return fmt("faults.fatalCrash.ratePerSec must be >= 0, got %g",
+                   faults.fatalCrash.ratePerSec);
+
+    if (checkpoint.restartLatency < 0.0)
+        return fmt("checkpoint.restartLatency must be >= 0, got %g",
+                   checkpoint.restartLatency);
+    if (checkpoint.enabled) {
+        if (checkpoint.interval <= 0.0)
+            return fmt("checkpoint.interval must be > 0, got %g",
+                       checkpoint.interval);
+        if (checkpoint.optimizerSlots < 0.0)
+            return fmt("checkpoint.optimizerSlots must be >= 0, got %g",
+                       checkpoint.optimizerSlots);
+        if (checkpoint.snapshotBandwidth <= 0.0)
+            return fmt("checkpoint.snapshotBandwidth must be > 0, got %g",
+                       checkpoint.snapshotBandwidth);
+    }
+    return "";
 }
 
 } // namespace tb

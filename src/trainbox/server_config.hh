@@ -23,6 +23,7 @@
 
 #include "sim/fault_injector.hh"
 #include "sync/sync_model.hh"
+#include "trainbox/checkpoint.hh"
 #include "workload/model_zoo.hh"
 
 namespace tb {
@@ -131,8 +132,24 @@ struct ServerConfig
      */
     FaultConfig faults;
 
+    /**
+     * Periodic checkpoint/restore scenario (docs/ROBUSTNESS.md,
+     * "Checkpoint & restore"). Disabled by default; when disabled the
+     * session takes exactly the checkpoint-free path (results are
+     * bit-identical to a build without the subsystem).
+     */
+    CheckpointConfig checkpoint;
+
     /** Resolved per-accelerator batch size. */
     std::size_t effectiveBatchSize() const;
+
+    /**
+     * Sanity-check the configuration. Returns an empty string when the
+     * config is buildable, else a description of the first problem
+     * found. ServerBuilder fatal()s on a non-empty result; callers
+     * constructing configs programmatically can check ahead of time.
+     */
+    std::string validate() const;
 };
 
 } // namespace tb

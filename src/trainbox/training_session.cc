@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/math_util.hh"
 
 namespace tb {
 
@@ -38,6 +39,17 @@ SessionResult::goodput(double fault_free_throughput) const
 {
     return fault_free_throughput > 0.0
         ? throughput / fault_free_throughput : 0.0;
+}
+
+double
+SessionResult::efficiency() const
+{
+    if (wallTime <= 0.0)
+        return 0.0;
+    const Time overhead = checkpoint.pauseTime +
+                          checkpoint.lostWorkTime +
+                          checkpoint.restartTime;
+    return clamp(1.0 - overhead / wallTime, 0.0, 1.0);
 }
 
 TrainingSession::TrainingSession(Server &server) : server_(server)
@@ -102,7 +114,7 @@ void
 TrainingSession::launchPrep(std::size_t g)
 {
     GroupState &gs = groups_[g];
-    if (done_)
+    if (done_ || down_)
         return;
     const double batch = groupBatchSamples(g);
     const double chunk = batch / static_cast<double>(chunksPerBatch());
@@ -357,6 +369,9 @@ TrainingSession::onFault(const FaultEvent &ev)
             redispatchLocalChains(ev.target);
         break;
       }
+      case FaultKind::FatalCrash:
+        onFatalCrash(ev);
+        break;
     }
 }
 
@@ -384,16 +399,66 @@ TrainingSession::onRepair(const FaultEvent &ev)
       case FaultKind::RouteLoss:
         groups_[ev.target].routeLost = false;
         break;
+      case FaultKind::FatalCrash:
+        // Point event: recovery is driven by onFatalCrash's restart
+        // timer, not by the zero-length repair window.
+        break;
     }
     if (--activeFaultWindows_ == 0)
         degradedTime_ += server_.eq.now() - degradedStart_;
 }
 
 void
+TrainingSession::onFatalCrash(const FaultEvent &)
+{
+    // A crash while already down (or after the run finished) changes
+    // nothing: the machine is not running, so no extra state is lost.
+    if (done_ || down_)
+        return;
+    const Time now = server_.eq.now();
+    const std::size_t at_step = syncedSteps_;
+    const std::size_t durable = ckpt_->crash(now, at_step);
+
+    // Everything volatile dies with the process: in-flight prep chains,
+    // buffered prepared samples, running compute, the pending sync.
+    for (auto &[cid, run] : chains_)
+        if (run.flow != 0)
+            server_.net.cancelFlow(run.flow);
+    chains_.clear();
+    for (GroupState &gs : groups_) {
+        if (gs.computeEv.valid())
+            server_.eq.cancel(gs.computeEv);
+        gs.computing = false;
+        gs.readySamples = 0.0;
+        gs.inFlightSamples = 0.0;
+        gs.stepsComputed = durable;
+    }
+    if (syncEv_.valid())
+        server_.eq.cancel(syncEv_);
+    barrier_ = 0;
+    syncedSteps_ = durable;
+    pausedForCkpt_ = false;
+    down_ = true;
+    if (trace_)
+        trace_->instant("faults", "fatal_crash", now, "fault");
+
+    server_.eq.scheduleIn(server_.cfg.checkpoint.restartLatency,
+                          [this, now] {
+        down_ = false;
+        ckpt_->restarted(server_.eq.now());
+        if (trace_)
+            trace_->complete("faults", "rollback", now,
+                             server_.eq.now() - now, "fault");
+        for (std::size_t g = 0; g < groups_.size(); ++g)
+            launchPrep(g);
+    });
+}
+
+void
 TrainingSession::tryStartCompute(std::size_t g)
 {
     GroupState &gs = groups_[g];
-    if (done_ || gs.computing ||
+    if (done_ || down_ || pausedForCkpt_ || gs.computing ||
         gs.readySamples + 1e-6 < groupBatchSamples(g) ||
         gs.stepsComputed != syncedSteps_)
         return;
@@ -422,7 +487,8 @@ TrainingSession::tryStartCompute(std::size_t g)
             }
         }
     }
-    server_.eq.scheduleIn(duration, [this, g, start] {
+    gs.computeEv = server_.eq.scheduleIn(duration, [this, g, start] {
+        groups_[g].computeEv.invalidate();
         if (trace_)
             trace_->complete(groups_[g].spec->name, "compute", start,
                              server_.eq.now() - start, "compute");
@@ -440,7 +506,8 @@ TrainingSession::onComputeDone(std::size_t g)
     if (++barrier_ == groups_.size()) {
         barrier_ = 0;
         const Time start = server_.eq.now();
-        server_.eq.scheduleIn(server_.syncTime(), [this, start] {
+        syncEv_ = server_.eq.scheduleIn(server_.syncTime(), [this, start] {
+            syncEv_.invalidate();
             if (trace_)
                 trace_->complete("sync", "ring_allreduce", start,
                                  server_.eq.now() - start, "sync");
@@ -453,7 +520,11 @@ void
 TrainingSession::onSyncDone()
 {
     ++syncedSteps_;
-    if (syncedSteps_ == warmupSteps_) {
+    // The window opens at the *first* warmup crossing only: a crash
+    // rollback may replay the crossing, and resetting again would
+    // discard the crash's cost from the measurement.
+    if (syncedSteps_ == warmupSteps_ && !windowOpen_) {
+        windowOpen_ = true;
         windowStart_ = server_.eq.now();
         server_.net.resetAccounting();
         stageTimeSum_.clear();
@@ -466,6 +537,23 @@ TrainingSession::onSyncDone()
         done_ = true;
         return;
     }
+    // Checkpoint decisions happen at step boundaries, where the model
+    // is consistent across all accelerators.
+    if (ckpt_ &&
+        ckpt_->maybeBegin(syncedSteps_, [this] { onCheckpointResume(); })) {
+        pausedForCkpt_ = true;
+        return;
+    }
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        tryStartCompute(g);
+}
+
+void
+TrainingSession::onCheckpointResume()
+{
+    pausedForCkpt_ = false;
+    if (done_ || down_)
+        return;
     for (std::size_t g = 0; g < groups_.size(); ++g)
         tryStartCompute(g);
 }
@@ -487,6 +575,14 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
             server_.eq, [this](const FaultEvent &ev) { onFault(ev); },
             [this](const FaultEvent &ev) { onRepair(ev); });
     }
+
+    // The checkpointer exists whenever checkpoints are taken *or* fatal
+    // crashes can arrive (then it only tracks lost work and rollbacks —
+    // every crash rolls back to step 0).
+    if (server_.cfg.checkpoint.enabled ||
+        (server_.cfg.faults.enabled &&
+         server_.cfg.faults.fatalCrash.ratePerSec > 0.0))
+        ckpt_ = std::make_unique<Checkpointer>(server_, trace_);
 
     for (std::size_t g = 0; g < groups_.size(); ++g)
         launchPrep(g);
@@ -537,6 +633,10 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
         res.faults.readFailures = fault_->readFailuresInjected();
         res.faults.degradedTime = degradedTime_;
     }
+
+    res.wallTime = windowEnd_;
+    if (ckpt_)
+        res.checkpoint = ckpt_->stats();
 
     // The trace writer is borrowed; drop it so a writer destroyed after
     // run() can never be reached through this session.

@@ -21,6 +21,13 @@
  * tolerant sync barrier. With injection disabled (the default) the
  * fault path is never taken and results are bit-identical to a session
  * without the fault subsystem.
+ *
+ * When ServerConfig::checkpoint.enabled is set a Checkpointer
+ * periodically snapshots the model + optimizer state to the train-box
+ * SSDs (trainbox/checkpoint.hh); fatal-crash faults then roll training
+ * back to the last durable checkpoint, replay the lost steps, and pay a
+ * restart latency. The same bit-identical guarantee applies: with
+ * checkpointing disabled the session never touches the subsystem.
  */
 
 #ifndef TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
@@ -34,6 +41,7 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/trace.hh"
+#include "trainbox/checkpoint.hh"
 #include "trainbox/server_builder.hh"
 
 namespace tb {
@@ -85,11 +93,25 @@ struct SessionResult
     };
     FaultStats faults;
 
+    /** Checkpoint/restore counters (all zero when disabled). */
+    CheckpointStats checkpoint;
+
+    /** Total simulated wall time of the run (start to last sync). */
+    Time wallTime = 0.0;
+
     /**
      * Goodput fraction: this run's throughput relative to a fault-free
      * reference throughput (same config with faults.enabled = false).
      */
     double goodput(double faultFreeThroughput) const;
+
+    /**
+     * Useful-time fraction: 1 - (checkpoint pauses + lost work +
+     * restart downtime) / wallTime — the quantity the Young–Daly
+     * interval maximizes. 1.0 for a run with no checkpoint overhead and
+     * no crashes; 0 when wallTime is degenerate.
+     */
+    double efficiency() const;
 
     /** Sums of the per-category maps. */
     double cpuCoresUsed() const;
@@ -128,6 +150,7 @@ class TrainingSession
         std::size_t stepsComputed = 0;
         bool prepDegraded = false; ///< its prep FPGA is currently down
         bool routeLost = false;    ///< its P2P route is currently down
+        EventId computeEv{};       ///< pending compute completion
         // Per in-flight chain bookkeeping is closure-captured
         // (fault-free) or held in ChainRun records (fault injection).
     };
@@ -165,6 +188,8 @@ class TrainingSession
     // --- fault-injection path (never reached when fault_ is null) ----
     void onFault(const FaultEvent &ev);
     void onRepair(const FaultEvent &ev);
+    void onFatalCrash(const FaultEvent &ev);
+    void onCheckpointResume();
     void launchFaultChain(std::size_t g, bool offload, double samples);
     void startChainStage(std::uint64_t cid, std::size_t idx);
     bool handleReadFailure(std::uint64_t cid, std::size_t idx);
@@ -178,6 +203,10 @@ class TrainingSession
     TraceWriter *trace_ = nullptr;
 
     std::unique_ptr<FaultInjector> fault_;
+    std::unique_ptr<Checkpointer> ckpt_;
+    bool pausedForCkpt_ = false; ///< compute held for a capture
+    bool down_ = false;          ///< machine restarting after a crash
+    EventId syncEv_{};           ///< pending sync completion
     std::map<std::uint64_t, ChainRun> chains_;
     std::uint64_t nextChainId_ = 1;
     SessionResult::FaultStats faultStats_;
@@ -190,6 +219,7 @@ class TrainingSession
     std::size_t warmupSteps_ = 0;
     std::size_t totalSteps_ = 0;
     bool done_ = false;
+    bool windowOpen_ = false; ///< measurement window reset already done
     Time windowStart_ = 0.0;
     Time windowEnd_ = 0.0;
 

@@ -80,6 +80,13 @@ computeLatency(const ModelInfo &m, std::size_t batch_size)
            deviceThroughputAtBatch(m, batch_size);
 }
 
+Bytes
+checkpointBytes(const ModelInfo &m, double optimizer_slots)
+{
+    panic_if(optimizer_slots < 0.0, "negative optimizer slots");
+    return (1.0 + optimizer_slots) * m.modelBytes;
+}
+
 const char *
 toString(NnType t)
 {

@@ -72,6 +72,13 @@ Time computeLatency(const ModelInfo &m, std::size_t batch_size);
 /** Effective accelerator throughput at a given batch size (samples/s). */
 Rate deviceThroughputAtBatch(const ModelInfo &m, std::size_t batch_size);
 
+/**
+ * Size of one full training checkpoint: the parameters plus
+ * @p optimizer_slots extra parameter-sized tensors of optimizer state
+ * (Adam keeps two moments => 2.0). (1 + slots) * modelBytes.
+ */
+Bytes checkpointBytes(const ModelInfo &m, double optimizer_slots);
+
 /** Human-readable names. */
 const char *toString(NnType t);
 const char *toString(InputType t);

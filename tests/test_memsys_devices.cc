@@ -154,5 +154,50 @@ TEST_F(DevicesTest, PrepPoolAggregates)
     }
 }
 
+TEST_F(DevicesTest, SsdWritePathAndReadInterference)
+{
+    const pcie::NodeId sw = topo.addSwitch("sw", topo.root(), 16e9);
+    NvmeSsd ssd(net, topo, "ssd0", sw);
+    EXPECT_DOUBLE_EQ(ssd.writeBandwidth()->capacity(),
+                     NvmeSsd::defaultWriteBandwidth);
+    const FlowDemand w = ssd.writeDemand(2.0);
+    EXPECT_EQ(w.resource, ssd.writeBandwidth());
+    EXPECT_DOUBLE_EQ(w.weight, 2.0);
+    // Writing steals a fraction of the *read* channel (program/erase
+    // interference), so prep reads slow down while a checkpoint drains.
+    const FlowDemand i = ssd.writeReadInterference(2.0);
+    EXPECT_EQ(i.resource, ssd.readBandwidth());
+    EXPECT_DOUBLE_EQ(i.weight, 2.0 * NvmeSsd::kWriteReadInterference);
+}
+
+TEST_F(DevicesTest, SsdReadScaleClampsToUnitRange)
+{
+    const pcie::NodeId sw = topo.addSwitch("sw", topo.root(), 16e9);
+    NvmeSsd ssd(net, topo, "ssd0", sw);
+    ssd.setReadBandwidthScale(1.7); // clamped, warns
+    EXPECT_DOUBLE_EQ(ssd.readBandwidth()->capacity(),
+                     NvmeSsd::defaultReadBandwidth);
+    ssd.setReadBandwidthScale(-0.3); // clamped to ~0 with a floor
+    EXPECT_GT(ssd.readBandwidth()->capacity(), 0.0);
+    EXPECT_LE(ssd.readBandwidth()->capacity(),
+              1e-9 * NvmeSsd::defaultReadBandwidth * 1.0001);
+    ssd.setReadBandwidthScale(1.0);
+    EXPECT_DOUBLE_EQ(ssd.readBandwidth()->capacity(),
+                     NvmeSsd::defaultReadBandwidth);
+}
+
+TEST_F(DevicesTest, PoolFabricScaleClampsToUnitRange)
+{
+    PrepPool pool(net, "pool");
+    const double nominal = pool.fabric()->capacity();
+    pool.setFabricBandwidthScale(2.0); // clamped, warns
+    EXPECT_DOUBLE_EQ(pool.fabric()->capacity(), nominal);
+    pool.setFabricBandwidthScale(-1.0); // clamped to ~0 with a floor
+    EXPECT_GT(pool.fabric()->capacity(), 0.0);
+    EXPECT_LE(pool.fabric()->capacity(), 1e-9 * nominal * 1.0001);
+    pool.setFabricBandwidthScale(1.0);
+    EXPECT_DOUBLE_EQ(pool.fabric()->capacity(), nominal);
+}
+
 } // namespace
 } // namespace tb

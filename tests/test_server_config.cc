@@ -1,0 +1,175 @@
+/**
+ * @file
+ * ServerConfig::validate() rejects nonsensical configurations with a
+ * message naming the offending field; buildServer() refuses to build
+ * them (fatal). A default config of every preset must validate clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trainbox/server_builder.hh"
+#include "trainbox/server_config.hh"
+
+namespace tb {
+namespace {
+
+ServerConfig
+valid()
+{
+    ServerConfig cfg;
+    cfg.numAccelerators = 8;
+    return cfg;
+}
+
+TEST(ServerConfigValidate, DefaultsAreValid)
+{
+    for (ArchPreset p : allPresets()) {
+        ServerConfig cfg = valid();
+        cfg.preset = p;
+        EXPECT_EQ(cfg.validate(), "") << presetName(p);
+    }
+}
+
+TEST(ServerConfigValidate, EnabledSubsystemsStillValid)
+{
+    ServerConfig cfg = valid();
+    cfg.faults.enabled = true;
+    cfg.checkpoint.enabled = true;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ServerConfigValidate, RejectsZeroAccelerators)
+{
+    ServerConfig cfg = valid();
+    cfg.numAccelerators = 0;
+    EXPECT_NE(cfg.validate().find("at least one"), std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsBadPrepShape)
+{
+    ServerConfig cfg = valid();
+    cfg.prefetchDepth = 1;
+    EXPECT_NE(cfg.validate().find("prefetchDepth"), std::string::npos);
+
+    cfg = valid();
+    cfg.prepChunks = 0;
+    EXPECT_NE(cfg.validate().find("prepChunks"), std::string::npos);
+
+    cfg = valid();
+    cfg.maxPrepParallelism = 0.0;
+    EXPECT_NE(cfg.validate().find("maxPrepParallelism"),
+              std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsEmptyBoxes)
+{
+    const auto check = [](void (*mutate)(ServerConfig &),
+                          const char *field) {
+        ServerConfig cfg;
+        cfg.numAccelerators = 8;
+        mutate(cfg);
+        EXPECT_NE(cfg.validate().find(field), std::string::npos)
+            << field;
+    };
+    check([](ServerConfig &c) { c.box.accPerBox = 0; }, "accPerBox");
+    check([](ServerConfig &c) { c.box.prepPerBox = 0; }, "prepPerBox");
+    check([](ServerConfig &c) { c.box.ssdsPerBox = 0; }, "ssdsPerBox");
+    check([](ServerConfig &c) { c.box.ssdsPerSsdBox = 0; },
+          "ssdsPerSsdBox");
+}
+
+TEST(ServerConfigValidate, RejectsNonPositiveHostResources)
+{
+    ServerConfig cfg = valid();
+    cfg.host.cpuCores = 0.0;
+    EXPECT_NE(cfg.validate().find("cpuCores"), std::string::npos);
+
+    cfg = valid();
+    cfg.host.memBandwidth = -1.0;
+    EXPECT_NE(cfg.validate().find("memBandwidth"), std::string::npos);
+
+    cfg = valid();
+    cfg.host.rcBandwidth = 0.0;
+    EXPECT_NE(cfg.validate().find("rcBandwidth"), std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsBadFaultProbabilities)
+{
+    ServerConfig cfg = valid();
+    cfg.faults.ssdReadFailureProb = 1.0; // certain failure never ends
+    EXPECT_NE(cfg.validate().find("ssdReadFailureProb"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.faults.stragglerProb = 1.5;
+    EXPECT_NE(cfg.validate().find("stragglerProb"), std::string::npos);
+
+    cfg = valid();
+    cfg.faults.stragglerFactor = 0.5; // a speedup is not a straggler
+    EXPECT_NE(cfg.validate().find("stragglerFactor"),
+              std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsFaultWindowEndingBeforeStart)
+{
+    ServerConfig cfg = valid();
+    cfg.faults.ssdDegrade.ratePerSec = 0.1;
+    cfg.faults.ssdDegrade.duration = 0.0;
+    const std::string err = cfg.validate();
+    EXPECT_NE(err.find("ssdDegrade"), std::string::npos);
+    EXPECT_NE(err.find("ends at or before it starts"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.faults.prepCrash.ratePerSec = -0.1;
+    EXPECT_NE(cfg.validate().find("prepCrash"), std::string::npos);
+
+    cfg = valid();
+    cfg.faults.ethDegrade.magnitude = -1.0;
+    EXPECT_NE(cfg.validate().find("ethDegrade"), std::string::npos);
+
+    cfg = valid();
+    cfg.faults.fatalCrash.ratePerSec = -1.0;
+    EXPECT_NE(cfg.validate().find("fatalCrash"), std::string::npos);
+    // fatalCrash is a point event: no duration requirement.
+    cfg = valid();
+    cfg.faults.fatalCrash.ratePerSec = 0.1;
+    cfg.faults.fatalCrash.duration = 0.0;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ServerConfigValidate, RejectsBadCheckpointScenario)
+{
+    ServerConfig cfg = valid();
+    cfg.checkpoint.restartLatency = -1.0;
+    EXPECT_NE(cfg.validate().find("restartLatency"), std::string::npos);
+
+    // Checkpoint knobs are only checked once the subsystem is on...
+    cfg = valid();
+    cfg.checkpoint.interval = -5.0;
+    EXPECT_EQ(cfg.validate(), "");
+    cfg.checkpoint.enabled = true;
+    EXPECT_NE(cfg.validate().find("interval"), std::string::npos);
+
+    cfg = valid();
+    cfg.checkpoint.enabled = true;
+    cfg.checkpoint.optimizerSlots = -1.0;
+    EXPECT_NE(cfg.validate().find("optimizerSlots"), std::string::npos);
+
+    cfg = valid();
+    cfg.checkpoint.enabled = true;
+    cfg.checkpoint.snapshotBandwidth = 0.0;
+    EXPECT_NE(cfg.validate().find("snapshotBandwidth"),
+              std::string::npos);
+}
+
+TEST(ServerConfigValidate, BuilderRefusesInvalidConfig)
+{
+    ServerConfig cfg = valid();
+    cfg.checkpoint.enabled = true;
+    cfg.checkpoint.interval = 0.0;
+    EXPECT_DEATH(buildServer(cfg), "invalid server config");
+}
+
+} // namespace
+} // namespace tb

@@ -54,6 +54,16 @@ TEST(Trace, EscapesAndClears)
     EXPECT_EQ(trace.toJson(), "{\"traceEvents\":[]}");
 }
 
+TEST(Trace, CounterEventsCarryValues)
+{
+    TraceWriter trace;
+    trace.counter("checkpoint", "durable_step", 0.002, 7.0);
+    const std::string json = trace.toJson();
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"durable_step\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+}
+
 TEST(Trace, WritesFile)
 {
     TraceWriter trace;
