@@ -3,12 +3,13 @@
  * Fig 9: latency decomposition of one batch on the 256-accelerator
  * baseline for all seven workloads. The paper reports that data
  * preparation accounts for 98.1% of total latency on average.
+ *
+ * The decomposition is SessionReport::latency() — the same breakdown
+ * tb_report and the golden-JSON test consume.
  */
 
 #include "bench/bench_util.hh"
 #include "common/math_util.hh"
-#include "trainbox/server_builder.hh"
-#include "trainbox/training_session.hh"
 
 int
 main(int argc, char **argv)
@@ -21,36 +22,26 @@ main(int argc, char **argv)
     Table t({"model", "data transfer %", "formatting %", "augmentation %",
              "compute %", "sync %", "prep total %"});
 
+    const auto reports = bench::sweepModels(
+        [](const workload::ModelInfo &m) {
+            return ServerConfig::baseline()
+                .withModel(m.id)
+                .withAccelerators(256);
+        },
+        /*warmup=*/6, /*measure=*/12);
+
     std::vector<double> prep_shares;
-    for (const auto &m : workload::modelZoo()) {
-        ServerConfig cfg;
-        cfg.preset = ArchPreset::Baseline;
-        cfg.model = m.id;
-        cfg.numAccelerators = 256;
-        auto server = buildServer(cfg);
-        TrainingSession session(*server);
-        const SessionResult res = session.run(6, 12);
-
-        auto stage = [&](const char *name) {
-            auto it = res.prepStageTime.find(name);
-            return it == res.prepStageTime.end() ? 0.0 : it->second;
-        };
-        const double transfer =
-            stage("ssd_read") + stage("data_load") + stage("others");
-        const double fmt = stage("formatting");
-        const double aug = stage("augmentation");
-        const double prep = transfer + fmt + aug;
-        const double total = prep + res.computeTime + res.syncTime;
-
+    for (const SessionReport &r : reports) {
+        const SessionReport::LatencyBreakdown lat = r.latency();
         t.row()
-            .add(m.name)
-            .add(100.0 * transfer / total, 1)
-            .add(100.0 * fmt / total, 1)
-            .add(100.0 * aug / total, 1)
-            .add(100.0 * res.computeTime / total, 1)
-            .add(100.0 * res.syncTime / total, 1)
-            .add(100.0 * prep / total, 1);
-        prep_shares.push_back(100.0 * prep / total);
+            .add(r.model)
+            .add(100.0 * lat.share(lat.transfer), 1)
+            .add(100.0 * lat.share(lat.formatting), 1)
+            .add(100.0 * lat.share(lat.augmentation), 1)
+            .add(100.0 * lat.share(lat.compute), 1)
+            .add(100.0 * lat.share(lat.sync), 1)
+            .add(100.0 * lat.prepShare(), 1);
+        prep_shares.push_back(100.0 * lat.prepShare());
     }
     bench::emit(t, csv);
     std::printf("\nmean preparation share: %.1f%% (paper: 98.1%%)\n",

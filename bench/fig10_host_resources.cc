@@ -5,6 +5,9 @@
  * (48 cores / 239 GB/s DRAM / 64 GB/s effective root complex).
  * The paper reports maxima of 100.7x cores, 17.9x memory bandwidth, and
  * 18.0x PCIe bandwidth at 256 accelerators.
+ *
+ * A measured SessionReport at one accelerator (where the baseline host
+ * is still unsaturated) cross-checks the analytic projection.
  */
 
 #include <algorithm>
@@ -61,6 +64,32 @@ main(int argc, char **argv)
         bench::emit(t, csv);
         std::printf("\npeak at 256 accelerators: %.1fx (paper: up to %s)\n",
                     peak, axis.paper);
+    }
+
+    bench::banner("Cross-check: analytic projection vs measured "
+                  "SessionReport (Resnet-50, 1 accelerator)");
+    {
+        const workload::ModelInfo &m =
+            workload::model(workload::ModelId::Resnet50);
+        const HostDemandBreakdown projected =
+            requiredHostDemand(m, ArchPreset::Baseline, 1, sync_cfg);
+        const SessionReport measured = bench::runReport(
+            ServerConfig::baseline().withModel(m.id).withAccelerators(1));
+
+        Table t({"axis", "projected", "measured"});
+        t.row()
+            .add("CPU cores")
+            .add(projected.cpuCores, 2)
+            .add(measured.hostCpuCores(), 2);
+        t.row()
+            .add("memory BW (GB/s)")
+            .add(projected.memBw / 1e9, 2)
+            .add(measured.hostMemBw() / 1e9, 2);
+        t.row()
+            .add("RC BW (GB/s)")
+            .add(projected.rcBw / 1e9, 2)
+            .add(measured.hostRcBw() / 1e9, 2);
+        bench::emit(t, csv);
     }
     return 0;
 }

@@ -7,14 +7,15 @@
  * to the baseline (the paper's Fig 19 y-axis), plus the geometric/
  * arithmetic-mean speedups the paper quotes (44.4x average; 84.3x max for
  * TF-AA; Acc alone 3.32x; clustering adds 13.4x).
+ *
+ * Each cell is one SessionReport from the shared preset sweep.
  */
 
+#include <algorithm>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "common/math_util.hh"
-#include "trainbox/server_builder.hh"
-#include "trainbox/training_session.hh"
 
 int
 main(int argc, char **argv)
@@ -42,33 +43,21 @@ main(int argc, char **argv)
     std::vector<double> clustering_gains;
 
     for (const auto &m : workload::modelZoo()) {
+        const auto reports = bench::sweepPresets(
+            ServerConfig::baseline().withModel(m.id).withAccelerators(
+                256),
+            presets);
+
         table.row().add(m.name);
-        double baseline = 0.0;
-        double acc = 0.0;
-        double gen4 = 0.0;
-        double trainbox = 0.0;
-        for (ArchPreset p : presets) {
-            ServerConfig cfg;
-            cfg.preset = p;
-            cfg.model = m.id;
-            cfg.numAccelerators = 256;
-            auto server = buildServer(cfg);
-            TrainingSession session(*server);
-            const double thpt = session.run().throughput;
-            if (p == ArchPreset::Baseline)
-                baseline = thpt;
-            if (p == ArchPreset::BaselineAccFpga)
-                acc = thpt;
-            if (p == ArchPreset::BaselineAccP2pGen4)
-                gen4 = thpt;
-            if (p == ArchPreset::TrainBox)
-                trainbox = thpt;
-            table.add(thpt / baseline, 2);
-        }
+        const double baseline = reports[0].throughput();
+        for (const SessionReport &r : reports)
+            table.add(r.throughput() / baseline, 2);
+        const double trainbox = reports.back().throughput();
         table.add(trainbox, 0);
+
         trainbox_speedups.push_back(trainbox / baseline);
-        acc_speedups.push_back(acc / baseline);
-        clustering_gains.push_back(trainbox / gen4);
+        acc_speedups.push_back(reports[1].throughput() / baseline);
+        clustering_gains.push_back(trainbox / reports[3].throughput());
     }
     bench::emit(table, csv);
 

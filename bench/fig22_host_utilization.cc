@@ -4,12 +4,10 @@
  * of Baseline, B+Acc, B+Acc+P2P, and TrainBox, normalized to the
  * baseline's consumption, split by activity. Uses the DES accounting:
  * every fluid resource records per-category units served during the
- * measurement window.
+ * measurement window, surfaced through the shared SessionReport sweep.
  */
 
 #include "bench/bench_util.hh"
-#include "trainbox/server_builder.hh"
-#include "trainbox/training_session.hh"
 
 int
 main(int argc, char **argv)
@@ -41,56 +39,50 @@ main(int argc, char **argv)
             headers.push_back(presetName(p));
         Table t(headers);
 
-        // Collect per-preset results first.
-        std::vector<SessionResult> results;
-        for (ArchPreset p : presets) {
-            ServerConfig cfg;
-            cfg.preset = p;
-            cfg.model = m.id;
-            cfg.numAccelerators = 256;
-            auto server = buildServer(cfg);
-            TrainingSession session(*server);
-            results.push_back(session.run(6, 12));
-        }
+        // Collect per-preset reports first (shared sweep runner).
+        const std::vector<SessionReport> reports = bench::sweepPresets(
+            ServerConfig::baseline().withModel(m.id).withAccelerators(
+                256),
+            presets, /*warmup=*/6, /*measure=*/12);
 
         struct Axis
         {
             const char *name;
             const std::map<std::string, double> &(*get)(
-                const SessionResult &);
-            double (SessionResult::*total)() const;
+                const SessionReport &);
+            double (SessionReport::*total)() const;
         };
         const Axis axes[3] = {
             {"CPU",
-             [](const SessionResult &r) -> const std::map<std::string,
+             [](const SessionReport &r) -> const std::map<std::string,
                                                           double> & {
-                 return r.cpuCoresByCategory;
+                 return r.result.cpuCoresByCategory;
              },
-             &SessionResult::cpuCoresUsed},
+             &SessionReport::hostCpuCores},
             {"Memory BW",
-             [](const SessionResult &r) -> const std::map<std::string,
+             [](const SessionReport &r) -> const std::map<std::string,
                                                           double> & {
-                 return r.memBwByCategory;
+                 return r.result.memBwByCategory;
              },
-             &SessionResult::memBwUsed},
+             &SessionReport::hostMemBw},
             {"PCIe BW",
-             [](const SessionResult &r) -> const std::map<std::string,
+             [](const SessionReport &r) -> const std::map<std::string,
                                                           double> & {
-                 return r.rcBwByCategory;
+                 return r.result.rcBwByCategory;
              },
-             &SessionResult::rcBwUsed},
+             &SessionReport::hostRcBw},
         };
 
         for (const auto &axis : axes) {
             // Normalize to the baseline's total consumption, and report
             // consumption per unit of training throughput so that faster
             // presets are not penalized for doing more work.
-            const double base = (results[0].*(axis.total))() /
-                                results[0].throughput;
+            const double base = (reports[0].*(axis.total))() /
+                                reports[0].throughput();
             for (const auto &cat : cats) {
                 bool any = false;
                 for (std::size_t i = 0; i < presets.size(); ++i) {
-                    const auto &by = axis.get(results[i]);
+                    const auto &by = axis.get(reports[i]);
                     if (by.count(cat) && by.at(cat) > 0.0)
                         any = true;
                 }
@@ -98,15 +90,15 @@ main(int argc, char **argv)
                     continue;
                 t.row().add(axis.name).add(cat);
                 for (std::size_t i = 0; i < presets.size(); ++i) {
-                    const auto &by = axis.get(results[i]);
+                    const auto &by = axis.get(reports[i]);
                     const double v = by.count(cat) ? by.at(cat) : 0.0;
-                    t.add(v / results[i].throughput / base, 3);
+                    t.add(v / reports[i].throughput() / base, 3);
                 }
             }
             t.row().add(axis.name).add("TOTAL");
             for (std::size_t i = 0; i < presets.size(); ++i)
-                t.add((results[i].*(axis.total))() /
-                          results[i].throughput / base,
+                t.add((reports[i].*(axis.total))() /
+                          reports[i].throughput() / base,
                       3);
         }
         bench::emit(t, csv);

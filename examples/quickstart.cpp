@@ -16,6 +16,7 @@
 
 #include "common/table.hh"
 #include "sim/trace.hh"
+#include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
 #include "trainbox/training_session.hh"
 
@@ -42,29 +43,29 @@ main(int argc, char **argv)
     double baseline_thpt = 0.0;
     for (ArchPreset preset :
          {ArchPreset::Baseline, ArchPreset::TrainBox}) {
-        ServerConfig cfg;
-        cfg.preset = preset;
-        cfg.model = m.id;
-        cfg.numAccelerators = n_acc;
+        // Named constructor + fluent setters (the preferred config API).
+        const ServerConfig cfg = ServerConfig::forPreset(preset)
+                                     .withModel(m.id)
+                                     .withAccelerators(n_acc);
 
         auto server = buildServer(cfg);
         TrainingSession session(*server);
         TraceWriter trace;
         if (!trace_path.empty() && preset == ArchPreset::TrainBox)
             session.setTrace(&trace);
-        const SessionResult res = session.run();
+        const SessionReport report = session.runReport();
         if (trace.numEvents() > 0 && trace.writeFile(trace_path))
             std::printf("wrote %zu trace events to %s\n",
                         trace.numEvents(), trace_path.c_str());
 
         if (preset == ArchPreset::Baseline)
-            baseline_thpt = res.throughput;
+            baseline_thpt = report.throughput();
         table.row()
             .add(presetName(preset))
-            .add(res.throughput, 1)
-            .add(res.stepTime * 1e3, 2)
-            .add(res.prepLatency * 1e3, 2)
-            .add(res.throughput / baseline_thpt, 2);
+            .add(report.throughput(), 1)
+            .add(report.stepTime() * 1e3, 2)
+            .add(report.prepLatency() * 1e3, 2)
+            .add(report.throughput() / baseline_thpt, 2);
     }
     table.print();
 

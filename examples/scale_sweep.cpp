@@ -44,10 +44,10 @@ main(int argc, char **argv)
     for (ArchPreset p : allPresets()) {
         t.row().add(presetName(p));
         for (std::size_t n : scales) {
-            ServerConfig cfg;
-            cfg.preset = p;
-            cfg.model = m.id;
-            cfg.numAccelerators = n;
+            // Named constructor + fluent setters (the preferred API).
+            const ServerConfig cfg = ServerConfig::forPreset(p)
+                                         .withModel(m.id)
+                                         .withAccelerators(n);
             auto server = buildServer(cfg);
             TrainingSession session(*server);
             t.add(session.run(6, 12).throughput, 0);

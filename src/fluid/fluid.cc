@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "sim/metrics.hh"
 
 namespace tb {
 
@@ -88,7 +89,42 @@ FluidResource *
 FluidNetwork::addResource(const std::string &name, Rate capacity)
 {
     resources_.push_back(std::make_unique<FluidResource>(name, capacity));
-    return resources_.back().get();
+    FluidResource *r = resources_.back().get();
+    if (metrics_)
+        instrumentResource(r);
+    return r;
+}
+
+void
+FluidNetwork::instrumentResource(FluidResource *r)
+{
+    r->utilHist_ = metrics_->histogram(
+        "util." + r->name(), "time-weighted utilization of " + r->name());
+}
+
+void
+FluidNetwork::attachMetrics(MetricsRegistry *metrics)
+{
+    if (metrics == nullptr || !metrics->enabled())
+        return;
+    metrics_ = metrics;
+    flowsStartedCtr_ = metrics_->counter("fluid.flows_started",
+                                         "flows launched");
+    flowsCompletedCtr_ = metrics_->counter("fluid.flows_completed",
+                                           "flows run to completion");
+    flowsCancelledCtr_ = metrics_->counter("fluid.flows_cancelled",
+                                           "flows aborted");
+    activeFlowsGauge_ = metrics_->gauge("fluid.active_flows",
+                                        "in-flight flows");
+    for (auto &r : resources_)
+        instrumentResource(r.get());
+}
+
+void
+FluidNetwork::flushMetrics()
+{
+    if (metrics_)
+        advanceTo(eq_.now());
 }
 
 FluidResource *
@@ -128,6 +164,11 @@ FluidNetwork::startFlow(FlowSpec spec)
     flow.onComplete = std::move(spec.onComplete);
     flows_.emplace(id, std::move(flow));
 
+    if (flowsStartedCtr_) {
+        flowsStartedCtr_->inc();
+        activeFlowsGauge_->set(static_cast<double>(flows_.size()));
+    }
+
     recomputeRates();
     scheduleCompletion();
     return id;
@@ -137,7 +178,12 @@ void
 FluidNetwork::cancelFlow(FlowId id)
 {
     advanceTo(eq_.now());
-    flows_.erase(id);
+    if (flowsCancelledCtr_ && flows_.erase(id) > 0) {
+        flowsCancelledCtr_->inc();
+        activeFlowsGauge_->set(static_cast<double>(flows_.size()));
+    } else {
+        flows_.erase(id);
+    }
     recomputeRates();
     scheduleCompletion();
 }
@@ -172,8 +218,11 @@ void
 FluidNetwork::resetAccounting()
 {
     advanceTo(eq_.now());
-    for (auto &r : resources_)
+    for (auto &r : resources_) {
         r->resetAccounting(eq_.now());
+        if (r->utilHist_)
+            r->utilHist_->reset();
+    }
 }
 
 void
@@ -185,12 +234,27 @@ FluidNetwork::advanceTo(Time now)
     if (dt <= 0.0)
         return;
     for (auto &[id, flow] : flows_) {
+        if (metrics_) {
+            // The rates held for all of [lastAdvance_, now]: charge one
+            // exact time-weighted utilization sample per resource.
+            for (const auto &d : flow.demands)
+                d.resource->loadScratch_ += d.weight * flow.rate;
+        }
         const double served = std::min(flow.remaining, flow.rate * dt);
-        if (served <= 0.0)
-            continue;
-        flow.remaining -= served;
-        for (const auto &d : flow.demands)
-            d.resource->account(flow.category, d.weight * served);
+        if (served > 0.0) {
+            flow.remaining -= served;
+            for (const auto &d : flow.demands)
+                d.resource->account(flow.category, d.weight * served);
+        }
+    }
+    if (metrics_) {
+        for (auto &r : resources_) {
+            const double util =
+                std::min(1.0, r->loadScratch_ / r->capacity());
+            r->loadScratch_ = 0.0;
+            if (r->utilHist_)
+                r->utilHist_->record(util, dt);
+        }
     }
 }
 
@@ -314,6 +378,11 @@ FluidNetwork::completeEarliest()
         } else {
             ++it;
         }
+    }
+
+    if (flowsCompletedCtr_ && !done.empty()) {
+        flowsCompletedCtr_->add(static_cast<double>(done.size()));
+        activeFlowsGauge_->set(static_cast<double>(flows_.size()));
     }
 
     recomputeRates();

@@ -37,6 +37,11 @@
 
 namespace tb {
 
+class MetricsRegistry;
+class MetricCounter;
+class MetricGauge;
+class TimeWeightedHistogram;
+
 /** A capacity-limited shared resource (link, memory, core pool, ...). */
 class FluidResource
 {
@@ -70,6 +75,15 @@ class FluidResource
     /** Clear accounting counters and restart the utilization window. */
     void resetAccounting(Time now);
 
+    /**
+     * Time-weighted utilization history recorded by the network's
+     * metrics instrumentation (nullptr when metrics are disabled).
+     */
+    const TimeWeightedHistogram *utilizationHistory() const
+    {
+        return utilHist_;
+    }
+
   private:
     friend class FluidNetwork;
 
@@ -89,6 +103,10 @@ class FluidResource
     // scratch space for the allocator
     double allocScratch_ = 0.0;
     double weightScratch_ = 0.0;
+
+    // metrics instrumentation (inert while metrics are disabled)
+    double loadScratch_ = 0.0;
+    TimeWeightedHistogram *utilHist_ = nullptr;
 };
 
 /** One resource consumed by a flow: @p weight units per base unit. */
@@ -199,8 +217,31 @@ class FluidNetwork
     /** Notify the network that a resource capacity changed. */
     void capacityChanged();
 
-    /** Reset accounting on all resources. */
+    /**
+     * Reset accounting on all resources (and, when metrics are
+     * attached, their utilization histories — the metrics window is
+     * the accounting window).
+     */
     void resetAccounting();
+
+    /**
+     * Attach a metrics registry. When the registry is enabled, the
+     * network keeps one time-weighted utilization histogram per
+     * resource ("util.<resource>") — rates are piecewise constant
+     * between flow events, so every inter-event interval becomes one
+     * exact histogram sample — plus flow lifecycle counters. A
+     * disabled registry (or nullptr) leaves the network exactly on the
+     * uninstrumented path. Must be attached before flows start.
+     */
+    void attachMetrics(MetricsRegistry *metrics);
+
+    /**
+     * Record utilization up to the current time (also charges per-
+     * category accounting for in-flight flows). No-op when metrics are
+     * not attached, so an uninstrumented run's accounting is
+     * bit-identical with or without the call.
+     */
+    void flushMetrics();
 
   private:
     struct Flow
@@ -221,6 +262,7 @@ class FluidNetwork
     void recomputeRates();
     void scheduleCompletion();
     void completeEarliest();
+    void instrumentResource(FluidResource *r);
 
     EventQueue &eq_;
     std::vector<std::unique_ptr<FluidResource>> resources_;
@@ -228,6 +270,13 @@ class FluidNetwork
     FlowId nextId_ = 1;
     Time lastAdvance_ = 0.0;
     EventId pending_{};
+
+    // metrics instrumentation (all nullptr when metrics are disabled)
+    MetricsRegistry *metrics_ = nullptr;
+    MetricCounter *flowsStartedCtr_ = nullptr;
+    MetricCounter *flowsCompletedCtr_ = nullptr;
+    MetricCounter *flowsCancelledCtr_ = nullptr;
+    MetricGauge *activeFlowsGauge_ = nullptr;
 };
 
 } // namespace tb

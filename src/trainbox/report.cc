@@ -1,0 +1,631 @@
+#include "trainbox/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "common/table.hh"
+#include "sim/trace.hh"
+
+namespace tb {
+
+namespace {
+
+/** Prep stages that move data (vs transform it) — the Fig 9 buckets. */
+bool
+isTransferStage(const std::string &name)
+{
+    static const char *const kTransfer[] = {
+        "ssd_read",  "data_load", "others",    "copy_to_prep",
+        "copy_from_prep", "pool_send", "pool_recv",
+    };
+    for (const char *t : kTransfer)
+        if (name == t)
+            return true;
+    return false;
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+}
+
+std::string
+jstr(const std::string &s)
+{
+    std::string out = "\"";
+    appendEscaped(out, s);
+    out += '"';
+    return out;
+}
+
+std::string
+jnum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+/** Fixed-precision percent — keeps the golden-JSON test stable. */
+std::string
+jpct(double fraction)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.4f", 100.0 * fraction);
+    return buf;
+}
+
+void
+jsonMap(std::string &out, const std::map<std::string, double> &by)
+{
+    out += '{';
+    bool first = true;
+    for (const auto &[k, v] : by) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += jstr(k) + ": " + jnum(v);
+    }
+    out += '}';
+}
+
+} // namespace
+
+double
+categoryShare(const std::map<std::string, double> &by_category,
+              const std::string &category, double total)
+{
+    if (total <= 0.0)
+        return 0.0;
+    auto it = by_category.find(category);
+    return it == by_category.end() ? 0.0 : it->second / total;
+}
+
+std::string
+classifyResource(const std::string &name)
+{
+    auto ends_with = [&name](const char *suffix) {
+        const std::size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    if (name == "host.cpu")
+        return "cpu";
+    if (name == "host.dram")
+        return "dram";
+    if (name == "pcie.rc")
+        return "root_complex";
+    if (ends_with(".flash"))
+        return "ssd_read";
+    if (ends_with(".write"))
+        return "ssd_write";
+    if (ends_with(".engine"))
+        return name.rfind("pool.", 0) == 0 ? "pool_engine"
+                                           : "prep_engine";
+    if (ends_with(".eth") || ends_with(".fabric"))
+        return "ethernet";
+    if (ends_with(".up") || ends_with(".down"))
+        return "pcie_link";
+    return "other";
+}
+
+double
+SessionReport::computeGoodput(double throughput, double reference)
+{
+    return reference > 0.0 ? throughput / reference : 0.0;
+}
+
+double
+SessionReport::computeEfficiency(const CheckpointStats &ckpt,
+                                 Time wall_time)
+{
+    if (wall_time <= 0.0)
+        return 0.0;
+    const Time overhead =
+        ckpt.pauseTime + ckpt.lostWorkTime + ckpt.restartTime;
+    return clamp(1.0 - overhead / wall_time, 0.0, 1.0);
+}
+
+double
+SessionReport::sumCategories(const std::map<std::string, double> &by)
+{
+    double total = 0.0;
+    for (const auto &[cat, v] : by)
+        total += v;
+    return total;
+}
+
+SessionReport
+SessionReport::build(const Server &server, const SessionResult &res)
+{
+    SessionReport r;
+    r.preset = presetName(server.cfg.preset);
+    r.model = server.model.name;
+    r.numAccelerators = server.cfg.numAccelerators;
+    r.batchSize = server.batchSize();
+    r.targetThroughput = workload::targetThroughput(
+        server.model, server.cfg.numAccelerators, server.cfg.sync);
+    r.result = res;
+    r.hostCpuCapacity_ = server.cfg.host.cpuCores;
+    r.hostMemCapacity_ = server.cfg.host.memBandwidth;
+    r.hostRcCapacity_ = server.cfg.host.rcBandwidth;
+
+    const MetricsRegistry &m = server.metrics;
+    if (!m.enabled())
+        return r;
+    r.hasMetrics = true;
+
+    constexpr const char *kPrefix = "util.";
+    const std::size_t prefix_len = std::strlen(kPrefix);
+    for (const auto &entry : m.histograms()) {
+        if (entry.name.rfind(kPrefix, 0) != 0)
+            continue;
+        const std::string res_name = entry.name.substr(prefix_len);
+        ResourceUsage u;
+        u.name = res_name;
+        u.kind = classifyResource(res_name);
+        u.utilization = entry.metric->timeAverage();
+        u.peak = entry.metric->peak();
+        u.saturatedFraction = entry.metric->saturatedFraction();
+        if (const FluidResource *fr =
+                server.net.findResource(res_name)) {
+            for (const auto &[cat, units] : fr->servedByCategory()) {
+                if (units > u.dominantShare * fr->totalServed()) {
+                    u.dominantCategory = cat;
+                    u.dominantShare = fr->totalServed() > 0.0
+                        ? units / fr->totalServed() : 0.0;
+                }
+            }
+        }
+        r.resources.push_back(std::move(u));
+    }
+
+    // The NN accelerators are events, not fluid flows; synthesize their
+    // utilization from the session's busy counter.
+    const MetricCounter *busy = m.findCounter("session.compute_busy");
+    const Time elapsed = r.windowElapsed();
+    if (busy && elapsed > 0.0 && !server.groups.empty()) {
+        ResourceUsage u;
+        u.name = "acc.compute";
+        u.kind = "accelerator";
+        u.utilization = clamp(
+            busy->value() /
+                (static_cast<double>(server.groups.size()) * elapsed),
+            0.0, 1.0);
+        u.peak = u.utilization > 0.0 ? 1.0 : 0.0;
+        // A group computing back-to-back is a saturated accelerator.
+        u.saturatedFraction =
+            u.utilization >= TimeWeightedHistogram::kDefaultSaturation
+                ? 1.0 : 0.0;
+        u.dominantCategory = "compute";
+        u.dominantShare = 1.0;
+        r.resources.push_back(std::move(u));
+    }
+    return r;
+}
+
+Time
+SessionReport::windowElapsed() const
+{
+    return result.stepTime * static_cast<double>(result.stepsMeasured);
+}
+
+double
+SessionReport::targetFraction() const
+{
+    return targetThroughput > 0.0
+        ? result.throughput / targetThroughput : 0.0;
+}
+
+double
+SessionReport::goodput(double reference_throughput) const
+{
+    return computeGoodput(result.throughput, reference_throughput);
+}
+
+double
+SessionReport::efficiency() const
+{
+    return computeEfficiency(result.checkpoint, result.wallTime);
+}
+
+double
+SessionReport::availability() const
+{
+    if (result.wallTime <= 0.0)
+        return 0.0;
+    return clamp(1.0 - result.faults.degradedTime / result.wallTime,
+                 0.0, 1.0);
+}
+
+double
+SessionReport::LatencyBreakdown::share(Time part) const
+{
+    const Time t = total();
+    return t > 0.0 ? part / t : 0.0;
+}
+
+SessionReport::LatencyBreakdown
+SessionReport::latency() const
+{
+    LatencyBreakdown b;
+    for (const auto &[name, t] : result.prepStageTime) {
+        if (name == "formatting")
+            b.formatting += t;
+        else if (name == "augmentation")
+            b.augmentation += t;
+        else if (isTransferStage(name))
+            b.transfer += t;
+        // ckpt_write and other non-prep stages are not batch latency
+    }
+    b.compute = result.computeTime;
+    b.sync = result.syncTime;
+    return b;
+}
+
+Time
+SessionReport::stageTime(const std::string &stage) const
+{
+    auto it = result.prepStageTime.find(stage);
+    return it == result.prepStageTime.end() ? 0.0 : it->second;
+}
+
+double
+SessionReport::hostCpuCores() const
+{
+    return sumCategories(result.cpuCoresByCategory);
+}
+
+double
+SessionReport::hostMemBw() const
+{
+    return sumCategories(result.memBwByCategory);
+}
+
+double
+SessionReport::hostRcBw() const
+{
+    return sumCategories(result.rcBwByCategory);
+}
+
+double
+SessionReport::cpuShare(const std::string &category) const
+{
+    return categoryShare(result.cpuCoresByCategory, category,
+                         hostCpuCores());
+}
+
+double
+SessionReport::memShare(const std::string &category) const
+{
+    return categoryShare(result.memBwByCategory, category, hostMemBw());
+}
+
+double
+SessionReport::rcShare(const std::string &category) const
+{
+    return categoryShare(result.rcBwByCategory, category, hostRcBw());
+}
+
+std::vector<Bottleneck>
+SessionReport::bottlenecks() const
+{
+    std::vector<Bottleneck> ranked;
+    if (hasMetrics) {
+        // Per device class, the bottleneck is its most-utilized member
+        // (one saturated link stalls the pipeline regardless of its
+        // siblings' slack).
+        std::map<std::string, const ResourceUsage *> best;
+        for (const ResourceUsage &u : resources) {
+            auto [it, fresh] = best.emplace(u.kind, &u);
+            if (!fresh && u.utilization > it->second->utilization)
+                it->second = &u;
+        }
+        for (const auto &[kind, u] : best) {
+            if (u->utilization <= 0.0)
+                continue;
+            ranked.push_back({kind, u->name, u->utilization,
+                              u->saturatedFraction,
+                              u->dominantCategory});
+        }
+    } else {
+        // Metrics-free fallback: the three host axes from the fluid
+        // accounting, normalized as demand / configured capacity so the
+        // axes are comparable. Device-level attribution needs
+        // cfg.metricsEnabled.
+        const struct
+        {
+            const char *kind;
+            const char *resource;
+            double used;
+            double capacity;
+            const std::map<std::string, double> &by;
+        } axes[] = {
+            {"cpu", "host.cpu", hostCpuCores(), hostCpuCapacity_,
+             result.cpuCoresByCategory},
+            {"dram", "host.dram", hostMemBw(), hostMemCapacity_,
+             result.memBwByCategory},
+            {"root_complex", "pcie.rc", hostRcBw(), hostRcCapacity_,
+             result.rcBwByCategory},
+        };
+        for (const auto &axis : axes) {
+            Bottleneck b;
+            b.kind = axis.kind;
+            b.resource = axis.resource;
+            b.utilization = axis.capacity > 0.0
+                ? axis.used / axis.capacity : axis.used;
+            for (const auto &[cat, v] : axis.by)
+                if (b.dominantCategory.empty() ||
+                    v > axis.by.at(b.dominantCategory))
+                    b.dominantCategory = cat;
+            ranked.push_back(std::move(b));
+        }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Bottleneck &a, const Bottleneck &b) {
+                  if (a.utilization != b.utilization)
+                      return a.utilization > b.utilization;
+                  if (a.saturatedFraction != b.saturatedFraction)
+                      return a.saturatedFraction > b.saturatedFraction;
+                  return a.kind < b.kind;
+              });
+    return ranked;
+}
+
+std::string
+SessionReport::toJson() const
+{
+    const LatencyBreakdown lat = latency();
+    std::string out = "{\n";
+
+    out += "  \"config\": {\"preset\": " + jstr(preset) +
+           ", \"model\": " + jstr(model) +
+           ", \"accelerators\": " + jnum(double(numAccelerators)) +
+           ", \"batch_size\": " + jnum(double(batchSize)) + "},\n";
+
+    out += "  \"throughput\": {\"samples_per_sec\": " +
+           jnum(result.throughput) +
+           ", \"target_samples_per_sec\": " + jnum(targetThroughput) +
+           ", \"target_fraction\": " + jnum(targetFraction()) +
+           ", \"step_time_sec\": " + jnum(result.stepTime) +
+           ", \"compute_time_sec\": " + jnum(result.computeTime) +
+           ", \"sync_time_sec\": " + jnum(result.syncTime) +
+           ", \"prep_latency_sec\": " + jnum(result.prepLatency) +
+           ", \"steps_measured\": " +
+           jnum(double(result.stepsMeasured)) + "},\n";
+
+    out += "  \"latency_breakdown_pct\": {\"transfer\": " +
+           jpct(lat.share(lat.transfer)) +
+           ", \"formatting\": " + jpct(lat.share(lat.formatting)) +
+           ", \"augmentation\": " + jpct(lat.share(lat.augmentation)) +
+           ", \"compute\": " + jpct(lat.share(lat.compute)) +
+           ", \"sync\": " + jpct(lat.share(lat.sync)) +
+           ", \"prep_total\": " + jpct(lat.prepShare()) + "},\n";
+
+    out += "  \"prep_stage_time_sec\": ";
+    jsonMap(out, result.prepStageTime);
+    out += ",\n";
+
+    out += "  \"host_demand\": {\n";
+    out += "    \"cpu_cores\": {\"total\": " + jnum(hostCpuCores()) +
+           ", \"by_category\": ";
+    jsonMap(out, result.cpuCoresByCategory);
+    out += "},\n";
+    out += "    \"mem_bw\": {\"total\": " + jnum(hostMemBw()) +
+           ", \"by_category\": ";
+    jsonMap(out, result.memBwByCategory);
+    out += "},\n";
+    out += "    \"rc_bw\": {\"total\": " + jnum(hostRcBw()) +
+           ", \"by_category\": ";
+    jsonMap(out, result.rcBwByCategory);
+    out += "}\n  },\n";
+
+    out += "  \"robustness\": {\"efficiency\": " + jnum(efficiency()) +
+           ", \"availability\": " + jnum(availability()) +
+           ", \"faults_injected\": " +
+           jnum(double(result.faults.faultsInjected)) +
+           ", \"checkpoints_committed\": " +
+           jnum(double(result.checkpoint.committed)) +
+           ", \"steps_lost\": " +
+           jnum(double(result.checkpoint.stepsLost)) + "},\n";
+
+    out += "  \"has_metrics\": ";
+    out += hasMetrics ? "true" : "false";
+    out += ",\n  \"utilization\": [";
+    bool first = true;
+    for (const ResourceUsage &u : resources) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"resource\": " + jstr(u.name) +
+               ", \"kind\": " + jstr(u.kind) +
+               ", \"utilization\": " + jnum(u.utilization) +
+               ", \"peak\": " + jnum(u.peak) +
+               ", \"saturated_fraction\": " + jnum(u.saturatedFraction) +
+               ", \"dominant_category\": " + jstr(u.dominantCategory) +
+               "}";
+    }
+    out += first ? "],\n" : "\n  ],\n";
+
+    out += "  \"bottlenecks\": [";
+    first = true;
+    std::size_t rank = 1;
+    for (const Bottleneck &b : bottlenecks()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"rank\": " + jnum(double(rank++)) +
+               ", \"kind\": " + jstr(b.kind) +
+               ", \"resource\": " + jstr(b.resource) +
+               ", \"utilization\": " + jnum(b.utilization) +
+               ", \"saturated_fraction\": " + jnum(b.saturatedFraction) +
+               ", \"dominant_category\": " + jstr(b.dominantCategory) +
+               "}";
+    }
+    out += first ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+SessionReport::toCsv() const
+{
+    const LatencyBreakdown lat = latency();
+    std::string out = "section,key,value\n";
+    auto row = [&out](const std::string &section, const std::string &key,
+                      const std::string &value) {
+        out += section + "," + key + "," + value + "\n";
+    };
+    row("config", "preset", preset);
+    row("config", "model", model);
+    row("config", "accelerators", jnum(double(numAccelerators)));
+    row("config", "batch_size", jnum(double(batchSize)));
+    row("throughput", "samples_per_sec", jnum(result.throughput));
+    row("throughput", "target_samples_per_sec", jnum(targetThroughput));
+    row("throughput", "step_time_sec", jnum(result.stepTime));
+    row("throughput", "compute_time_sec", jnum(result.computeTime));
+    row("throughput", "sync_time_sec", jnum(result.syncTime));
+    row("throughput", "prep_latency_sec", jnum(result.prepLatency));
+    row("latency_pct", "transfer", jpct(lat.share(lat.transfer)));
+    row("latency_pct", "formatting", jpct(lat.share(lat.formatting)));
+    row("latency_pct", "augmentation",
+        jpct(lat.share(lat.augmentation)));
+    row("latency_pct", "compute", jpct(lat.share(lat.compute)));
+    row("latency_pct", "sync", jpct(lat.share(lat.sync)));
+    row("latency_pct", "prep_total", jpct(lat.prepShare()));
+    for (const auto &[name, t] : result.prepStageTime)
+        row("prep_stage_time_sec", name, jnum(t));
+    row("host_demand", "cpu_cores", jnum(hostCpuCores()));
+    row("host_demand", "mem_bw", jnum(hostMemBw()));
+    row("host_demand", "rc_bw", jnum(hostRcBw()));
+    for (const auto &[cat, v] : result.cpuCoresByCategory)
+        row("cpu_by_category", cat, jnum(v));
+    for (const auto &[cat, v] : result.memBwByCategory)
+        row("mem_by_category", cat, jnum(v));
+    for (const auto &[cat, v] : result.rcBwByCategory)
+        row("rc_by_category", cat, jnum(v));
+    row("robustness", "efficiency", jnum(efficiency()));
+    row("robustness", "availability", jnum(availability()));
+    for (const ResourceUsage &u : resources) {
+        row("utilization", u.name, jnum(u.utilization));
+        row("saturated_fraction", u.name, jnum(u.saturatedFraction));
+    }
+    std::size_t rank = 1;
+    for (const Bottleneck &b : bottlenecks())
+        row("bottleneck", std::to_string(rank++) + ":" + b.kind,
+            jnum(b.utilization));
+    return out;
+}
+
+void
+SessionReport::emitCounters(TraceWriter &trace) const
+{
+    const Time end = result.wallTime;
+    const Time start = std::max(0.0, end - windowElapsed());
+    for (const ResourceUsage &u : resources) {
+        trace.counter("util." + u.kind, u.name, start,
+                      100.0 * u.utilization);
+        trace.counter("util." + u.kind, u.name, end,
+                      100.0 * u.utilization);
+    }
+    std::size_t rank = 1;
+    for (const Bottleneck &b : bottlenecks()) {
+        if (rank > 3)
+            break;
+        trace.instant("report",
+                      "bottleneck#" + std::to_string(rank++) + " " +
+                          b.kind + " (" + b.resource + ")",
+                      end, "report");
+    }
+}
+
+void
+SessionReport::print(std::FILE *out) const
+{
+    const LatencyBreakdown lat = latency();
+    std::fprintf(out, "=== SessionReport: %s | %s | %zu accelerators "
+                      "(batch %zu) ===\n",
+                 preset.c_str(), model.c_str(), numAccelerators,
+                 batchSize);
+    std::fprintf(out,
+                 "throughput  %.1f samples/s (%.1f%% of target %.1f)\n",
+                 result.throughput, 100.0 * targetFraction(),
+                 targetThroughput);
+    std::fprintf(out,
+                 "step time   %.3f ms (compute %.3f ms, sync %.3f ms), "
+                 "prep latency %.3f ms\n",
+                 result.stepTime * 1e3, result.computeTime * 1e3,
+                 result.syncTime * 1e3, result.prepLatency * 1e3);
+    std::fprintf(out,
+                 "latency     transfer %.1f%% | formatting %.1f%% | "
+                 "augmentation %.1f%% | compute %.1f%% | sync %.1f%% "
+                 "(prep total %.1f%%)\n",
+                 100.0 * lat.share(lat.transfer),
+                 100.0 * lat.share(lat.formatting),
+                 100.0 * lat.share(lat.augmentation),
+                 100.0 * lat.share(lat.compute),
+                 100.0 * lat.share(lat.sync), 100.0 * lat.prepShare());
+    std::fprintf(out,
+                 "host demand cpu %.1f cores | dram %.2f GB/s | "
+                 "rc %.2f GB/s\n",
+                 hostCpuCores(), hostMemBw() / 1e9, hostRcBw() / 1e9);
+    if (result.faults.faultsInjected > 0 ||
+        result.checkpoint.committed > 0)
+        std::fprintf(out,
+                     "robustness  efficiency %.4f | availability %.4f | "
+                     "faults %zu | checkpoints %zu\n",
+                     efficiency(), availability(),
+                     result.faults.faultsInjected,
+                     result.checkpoint.committed);
+
+    const std::vector<Bottleneck> ranked = bottlenecks();
+    if (ranked.empty())
+        return;
+    if (!hasMetrics) {
+        std::fprintf(out, "\nbottleneck attribution (host axes; run "
+                          "with metrics for device-level ranking):\n");
+        Table t({"rank", "axis", "demand / capacity %",
+                 "dominant category"});
+        std::size_t rank = 1;
+        for (const Bottleneck &b : ranked)
+            t.row()
+                .add(rank++)
+                .add(b.kind + " (" + b.resource + ")")
+                .add(100.0 * b.utilization, 1)
+                .add(b.dominantCategory.empty() ? "-"
+                                                : b.dominantCategory);
+        t.print(out);
+        return;
+    }
+    std::fprintf(out, "\nbottleneck attribution:\n");
+    Table t({"rank", "class", "resource", "util %", "saturated %",
+             "dominant category"});
+    std::size_t rank = 1;
+    for (const Bottleneck &b : ranked)
+        t.row()
+            .add(rank++)
+            .add(b.kind)
+            .add(b.resource)
+            .add(100.0 * b.utilization, 1)
+            .add(100.0 * b.saturatedFraction, 1)
+            .add(b.dominantCategory.empty() ? "-" : b.dominantCategory);
+    t.print(out);
+}
+
+} // namespace tb

@@ -716,6 +716,11 @@ Server::Server(const ServerConfig &config)
       plan(planPreparation(config)),
       net(eq)
 {
+    // Attach before any resource exists so every device the builder
+    // creates gets a utilization history. A disabled registry leaves
+    // the network on the exact uninstrumented path.
+    metrics.enable(cfg.metricsEnabled);
+    net.attachMetrics(&metrics);
 }
 
 Time

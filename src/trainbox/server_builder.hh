@@ -24,6 +24,7 @@
 #include "memsys/cpu_pool.hh"
 #include "memsys/host_memory.hh"
 #include "pcie/topology.hh"
+#include "sim/metrics.hh"
 #include "trainbox/server_config.hh"
 #include "trainbox/train_initializer.hh"
 #include "workload/cost_model.hh"
@@ -113,6 +114,14 @@ class Server
 
     EventQueue eq;
     FluidNetwork net;
+
+    /**
+     * Observability instruments (docs/OBSERVABILITY.md). Enabled iff
+     * cfg.metricsEnabled; while disabled it holds no instruments and
+     * nothing in the simulation touches it.
+     */
+    MetricsRegistry metrics;
+
     std::unique_ptr<pcie::Topology> topo;
     std::unique_ptr<HostMemory> hostMem;
     std::unique_ptr<CpuPool> cpu;

@@ -88,6 +88,154 @@ presetUsesClustering(ArchPreset p)
     return p == ArchPreset::TrainBoxNoPool || p == ArchPreset::TrainBox;
 }
 
+ServerConfig
+ServerConfig::forPreset(ArchPreset p)
+{
+    ServerConfig cfg;
+    cfg.preset = p;
+    return cfg;
+}
+
+ServerConfig
+ServerConfig::baseline()
+{
+    return forPreset(ArchPreset::Baseline);
+}
+
+ServerConfig
+ServerConfig::accelerated()
+{
+    return forPreset(ArchPreset::BaselineAccFpga);
+}
+
+ServerConfig
+ServerConfig::acceleratedGpu()
+{
+    return forPreset(ArchPreset::BaselineAccGpu);
+}
+
+ServerConfig
+ServerConfig::p2p()
+{
+    return forPreset(ArchPreset::BaselineAccP2p);
+}
+
+ServerConfig
+ServerConfig::p2pGen4()
+{
+    return forPreset(ArchPreset::BaselineAccP2pGen4);
+}
+
+ServerConfig
+ServerConfig::clustered()
+{
+    return forPreset(ArchPreset::TrainBoxNoPool);
+}
+
+ServerConfig
+ServerConfig::trainBox()
+{
+    return forPreset(ArchPreset::TrainBox);
+}
+
+ServerConfig &
+ServerConfig::withPreset(ArchPreset p)
+{
+    preset = p;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withModel(workload::ModelId id)
+{
+    model = id;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withModel(const std::string &name)
+{
+    model = workload::modelByName(name).id;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withAccelerators(std::size_t n)
+{
+    numAccelerators = n;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withBatchSize(std::size_t batch)
+{
+    batchSize = batch;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withPrefetchDepth(std::size_t depth)
+{
+    prefetchDepth = depth;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withPrepChunks(std::size_t chunks)
+{
+    prepChunks = chunks;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withPrepPoolFpgas(int fpgas)
+{
+    prepPoolFpgas = fpgas;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withHost(const HostConfig &h)
+{
+    host = h;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withBox(const BoxConfig &b)
+{
+    box = b;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withSync(const sync::SyncConfig &s)
+{
+    sync = s;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withFaults(const FaultConfig &f)
+{
+    faults = f;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withCheckpoint(const CheckpointConfig &c)
+{
+    checkpoint = c;
+    return *this;
+}
+
+ServerConfig &
+ServerConfig::withMetrics(bool on)
+{
+    metricsEnabled = on;
+    return *this;
+}
+
 std::size_t
 ServerConfig::effectiveBatchSize() const
 {

@@ -87,7 +87,20 @@ struct BoxConfig
     std::size_t ssdsPerSsdBox = 4;
 };
 
-/** Everything needed to instantiate a simulated server. */
+/**
+ * Everything needed to instantiate a simulated server.
+ *
+ * Two construction styles are supported. Named constructors plus
+ * fluent chainable setters are the preferred API:
+ *
+ *   auto cfg = ServerConfig::trainBox()
+ *                  .withModel("Resnet-50")
+ *                  .withAccelerators(256)
+ *                  .withMetrics();
+ *
+ * Direct field access keeps working for existing code and for knobs
+ * without a dedicated setter.
+ */
 struct ServerConfig
 {
     ArchPreset preset = ArchPreset::TrainBox;
@@ -139,6 +152,59 @@ struct ServerConfig
      * bit-identical to a build without the subsystem).
      */
     CheckpointConfig checkpoint;
+
+    /**
+     * Record metrics during the run: per-resource utilization
+     * histograms in the fluid solver plus session compute/sync busy
+     * counters, surfaced through SessionReport (docs/OBSERVABILITY.md).
+     * Off by default; when off no instrument is ever allocated and the
+     * simulation is bit-identical to a build without the subsystem.
+     */
+    bool metricsEnabled = false;
+
+    // --- named constructors (paper's evaluation series) --------------
+
+    /** A config for architecture preset @p p (defaults elsewhere). */
+    static ServerConfig forPreset(ArchPreset p);
+
+    /** Fig 12 baseline: CPU prep, host-DRAM staging. */
+    static ServerConfig baseline();
+
+    /** Step 1 (Fig 13): FPGA prep boxes, host-DRAM staging. */
+    static ServerConfig accelerated();
+
+    /** Step 1 with GPUs running DALI-style prep instead of FPGAs. */
+    static ServerConfig acceleratedGpu();
+
+    /** Steps 1-2 (Fig 14): FPGA prep + peer-to-peer DMA. */
+    static ServerConfig p2p();
+
+    /** Steps 1-2 with doubled (Gen4-class) PCIe link bandwidth. */
+    static ServerConfig p2pGen4();
+
+    /** Step 3 without the Ethernet prep-pool (Fig 15 minus pool). */
+    static ServerConfig clustered();
+
+    /** The full design: clustered train boxes + prep-pool (Fig 15). */
+    static ServerConfig trainBox();
+
+    // --- fluent chainable setters ------------------------------------
+
+    ServerConfig &withPreset(ArchPreset p);
+    ServerConfig &withModel(workload::ModelId id);
+    /** Look the model up by its Table I name (fatal on unknown). */
+    ServerConfig &withModel(const std::string &name);
+    ServerConfig &withAccelerators(std::size_t n);
+    ServerConfig &withBatchSize(std::size_t batch);
+    ServerConfig &withPrefetchDepth(std::size_t depth);
+    ServerConfig &withPrepChunks(std::size_t chunks);
+    ServerConfig &withPrepPoolFpgas(int fpgas);
+    ServerConfig &withHost(const HostConfig &h);
+    ServerConfig &withBox(const BoxConfig &b);
+    ServerConfig &withSync(const sync::SyncConfig &s);
+    ServerConfig &withFaults(const FaultConfig &f);
+    ServerConfig &withCheckpoint(const CheckpointConfig &c);
+    ServerConfig &withMetrics(bool on = true);
 
     /** Resolved per-accelerator batch size. */
     std::size_t effectiveBatchSize() const;

@@ -4,52 +4,42 @@
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "trainbox/report.hh"
 
 namespace tb {
+
+// The deprecated SessionResult accessors delegate to the canonical
+// formulas on SessionReport so there is exactly one definition of each.
 
 double
 SessionResult::cpuCoresUsed() const
 {
-    double total = 0.0;
-    for (const auto &[cat, v] : cpuCoresByCategory)
-        total += v;
-    return total;
+    return SessionReport::sumCategories(cpuCoresByCategory);
 }
 
 double
 SessionResult::memBwUsed() const
 {
-    double total = 0.0;
-    for (const auto &[cat, v] : memBwByCategory)
-        total += v;
-    return total;
+    return SessionReport::sumCategories(memBwByCategory);
 }
 
 double
 SessionResult::rcBwUsed() const
 {
-    double total = 0.0;
-    for (const auto &[cat, v] : rcBwByCategory)
-        total += v;
-    return total;
+    return SessionReport::sumCategories(rcBwByCategory);
 }
 
 double
 SessionResult::goodput(double fault_free_throughput) const
 {
-    return fault_free_throughput > 0.0
-        ? throughput / fault_free_throughput : 0.0;
+    return SessionReport::computeGoodput(throughput,
+                                         fault_free_throughput);
 }
 
 double
 SessionResult::efficiency() const
 {
-    if (wallTime <= 0.0)
-        return 0.0;
-    const Time overhead = checkpoint.pauseTime +
-                          checkpoint.lostWorkTime +
-                          checkpoint.restartTime;
-    return clamp(1.0 - overhead / wallTime, 0.0, 1.0);
+    return SessionReport::computeEfficiency(checkpoint, wallTime);
 }
 
 TrainingSession::TrainingSession(Server &server) : server_(server)
@@ -164,6 +154,8 @@ TrainingSession::onChainDone(std::size_t g, double samples,
     if (measuring()) {
         prepLatencySum_ += server_.eq.now() - chain_start;
         ++prepLatencyCount_;
+        if (chainsCtr_)
+            chainsCtr_->inc();
     }
     tryStartCompute(g);
     launchPrep(g);
@@ -489,6 +481,8 @@ TrainingSession::tryStartCompute(std::size_t g)
     }
     gs.computeEv = server_.eq.scheduleIn(duration, [this, g, start] {
         groups_[g].computeEv.invalidate();
+        if (computeBusyCtr_ && measuring())
+            computeBusyCtr_->add(server_.eq.now() - start);
         if (trace_)
             trace_->complete(groups_[g].spec->name, "compute", start,
                              server_.eq.now() - start, "compute");
@@ -508,6 +502,8 @@ TrainingSession::onComputeDone(std::size_t g)
         const Time start = server_.eq.now();
         syncEv_ = server_.eq.scheduleIn(server_.syncTime(), [this, start] {
             syncEv_.invalidate();
+            if (syncBusyCtr_ && measuring())
+                syncBusyCtr_->add(server_.eq.now() - start);
             if (trace_)
                 trace_->complete("sync", "ring_allreduce", start,
                                  server_.eq.now() - start, "sync");
@@ -520,6 +516,8 @@ void
 TrainingSession::onSyncDone()
 {
     ++syncedSteps_;
+    if (stepsCtr_ && syncedSteps_ > warmupSteps_)
+        stepsCtr_->inc();
     // The window opens at the *first* warmup crossing only: a crash
     // rollback may replay the crossing, and resetting again would
     // discard the crash's cost from the measurement.
@@ -565,6 +563,20 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     warmupSteps_ = warmup;
     totalSteps_ = warmup + measure;
 
+    if (server_.metrics.enabled()) {
+        MetricsRegistry &m = server_.metrics;
+        computeBusyCtr_ = m.counter(
+            "session.compute_busy",
+            "accelerator-group busy time over the window (group-sec)");
+        syncBusyCtr_ = m.counter(
+            "session.sync_busy",
+            "ring-sync busy time over the window (sec)");
+        stepsCtr_ = m.counter("session.steps",
+                              "global steps synchronized in the window");
+        chainsCtr_ = m.counter("session.chains_completed",
+                               "prep chains finished in the window");
+    }
+
     if (server_.cfg.faults.enabled) {
         FaultTargets targets;
         targets.numSsds = server_.ssds.size();
@@ -592,6 +604,10 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     panic_if(!done_,
              "training stalled: event queue drained after %zu/%zu steps",
              syncedSteps_, totalSteps_);
+
+    // Extend the recorded utilization histories to the end of the run
+    // (no-op — and in particular no accounting change — without metrics).
+    server_.net.flushMetrics();
 
     SessionResult res;
     const Time elapsed = windowEnd_ - windowStart_;
@@ -642,6 +658,12 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     // run() can never be reached through this session.
     trace_ = nullptr;
     return res;
+}
+
+SessionReport
+TrainingSession::runReport(std::size_t warmup, std::size_t measure)
+{
+    return SessionReport::build(server_, run(warmup, measure));
 }
 
 } // namespace tb

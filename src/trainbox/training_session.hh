@@ -46,7 +46,17 @@
 
 namespace tb {
 
-/** Everything a session run reports. */
+class SessionReport;
+
+/**
+ * Raw measurements of a session run.
+ *
+ * SessionReport (trainbox/report.hh) is the single documented entry
+ * point for consuming a run: it wraps this struct together with the
+ * config echo, per-device utilization, and the ranked bottleneck
+ * attribution, and owns the canonical goodput/efficiency formulas.
+ * The accessors kept here delegate to it for compatibility.
+ */
 struct SessionResult
 {
     /** Aggregate training throughput (samples/s). */
@@ -102,6 +112,8 @@ struct SessionResult
     /**
      * Goodput fraction: this run's throughput relative to a fault-free
      * reference throughput (same config with faults.enabled = false).
+     * \deprecated Delegates to SessionReport::computeGoodput(); new
+     * code should consume a SessionReport.
      */
     double goodput(double faultFreeThroughput) const;
 
@@ -110,10 +122,16 @@ struct SessionResult
      * restart downtime) / wallTime — the quantity the Young–Daly
      * interval maximizes. 1.0 for a run with no checkpoint overhead and
      * no crashes; 0 when wallTime is degenerate.
+     * \deprecated Delegates to SessionReport::computeEfficiency(); new
+     * code should consume a SessionReport.
      */
     double efficiency() const;
 
-    /** Sums of the per-category maps. */
+    /**
+     * Sums of the per-category maps.
+     * \deprecated Delegate to SessionReport::sumCategories(); new code
+     * should consume a SessionReport.
+     */
     double cpuCoresUsed() const;
     double memBwUsed() const;
     double rcBwUsed() const;
@@ -130,6 +148,15 @@ class TrainingSession
      * metrics over the measurement window.
      */
     SessionResult run(std::size_t warmup = 4, std::size_t measure = 8);
+
+    /**
+     * Run and assemble the full SessionReport (config echo, latency
+     * breakdown, per-device utilization when cfg.metricsEnabled, and
+     * ranked bottleneck attribution). The preferred entry point for
+     * consuming a run; see trainbox/report.hh.
+     */
+    SessionReport runReport(std::size_t warmup = 4,
+                            std::size_t measure = 8);
 
     /**
      * Record a Chrome-trace timeline (prep stages per group, compute
@@ -201,6 +228,13 @@ class TrainingSession
     Server &server_;
     std::vector<GroupState> groups_;
     TraceWriter *trace_ = nullptr;
+
+    // session-level instruments (nullptr whenever metrics are off, in
+    // which case no instrumented statement executes)
+    MetricCounter *computeBusyCtr_ = nullptr;
+    MetricCounter *syncBusyCtr_ = nullptr;
+    MetricCounter *stepsCtr_ = nullptr;
+    MetricCounter *chainsCtr_ = nullptr;
 
     std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<Checkpointer> ckpt_;

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * tb_report: run one training-session config and print its
+ * SessionReport — the consolidated view of throughput, the Fig 9
+ * latency breakdown, host-resource demand, per-device utilization,
+ * and the ranked bottleneck attribution.
+ *
+ * Examples:
+ *   tb_report --preset trainbox --model Resnet-50 --accs 256
+ *   tb_report --preset baseline --accs 32 --json report.json
+ *   tb_report --preset p2p --csv - --trace trace.json
+ *
+ * Metrics are enabled by default here (this tool exists to look at
+ * them); --no-metrics shows the host-axis fallback attribution.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/trace.hh"
+#include "trainbox/report.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+#include "workload/model_zoo.hh"
+
+namespace {
+
+struct Options
+{
+    tb::ArchPreset preset = tb::ArchPreset::TrainBox;
+    std::string model = "Resnet-50";
+    std::size_t accs = 256;
+    std::size_t batch = 0;
+    std::size_t warmup = 4;
+    std::size_t measure = 8;
+    bool metrics = true;
+    std::string jsonPath;  // "-" = stdout
+    std::string csvPath;   // "-" = stdout
+    std::string tracePath; // Chrome trace with counter tracks
+};
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: tb_report [options]\n"
+        "  --preset NAME    baseline | acc | acc-gpu | p2p | p2p-gen4 |\n"
+        "                   no-pool | trainbox        (default trainbox)\n"
+        "  --model NAME     Table I model name      (default Resnet-50)\n"
+        "  --accs N         number of accelerators        (default 256)\n"
+        "  --batch N        per-accelerator batch     (default Table I)\n"
+        "  --warmup N       warmup steps                    (default 4)\n"
+        "  --measure N      measured steps                  (default 8)\n"
+        "  --json PATH      write the JSON report (PATH '-' = stdout)\n"
+        "  --csv PATH       write the CSV report  (PATH '-' = stdout)\n"
+        "  --trace PATH     write a Chrome trace with counter tracks\n"
+        "  --no-metrics     run without instrumentation (host-axis\n"
+        "                   bottleneck fallback only)\n"
+        "  --list           list presets and models, then exit\n");
+}
+
+bool
+parsePreset(const std::string &s, tb::ArchPreset &out)
+{
+    using tb::ArchPreset;
+    static const struct
+    {
+        const char *name;
+        ArchPreset preset;
+    } kMap[] = {
+        {"baseline", ArchPreset::Baseline},
+        {"acc", ArchPreset::BaselineAccFpga},
+        {"acc-gpu", ArchPreset::BaselineAccGpu},
+        {"p2p", ArchPreset::BaselineAccP2p},
+        {"p2p-gen4", ArchPreset::BaselineAccP2pGen4},
+        {"no-pool", ArchPreset::TrainBoxNoPool},
+        {"trainbox", ArchPreset::TrainBox},
+    };
+    for (const auto &e : kMap)
+        if (s == e.name) {
+            out = e.preset;
+            return true;
+        }
+    return false;
+}
+
+void
+listChoices()
+{
+    std::printf("presets:\n");
+    static const char *const kNames[] = {"baseline", "acc",     "acc-gpu",
+                                         "p2p",      "p2p-gen4", "no-pool",
+                                         "trainbox"};
+    std::size_t i = 0;
+    for (tb::ArchPreset p : tb::allPresets())
+        std::printf("  %-9s %s — %s\n", kNames[i++], tb::presetName(p),
+                    tb::presetDescription(p));
+    std::printf("models:\n");
+    for (const auto &m : tb::workload::modelZoo())
+        std::printf("  %-12s %s (batch %zu)\n", m.name.c_str(),
+                    m.task.c_str(), m.batchSize);
+}
+
+void
+writeOrPrint(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::fputs(content.c_str(), stdout);
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "tb_report: cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "tb_report: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--list") {
+            listChoices();
+            return 0;
+        } else if (arg == "--preset") {
+            const std::string v = value();
+            if (!parsePreset(v, opt.preset)) {
+                std::fprintf(stderr, "tb_report: unknown preset '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (arg == "--model") {
+            opt.model = value();
+        } else if (arg == "--accs") {
+            opt.accs = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--batch") {
+            opt.batch = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            opt.warmup = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--measure") {
+            opt.measure = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--json") {
+            opt.jsonPath = value();
+        } else if (arg == "--csv") {
+            opt.csvPath = value();
+        } else if (arg == "--trace") {
+            opt.tracePath = value();
+        } else if (arg == "--no-metrics") {
+            opt.metrics = false;
+        } else {
+            std::fprintf(stderr, "tb_report: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    tb::ServerConfig cfg = tb::ServerConfig::forPreset(opt.preset)
+                               .withModel(opt.model)
+                               .withAccelerators(opt.accs)
+                               .withBatchSize(opt.batch)
+                               .withMetrics(opt.metrics);
+    const std::string problem = cfg.validate();
+    if (!problem.empty()) {
+        std::fprintf(stderr, "tb_report: invalid config: %s\n",
+                     problem.c_str());
+        return 2;
+    }
+
+    auto server = tb::buildServer(cfg);
+    tb::TrainingSession session(*server);
+
+    tb::TraceWriter trace;
+    if (!opt.tracePath.empty())
+        session.setTrace(&trace);
+
+    const tb::SessionReport report =
+        session.runReport(opt.warmup, opt.measure);
+
+    const bool quiet =
+        opt.jsonPath == "-" || opt.csvPath == "-";
+    if (!quiet)
+        report.print(stdout);
+    if (!opt.jsonPath.empty())
+        writeOrPrint(opt.jsonPath, report.toJson());
+    if (!opt.csvPath.empty())
+        writeOrPrint(opt.csvPath, report.toCsv());
+    if (!opt.tracePath.empty()) {
+        report.emitCounters(trace);
+        trace.writeFile(opt.tracePath);
+        std::fprintf(stderr, "wrote %s\n", opt.tracePath.c_str());
+    }
+    return 0;
+}
