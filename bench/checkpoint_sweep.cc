@@ -99,7 +99,8 @@ main(int argc, char **argv)
             cfg.faults.seed = 0x59440000u + s;
             cfg.faults.fatalCrash.ratePerSec = 1.0 / mtbf;
             const SessionResult res = run(cfg, steps);
-            eff_sum += res.efficiency();
+            eff_sum += SessionReport::computeEfficiency(res.checkpoint,
+                                                        res.wallTime);
             crashes += res.checkpoint.fatalCrashes;
             lost += res.checkpoint.stepsLost;
         }

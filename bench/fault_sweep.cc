@@ -68,8 +68,12 @@ main(int argc, char **argv)
         const SessionResult b = run(cfg);
         fail_table.row()
             .add(p)
-            .add(a.goodput(healthy.throughput), 4)
-            .add(b.goodput(healthy.throughput), 4)
+            .add(SessionReport::computeGoodput(a.throughput,
+                                               healthy.throughput),
+                 4)
+            .add(SessionReport::computeGoodput(b.throughput,
+                                               healthy.throughput),
+                 4)
             .add(a.faults.ssdRetries)
             .add(a.faults.chunksAbandoned)
             .add(a.throughput == b.throughput ? "yes" : "NO");
@@ -90,7 +94,9 @@ main(int argc, char **argv)
         const SessionResult r = run(cfg);
         win_table.row()
             .add(per_step)
-            .add(r.goodput(healthy.throughput), 4)
+            .add(SessionReport::computeGoodput(r.throughput,
+                                               healthy.throughput),
+                 4)
             .add(r.faults.degradedTime, 3)
             .add(r.faults.faultsInjected);
     }
@@ -109,7 +115,9 @@ main(int argc, char **argv)
         const SessionResult r = run(cfg);
         crash_table.row()
             .add(failover ? "failover" : "no_failover")
-            .add(r.goodput(healthy.throughput), 4)
+            .add(SessionReport::computeGoodput(r.throughput,
+                                               healthy.throughput),
+                 4)
             .add(r.faults.prepFailovers)
             .add(r.faults.degradedTime, 3);
     }

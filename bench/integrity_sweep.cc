@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Integrity sweep: silent-corruption escape rate and throughput cost of
+ * end-to-end checksum verification (docs/ROBUSTNESS.md, "Data integrity
+ * & silent corruption").
+ *
+ * Three experiments on 32-accelerator ResNet-50 servers:
+ *
+ *  1. Escape-rate sweep — per-hop flip probability from 0.1% to 10%,
+ *     Baseline vs TrainBox, integrity checks off vs on. The Baseline's
+ *     CPU formatting inherently validates every byte, so it never lets
+ *     a flip escape; the TrainBox P2P path leaks every silent SSD/FPGA
+ *     flip until the checksum stages are enabled, after which nothing
+ *     escapes anywhere.
+ *  2. Integrity tax — throughput at zero flip probability with checks
+ *     on vs off. The Baseline is CPU-bound, so the CRC cycles cost
+ *     throughput; the TrainBox is accelerator-bound and absorbs them.
+ *  3. Recovery behaviour — detected flips re-run their prep chain under
+ *     the bounded budget; the table reports recoveries, PCIe replays,
+ *     and chunks quarantined as the flip rate climbs.
+ *
+ * --smoke runs a small CI assertion instead: with checks enabled every
+ * injected flip must be detected (zero escapes) and the conservation
+ * law detected + escaped == injected must hold. Exits non-zero on
+ * violation.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+namespace {
+
+tb::ServerConfig
+baseConfig(tb::ArchPreset preset, std::size_t n_acc = 32)
+{
+    tb::ServerConfig cfg;
+    cfg.preset = preset;
+    cfg.model = tb::workload::ModelId::Resnet50;
+    cfg.numAccelerators = n_acc;
+    if (preset == tb::ArchPreset::TrainBox)
+        cfg.prepPoolFpgas = 8;
+    return cfg;
+}
+
+void
+armCorruption(tb::ServerConfig &cfg, double p, bool checks)
+{
+    cfg.faults.enabled = true;
+    cfg.faults.integrityChecks = checks;
+    cfg.faults.corruption.ssdBitFlipProb = p;
+    cfg.faults.corruption.pcieErrorProb = p / 2.0;
+    cfg.faults.corruption.fpgaUpsetProb = p;
+    cfg.faults.corruption.hostDramFlipProb = p / 2.0;
+}
+
+tb::SessionResult
+run(const tb::ServerConfig &cfg)
+{
+    auto server = tb::buildServer(cfg);
+    tb::TrainingSession session(*server);
+    return session.run(4, 8);
+}
+
+/** CI mode: assert zero escapes with checks enabled on a small box. */
+int
+smoke()
+{
+    tb::ServerConfig cfg = baseConfig(tb::ArchPreset::TrainBox, 16);
+    armCorruption(cfg, 0.05, true);
+    const tb::SessionResult res = run(cfg);
+    const auto &in = res.integrity;
+    std::printf("integrity smoke: injected %zu detected %zu escaped %zu "
+                "recoveries %zu quarantined %zu\n",
+                in.injected, in.detected, in.escaped, in.recoveries,
+                in.chunksQuarantined);
+    if (in.injected == 0) {
+        std::printf("FAIL: no corruption injected\n");
+        return 1;
+    }
+    if (in.detected + in.escaped != in.injected) {
+        std::printf("FAIL: conservation law violated\n");
+        return 1;
+    }
+    if (in.escaped != 0) {
+        std::printf("FAIL: %zu flips escaped with checks enabled\n",
+                    in.escaped);
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return smoke();
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const double healthy_baseline =
+        run(baseConfig(ArchPreset::Baseline)).throughput;
+    const double healthy_trainbox =
+        run(baseConfig(ArchPreset::TrainBox)).throughput;
+
+    // --- 1. escape rate vs flip probability --------------------------
+    bench::banner("Integrity sweep: escape rate vs per-hop flip "
+                  "probability (ResNet-50, 32 accelerators)");
+    Table esc_table({"flip_prob", "arch", "checks", "injected",
+                     "detected", "escaped", "escape_rate", "goodput"});
+    for (double p : {0.001, 0.01, 0.05, 0.1}) {
+        for (ArchPreset preset :
+             {ArchPreset::Baseline, ArchPreset::TrainBox}) {
+            for (bool checks : {false, true}) {
+                ServerConfig cfg = baseConfig(preset);
+                armCorruption(cfg, p, checks);
+                const SessionResult r = run(cfg);
+                const double healthy = preset == ArchPreset::Baseline
+                    ? healthy_baseline
+                    : healthy_trainbox;
+                esc_table.row()
+                    .add(p)
+                    .add(presetName(preset))
+                    .add(checks ? "on" : "off")
+                    .add(r.integrity.injected)
+                    .add(r.integrity.detected)
+                    .add(r.integrity.escaped)
+                    .add(r.integrity.escapeRate(), 4)
+                    .add(SessionReport::computeGoodput(r.throughput,
+                                                       healthy),
+                         4);
+            }
+        }
+    }
+    bench::emit(esc_table, csv);
+
+    // --- 2. integrity tax at zero flip probability --------------------
+    bench::banner("Integrity tax: throughput with checks on, zero flips");
+    Table tax_table({"arch", "checks", "throughput", "tax_pct"});
+    for (ArchPreset preset :
+         {ArchPreset::Baseline, ArchPreset::TrainBox}) {
+        const double healthy = preset == ArchPreset::Baseline
+            ? healthy_baseline
+            : healthy_trainbox;
+        for (bool checks : {false, true}) {
+            ServerConfig cfg = baseConfig(preset);
+            armCorruption(cfg, 0.0, checks);
+            const SessionResult r = run(cfg);
+            tax_table.row()
+                .add(presetName(preset))
+                .add(checks ? "on" : "off")
+                .add(r.throughput, 1)
+                .add(100.0 * (1.0 - r.throughput / healthy), 2);
+        }
+    }
+    bench::emit(tax_table, csv);
+
+    // --- 3. recovery behaviour under rising flip rates ----------------
+    bench::banner("Recovery behaviour: TrainBox with checks on");
+    Table rec_table({"flip_prob", "recoveries", "pcie_replays",
+                     "quarantined", "goodput"});
+    for (double p : {0.01, 0.05, 0.1, 0.2}) {
+        ServerConfig cfg = baseConfig(ArchPreset::TrainBox);
+        armCorruption(cfg, p, true);
+        const SessionResult r = run(cfg);
+        rec_table.row()
+            .add(p)
+            .add(r.integrity.recoveries)
+            .add(r.integrity.pcieReplays)
+            .add(r.integrity.chunksQuarantined)
+            .add(SessionReport::computeGoodput(r.throughput,
+                                               healthy_trainbox),
+                 4);
+    }
+    bench::emit(rec_table, csv);
+
+    return 0;
+}

@@ -1,0 +1,36 @@
+#include "common/crc32c.hh"
+
+#include <array>
+
+namespace tb {
+
+namespace {
+
+/** Byte-indexed lookup table for the reflected polynomial 0x82F63B78. */
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t crc)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return ~c;
+}
+
+} // namespace tb

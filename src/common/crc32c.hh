@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) checksums.
+ *
+ * The polynomial (0x1EDC6F41, reflected 0x82F63B78) is the one NVMe,
+ * iSCSI, and ext4 use for end-to-end data protection — the natural
+ * choice for the sample envelopes the prep path carries (see
+ * prep/integrity.hh and docs/ROBUSTNESS.md). Table-driven, processes a
+ * byte per step; fast enough for test-sized payloads and deterministic
+ * everywhere.
+ */
+
+#ifndef TRAINBOX_COMMON_CRC32C_HH
+#define TRAINBOX_COMMON_CRC32C_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tb {
+
+/**
+ * CRC32C of @p len bytes at @p data, continuing from @p crc (pass the
+ * previous call's return value to checksum incrementally; 0 to start).
+ * crc32c("123456789") == 0xE3069283, the standard check value.
+ */
+std::uint32_t crc32c(const void *data, std::size_t len,
+                     std::uint32_t crc = 0);
+
+} // namespace tb
+
+#endif // TRAINBOX_COMMON_CRC32C_HH

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "prep/integrity.hh"
+
 namespace tb {
 namespace prep {
 
@@ -107,9 +109,17 @@ PrepExecutor::submitImageBatch(std::vector<std::vector<std::uint8_t>> jpegs)
                 // 1 + maxItemRetries attempts.
                 PreparedImage out;
                 std::size_t retries = 0;
-                for (std::size_t a = 0;; ++a) {
+                // The envelope covers the stored bytes, so one check
+                // before the attempt loop suffices; retrying a
+                // deterministic mismatch would just burn attempts.
+                const bool sealed_ok = !cfg_.checksummedItems ||
+                                       openItem(bytes, &out.error);
+                for (std::size_t a = 0; sealed_ok; ++a) {
                     Rng rng(a == 0 ? seed : mix64(seed + a));
                     out = pipe.prepare(bytes, rng);
+                    if (out.ok && cfg_.validateOutputs &&
+                        !validateImageTensor(out.tensor, &out.error))
+                        out.ok = false;
                     if (out.ok || a >= cfg_.maxItemRetries)
                         break;
                     ++retries;
@@ -200,6 +210,10 @@ PrepExecutor::submitAudioBatch(std::vector<std::vector<double>> waveforms)
                 for (std::size_t a = 0;; ++a) {
                     Rng rng(a == 0 ? seed : mix64(seed + a));
                     out = pipe.prepare(wave, rng);
+                    if (out.ok && cfg_.validateOutputs &&
+                        !validateAudioFeatures(out.features.power,
+                                               &out.error))
+                        out.ok = false;
                     if (out.ok || a >= cfg_.maxItemRetries)
                         break;
                     ++retries;
@@ -218,7 +232,9 @@ PrepExecutor::submitAudioBatch(std::vector<std::vector<double>> waveforms)
                         ++itemsFailed_;
                         ++itemsQuarantined_;
                         quarantine_.push_back(
-                            {index, "audio chain failed"});
+                            {index, out.error.empty()
+                                        ? "audio chain failed"
+                                        : out.error});
                     }
                     audioPrepSeconds_ += dt;
                     audioPrepMs_.sample(dt * 1e3);
@@ -227,6 +243,7 @@ PrepExecutor::submitAudioBatch(std::vector<std::vector<double>> waveforms)
             });
         if (!enqueue(task)) {
             PreparedAudio failed;
+            failed.error = "executor shut down";
             std::promise<PreparedAudio> p;
             futures.back() = p.get_future();
             p.set_value(std::move(failed));

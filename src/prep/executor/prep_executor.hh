@@ -64,6 +64,23 @@ struct ExecutorConfig
      */
     std::size_t maxItemRetries = 0;
 
+    /**
+     * Submitted image items carry the CRC32C envelope of
+     * prep/integrity.hh (sealItem). The envelope is verified and
+     * stripped before decode; a mismatch quarantines the item
+     * immediately — retries are skipped, since re-running a
+     * deterministic checksum over the same bytes cannot succeed.
+     */
+    bool checksummedItems = false;
+
+    /**
+     * Screen prepared outputs (finite, in-range) before reporting them
+     * ok; failures quarantine like any other chain error. Catches
+     * corruption that strikes after the envelope check — in staging
+     * buffers or the prep kernels themselves.
+     */
+    bool validateOutputs = false;
+
     ImagePrepConfig image;
     AudioPrepConfig audio;
 };

@@ -1,0 +1,164 @@
+#include "prep/integrity.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/crc32c.hh"
+#include "prep/executor/prep_executor.hh"
+
+namespace tb {
+namespace prep {
+
+namespace {
+
+/** 'T' 'B' 'I' '1' — TrainBox integrity envelope, version 1. */
+constexpr std::uint32_t kEnvelopeMagic = 0x31494254u;
+
+void
+putLe32(std::vector<std::uint8_t> &bytes, std::uint32_t v)
+{
+    bytes.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+    bytes.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+    bytes.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFFu));
+    bytes.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFFu));
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool
+fail(std::string *error, const char *what)
+{
+    if (error)
+        *error = std::string("checksum: ") + what;
+    return false;
+}
+
+} // namespace
+
+void
+sealItem(std::vector<std::uint8_t> &bytes)
+{
+    const std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+    const std::uint32_t crc = crc32c(bytes.data(), bytes.size());
+    bytes.reserve(bytes.size() + kEnvelopeBytes);
+    putLe32(bytes, kEnvelopeMagic);
+    putLe32(bytes, len);
+    putLe32(bytes, crc);
+}
+
+bool
+openItem(std::vector<std::uint8_t> &bytes, std::string *error)
+{
+    if (bytes.size() < kEnvelopeBytes)
+        return fail(error, "item too small for envelope");
+    const std::uint8_t *foot = bytes.data() + bytes.size() - kEnvelopeBytes;
+    if (getLe32(foot) != kEnvelopeMagic)
+        return fail(error, "bad envelope magic");
+    const std::size_t payload_len = bytes.size() - kEnvelopeBytes;
+    if (getLe32(foot + 4) != payload_len)
+        return fail(error, "length mismatch");
+    if (getLe32(foot + 8) != crc32c(bytes.data(), payload_len))
+        return fail(error, "crc mismatch");
+    bytes.resize(payload_len);
+    return true;
+}
+
+bool
+validateImageTensor(const std::vector<float> &tensor, std::string *error)
+{
+    if (tensor.empty()) {
+        if (error)
+            *error = "validate: empty image tensor";
+        return false;
+    }
+    for (float v : tensor) {
+        if (!std::isfinite(v) || v < 0.0f || v >= 256.0f) {
+            if (error)
+                *error = "validate: image tensor value out of range";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+validateAudioFeatures(const std::vector<double> &features,
+                      std::string *error)
+{
+    if (features.empty()) {
+        if (error)
+            *error = "validate: empty audio features";
+        return false;
+    }
+    for (double v : features) {
+        if (!std::isfinite(v)) {
+            if (error)
+                *error = "validate: non-finite audio feature";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+flipRandomBit(std::vector<std::uint8_t> &bytes, Rng &rng)
+{
+    if (bytes.empty())
+        return;
+    const auto bit = static_cast<std::uint64_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(bytes.size()) * 8 - 1));
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void
+flipRandomBit(std::vector<double> &samples, Rng &rng)
+{
+    if (samples.empty())
+        return;
+    const auto bit = static_cast<std::uint64_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(samples.size()) * 64 - 1));
+    // Flip through an integer view; a mantissa/exponent/sign flip can
+    // produce anything from a tiny perturbation to NaN/Inf — exactly
+    // the spectrum a real DRAM upset produces.
+    std::uint64_t word;
+    std::memcpy(&word, &samples[bit / 64], sizeof(word));
+    word ^= std::uint64_t{1} << (bit % 64);
+    std::memcpy(&samples[bit / 64], &word, sizeof(word));
+}
+
+std::string
+quarantineReason(const std::string &error)
+{
+    if (error.rfind("checksum: ", 0) == 0)
+        return "checksum_mismatch";
+    if (error.rfind("validate: ", 0) == 0)
+        return "tensor_invalid";
+    if (error.rfind("decode: ", 0) == 0)
+        return "decode_error";
+    if (error.rfind("audio: ", 0) == 0)
+        return "audio_malformed";
+    if (error == "image smaller than crop")
+        return "bad_dimensions";
+    if (error == "executor shut down")
+        return "shutdown";
+    return "other";
+}
+
+std::map<std::string, std::size_t>
+quarantineByReason(const std::vector<QuarantinedItem> &items)
+{
+    std::map<std::string, std::size_t> by;
+    for (const auto &item : items)
+        ++by[quarantineReason(item.error)];
+    return by;
+}
+
+} // namespace prep
+} // namespace tb

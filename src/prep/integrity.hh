@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end data integrity for the functional prep path: CRC32C sample
+ * envelopes, cheap tensor sanity validators, corruption (bit-flip)
+ * injection helpers, and quarantine-reason classification.
+ *
+ * The P2P datapath this repo models (SSD -> FPGA -> accelerator) skips
+ * the host's ECC-checked, software-validated staging copy, so a flipped
+ * bit anywhere along that path silently poisons training — and data
+ * echoing replays the poisoned sample for many steps. The defenses
+ * modeled in the simulator (server_builder.cc integrity stages) are
+ * implemented for real here:
+ *
+ *   - sealItem()/openItem(): a per-sample CRC32C envelope over the
+ *     stored bytes, verified (and stripped) before decode;
+ *   - validateImageTensor()/validateAudioFeatures(): NaN/Inf screens
+ *     and range checks on prepared tensors, catching upsets that strike
+ *     after the envelope was already verified;
+ *   - flipRandomBit(): the adversary, used by tests and tb_report's
+ *     --prep-smoke to inject storage-level corruption;
+ *   - quarantineReason()/quarantineByReason(): fold the executor's
+ *     quarantine into per-reason counts for SessionReport.
+ *
+ * See docs/ROBUSTNESS.md ("Data integrity & silent corruption").
+ */
+
+#ifndef TRAINBOX_PREP_INTEGRITY_HH
+#define TRAINBOX_PREP_INTEGRITY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace tb {
+namespace prep {
+
+struct QuarantinedItem;
+
+/** Envelope footer size: 4 B magic + 4 B payload length + 4 B CRC32C. */
+constexpr std::size_t kEnvelopeBytes = 12;
+
+/**
+ * Append the integrity footer to @p bytes in place: little-endian
+ * [magic][payload-length][crc32c(payload)]. A sealed item is what the
+ * storage layer would hand the prep path.
+ */
+void sealItem(std::vector<std::uint8_t> &bytes);
+
+/**
+ * Verify and strip the envelope of a sealed item in place. Returns true
+ * when the footer is present, well-formed, and the CRC matches; on
+ * failure @p bytes is left unchanged and, when @p error is non-null, it
+ * receives a "checksum: ..." diagnostic.
+ */
+bool openItem(std::vector<std::uint8_t> &bytes, std::string *error);
+
+/**
+ * Cheap sanity screen on a prepared image tensor: every value must be
+ * finite and in [0, 256) (the pipeline casts from 8-bit pixels, so
+ * anything outside means an upset after decode). Empty tensors fail.
+ * On failure returns false and fills @p error with "validate: ...".
+ */
+bool validateImageTensor(const std::vector<float> &tensor,
+                         std::string *error);
+
+/**
+ * Sanity screen on prepared audio features: every value finite. (Log-Mel
+ * output is unbounded but always finite for finite input.) Empty
+ * feature matrices fail. Fills @p error with "validate: ..." on failure.
+ */
+bool validateAudioFeatures(const std::vector<double> &features,
+                           std::string *error);
+
+/** Flip one uniformly-chosen bit of @p bytes (no-op when empty). */
+void flipRandomBit(std::vector<std::uint8_t> &bytes, Rng &rng);
+
+/** Flip one uniformly-chosen bit of a raw double buffer (waveforms). */
+void flipRandomBit(std::vector<double> &samples, Rng &rng);
+
+/**
+ * Classify a quarantined item's error string into a stable reason
+ * class: "checksum_mismatch", "tensor_invalid", "decode_error",
+ * "audio_malformed", "bad_dimensions", "shutdown", or "other".
+ */
+std::string quarantineReason(const std::string &error);
+
+/** Per-reason quarantine counts for SessionReport::attachPrepQuarantine. */
+std::map<std::string, std::size_t>
+quarantineByReason(const std::vector<QuarantinedItem> &items);
+
+} // namespace prep
+} // namespace tb
+
+#endif // TRAINBOX_PREP_INTEGRITY_HH

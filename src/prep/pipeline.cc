@@ -109,16 +109,72 @@ makeSyntheticJpeg(int width, int height, Rng &rng, int quality)
     return jpeg::encodeJpeg(img, opts);
 }
 
+namespace {
+
+/**
+ * Screen a waveform and the audio config before running the chain, so
+ * malformed input (a corrupted item, an absurd header) quarantines
+ * gracefully instead of tripping the kernels' fatal asserts or
+ * producing NaN features. Returns an "audio: ..." diagnostic, or ""
+ * when the input is fit to process.
+ */
+std::string
+checkAudioInput(const std::vector<double> &waveform,
+                const AudioPrepConfig &cfg)
+{
+    if (waveform.empty())
+        return "audio: empty waveform";
+    for (double v : waveform) {
+        if (!std::isfinite(v))
+            return "audio: non-finite waveform sample";
+        // Real PCM decodes to [-1, 1] (a few orders of magnitude of
+        // headroom allowed); an exponent-bit upset lands far outside and
+        // would overflow the power spectrum to Inf downstream.
+        if (std::fabs(v) > 1.0e6)
+            return "audio: waveform sample out of range";
+    }
+
+    const audio::StftConfig &stft = cfg.stft;
+    if (stft.windowSize == 0 || stft.hopSize == 0)
+        return "audio: zero stft window or hop";
+    if (stft.fftSize < stft.windowSize)
+        return "audio: fft smaller than window";
+    if ((stft.fftSize & (stft.fftSize - 1)) != 0)
+        return "audio: fft size not a power of two";
+    if (waveform.size() < stft.windowSize)
+        return "audio: waveform shorter than one window";
+
+    const audio::MelConfig &mel = cfg.mel;
+    if (mel.numMels == 0)
+        return "audio: zero mel bands";
+    if (!std::isfinite(mel.sampleRate) || mel.sampleRate <= 0.0)
+        return "audio: bad sample rate";
+    if (mel.fMin < 0.0 || !std::isfinite(mel.fMin))
+        return "audio: bad mel fMin";
+    if (!std::isfinite(mel.fMax) || mel.fMax <= mel.fMin)
+        return "audio: mel fMax at or below fMin";
+    if (mel.fMax > mel.sampleRate / 2.0)
+        return "audio: mel fMax above Nyquist";
+    return "";
+}
+
+} // namespace
+
 PreparedAudio
 AudioPrepPipeline::prepare(std::vector<double> waveform, Rng &rng) const
 {
     PreparedAudio out;
+    out.error = checkAudioInput(waveform, cfg_);
+    if (!out.error.empty())
+        return out;
     if (cfg_.augment && cfg_.waveformNoiseStddev > 0.0)
         audio::addNoise(waveform, cfg_.waveformNoiseStddev, rng);
 
     const audio::Spectrogram power = audio::stft(waveform, cfg_.stft);
-    if (power.frames == 0)
+    if (power.frames == 0) {
+        out.error = "audio: stft produced no frames";
         return out;
+    }
     out.features = audio::logMel(power, cfg_.mel, cfg_.stft.fftSize);
     if (cfg_.augment)
         audio::applyMasks(out.features, cfg_.mask, rng);

@@ -87,6 +87,7 @@ struct PreparedAudio
 {
     audio::Spectrogram features; // frames x numMels
     bool ok = false;
+    std::string error;
 };
 
 /** Functional audio preparation chain. */

@@ -21,6 +21,13 @@ mix64(std::uint64_t z)
 /** Per-class stream tags (keep stable: they define the schedules). */
 constexpr std::uint64_t kReadFailStream = 0x5245414446ull;
 constexpr std::uint64_t kStragglerStream = 0x5354524147ull;
+constexpr std::uint64_t kCorruptionStream = 0x434f525255ull;
+
+std::uint64_t
+corruptionStreamTag(CorruptionKind kind)
+{
+    return kCorruptionStream + static_cast<std::uint64_t>(kind);
+}
 
 std::uint64_t
 classStreamTag(FaultKind kind)
@@ -48,6 +55,22 @@ faultKindName(FaultKind kind)
     return "unknown";
 }
 
+const char *
+corruptionKindName(CorruptionKind kind)
+{
+    switch (kind) {
+      case CorruptionKind::SsdBitFlip:
+        return "ssd_bit_flip";
+      case CorruptionKind::PcieLinkError:
+        return "pcie_link_error";
+      case CorruptionKind::FpgaUpset:
+        return "fpga_upset";
+      case CorruptionKind::HostDramFlip:
+        return "host_dram_flip";
+    }
+    return "unknown";
+}
+
 FaultInjector::FaultInjector(const FaultConfig &cfg,
                              const FaultTargets &targets)
     : cfg_(cfg),
@@ -61,6 +84,17 @@ FaultInjector::FaultInjector(const FaultConfig &cfg,
              cfg_.ssdReadFailureProb);
     panic_if(cfg_.stragglerFactor < 1.0,
              "stragglerFactor must be >= 1, got %g", cfg_.stragglerFactor);
+    for (std::size_t k = 0; k < kNumCorruptionKinds; ++k) {
+        const auto kind = static_cast<CorruptionKind>(k);
+        const double p = cfg_.corruption.probFor(kind);
+        panic_if(p < 0.0 || p >= 1.0,
+                 "corruption probability for %s must be in [0, 1), got %g",
+                 corruptionKindName(kind), p);
+        corruptionRngs_[k] = Rng(mix64(cfg.seed ^ corruptionStreamTag(kind)));
+    }
+    panic_if(cfg_.corruption.pcieReplayLatency < 0.0,
+             "pcieReplayLatency must be >= 0, got %g",
+             cfg_.corruption.pcieReplayLatency);
 }
 
 std::vector<FaultInjector::ClassState>
@@ -122,6 +156,28 @@ FaultInjector::ssdReadAttemptFails()
     if (fails)
         ++readFailures_;
     return fails;
+}
+
+bool
+FaultInjector::corruptionStrikes(CorruptionKind kind)
+{
+    const double p = cfg_.corruption.probFor(kind);
+    if (p <= 0.0)
+        return false;
+    const auto k = static_cast<std::size_t>(kind);
+    const bool strikes = corruptionRngs_[k].uniform() < p;
+    if (strikes)
+        ++corruptions_[k];
+    return strikes;
+}
+
+std::size_t
+FaultInjector::corruptionsInjected() const
+{
+    std::size_t total = 0;
+    for (std::size_t n : corruptions_)
+        total += n;
+    return total;
 }
 
 double

@@ -30,6 +30,7 @@
 #ifndef TRAINBOX_SIM_FAULT_INJECTOR_HH
 #define TRAINBOX_SIM_FAULT_INJECTOR_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -51,6 +52,78 @@ enum class FaultKind
 
 /** Display name of a fault kind ("ssd_degrade", ...). */
 const char *faultKindName(FaultKind kind);
+
+/**
+ * Classes of silent data corruption on the sample path. Unlike the
+ * windowed availability faults these are per-chunk, per-hop Bernoulli
+ * draws made as each prep-chain stage completes: the P2P path
+ * (SSD→FPGA→accelerator) never lands in host DRAM, so it bypasses the
+ * host's ECC and the framework loader's software validation — a bit
+ * flipped on an NVMe read, a PCIe hop, or inside a prep FPGA reaches
+ * training silently unless a checksum stage catches it.
+ */
+enum class CorruptionKind
+{
+    SsdBitFlip = 0,    ///< NVMe media / controller flip on a chunk read
+    PcieLinkError = 1, ///< PCIe lane error — LCRC detects, replay costs
+    FpgaUpset = 2,     ///< logic upset inside a prep engine
+    HostDramFlip = 3,  ///< DRAM flip on the host staging path (ECC'd)
+};
+
+/** Number of CorruptionKind values (array sizing). */
+constexpr std::size_t kNumCorruptionKinds = 4;
+
+/** Display name of a corruption kind ("ssd_bit_flip", ...). */
+const char *corruptionKindName(CorruptionKind kind);
+
+/** Bit for @p kind in a stage template's corruption-hop mask. */
+constexpr unsigned
+corruptionBit(CorruptionKind kind)
+{
+    return 1u << static_cast<unsigned>(kind);
+}
+
+/**
+ * Per-chunk corruption probabilities for each hop class. A probability
+ * applies once per traversal of a hop of that class (a chunk crossing
+ * two PCIe hops draws twice). PCIe link errors are always detected by
+ * the link-level LCRC and cost a replay delay; host-DRAM flips are
+ * always corrected by ECC; SSD and FPGA flips are *silent* — they
+ * escape unless a downstream stage verifies the data.
+ */
+struct CorruptionConfig
+{
+    double ssdBitFlipProb = 0.0;
+    double pcieErrorProb = 0.0;
+    double fpgaUpsetProb = 0.0;
+    double hostDramFlipProb = 0.0;
+
+    /** Link stall paid per detected PCIe error (LCRC replay). */
+    Time pcieReplayLatency = 2.0e-6;
+
+    /** The probability for one kind. */
+    double probFor(CorruptionKind kind) const
+    {
+        switch (kind) {
+          case CorruptionKind::SsdBitFlip:
+            return ssdBitFlipProb;
+          case CorruptionKind::PcieLinkError:
+            return pcieErrorProb;
+          case CorruptionKind::FpgaUpset:
+            return fpgaUpsetProb;
+          case CorruptionKind::HostDramFlip:
+            return hostDramFlipProb;
+        }
+        return 0.0;
+    }
+
+    /** True when any class can strike. */
+    bool any() const
+    {
+        return ssdBitFlipProb > 0.0 || pcieErrorProb > 0.0 ||
+               fpgaUpsetProb > 0.0 || hostDramFlipProb > 0.0;
+    }
+};
 
 /** One windowed-fault class: arrival rate, outage length, severity. */
 struct FaultClassConfig
@@ -107,6 +180,27 @@ struct FaultConfig
      * TrainingSession + Checkpointer.
      */
     FaultClassConfig fatalCrash;
+
+    // --- data corruption --------------------------------------------
+
+    /** Silent-corruption hop probabilities (all 0 = no corruption). */
+    CorruptionConfig corruption;
+
+    /**
+     * Insert checksum generate/verify stages into every prep chain
+     * (server_builder.cc). The checks cost modeled compute/bandwidth
+     * even when no corruption strikes, so the integrity tax is itself
+     * measurable; with them enabled every silent flip is caught at the
+     * next verify stage instead of escaping into training.
+     */
+    bool integrityChecks = false;
+
+    /**
+     * Verify-triggered re-reads of one chunk before it is quarantined
+     * and replaced with fresh data (bounded so a hot corruption source
+     * cannot livelock a chain; backoff reuses retryBackoffBase).
+     */
+    std::size_t maxIntegrityRecoveries = 3;
 
     // --- recovery policy --------------------------------------------
 
@@ -167,6 +261,23 @@ class FaultInjector
     bool ssdReadAttemptFails();
 
     /**
+     * Does a corruption of @p kind strike the hop being traversed?
+     * Consumes the kind's stream (only when its probability is > 0, so
+     * corruption-free scenarios are unperturbed) and counts strikes.
+     */
+    bool corruptionStrikes(CorruptionKind kind);
+
+    /** Total corruptions injected so far, across all kinds. */
+    std::size_t corruptionsInjected() const;
+
+    /** Corruptions injected so far, per kind. */
+    const std::array<std::size_t, kNumCorruptionKinds> &
+    corruptionsByKind() const
+    {
+        return corruptions_;
+    }
+
+    /**
      * Compute-time multiplier for (group, step); 1.0 = healthy.
      * Pure hash of (seed, group, step) — order-independent.
      */
@@ -218,6 +329,8 @@ class FaultInjector
     FaultConfig cfg_;
     FaultTargets targets_;
     Rng readFailRng_;
+    std::array<Rng, kNumCorruptionKinds> corruptionRngs_;
+    std::array<std::size_t, kNumCorruptionKinds> corruptions_{};
     std::vector<ClassState> classes_;
     FaultHandler onFault_;
     FaultHandler onRepair_;

@@ -247,6 +247,24 @@ SessionReport::efficiency() const
     return computeEfficiency(result.checkpoint, result.wallTime);
 }
 
+void
+SessionReport::attachPrepQuarantine(
+    std::size_t items_processed,
+    const std::map<std::string, std::size_t> &by_reason)
+{
+    prepItemsProcessed = items_processed;
+    prepQuarantineByReason = by_reason;
+}
+
+std::size_t
+SessionReport::prepItemsQuarantined() const
+{
+    std::size_t total = 0;
+    for (const auto &[reason, n] : prepQuarantineByReason)
+        total += n;
+    return total;
+}
+
 double
 SessionReport::availability() const
 {
@@ -447,6 +465,38 @@ SessionReport::toJson() const
            ", \"steps_lost\": " +
            jnum(double(result.checkpoint.stepsLost)) + "},\n";
 
+    const SessionResult::IntegrityStats &integ = result.integrity;
+    out += "  \"integrity\": {\"injected\": " +
+           jnum(double(integ.injected)) +
+           ", \"detected\": " + jnum(double(integ.detected)) +
+           ", \"escaped\": " + jnum(double(integ.escaped)) +
+           ", \"escape_rate\": " + jnum(integ.escapeRate()) +
+           ", \"pcie_replays\": " + jnum(double(integ.pcieReplays)) +
+           ", \"recoveries\": " + jnum(double(integ.recoveries)) +
+           ", \"chunks_quarantined\": " +
+           jnum(double(integ.chunksQuarantined)) + ", \"by_kind\": {";
+    for (std::size_t k = 0; k < kNumCorruptionKinds; ++k) {
+        if (k > 0)
+            out += ", ";
+        out += jstr(corruptionKindName(static_cast<CorruptionKind>(k))) +
+               ": " + jnum(double(integ.injectedByKind[k]));
+    }
+    out += "}},\n";
+
+    out += "  \"prep_quarantine\": {\"items_processed\": " +
+           jnum(double(prepItemsProcessed)) + ", \"quarantined\": " +
+           jnum(double(prepItemsQuarantined())) + ", \"by_reason\": {";
+    {
+        bool first_reason = true;
+        for (const auto &[reason, n] : prepQuarantineByReason) {
+            if (!first_reason)
+                out += ", ";
+            first_reason = false;
+            out += jstr(reason) + ": " + jnum(double(n));
+        }
+    }
+    out += "}},\n";
+
     out += "  \"has_metrics\": ";
     out += hasMetrics ? "true" : "false";
     out += ",\n  \"utilization\": [";
@@ -522,6 +572,22 @@ SessionReport::toCsv() const
         row("rc_by_category", cat, jnum(v));
     row("robustness", "efficiency", jnum(efficiency()));
     row("robustness", "availability", jnum(availability()));
+    row("integrity", "injected", jnum(double(result.integrity.injected)));
+    row("integrity", "detected", jnum(double(result.integrity.detected)));
+    row("integrity", "escaped", jnum(double(result.integrity.escaped)));
+    row("integrity", "escape_rate", jnum(result.integrity.escapeRate()));
+    row("integrity", "pcie_replays",
+        jnum(double(result.integrity.pcieReplays)));
+    row("integrity", "recoveries",
+        jnum(double(result.integrity.recoveries)));
+    row("integrity", "chunks_quarantined",
+        jnum(double(result.integrity.chunksQuarantined)));
+    row("prep_quarantine", "items_processed",
+        jnum(double(prepItemsProcessed)));
+    row("prep_quarantine", "quarantined",
+        jnum(double(prepItemsQuarantined())));
+    for (const auto &[reason, n] : prepQuarantineByReason)
+        row("prep_quarantine_by_reason", reason, jnum(double(n)));
     for (const ResourceUsage &u : resources) {
         row("utilization", u.name, jnum(u.utilization));
         row("saturated_fraction", u.name, jnum(u.saturatedFraction));
@@ -593,6 +659,24 @@ SessionReport::print(std::FILE *out) const
                      efficiency(), availability(),
                      result.faults.faultsInjected,
                      result.checkpoint.committed);
+    if (result.integrity.injected > 0)
+        std::fprintf(out,
+                     "integrity   injected %zu | detected %zu | escaped "
+                     "%zu (rate %.2e) | replays %zu | recoveries %zu | "
+                     "quarantined %zu\n",
+                     result.integrity.injected, result.integrity.detected,
+                     result.integrity.escaped,
+                     result.integrity.escapeRate(),
+                     result.integrity.pcieReplays,
+                     result.integrity.recoveries,
+                     result.integrity.chunksQuarantined);
+    if (prepItemsProcessed > 0) {
+        std::fprintf(out, "prep items  %zu processed | %zu quarantined",
+                     prepItemsProcessed, prepItemsQuarantined());
+        for (const auto &[reason, n] : prepQuarantineByReason)
+            std::fprintf(out, " | %s %zu", reason.c_str(), n);
+        std::fprintf(out, "\n");
+    }
 
     const std::vector<Bottleneck> ranked = bottlenecks();
     if (ranked.empty())

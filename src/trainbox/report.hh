@@ -121,7 +121,33 @@ class SessionReport
     {
         return result.faults;
     }
+    const SessionResult::IntegrityStats &integrity() const
+    {
+        return result.integrity;
+    }
     const CheckpointStats &checkpoint() const { return result.checkpoint; }
+
+    // --- functional prep-executor quarantine ---------------------------
+    /**
+     * Quarantine outcome of a real PrepExecutor run attached to this
+     * report (the simulator knows nothing about it; tools like
+     * tb_report attach it explicitly). @p byReason maps quarantine
+     * reason classes ("checksum_mismatch", "decode_error", ...) to item
+     * counts — prep::quarantineByReason() builds it from the executor's
+     * quarantined() list.
+     */
+    void attachPrepQuarantine(
+        std::size_t itemsProcessed,
+        const std::map<std::string, std::size_t> &byReason);
+
+    /** Items the attached executor run processed (0 = none attached). */
+    std::size_t prepItemsProcessed = 0;
+
+    /** Quarantined-item count per reason class of the attached run. */
+    std::map<std::string, std::size_t> prepQuarantineByReason;
+
+    /** Total quarantined items of the attached run. */
+    std::size_t prepItemsQuarantined() const;
 
     /** Throughput relative to a fault-free reference run. */
     double goodput(double referenceThroughput) const;

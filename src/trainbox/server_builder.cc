@@ -27,6 +27,20 @@ constexpr double kP2pControlCpu = 5.0e-6;
  */
 constexpr double kCkptSerializeCpu = 1.0e-9;
 
+/**
+ * Host CPU cost of one CRC32C-checked byte (core-sec/byte; ~10 GB/s
+ * per core with the hardware CRC instruction). Charged by the inserted
+ * integrity stages on host-staged chains.
+ */
+constexpr double kCrcCpuPerByte = 1.0e-10;
+
+/**
+ * Engine-time tax of an inline checksum generate/verify pass on a prep
+ * engine, as a fraction of one sample's engine time. The FPGA streams
+ * the CRC alongside the data, so the tax is small but not free.
+ */
+constexpr double kIntegrityEngineTax = 0.02;
+
 /** Shared state while assembling one server. */
 struct Builder
 {
@@ -86,6 +100,66 @@ struct Builder
     cpuFair(double core_sec)
     {
         return core_sec > 0.0 ? 1.0e-4 / core_sec : 1.0;
+    }
+
+    /** Insert checksum generate/verify stages into the chains? */
+    bool integrityOn() const
+    {
+        return cfg.faults.enabled && cfg.faults.integrityChecks;
+    }
+
+    /** Checksum stage streamed through prep engines (P2P chains). */
+    StageTemplate
+    engineIntegrityStage(const char *name,
+                         const std::vector<PrepAccelerator *> &preps) const
+    {
+        const double prep_share =
+            1.0 / static_cast<double>(preps.size());
+        StageTemplate st;
+        st.name = name;
+        st.category = "integrity";
+        st.verifiesIntegrity = true;
+        DemandSet ds;
+        for (auto *prep : preps)
+            ds.add(prep->engine(), prep_share * kIntegrityEngineTax);
+        ds.add(s.cpu->resource(), kP2pControlCpu);
+        st.demandsPerSample = ds.build();
+        return st;
+    }
+
+    /** Checksum stage run by the host CPU over @p bytes per sample. */
+    StageTemplate
+    hostIntegrityStage(const char *name, double bytes,
+                       bool fairCpu) const
+    {
+        StageTemplate st;
+        st.name = name;
+        st.category = "integrity";
+        st.verifiesIntegrity = true;
+        const double cpu = bytes * kCrcCpuPerByte;
+        DemandSet ds;
+        ds.add(s.cpu->resource(), cpu);
+        ds.add(s.hostMem->resource(), bytes);
+        st.demandsPerSample = ds.build();
+        if (fairCpu) {
+            st.rateCap = cpuCap(cpu);
+            st.fairWeight = cpuFair(cpu);
+        }
+        return st;
+    }
+
+    /** Accelerator-ingest verify on P2P delivery (control CPU only). */
+    StageTemplate
+    p2pSinkIntegrityStage() const
+    {
+        StageTemplate st;
+        st.name = "integrity_sink";
+        st.category = "integrity";
+        st.verifiesIntegrity = true;
+        DemandSet ds;
+        ds.add(s.cpu->resource(), kP2pControlCpu);
+        st.demandsPerSample = ds.build();
+        return st;
     }
 
     /** Build the non-clustered presets (Figs 12-14 + Gen4 + GPU). */
@@ -216,9 +290,21 @@ Builder::makeCentralStages(std::size_t g)
             if (preps.empty())
                 st.fairWeight = cpuFair(stageCpu(PrepStage::SsdRead));
         }
+        st.corruptionHops = corruptionBit(CorruptionKind::SsdBitFlip) |
+                            corruptionBit(CorruptionKind::PcieLinkError);
+        if (!p2p)
+            st.corruptionHops |=
+                corruptionBit(CorruptionKind::HostDramFlip);
         st.demandsPerSample = ds.build();
         group.stages.push_back(std::move(st));
     }
+
+    // --- Checksum-generate stage at the source -----------------------
+    if (integrityOn())
+        group.stages.push_back(
+            p2p ? engineIntegrityStage("integrity_src", preps)
+                : hostIntegrityStage("integrity_src", d.ssdBytes,
+                                     preps.empty()));
 
     if (preps.empty()) {
         // --- Baseline: CPU formatting --------------------------------
@@ -232,6 +318,12 @@ Builder::makeCentralStages(std::size_t g)
             st.demandsPerSample = ds.build();
             st.rateCap = cpuCap(stageCpu(PrepStage::Formatting));
             st.fairWeight = cpuFair(stageCpu(PrepStage::Formatting));
+            // CPU decode touches every byte: the framework loader's
+            // software validation catches silent flips here (the
+            // protection the P2P path gives up).
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::HostDramFlip);
+            st.verifiesIntegrity = true;
             group.stages.push_back(std::move(st));
         }
         // --- Baseline: CPU augmentation ------------------------------
@@ -246,6 +338,8 @@ Builder::makeCentralStages(std::size_t g)
             st.demandsPerSample = ds.build();
             st.rateCap = cpuCap(stageCpu(PrepStage::Augmentation));
             st.fairWeight = cpuFair(stageCpu(PrepStage::Augmentation));
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::HostDramFlip);
             group.stages.push_back(std::move(st));
         }
     } else if (!p2p) {
@@ -260,6 +354,9 @@ Builder::makeCentralStages(std::size_t g)
             for (auto *prep : preps)
                 ds.add(topo.hostRouteDemands(prep->node(), true,
                                              d.ssdBytes * prep_share));
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::PcieLinkError) |
+                corruptionBit(CorruptionKind::HostDramFlip);
             st.demandsPerSample = ds.build();
             group.stages.push_back(std::move(st));
         }
@@ -274,6 +371,7 @@ Builder::makeCentralStages(std::size_t g)
         for (auto *prep : preps)
             ds.add(prep->engine(), prep_share);
         st.demandsPerSample = ds.build();
+        st.corruptionHops = corruptionBit(CorruptionKind::FpgaUpset);
         group.stages.push_back(std::move(st));
 
         if (!p2p) {
@@ -288,6 +386,9 @@ Builder::makeCentralStages(std::size_t g)
                 bs.add(topo.hostRouteDemands(prep->node(), false,
                                              d.preparedBytes *
                                                  prep_share));
+            back.corruptionHops =
+                corruptionBit(CorruptionKind::PcieLinkError) |
+                corruptionBit(CorruptionKind::HostDramFlip);
             back.demandsPerSample = bs.build();
             group.stages.push_back(std::move(back));
         }
@@ -316,6 +417,10 @@ Builder::makeCentralStages(std::size_t g)
                    preps.empty() ? stageCpu(PrepStage::DataLoad)
                                  : kDmaSetupCpu);
         }
+        st.corruptionHops = corruptionBit(CorruptionKind::PcieLinkError);
+        if (!p2p)
+            st.corruptionHops |=
+                corruptionBit(CorruptionKind::HostDramFlip);
         st.demandsPerSample = ds.build();
         if (preps.empty()) {
             st.rateCap = cpuCap(stageCpu(PrepStage::DataLoad));
@@ -323,6 +428,13 @@ Builder::makeCentralStages(std::size_t g)
         }
         group.stages.push_back(std::move(st));
     }
+
+    // --- Checksum-verify stage at the sink ---------------------------
+    if (integrityOn())
+        group.stages.push_back(
+            p2p ? p2pSinkIntegrityStage()
+                : hostIntegrityStage("integrity_sink", d.preparedBytes,
+                                     preps.empty()));
 
     // --- Stage: framework overheads ----------------------------------
     {
@@ -485,9 +597,14 @@ Builder::makeClusteredStages(std::size_t g)
             st.category = stageCategory(PrepStage::SsdRead);
             DemandSet ds = fetch_demands(preps);
             ds.add(s.cpu->resource(), kP2pControlCpu);
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::SsdBitFlip) |
+                corruptionBit(CorruptionKind::PcieLinkError);
             st.demandsPerSample = ds.build();
             stages.push_back(std::move(st));
         }
+        if (integrityOn())
+            stages.push_back(engineIntegrityStage("integrity_src", preps));
         {
             StageTemplate st;
             st.name = "formatting";
@@ -496,6 +613,7 @@ Builder::makeClusteredStages(std::size_t g)
             for (auto *prep : preps)
                 ds.add(prep->engine(), prep_share);
             st.demandsPerSample = ds.build();
+            st.corruptionHops = corruptionBit(CorruptionKind::FpgaUpset);
             stages.push_back(std::move(st));
         }
         {
@@ -503,8 +621,12 @@ Builder::makeClusteredStages(std::size_t g)
             st.name = "data_load";
             st.category = stageCategory(PrepStage::DataLoad);
             st.demandsPerSample = deliver_demands(preps).build();
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::PcieLinkError);
             stages.push_back(std::move(st));
         }
+        if (integrityOn())
+            stages.push_back(p2pSinkIntegrityStage());
         {
             StageTemplate st;
             st.name = "others";
@@ -530,9 +652,14 @@ Builder::makeClusteredStages(std::size_t g)
             st.category = stageCategory(PrepStage::SsdRead);
             DemandSet ds = fetch_demands(preps);
             ds.add(s.cpu->resource(), kP2pControlCpu);
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::SsdBitFlip) |
+                corruptionBit(CorruptionKind::PcieLinkError);
             st.demandsPerSample = ds.build();
             stages.push_back(std::move(st));
         }
+        if (integrityOn())
+            stages.push_back(engineIntegrityStage("integrity_src", preps));
         {
             StageTemplate st;
             st.name = "pool_send";
@@ -554,6 +681,7 @@ Builder::makeClusteredStages(std::size_t g)
             for (const auto &f : pool)
                 ds.add(f.engine, pool_share);
             st.demandsPerSample = ds.build();
+            st.corruptionHops = corruptionBit(CorruptionKind::FpgaUpset);
             stages.push_back(std::move(st));
         }
         {
@@ -575,8 +703,12 @@ Builder::makeClusteredStages(std::size_t g)
             st.name = "data_load";
             st.category = stageCategory(PrepStage::DataLoad);
             st.demandsPerSample = deliver_demands(preps).build();
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::PcieLinkError);
             stages.push_back(std::move(st));
         }
+        if (integrityOn())
+            stages.push_back(p2pSinkIntegrityStage());
         return stages;
     };
 
@@ -599,9 +731,16 @@ Builder::makeClusteredStages(std::size_t g)
             }
             ds.add(s.hostMem->resource(), d.ssdBytes);
             ds.add(s.cpu->resource(), kDmaSetupCpu);
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::SsdBitFlip) |
+                corruptionBit(CorruptionKind::PcieLinkError) |
+                corruptionBit(CorruptionKind::HostDramFlip);
             st.demandsPerSample = ds.build();
             stages.push_back(std::move(st));
         }
+        if (integrityOn())
+            stages.push_back(hostIntegrityStage("integrity_src",
+                                                d.ssdBytes, false));
         {
             StageTemplate st;
             st.name = "copy_to_prep";
@@ -612,6 +751,9 @@ Builder::makeClusteredStages(std::size_t g)
             for (auto *prep : all_preps)
                 ds.add(topo.hostRouteDemands(prep->node(), true,
                                              d.ssdBytes * prep_share));
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::PcieLinkError) |
+                corruptionBit(CorruptionKind::HostDramFlip);
             st.demandsPerSample = ds.build();
             stages.push_back(std::move(st));
         }
@@ -623,6 +765,7 @@ Builder::makeClusteredStages(std::size_t g)
             for (auto *prep : all_preps)
                 ds.add(prep->engine(), prep_share);
             st.demandsPerSample = ds.build();
+            st.corruptionHops = corruptionBit(CorruptionKind::FpgaUpset);
             stages.push_back(std::move(st));
         }
         {
@@ -636,6 +779,9 @@ Builder::makeClusteredStages(std::size_t g)
                 ds.add(topo.hostRouteDemands(prep->node(), false,
                                              d.preparedBytes *
                                                  prep_share));
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::PcieLinkError) |
+                corruptionBit(CorruptionKind::HostDramFlip);
             st.demandsPerSample = ds.build();
             stages.push_back(std::move(st));
         }
@@ -649,9 +795,15 @@ Builder::makeClusteredStages(std::size_t g)
             for (auto *acc : accs)
                 ds.add(topo.hostRouteDemands(acc->node(), true,
                                              d.preparedBytes * acc_share));
+            st.corruptionHops =
+                corruptionBit(CorruptionKind::PcieLinkError) |
+                corruptionBit(CorruptionKind::HostDramFlip);
             st.demandsPerSample = ds.build();
             stages.push_back(std::move(st));
         }
+        if (integrityOn())
+            stages.push_back(hostIntegrityStage("integrity_sink",
+                                                d.preparedBytes, false));
         return stages;
     };
 

@@ -48,6 +48,21 @@ struct StageTemplate
 
     /** Fair-share weight (see FlowSpec::fairWeight). */
     double fairWeight = 1.0;
+
+    /**
+     * Corruption hop classes the chunk traverses in this stage
+     * (corruptionBit() mask). Inert unless fault injection is enabled
+     * with nonzero corruption probabilities.
+     */
+    unsigned corruptionHops = 0;
+
+    /**
+     * Completing this stage verifies the chunk's data: an inserted
+     * checksum-verify stage, or the baseline CPU formatting stage whose
+     * software decode inherently validates every byte. Silent flips
+     * pending on the chain are detected here (training_session.cc).
+     */
+    bool verifiesIntegrity = false;
 };
 
 /** A set of accelerators fed by one preparation pipeline. */

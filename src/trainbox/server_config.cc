@@ -334,6 +334,20 @@ ServerConfig::validate() const
         return fmt("faults.fatalCrash.ratePerSec must be >= 0, got %g",
                    faults.fatalCrash.ratePerSec);
 
+    const CorruptionConfig &corr = faults.corruption;
+    for (std::size_t k = 0; k < kNumCorruptionKinds; ++k) {
+        const auto kind = static_cast<CorruptionKind>(k);
+        const double p = corr.probFor(kind);
+        if (p < 0.0 || p >= 1.0)
+            return fmt("faults.corruption probability for %s must be in "
+                       "[0, 1), got %g",
+                       corruptionKindName(kind), p);
+    }
+    if (corr.pcieReplayLatency < 0.0)
+        return fmt("faults.corruption.pcieReplayLatency must be >= 0, "
+                   "got %g",
+                   corr.pcieReplayLatency);
+
     if (checkpoint.restartLatency < 0.0)
         return fmt("checkpoint.restartLatency must be >= 0, got %g",
                    checkpoint.restartLatency);

@@ -260,6 +260,9 @@ TrainingSession::startChainStage(std::uint64_t cid, std::size_t idx)
                              "prep");
         if (done.name == "ssd_read" && handleReadFailure(cid, idx))
             return;
+        if ((done.corruptionHops != 0 || done.verifiesIntegrity) &&
+            handleCorruption(cid, idx))
+            return;
         startChainStage(cid, idx + 1);
     };
     run.flow = server_.net.startFlow(std::move(spec));
@@ -300,12 +303,134 @@ TrainingSession::handleReadFailure(std::uint64_t cid, std::size_t idx)
     // fresh data (the dataset is sharded; another replica serves it).
     ++faultStats_.chunksAbandoned;
     run.readAttempts = 0;
+    run.pendingCorruptions = 0;
+    run.recoveries = 0;
     run.stages = &selectStages(run);
     ++run.epoch;
     if (trace_)
         trace_->instant(run.track, "chunk_abandoned", now, "fault");
     startChainStage(cid, 0);
     return true;
+}
+
+/** Does any stage at @p idx or later on the chain verify the data? */
+bool
+TrainingSession::chainVerifiesFrom(const ChainRun &run, std::size_t idx)
+{
+    const std::vector<StageTemplate> &stages = *run.stages;
+    for (std::size_t i = idx; i < stages.size(); ++i)
+        if (stages[i].verifiesIntegrity)
+            return true;
+    return false;
+}
+
+/**
+ * Corruption draws + detection policy, run as stage @p idx of chain
+ * @p cid completes. Each hop class tagged on the stage draws once:
+ *
+ *  - PCIe link errors are always detected by the link LCRC and cost a
+ *    replay stall before the next stage starts;
+ *  - host-DRAM flips are always corrected by ECC at no modeled cost;
+ *  - SSD / FPGA flips are silent: if a downstream stage verifies the
+ *    data (an inserted checksum stage, or the baseline CPU formatting)
+ *    the flip is *detected* and rides the chain until that stage
+ *    triggers a bounded re-read; otherwise it *escapes* into training.
+ *
+ * Classification happens eagerly at draw time so the accounting
+ * invariant injected == detected + escaped holds exactly regardless of
+ * chain cancellations or chains still in flight at the end of the run.
+ * Returns true when this function took over scheduling (replay stall
+ * or verify-triggered recovery).
+ */
+bool
+TrainingSession::handleCorruption(std::uint64_t cid, std::size_t idx)
+{
+    ChainRun &run = chains_.find(cid)->second;
+    const StageTemplate &st = (*run.stages)[idx];
+    const FaultConfig &fc = fault_->config();
+    const CorruptionConfig &cc = fc.corruption;
+    const Time now = server_.eq.now();
+
+    Time replay = 0.0;
+    if (st.corruptionHops != 0 && cc.any()) {
+        for (std::size_t k = 0; k < kNumCorruptionKinds; ++k) {
+            const auto kind = static_cast<CorruptionKind>(k);
+            if (!(st.corruptionHops & corruptionBit(kind)))
+                continue;
+            if (!fault_->corruptionStrikes(kind))
+                continue;
+            ++integrityStats_.injected;
+            ++integrityStats_.injectedByKind[k];
+            if (trace_)
+                trace_->instant(run.track, corruptionKindName(kind), now,
+                                "fault");
+            switch (kind) {
+              case CorruptionKind::PcieLinkError:
+                ++integrityStats_.detected;
+                ++integrityStats_.pcieReplays;
+                replay += cc.pcieReplayLatency;
+                break;
+              case CorruptionKind::HostDramFlip:
+                ++integrityStats_.detected;
+                break;
+              case CorruptionKind::SsdBitFlip:
+              case CorruptionKind::FpgaUpset:
+                if (chainVerifiesFrom(run, idx)) {
+                    ++integrityStats_.detected;
+                    ++run.pendingCorruptions;
+                } else {
+                    ++integrityStats_.escaped;
+                }
+                break;
+            }
+        }
+    }
+
+    if (st.verifiesIntegrity && run.pendingCorruptions > 0) {
+        // The verify caught the pending flip(s): re-read the chunk,
+        // bounded like the SSD retry policy, then quarantine.
+        run.pendingCorruptions = 0;
+        if (run.recoveries < fc.maxIntegrityRecoveries) {
+            const Time backoff = fc.retryBackoffBase *
+                static_cast<double>(std::uint64_t{1} << run.recoveries);
+            ++run.recoveries;
+            ++integrityStats_.recoveries;
+            if (trace_)
+                trace_->instant(run.track, "integrity_recover", now,
+                                "fault");
+            const std::uint64_t epoch = run.epoch;
+            server_.eq.scheduleIn(backoff, [this, cid, epoch] {
+                auto it = chains_.find(cid);
+                if (it == chains_.end() || it->second.epoch != epoch)
+                    return;
+                startChainStage(cid, 0);
+            });
+            return true;
+        }
+        // Recovery budget exhausted: quarantine the chunk and restart
+        // the chain on fresh data (chunksAbandoned semantics).
+        ++integrityStats_.chunksQuarantined;
+        run.recoveries = 0;
+        run.readAttempts = 0;
+        run.stages = &selectStages(run);
+        ++run.epoch;
+        if (trace_)
+            trace_->instant(run.track, "chunk_quarantined", now, "fault");
+        startChainStage(cid, 0);
+        return true;
+    }
+
+    if (replay > 0.0) {
+        const std::uint64_t epoch = run.epoch;
+        server_.eq.scheduleIn(replay, [this, cid, idx, epoch] {
+            auto it = chains_.find(cid);
+            if (it == chains_.end() || it->second.epoch != epoch)
+                return;
+            startChainStage(cid, idx + 1);
+        });
+        return true;
+    }
+    return false;
 }
 
 void
@@ -320,6 +445,8 @@ TrainingSession::redispatchLocalChains(std::size_t g)
         }
         run.stages = &selectStages(run);
         run.readAttempts = 0;
+        run.pendingCorruptions = 0;
+        run.recoveries = 0;
         ++run.epoch;
         startChainStage(cid, 0);
     }
@@ -648,6 +775,17 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
         res.faults.faultsInjected = fault_->faultsInjected();
         res.faults.readFailures = fault_->readFailuresInjected();
         res.faults.degradedTime = degradedTime_;
+        res.integrity = integrityStats_;
+        panic_if(fault_->corruptionsInjected() != integrityStats_.injected,
+                 "corruption accounting out of sync: injector %zu vs "
+                 "session %zu",
+                 fault_->corruptionsInjected(), integrityStats_.injected);
+        panic_if(res.integrity.detected + res.integrity.escaped !=
+                     res.integrity.injected,
+                 "integrity invariant violated: %zu detected + %zu "
+                 "escaped != %zu injected",
+                 res.integrity.detected, res.integrity.escaped,
+                 res.integrity.injected);
     }
 
     res.wallTime = windowEnd_;

@@ -33,6 +33,7 @@
 #ifndef TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
 #define TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -103,6 +104,38 @@ struct SessionResult
     };
     FaultStats faults;
 
+    /**
+     * Silent-corruption injection/detection counters (all zero when
+     * corruption injection is disabled). The accounting invariant is
+     * exact: injected == detected + escaped. "Detected" covers
+     * link-level (PCIe LCRC) and ECC catches, checksum-verify catches,
+     * and the baseline CPU path's software validation; "escaped" flips
+     * reached training silently.
+     */
+    struct IntegrityStats
+    {
+        std::size_t injected = 0; ///< corruption strikes drawn
+        std::size_t detected = 0; ///< caught before reaching training
+        std::size_t escaped = 0;  ///< reached training silently
+
+        /** Strikes per CorruptionKind (index = enum value). */
+        std::array<std::size_t, kNumCorruptionKinds> injectedByKind{};
+
+        std::size_t pcieReplays = 0;       ///< LCRC replay stalls paid
+        std::size_t recoveries = 0;        ///< verify-triggered re-reads
+        std::size_t chunksQuarantined = 0; ///< recovery budget exhausted
+
+        /** Escaped fraction of injected (0 when nothing injected). */
+        double escapeRate() const
+        {
+            return injected == 0
+                ? 0.0
+                : static_cast<double>(escaped) /
+                      static_cast<double>(injected);
+        }
+    };
+    IntegrityStats integrity;
+
     /** Checkpoint/restore counters (all zero when disabled). */
     CheckpointStats checkpoint;
 
@@ -115,6 +148,7 @@ struct SessionResult
      * \deprecated Delegates to SessionReport::computeGoodput(); new
      * code should consume a SessionReport.
      */
+    [[deprecated("use SessionReport::computeGoodput()")]]
     double goodput(double faultFreeThroughput) const;
 
     /**
@@ -125,6 +159,7 @@ struct SessionResult
      * \deprecated Delegates to SessionReport::computeEfficiency(); new
      * code should consume a SessionReport.
      */
+    [[deprecated("use SessionReport::computeEfficiency()")]]
     double efficiency() const;
 
     /**
@@ -132,8 +167,11 @@ struct SessionResult
      * \deprecated Delegate to SessionReport::sumCategories(); new code
      * should consume a SessionReport.
      */
+    [[deprecated("use SessionReport::sumCategories()")]]
     double cpuCoresUsed() const;
+    [[deprecated("use SessionReport::sumCategories()")]]
     double memBwUsed() const;
+    [[deprecated("use SessionReport::sumCategories()")]]
     double rcBwUsed() const;
 };
 
@@ -198,6 +236,16 @@ class TrainingSession
         std::size_t readAttempts = 0; ///< failed reads of current chunk
         std::uint64_t epoch = 0;      ///< bumped on re-dispatch; stales
                                       ///< pending retry events
+
+        /**
+         * Silent flips riding the chunk that a downstream verify stage
+         * will catch (already counted detected at draw time; this
+         * drives the recovery behavior only).
+         */
+        std::size_t pendingCorruptions = 0;
+
+        /** Verify-triggered re-reads of the current chunk. */
+        std::size_t recoveries = 0;
     };
 
     void launchPrep(std::size_t g);
@@ -220,6 +268,8 @@ class TrainingSession
     void launchFaultChain(std::size_t g, bool offload, double samples);
     void startChainStage(std::uint64_t cid, std::size_t idx);
     bool handleReadFailure(std::uint64_t cid, std::size_t idx);
+    bool handleCorruption(std::uint64_t cid, std::size_t idx);
+    static bool chainVerifiesFrom(const ChainRun &run, std::size_t idx);
     const std::vector<StageTemplate> &selectStages(const ChainRun &run)
         const;
     double effectiveOffload(std::size_t g) const;
@@ -244,6 +294,7 @@ class TrainingSession
     std::map<std::uint64_t, ChainRun> chains_;
     std::uint64_t nextChainId_ = 1;
     SessionResult::FaultStats faultStats_;
+    SessionResult::IntegrityStats integrityStats_;
     std::size_t activeFaultWindows_ = 0;
     Time degradedStart_ = 0.0;
     Time degradedTime_ = 0.0;

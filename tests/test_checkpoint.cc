@@ -12,6 +12,7 @@
 #include <cmath>
 
 #include "trainbox/checkpoint.hh"
+#include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
 #include "trainbox/training_session.hh"
 #include "workload/model_zoo.hh"
@@ -72,7 +73,10 @@ TEST(CheckpointDisabled, PresetThroughputsBitIdentical)
         EXPECT_EQ(res.checkpoint.committed, 0u) << presetName(g.preset);
         EXPECT_EQ(res.checkpoint.bytesWritten, 0.0)
             << presetName(g.preset);
-        EXPECT_DOUBLE_EQ(res.efficiency(), 1.0) << presetName(g.preset);
+        EXPECT_DOUBLE_EQ(
+            SessionReport::computeEfficiency(res.checkpoint, res.wallTime),
+            1.0)
+            << presetName(g.preset);
     }
 }
 
@@ -112,7 +116,9 @@ TEST(CheckpointOverhead, SyncPausesTraining)
     EXPECT_GT(ckpt.checkpoint.avgCost, 0.0);
     EXPECT_GT(ckpt.checkpoint.bytesWritten, 0.0);
     EXPECT_LT(ckpt.throughput, healthy.throughput);
-    EXPECT_LT(ckpt.efficiency(), 1.0);
+    EXPECT_LT(SessionReport::computeEfficiency(ckpt.checkpoint,
+                                               ckpt.wallTime),
+              1.0);
     EXPECT_EQ(ckpt.checkpoint.fatalCrashes, 0u);
 
     // The run is a deterministic simulation: repeating it must
@@ -191,8 +197,10 @@ TEST(CheckpointCrash, RollbackIsDeterministicAndBounded)
     EXPECT_LT(a.checkpoint.pauseTime + a.checkpoint.lostWorkTime +
                   a.checkpoint.restartTime,
               a.wallTime);
-    EXPECT_GT(a.efficiency(), 0.0);
-    EXPECT_LT(a.efficiency(), 1.0);
+    const double a_eff =
+        SessionReport::computeEfficiency(a.checkpoint, a.wallTime);
+    EXPECT_GT(a_eff, 0.0);
+    EXPECT_LT(a_eff, 1.0);
 
     // Determinism: an identical config replays the identical history.
     const SessionResult b = runSession(cfg, 4, 40);
@@ -225,7 +233,10 @@ TEST(CheckpointCrash, CheckpointingBeatsRestartFromScratch)
     EXPECT_LT(ckpt.checkpoint.stepsLost, scratch.checkpoint.stepsLost);
     EXPECT_LT(ckpt.checkpoint.lostWorkTime,
               scratch.checkpoint.lostWorkTime);
-    EXPECT_GT(ckpt.efficiency(), scratch.efficiency());
+    EXPECT_GT(SessionReport::computeEfficiency(ckpt.checkpoint,
+                                               ckpt.wallTime),
+              SessionReport::computeEfficiency(scratch.checkpoint,
+                                               scratch.wallTime));
     EXPECT_GT(ckpt.throughput, scratch.throughput);
 }
 
@@ -235,17 +246,23 @@ TEST(SessionRatios, DegenerateDenominatorsReturnZero)
 {
     SessionResult r;
     r.throughput = 100.0;
-    EXPECT_DOUBLE_EQ(r.goodput(0.0), 0.0);
-    EXPECT_DOUBLE_EQ(r.goodput(-1.0), 0.0);
-    EXPECT_DOUBLE_EQ(r.goodput(200.0), 0.5);
+    EXPECT_DOUBLE_EQ(SessionReport::computeGoodput(r.throughput, 0.0),
+                     0.0);
+    EXPECT_DOUBLE_EQ(SessionReport::computeGoodput(r.throughput, -1.0),
+                     0.0);
+    EXPECT_DOUBLE_EQ(SessionReport::computeGoodput(r.throughput, 200.0),
+                     0.5);
     r.wallTime = 0.0; // never ran: no useful-time claim
-    EXPECT_DOUBLE_EQ(r.efficiency(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        SessionReport::computeEfficiency(r.checkpoint, r.wallTime), 0.0);
     r.wallTime = 10.0;
     r.checkpoint.pauseTime = 1.0;
     r.checkpoint.restartTime = 1.0;
-    EXPECT_DOUBLE_EQ(r.efficiency(), 0.8);
+    EXPECT_DOUBLE_EQ(
+        SessionReport::computeEfficiency(r.checkpoint, r.wallTime), 0.8);
     r.checkpoint.lostWorkTime = 1e9; // ledger noise can't go negative
-    EXPECT_DOUBLE_EQ(r.efficiency(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        SessionReport::computeEfficiency(r.checkpoint, r.wallTime), 0.0);
 }
 
 // --- Young–Daly helpers ---------------------------------------------

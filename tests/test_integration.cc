@@ -10,6 +10,7 @@
 #include "prep/audio/wave_gen.hh"
 #include "prep/jpeg/jpeg_decoder.hh"
 #include "prep/pipeline.hh"
+#include "trainbox/report.hh"
 #include "trainbox/resource_profile.hh"
 #include "trainbox/server_builder.hh"
 #include "trainbox/training_session.hh"
@@ -76,10 +77,12 @@ TEST(Integration, SessionAccountingMatchesAnalyticBaseline)
     const SessionResult res = runSession(ArchPreset::Baseline, m.id, 8);
     const HostDemandBreakdown expected =
         requiredHostDemand(m, ArchPreset::Baseline, 8, sync_cfg);
-    EXPECT_NEAR(res.cpuCoresUsed(), expected.cpuCores,
-                0.1 * expected.cpuCores);
-    EXPECT_NEAR(res.memBwUsed(), expected.memBw, 0.1 * expected.memBw);
-    EXPECT_NEAR(res.rcBwUsed(), expected.rcBw, 0.1 * expected.rcBw);
+    EXPECT_NEAR(SessionReport::sumCategories(res.cpuCoresByCategory),
+                expected.cpuCores, 0.1 * expected.cpuCores);
+    EXPECT_NEAR(SessionReport::sumCategories(res.memBwByCategory),
+                expected.memBw, 0.1 * expected.memBw);
+    EXPECT_NEAR(SessionReport::sumCategories(res.rcBwByCategory),
+                expected.rcBw, 0.1 * expected.rcBw);
 }
 
 TEST(Integration, PrepLatencyHiddenWhenUnderProvisioned)

@@ -180,6 +180,12 @@ TEST(SessionReport, ExportersAreWellFormed)
     EXPECT_GT(trace.numEvents(), 0u);
 }
 
+// The accessors below are deprecated in favour of the SessionReport
+// API; this test deliberately exercises them to pin the delegation.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 TEST(SessionResult, DeprecatedAccessorsDelegate)
 {
     const SessionReport r =
@@ -193,6 +199,9 @@ TEST(SessionResult, DeprecatedAccessorsDelegate)
     EXPECT_DOUBLE_EQ(res.efficiency(), r.efficiency());
     EXPECT_DOUBLE_EQ(res.efficiency(), 1.0); // no checkpoint overhead
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 TEST(SessionReport, FluentConfigMatchesFieldAssignment)
 {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
 #include "trainbox/training_session.hh"
 
@@ -43,13 +44,14 @@ TEST_P(SessionSweep, SimulatesWithinPhysicalBounds)
     EXPECT_LE(res.throughput, 1.6 * target);
     EXPECT_GE(res.stepTime * 1.0001, res.computeTime + res.syncTime);
     EXPECT_GT(res.prepLatency, 0.0);
-    EXPECT_LE(res.cpuCoresUsed(), cfg.host.cpuCores * 1.0001);
-    EXPECT_LE(res.memBwUsed(), cfg.host.memBandwidth * 1.0001);
-    EXPECT_LE(res.rcBwUsed(), cfg.host.rcBandwidth *
-                                  (preset ==
-                                           ArchPreset::BaselineAccP2pGen4
-                                       ? 2.0001
-                                       : 1.0001));
+    EXPECT_LE(SessionReport::sumCategories(res.cpuCoresByCategory),
+              cfg.host.cpuCores * 1.0001);
+    EXPECT_LE(SessionReport::sumCategories(res.memBwByCategory),
+              cfg.host.memBandwidth * 1.0001);
+    EXPECT_LE(SessionReport::sumCategories(res.rcBwByCategory),
+              cfg.host.rcBandwidth *
+                  (preset == ArchPreset::BaselineAccP2pGen4 ? 2.0001
+                                                            : 1.0001));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
 #include "trainbox/training_session.hh"
 
@@ -158,10 +159,12 @@ TEST(Session, ResultFieldsConsistent)
     EXPECT_TRUE(res.prepStageTime.count("data_load"));
 
     // Accounting sanity: can't use more CPU than exists.
-    EXPECT_LE(res.cpuCoresUsed(), 48.0 * 1.0001);
-    EXPECT_GT(res.cpuCoresUsed(), 0.0);
-    EXPECT_GT(res.memBwUsed(), 0.0);
-    EXPECT_GT(res.rcBwUsed(), 0.0);
+    const double cpu =
+        SessionReport::sumCategories(res.cpuCoresByCategory);
+    EXPECT_LE(cpu, 48.0 * 1.0001);
+    EXPECT_GT(cpu, 0.0);
+    EXPECT_GT(SessionReport::sumCategories(res.memBwByCategory), 0.0);
+    EXPECT_GT(SessionReport::sumCategories(res.rcBwByCategory), 0.0);
 }
 
 TEST(Session, TrainBoxFreesHostResources)
@@ -179,10 +182,12 @@ TEST(Session, TrainBoxFreesHostResources)
     const SessionResult tbox = run(ArchPreset::TrainBox);
     // Per unit of throughput, TrainBox uses orders of magnitude less of
     // every host resource (Fig 22).
-    EXPECT_LT(tbox.cpuCoresUsed() / tbox.throughput,
-              0.02 * base.cpuCoresUsed() / base.throughput);
-    EXPECT_LT(tbox.memBwUsed(), 0.01 * base.memBwUsed());
-    EXPECT_LT(tbox.rcBwUsed(), 0.01 * base.rcBwUsed());
+    const auto sum = SessionReport::sumCategories;
+    EXPECT_LT(sum(tbox.cpuCoresByCategory) / tbox.throughput,
+              0.02 * sum(base.cpuCoresByCategory) / base.throughput);
+    EXPECT_LT(sum(tbox.memBwByCategory),
+              0.01 * sum(base.memBwByCategory));
+    EXPECT_LT(sum(tbox.rcBwByCategory), 0.01 * sum(base.rcBwByCategory));
 }
 
 TEST(Session, P2pFreesHostMemory)
@@ -198,7 +203,8 @@ TEST(Session, P2pFreesHostMemory)
     };
     const SessionResult acc = run(ArchPreset::BaselineAccFpga);
     const SessionResult p2p = run(ArchPreset::BaselineAccP2p);
-    EXPECT_LT(p2p.memBwUsed(), 0.01 * acc.memBwUsed());
+    EXPECT_LT(SessionReport::sumCategories(p2p.memBwByCategory),
+              0.01 * SessionReport::sumCategories(acc.memBwByCategory));
 }
 
 TEST(Session, ChunkingDoesNotChangeSteadyThroughput)

@@ -39,3 +39,8 @@ cmake -B "$build_dir" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
+
+# Integrity smoke: with checksum stages enabled, no injected flip may
+# escape (docs/ROBUSTNESS.md, "Data integrity & silent corruption").
+# Run instrumented so the envelope/validator code is sanitizer-checked.
+"$build_dir/bench/integrity_sweep" --smoke

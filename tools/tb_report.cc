@@ -14,12 +14,19 @@
  * them); --no-metrics shows the host-axis fallback attribution.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/random.hh"
+#include "prep/executor/prep_executor.hh"
+#include "prep/integrity.hh"
+#include "prep/pipeline.hh"
 #include "sim/trace.hh"
 #include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
@@ -37,6 +44,9 @@ struct Options
     std::size_t warmup = 4;
     std::size_t measure = 8;
     bool metrics = true;
+    double corrupt = 0.0;   // per-hop corruption flip probability
+    bool checks = false;    // insert integrity-verify stages
+    std::size_t prepSmoke = 0; // real-executor items to run and attach
     std::string jsonPath;  // "-" = stdout
     std::string csvPath;   // "-" = stdout
     std::string tracePath; // Chrome trace with counter tracks
@@ -59,6 +69,12 @@ usage(std::FILE *out)
         "  --trace PATH     write a Chrome trace with counter tracks\n"
         "  --no-metrics     run without instrumentation (host-axis\n"
         "                   bottleneck fallback only)\n"
+        "  --corrupt P      inject silent corruption at per-hop flip\n"
+        "                   probability P (docs/ROBUSTNESS.md)\n"
+        "  --checks         insert the checksum-verify stages\n"
+        "  --prep-smoke N   also run N items through the real prep\n"
+        "                   executor (some deliberately bit-flipped)\n"
+        "                   and attach its quarantine to the report\n"
         "  --list           list presets and models, then exit\n");
 }
 
@@ -121,6 +137,59 @@ writeOrPrint(const std::string &path, const std::string &content)
     std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
+/**
+ * Run @p items through a real PrepExecutor — sealed synthetic JPEGs
+ * (every 4th bit-flipped) plus waveforms (every 5th NaN-poisoned) —
+ * and attach the quarantine breakdown to @p report.
+ */
+void
+runPrepSmoke(std::size_t items, tb::SessionReport &report)
+{
+    using namespace tb;
+    Rng gen(2026);
+    const auto jpeg = prep::makeSyntheticJpeg(64, 64, gen);
+
+    const std::size_t n_images = items - items / 3;
+    const std::size_t n_audio = items / 3;
+    std::vector<std::vector<std::uint8_t>> jpegs;
+    Rng flip(2027);
+    for (std::size_t i = 0; i < n_images; ++i) {
+        auto bytes = jpeg;
+        prep::sealItem(bytes);
+        if (i % 4 == 0)
+            prep::flipRandomBit(bytes, flip);
+        jpegs.push_back(std::move(bytes));
+    }
+    std::vector<std::vector<double>> waves;
+    for (std::size_t i = 0; i < n_audio; ++i) {
+        std::vector<double> wave(8000);
+        for (std::size_t s = 0; s < wave.size(); ++s)
+            wave[s] = 0.2 * std::sin(0.01 * static_cast<double>(s + i));
+        if (i % 5 == 0)
+            wave[i % wave.size()] =
+                std::numeric_limits<double>::quiet_NaN();
+        waves.push_back(std::move(wave));
+    }
+
+    prep::ExecutorConfig cfg;
+    cfg.checksummedItems = true;
+    cfg.validateOutputs = true;
+    cfg.image.cropWidth = 32;
+    cfg.image.cropHeight = 32;
+    prep::PrepExecutor exec(cfg);
+    for (auto &f : exec.submitImageBatch(std::move(jpegs)))
+        f.get();
+    for (auto &f : exec.submitAudioBatch(std::move(waves)))
+        f.get();
+    exec.shutdown();
+
+    const auto by_reason = prep::quarantineByReason(exec.quarantined());
+    report.attachPrepQuarantine(items, by_reason);
+    std::fprintf(stderr,
+                 "prep smoke: %zu items, %zu quarantined\n", items,
+                 report.prepItemsQuarantined());
+}
+
 } // namespace
 
 int
@@ -168,6 +237,12 @@ main(int argc, char **argv)
             opt.tracePath = value();
         } else if (arg == "--no-metrics") {
             opt.metrics = false;
+        } else if (arg == "--corrupt") {
+            opt.corrupt = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--checks") {
+            opt.checks = true;
+        } else if (arg == "--prep-smoke") {
+            opt.prepSmoke = std::strtoull(value().c_str(), nullptr, 10);
         } else {
             std::fprintf(stderr, "tb_report: unknown option '%s'\n",
                          arg.c_str());
@@ -181,6 +256,14 @@ main(int argc, char **argv)
                                .withAccelerators(opt.accs)
                                .withBatchSize(opt.batch)
                                .withMetrics(opt.metrics);
+    if (opt.corrupt > 0.0 || opt.checks) {
+        cfg.faults.enabled = true;
+        cfg.faults.integrityChecks = opt.checks;
+        cfg.faults.corruption.ssdBitFlipProb = opt.corrupt;
+        cfg.faults.corruption.pcieErrorProb = opt.corrupt / 2.0;
+        cfg.faults.corruption.fpgaUpsetProb = opt.corrupt;
+        cfg.faults.corruption.hostDramFlipProb = opt.corrupt / 2.0;
+    }
     const std::string problem = cfg.validate();
     if (!problem.empty()) {
         std::fprintf(stderr, "tb_report: invalid config: %s\n",
@@ -195,8 +278,9 @@ main(int argc, char **argv)
     if (!opt.tracePath.empty())
         session.setTrace(&trace);
 
-    const tb::SessionReport report =
-        session.runReport(opt.warmup, opt.measure);
+    tb::SessionReport report = session.runReport(opt.warmup, opt.measure);
+    if (opt.prepSmoke > 0)
+        runPrepSmoke(opt.prepSmoke, report);
 
     const bool quiet =
         opt.jsonPath == "-" || opt.csvPath == "-";
