@@ -1,0 +1,83 @@
+#include "common/parallel_for.hh"
+
+namespace tb {
+
+ParallelFor::ParallelFor(unsigned workers)
+{
+    if (workers < 2)
+        return;
+    threads_.reserve(workers - 1);
+    for (unsigned i = 1; i < workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ParallelFor::~ParallelFor()
+{
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    start_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+std::pair<std::size_t, std::size_t>
+ParallelFor::chunk(unsigned idx) const
+{
+    const std::size_t w = threads_.size() + 1;
+    const std::size_t per = (n_ + w - 1) / w;
+    const std::size_t begin = std::min(n_, idx * per);
+    const std::size_t end = std::min(n_, begin + per);
+    return {begin, end};
+}
+
+void
+ParallelFor::workerLoop(unsigned idx)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::unique_lock lock(mu_);
+        start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        const auto [begin, end] = chunk(idx);
+        lock.unlock();
+
+        if (begin < end)
+            (*fn_)(begin, end);
+
+        lock.lock();
+        if (--outstanding_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ParallelFor::run(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (threads_.empty() || n < 2) {
+        if (n > 0)
+            fn(0, n);
+        return;
+    }
+    std::unique_lock lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    outstanding_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+    lock.unlock();
+    start_.notify_all();
+
+    const auto [begin, end] = chunk(0);
+    if (begin < end)
+        fn(begin, end);
+
+    lock.lock();
+    done_.wait(lock, [&] { return outstanding_ == 0; });
+    fn_ = nullptr;
+}
+
+} // namespace tb

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal fork-join worker pool for data-parallel scans.
+ *
+ * ParallelFor::run(n, fn) splits the index range [0, n) into one
+ * contiguous chunk per worker and blocks until every chunk is done; the
+ * calling thread executes chunk 0 itself. This is the replicant-opera
+ * `parallel_for` idiom: each invocation is a single fork-join over a flat
+ * range, with any reduction done per-thread inside @p fn and merged by
+ * the caller (e.g. a per-thread minimum merged under a mutex).
+ *
+ * The pool is deliberately dumb — no work stealing, no task queue —
+ * because the fluid solver's per-flow scans are uniform-cost and the
+ * fork-join happens once or twice per simulation event. Threads are
+ * created once and parked on a condition variable between runs.
+ */
+
+#ifndef TRAINBOX_COMMON_PARALLEL_FOR_HH
+#define TRAINBOX_COMMON_PARALLEL_FOR_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tb {
+
+class ParallelFor
+{
+  public:
+    /**
+     * Create a pool running chunks on @p workers threads total (the
+     * caller counts as one; @p workers - 1 threads are spawned).
+     * A value < 2 spawns nothing and run() degenerates to a plain loop.
+     */
+    explicit ParallelFor(unsigned workers);
+    ~ParallelFor();
+
+    ParallelFor(const ParallelFor &) = delete;
+    ParallelFor &operator=(const ParallelFor &) = delete;
+
+    /** Total workers including the calling thread. */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size()) + 1;
+    }
+
+    /**
+     * Invoke fn(begin, end) over a partition of [0, n), one contiguous
+     * chunk per worker, and wait for all chunks. fn must be safe to call
+     * concurrently from multiple threads on disjoint ranges.
+     */
+    void run(std::size_t n,
+             const std::function<void(std::size_t, std::size_t)> &fn);
+
+  private:
+    void workerLoop(unsigned idx);
+
+    /** Chunk boundaries for worker @p idx of the current run. */
+    std::pair<std::size_t, std::size_t> chunk(unsigned idx) const;
+
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable start_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t, std::size_t)> *fn_ = nullptr;
+    std::size_t n_ = 0;
+    std::uint64_t generation_ = 0;
+    unsigned outstanding_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace tb
+
+#endif // TRAINBOX_COMMON_PARALLEL_FOR_HH

@@ -27,7 +27,7 @@ PrepPool::setFabricBandwidthScale(double scale)
     fabricScale_ = scale;
     // Keep a tiny floor so in-flight flows stay finite-time.
     fabric_->setCapacity(nominalFabricBw_ * std::max(scale, 1e-9));
-    net_.capacityChanged();
+    net_.capacityChanged(fabric_);
 }
 
 PoolFpga &

@@ -26,7 +26,7 @@ PrepAccelerator::setFailed(bool failed)
     failed_ = failed;
     engine_->setCapacity(nominalEngineRate_ *
                          (failed ? kFailedCapacityScale : 1.0));
-    net_.capacityChanged();
+    net_.capacityChanged(engine_);
 }
 
 } // namespace tb

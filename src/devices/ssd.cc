@@ -32,7 +32,7 @@ NvmeSsd::setReadBandwidthScale(double scale)
     // Floor the effective capacity so the fluid allocator never sees a
     // zero-capacity resource (flows would take infinite time).
     readBw_->setCapacity(nominalReadBw_ * std::max(scale, 1e-9));
-    net_.capacityChanged();
+    net_.capacityChanged(readBw_);
 }
 
 } // namespace tb

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "sim/metrics.hh"
@@ -78,7 +80,16 @@ DemandSet::build() const
     return out;
 }
 
-FluidNetwork::FluidNetwork(EventQueue &eq) : eq_(eq) {}
+FluidNetwork::FluidNetwork(EventQueue &eq) : eq_(eq)
+{
+#ifdef TB_PARALLEL_SOLVER
+    if (const char *env = std::getenv("TB_PARALLEL_SOLVER")) {
+        const int workers = std::atoi(env);
+        if (workers > 1)
+            setParallelWorkers(static_cast<unsigned>(workers));
+    }
+#endif
+}
 
 FluidNetwork::~FluidNetwork()
 {
@@ -90,6 +101,7 @@ FluidNetwork::addResource(const std::string &name, Rate capacity)
 {
     resources_.push_back(std::make_unique<FluidResource>(name, capacity));
     FluidResource *r = resources_.back().get();
+    r->index_ = resources_.size() - 1;
     if (metrics_)
         instrumentResource(r);
     return r;
@@ -136,6 +148,51 @@ FluidNetwork::findResource(const std::string &name) const
     return nullptr;
 }
 
+bool
+FluidNetwork::setParallelWorkers(unsigned workers, std::size_t minFlows)
+{
+#ifdef TB_PARALLEL_SOLVER
+    if (workers < 2) {
+        pool_.reset();
+        return true;
+    }
+    pool_ = std::make_unique<ParallelFor>(workers);
+    parallelMinFlows_ = std::max<std::size_t>(1, minFlows);
+    return true;
+#else
+    (void)workers;
+    (void)minFlows;
+    return false;
+#endif
+}
+
+void
+FluidNetwork::addMembership(FluidFlow &flow)
+{
+    flow.memberSlot.resize(flow.demands.size());
+    for (std::size_t i = 0; i < flow.demands.size(); ++i) {
+        FluidResource *r = flow.demands[i].resource;
+        flow.memberSlot[i] = static_cast<std::uint32_t>(r->members_.size());
+        r->members_.emplace_back(&flow, static_cast<std::uint32_t>(i));
+    }
+}
+
+void
+FluidNetwork::removeMembership(FluidFlow &flow)
+{
+    for (std::size_t i = 0; i < flow.demands.size(); ++i) {
+        FluidResource *r = flow.demands[i].resource;
+        auto &vec = r->members_;
+        const std::uint32_t slot = flow.memberSlot[i];
+        vec[slot] = vec.back();
+        vec.pop_back();
+        // Swap-remove moved another entry into this slot; fix its
+        // back-reference (self-moves were just popped).
+        if (slot < vec.size())
+            vec[slot].first->memberSlot[vec[slot].second] = slot;
+    }
+}
+
 FlowId
 FluidNetwork::startFlow(FlowSpec spec)
 {
@@ -154,7 +211,7 @@ FluidNetwork::startFlow(FlowSpec spec)
     advanceTo(eq_.now());
 
     const FlowId id = nextId_++;
-    Flow flow;
+    FluidFlow flow;
     flow.id = id;
     flow.category = std::move(spec.category);
     flow.remaining = spec.size;
@@ -162,15 +219,17 @@ FluidNetwork::startFlow(FlowSpec spec)
     flow.fairWeight = spec.fairWeight;
     flow.demands = std::move(spec.demands);
     flow.onComplete = std::move(spec.onComplete);
-    flows_.emplace(id, std::move(flow));
+    auto it = flows_.emplace(id, std::move(flow)).first;
+    addMembership(it->second);
+    markFlowDirty(it->second);
+    flowArrayStale_ = true;
 
     if (flowsStartedCtr_) {
         flowsStartedCtr_->inc();
         activeFlowsGauge_->set(static_cast<double>(flows_.size()));
     }
 
-    recomputeRates();
-    scheduleCompletion();
+    afterMutation();
     return id;
 }
 
@@ -178,14 +237,19 @@ void
 FluidNetwork::cancelFlow(FlowId id)
 {
     advanceTo(eq_.now());
-    if (flowsCancelledCtr_ && flows_.erase(id) > 0) {
-        flowsCancelledCtr_->inc();
-        activeFlowsGauge_->set(static_cast<double>(flows_.size()));
-    } else {
-        flows_.erase(id);
+    auto it = flows_.find(id);
+    if (it != flows_.end()) {
+        removeMembership(it->second);
+        for (const auto &d : it->second.demands)
+            markDirty(d.resource);
+        flows_.erase(it);
+        flowArrayStale_ = true;
+        if (flowsCancelledCtr_) {
+            flowsCancelledCtr_->inc();
+            activeFlowsGauge_->set(static_cast<double>(flows_.size()));
+        }
     }
-    recomputeRates();
-    scheduleCompletion();
+    afterMutation();
 }
 
 double
@@ -210,8 +274,18 @@ void
 FluidNetwork::capacityChanged()
 {
     advanceTo(eq_.now());
-    recomputeRates();
-    scheduleCompletion();
+    for (auto &r : resources_)
+        markDirty(r.get());
+    afterMutation();
+}
+
+void
+FluidNetwork::capacityChanged(FluidResource *resource)
+{
+    panic_if(resource == nullptr, "capacityChanged(null resource)");
+    advanceTo(eq_.now());
+    markDirty(resource);
+    afterMutation();
 }
 
 void
@@ -233,6 +307,10 @@ FluidNetwork::advanceTo(Time now)
     lastAdvance_ = now;
     if (dt <= 0.0)
         return;
+    if (parallelActive()) {
+        advanceParallel(dt);
+        return;
+    }
     for (auto &[id, flow] : flows_) {
         if (metrics_) {
             // The rates held for all of [lastAdvance_, now]: charge one
@@ -245,6 +323,10 @@ FluidNetwork::advanceTo(Time now)
             flow.remaining -= served;
             for (const auto &d : flow.demands)
                 d.resource->account(flow.category, d.weight * served);
+            // A flow that drained to zero frees its share: its component
+            // must re-solve, exactly as a full re-solve would freeze it.
+            if (flow.remaining <= 0.0)
+                markFlowDirty(flow);
         }
     }
     if (metrics_) {
@@ -259,13 +341,309 @@ FluidNetwork::advanceTo(Time now)
 }
 
 void
-FluidNetwork::recomputeRates()
+FluidNetwork::advanceParallel(double dt)
+{
+    rebuildFlowArray();
+    // Phase 1 (parallel): per-flow arithmetic only — each flow's served
+    // amount and remaining size are independent of every other flow.
+    pool_->run(flowArray_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            FluidFlow &flow = *flowArray_[i];
+            const double served = std::min(flow.remaining, flow.rate * dt);
+            flow.servedScratch = served;
+            if (served > 0.0) {
+                flow.remaining -= served;
+                flow.drainedScratch = flow.remaining <= 0.0;
+            } else {
+                flow.drainedScratch = false;
+            }
+        }
+    });
+    // Phase 2 (serial, flow-id order): shared-state accumulation. The
+    // additions land in exactly the order the serial path uses, so the
+    // accounting sums are bit-identical.
+    for (FluidFlow *fp : flowArray_) {
+        FluidFlow &flow = *fp;
+        if (metrics_) {
+            for (const auto &d : flow.demands)
+                d.resource->loadScratch_ += d.weight * flow.rate;
+        }
+        if (flow.servedScratch > 0.0) {
+            for (const auto &d : flow.demands)
+                d.resource->account(flow.category,
+                                    d.weight * flow.servedScratch);
+            if (flow.drainedScratch)
+                markFlowDirty(flow);
+        }
+    }
+    if (metrics_) {
+        for (auto &r : resources_) {
+            const double util =
+                std::min(1.0, r->loadScratch_ / r->capacity());
+            r->loadScratch_ = 0.0;
+            if (r->utilHist_)
+                r->utilHist_->record(util, dt);
+        }
+    }
+}
+
+void
+FluidNetwork::rebuildFlowArray()
+{
+    if (!flowArrayStale_)
+        return;
+    flowArray_.clear();
+    flowArray_.reserve(flows_.size());
+    for (auto &[id, flow] : flows_)
+        flowArray_.push_back(&flow);
+    flowArrayStale_ = false;
+}
+
+void
+FluidNetwork::afterMutation()
+{
+    if (batchDepth_ > 0)
+        return;
+    solveDirty();
+    scheduleCompletion();
+}
+
+void
+FluidNetwork::endBatch()
+{
+    panic_if(batchDepth_ == 0, "endBatch without beginBatch");
+    if (--batchDepth_ == 0) {
+        solveDirty();
+        scheduleCompletion();
+    }
+}
+
+void
+FluidNetwork::solveDirty()
+{
+    if (mode_ == SolverMode::GlobalResolve) {
+        for (FluidResource *r : dirtyResources_)
+            r->dirty_ = false;
+        dirtyResources_.clear();
+        dirtyFlowIds_.clear();
+        if (flows_.empty())
+            return;
+        ++stats_.solves;
+        ++stats_.fullSolves;
+        ++stats_.componentsSolved;
+        stats_.flowsSolved += flows_.size();
+        solveGlobal();
+        return;
+    }
+
+    affected_.clear();
+    resQueue_.clear();
+    const std::uint64_t mark = ++mark_;
+
+    if (mode_ == SolverMode::FullResolve) {
+        ++stats_.fullSolves;
+        for (FluidResource *r : dirtyResources_)
+            r->dirty_ = false;
+        dirtyResources_.clear();
+        dirtyFlowIds_.clear();
+        for (auto &[id, flow] : flows_) {
+            flow.mark = mark;
+            affected_.push_back(&flow);
+        }
+        if (affected_.empty())
+            return;
+    } else {
+        // Gather: BFS over the sharing graph from the dirty seeds. Every
+        // flow sharing a resource with a dirty flow can see its max-min
+        // share shift, transitively — the closure is exactly the union
+        // of the connected components that contain a dirty seed.
+        for (FluidResource *r : dirtyResources_) {
+            r->dirty_ = false;
+            if (r->mark_ != mark) {
+                r->mark_ = mark;
+                resQueue_.push_back(r);
+            }
+        }
+        dirtyResources_.clear();
+        for (FlowId id : dirtyFlowIds_) {
+            auto it = flows_.find(id);
+            if (it == flows_.end() || it->second.mark == mark)
+                continue;
+            FluidFlow &flow = it->second;
+            flow.mark = mark;
+            affected_.push_back(&flow);
+            for (const auto &d : flow.demands) {
+                if (d.resource->mark_ != mark) {
+                    d.resource->mark_ = mark;
+                    resQueue_.push_back(d.resource);
+                }
+            }
+        }
+        dirtyFlowIds_.clear();
+        for (std::size_t head = 0; head < resQueue_.size(); ++head) {
+            FluidResource *r = resQueue_[head];
+            for (const auto &[flow, di] : r->members_) {
+                if (flow->mark == mark)
+                    continue;
+                flow->mark = mark;
+                affected_.push_back(flow);
+                for (const auto &d : flow->demands) {
+                    if (d.resource->mark_ != mark) {
+                        d.resource->mark_ = mark;
+                        resQueue_.push_back(d.resource);
+                    }
+                }
+            }
+        }
+        if (affected_.empty())
+            return;
+        std::sort(affected_.begin(), affected_.end(),
+                  [](const FluidFlow *a, const FluidFlow *b) {
+                      return a->id < b->id;
+                  });
+    }
+
+    ++stats_.solves;
+
+    // Partition the affected set into true connected components and run
+    // progressive filling on each. Components are seeded in ascending
+    // flow-id order, so the decomposition is deterministic.
+    const std::uint64_t cmark = ++mark_;
+    for (FluidFlow *seed : affected_) {
+        if (seed->mark == cmark)
+            continue;
+        compFlows_.clear();
+        compRes_.clear();
+        seed->mark = cmark;
+        compFlows_.push_back(seed);
+        for (std::size_t head = 0; head < compFlows_.size(); ++head) {
+            FluidFlow *flow = compFlows_[head];
+            for (const auto &d : flow->demands) {
+                FluidResource *r = d.resource;
+                if (r->mark_ == cmark)
+                    continue;
+                r->mark_ = cmark;
+                compRes_.push_back(r);
+                for (const auto &[member, di] : r->members_) {
+                    if (member->mark != cmark) {
+                        member->mark = cmark;
+                        compFlows_.push_back(member);
+                    }
+                }
+            }
+        }
+        std::sort(compFlows_.begin(), compFlows_.end(),
+                  [](const FluidFlow *a, const FluidFlow *b) {
+                      return a->id < b->id;
+                  });
+        std::sort(compRes_.begin(), compRes_.end(),
+                  [](const FluidResource *a, const FluidResource *b) {
+                      return a->index_ < b->index_;
+                  });
+        solveComponent();
+        ++stats_.componentsSolved;
+        stats_.flowsSolved += compFlows_.size();
+    }
+}
+
+void
+FluidNetwork::solveComponent()
 {
     // Progressive filling: raise all unfrozen flow rates uniformly until a
-    // flow hits its cap or a resource saturates; repeat.
-    for (auto &r : resources_) {
+    // flow hits its cap or a resource saturates; repeat. Restricted to one
+    // connected component, this performs the same iterations in the same
+    // order (flows by id, resources by creation order) as a whole-network
+    // solve would on this component — resources outside the component
+    // never constrain it, and flows outside never contribute weight.
+    for (FluidResource *r : compRes_) {
         r->allocScratch_ = r->capacity(); // remaining slack
         r->weightScratch_ = 0.0;          // active weight (recomputed below)
+    }
+
+    std::size_t unfrozen = 0;
+    for (FluidFlow *flow : compFlows_) {
+        flow->rate = 0.0;
+        flow->frozen = flow->remaining <= 0.0;
+        if (!flow->frozen)
+            ++unfrozen;
+    }
+
+    while (unfrozen > 0) {
+        for (FluidResource *r : compRes_)
+            r->weightScratch_ = 0.0;
+        for (FluidFlow *flow : compFlows_) {
+            if (flow->frozen)
+                continue;
+            for (const auto &d : flow->demands)
+                d.resource->weightScratch_ += d.weight * flow->fairWeight;
+        }
+
+        double step = kInf;
+        for (FluidResource *r : compRes_) {
+            if (r->weightScratch_ > 0.0)
+                step = std::min(step,
+                                std::max(0.0, r->allocScratch_) /
+                                    r->weightScratch_);
+        }
+        for (FluidFlow *flow : compFlows_) {
+            if (flow->frozen || flow->rateCap <= 0.0)
+                continue;
+            step = std::min(step, (flow->rateCap - flow->rate) /
+                                      flow->fairWeight);
+        }
+        panic_if(std::isinf(step),
+                 "unconstrained flow in fluid network (no demand, no cap)");
+
+        for (FluidFlow *flow : compFlows_) {
+            if (flow->frozen)
+                continue;
+            flow->rate += step * flow->fairWeight;
+            for (const auto &d : flow->demands)
+                d.resource->allocScratch_ -=
+                    d.weight * flow->fairWeight * step;
+        }
+
+        // Freeze flows that hit their caps.
+        for (FluidFlow *flow : compFlows_) {
+            if (flow->frozen)
+                continue;
+            if (flow->rateCap > 0.0 &&
+                flow->rate >= flow->rateCap * (1.0 - 1e-12)) {
+                flow->frozen = true;
+                --unfrozen;
+            }
+        }
+        // Freeze flows on saturated resources.
+        for (FluidResource *r : compRes_) {
+            if (r->weightScratch_ <= 0.0)
+                continue;
+            if (r->allocScratch_ <= 1e-12 * r->capacity()) {
+                for (FluidFlow *flow : compFlows_) {
+                    if (flow->frozen)
+                        continue;
+                    for (const auto &d : flow->demands) {
+                        if (d.resource == r) {
+                            flow->frozen = true;
+                            --unfrozen;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+FluidNetwork::solveGlobal()
+{
+    // The seed's coupled loop, kept verbatim: the uniform step is the
+    // minimum across the entire network, so disjoint components advance
+    // in lockstep and a 10k-flow fleet pays O(components) rounds of
+    // O(network) work per solve. bench/sim_perf's baseline.
+    for (auto &r : resources_) {
+        r->allocScratch_ = r->capacity();
+        r->weightScratch_ = 0.0;
     }
 
     std::size_t unfrozen = 0;
@@ -311,7 +689,6 @@ FluidNetwork::recomputeRates()
                     d.weight * flow.fairWeight * step;
         }
 
-        // Freeze flows that hit their caps.
         for (auto &[id, flow] : flows_) {
             if (flow.frozen)
                 continue;
@@ -321,7 +698,6 @@ FluidNetwork::recomputeRates()
                 --unfrozen;
             }
         }
-        // Freeze flows on saturated resources.
         for (auto &r : resources_) {
             if (r->weightScratch_ <= 0.0)
                 continue;
@@ -347,13 +723,36 @@ FluidNetwork::scheduleCompletion()
 {
     eq_.cancel(pending_);
     double earliest = kInf;
-    for (const auto &[id, flow] : flows_) {
-        if (flow.remaining <= 0.0) {
-            earliest = 0.0;
-            break;
+    if (parallelActive()) {
+        rebuildFlowArray();
+        // Per-thread minimum, merged under a mutex: min() is exact (no
+        // rounding), so the merge order cannot change the result.
+        std::mutex mu;
+        pool_->run(flowArray_.size(),
+                   [&](std::size_t begin, std::size_t end) {
+                       double local = kInf;
+                       for (std::size_t i = begin; i < end; ++i) {
+                           const FluidFlow &flow = *flowArray_[i];
+                           if (flow.remaining <= 0.0) {
+                               local = 0.0;
+                               break;
+                           }
+                           if (flow.rate > 0.0)
+                               local = std::min(local,
+                                                flow.remaining / flow.rate);
+                       }
+                       std::lock_guard lock(mu);
+                       earliest = std::min(earliest, local);
+                   });
+    } else {
+        for (const auto &[id, flow] : flows_) {
+            if (flow.remaining <= 0.0) {
+                earliest = 0.0;
+                break;
+            }
+            if (flow.rate > 0.0)
+                earliest = std::min(earliest, flow.remaining / flow.rate);
         }
-        if (flow.rate > 0.0)
-            earliest = std::min(earliest, flow.remaining / flow.rate);
     }
     if (std::isinf(earliest))
         return;
@@ -367,14 +766,18 @@ FluidNetwork::completeEarliest()
     advanceTo(eq_.now());
 
     // Collect every flow that has (numerically) finished.
-    std::vector<Flow> done;
+    std::vector<FluidFlow> done;
     for (auto it = flows_.begin(); it != flows_.end();) {
-        Flow &flow = it->second;
+        FluidFlow &flow = it->second;
         const double eps =
             1e-9 * std::max(1.0, flow.remaining + flow.rate);
         if (flow.remaining <= eps) {
+            removeMembership(flow);
+            for (const auto &d : flow.demands)
+                markDirty(d.resource);
             done.push_back(std::move(flow));
             it = flows_.erase(it);
+            flowArrayStale_ = true;
         } else {
             ++it;
         }
@@ -385,7 +788,7 @@ FluidNetwork::completeEarliest()
         activeFlowsGauge_->set(static_cast<double>(flows_.size()));
     }
 
-    recomputeRates();
+    solveDirty();
     scheduleCompletion();
 
     const Time now = eq_.now();

@@ -6,7 +6,7 @@
  * direction, the root complex, host DRAM bandwidth, the CPU core pool, an
  * SSD's read path, an FPGA prep pipeline, an Ethernet link — is a
  * FluidResource with a capacity in units/second. Work moves through the
- * system as FluidFlows: a flow has a size in *base units* (bytes for a DMA,
+ * system as fluid flows: a flow has a size in *base units* (bytes for a DMA,
  * samples for a prep task) and a set of per-resource demand weights (units
  * of that resource consumed per base unit served). A DMA that crosses three
  * PCIe links and writes host memory is one flow with four demands.
@@ -17,6 +17,15 @@
  * cannot exceed its line rate). Rates are piecewise constant between flow
  * arrivals/departures; the engine advances remaining sizes lazily and keeps
  * exactly one completion event pending in the EventQueue.
+ *
+ * The solver is *incremental*: progressive filling is run per connected
+ * component of the flow/resource sharing graph, and a mutation (flow
+ * start/cancel/completion, capacity change, a flow draining to zero) only
+ * re-solves the components it touched. Clean components keep their cached
+ * rates, which are exactly what a fresh solve would produce — max-min
+ * allocations are independent across components (the dirty-set invariant;
+ * see docs/PERFORMANCE.md). FullResolve mode re-solves every component on
+ * every mutation and is the reference the equivalence tests pin against.
  *
  * The engine also performs per-category accounting on every resource
  * (bytes moved for "data_load" vs "formatting" vs ...), which is what the
@@ -31,8 +40,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/parallel_for.hh"
 #include "sim/event_queue.hh"
 
 namespace tb {
@@ -41,6 +52,7 @@ class MetricsRegistry;
 class MetricCounter;
 class MetricGauge;
 class TimeWeightedHistogram;
+struct FluidFlow;
 
 /** A capacity-limited shared resource (link, memory, core pool, ...). */
 class FluidResource
@@ -51,7 +63,10 @@ class FluidResource
     const std::string &name() const { return name_; }
     Rate capacity() const { return capacity_; }
 
-    /** Change capacity (e.g., Gen3 -> Gen4 sweep); caller must recompute. */
+    /**
+     * Change capacity (e.g., Gen3 -> Gen4 sweep); caller must notify the
+     * network via capacityChanged().
+     */
     void setCapacity(Rate capacity);
 
     /** Total units served through this resource so far. */
@@ -104,6 +119,13 @@ class FluidResource
     double allocScratch_ = 0.0;
     double weightScratch_ = 0.0;
 
+    // incremental-solver state
+    std::size_t index_ = 0; ///< creation order (solve iteration order)
+    bool dirty_ = false;    ///< queued in the network's dirty set
+    std::uint64_t mark_ = 0; ///< BFS visit epoch (gather + components)
+    /** Flows demanding this resource, as (flow, demand index) pairs. */
+    std::vector<std::pair<FluidFlow *, std::uint32_t>> members_;
+
     // metrics instrumentation (inert while metrics are disabled)
     double loadScratch_ = 0.0;
     TimeWeightedHistogram *utilHist_ = nullptr;
@@ -149,6 +171,31 @@ struct FlowSpec
 };
 
 /**
+ * Solver-internal per-flow state. Exposed at namespace scope only so
+ * FluidResource can hold back-pointers; not part of the public API.
+ */
+struct FluidFlow
+{
+    FlowId id;
+    std::string category;
+    double remaining;
+    double rateCap;
+    double fairWeight;
+    std::vector<FlowDemand> demands;
+    std::function<void(Time)> onComplete;
+    double rate = 0.0;
+    bool frozen = false; ///< allocator scratch
+
+    /** Slot of demand i in demands[i].resource->members_. */
+    std::vector<std::uint32_t> memberSlot;
+    std::uint64_t mark = 0; ///< BFS visit epoch (gather + components)
+
+    // parallel-advance scratch (written in phase 1, read in phase 2)
+    double servedScratch = 0.0;
+    bool drainedScratch = false;
+};
+
+/**
  * Accumulates (resource, weight) pairs, merging duplicates — convenient
  * when a flow's route shares links with other parts of its path (e.g.,
  * reads spread over many SSDs behind common switches).
@@ -178,6 +225,66 @@ class DemandSet
 class FluidNetwork
 {
   public:
+    /**
+     * Solver strategy. Incremental (the default) re-solves only the
+     * connected components touched since the last solve; FullResolve
+     * re-solves every component on every mutation. Both run the same
+     * per-component progressive filling, so their results are
+     * bit-identical — FullResolve exists as the reference baseline for
+     * equivalence tests and for perf comparisons in bench/sim_perf.
+     *
+     * GlobalResolve is the legacy seed algorithm: one *coupled*
+     * progressive-filling loop over the whole network, whose uniform
+     * rate-raising step is the min across all components at once. Its
+     * exact allocations equal the per-component solve, but the
+     * floating-point summation order differs when several asymmetric
+     * components are active (identical results on single-component or
+     * symmetric networks, which covers the pinned session goldens).
+     * Kept as the perf baseline bench/sim_perf measures speedups
+     * against, and for A/B-ing the decomposition itself.
+     */
+    enum class SolverMode
+    {
+        Incremental,
+        FullResolve,
+        GlobalResolve,
+    };
+
+    /** Cumulative solver work counters (monotonic; for bench/tests). */
+    struct SolverStats
+    {
+        std::uint64_t solves = 0; ///< solve passes that re-solved work
+        std::uint64_t fullSolves = 0; ///< passes forced by FullResolve
+        std::uint64_t componentsSolved = 0;
+        std::uint64_t flowsSolved = 0; ///< sum of solved component sizes
+    };
+
+    /**
+     * RAII batch scope: while at least one FlowBatch is alive, startFlow
+     * and cancelFlow defer the rate solve and completion (re)scheduling;
+     * the dirty set accumulates and is solved once when the outermost
+     * batch ends. Launching k flows at one timestamp costs one solve
+     * instead of k. Rates and the completion event are stale inside the
+     * scope, so don't query flowRate() or step the EventQueue until the
+     * batch closes. Results are bit-identical to unbatched calls because
+     * component solves are from-scratch (see docs/PERFORMANCE.md).
+     */
+    class FlowBatch
+    {
+      public:
+        explicit FlowBatch(FluidNetwork &net) : net_(net)
+        {
+            net_.beginBatch();
+        }
+        ~FlowBatch() { net_.endBatch(); }
+
+        FlowBatch(const FlowBatch &) = delete;
+        FlowBatch &operator=(const FlowBatch &) = delete;
+
+      private:
+        FluidNetwork &net_;
+    };
+
     explicit FluidNetwork(EventQueue &eq);
     ~FluidNetwork();
 
@@ -214,8 +321,43 @@ class FluidNetwork
     /** Number of in-flight flows. */
     std::size_t numActive() const { return flows_.size(); }
 
-    /** Notify the network that a resource capacity changed. */
+    /** Notify the network that any resource capacity may have changed. */
     void capacityChanged();
+
+    /**
+     * Notify the network that one resource's capacity changed. Only the
+     * component containing @p resource is re-solved (in Incremental
+     * mode), so prefer this over the global overload for single-device
+     * degradation/repair events.
+     */
+    void capacityChanged(FluidResource *resource);
+
+    /** Select the solver strategy (takes effect at the next solve). */
+    void setSolverMode(SolverMode mode) { mode_ = mode; }
+    SolverMode solverMode() const { return mode_; }
+
+    /** Cumulative solver work counters. */
+    const SolverStats &solverStats() const { return stats_; }
+
+    /**
+     * Enable the parallel per-flow scan (advance + completion scan +
+     * parallel phase of the solve bookkeeping) on @p workers threads.
+     * The parallel path only engages once the network holds at least
+     * @p minFlows flows — below that the fork-join overhead dominates.
+     * Pass workers < 2 to disable. Returns false when the build was
+     * configured without TB_PARALLEL_SOLVER (request ignored). The
+     * TB_PARALLEL_SOLVER environment variable (worker count) enables
+     * this at construction. Results are bit-identical to the serial
+     * path: per-flow arithmetic is unchanged and all reductions /
+     * accounting merges happen in flow-id order (docs/PERFORMANCE.md).
+     */
+    bool setParallelWorkers(unsigned workers, std::size_t minFlows = 512);
+
+    /** Workers the parallel scan would use (1 = serial). */
+    unsigned parallelWorkers() const
+    {
+        return pool_ ? pool_->workers() : 1;
+    }
 
     /**
      * Reset accounting on all resources (and, when metrics are
@@ -244,32 +386,90 @@ class FluidNetwork
     void flushMetrics();
 
   private:
-    struct Flow
-    {
-        FlowId id;
-        std::string category;
-        double remaining;
-        double rateCap;
-        double fairWeight;
-        std::vector<FlowDemand> demands;
-        std::function<void(Time)> onComplete;
-        double rate = 0.0;
-        bool frozen = false; // allocator scratch
-    };
-
-    /** Charge elapsed progress to all flows, then recompute rates. */
+    /** Charge elapsed progress to all flows. */
     void advanceTo(Time now);
-    void recomputeRates();
+    void advanceParallel(double dt);
+
+    /** Solve + reschedule, unless inside a FlowBatch. */
+    void afterMutation();
+    void beginBatch() { ++batchDepth_; }
+    void endBatch();
+
+    /** Re-solve the components reachable from the dirty set. */
+    void solveDirty();
+    /** Progressive filling over compFlows_/compRes_ (sorted). */
+    void solveComponent();
+    /** Legacy coupled whole-network progressive filling. */
+    void solveGlobal();
+
     void scheduleCompletion();
     void completeEarliest();
     void instrumentResource(FluidResource *r);
 
+    /** Register/unregister a flow in its resources' member lists. */
+    void addMembership(FluidFlow &flow);
+    void removeMembership(FluidFlow &flow);
+
+    void
+    markDirty(FluidResource *r)
+    {
+        if (!r->dirty_) {
+            r->dirty_ = true;
+            dirtyResources_.push_back(r);
+        }
+    }
+
+    /** Mark a flow and all resources it touches dirty. */
+    void
+    markFlowDirty(FluidFlow &flow)
+    {
+        for (const auto &d : flow.demands)
+            markDirty(d.resource);
+        dirtyFlowIds_.push_back(flow.id);
+    }
+
+    bool
+    parallelActive() const
+    {
+        return pool_ != nullptr && flows_.size() >= parallelMinFlows_;
+    }
+
+    void rebuildFlowArray();
+
     EventQueue &eq_;
     std::vector<std::unique_ptr<FluidResource>> resources_;
-    std::map<FlowId, Flow> flows_;
+    std::map<FlowId, FluidFlow> flows_;
     FlowId nextId_ = 1;
     Time lastAdvance_ = 0.0;
     EventId pending_{};
+
+    SolverMode mode_ = SolverMode::Incremental;
+    SolverStats stats_;
+    unsigned batchDepth_ = 0;
+    std::uint64_t mark_ = 0; ///< BFS epoch source
+
+    /** Resources touched since the last solve (dirty_ flag set). */
+    std::vector<FluidResource *> dirtyResources_;
+    /**
+     * Flows touched since the last solve, by id — ids, not pointers,
+     * because a flow can be started and cancelled within one batch.
+     * Also covers demandless (cap-only) flows, which no resource
+     * member list reaches.
+     */
+    std::vector<FlowId> dirtyFlowIds_;
+
+    // reusable solver scratch (cleared per solve; avoids per-event
+    // allocation in the hot path)
+    std::vector<FluidFlow *> affected_;
+    std::vector<FluidResource *> resQueue_;
+    std::vector<FluidFlow *> compFlows_;
+    std::vector<FluidResource *> compRes_;
+
+    // parallel scan state
+    std::unique_ptr<ParallelFor> pool_;
+    std::size_t parallelMinFlows_ = 512;
+    std::vector<FluidFlow *> flowArray_; ///< flows_ values, id order
+    bool flowArrayStale_ = true;
 
     // metrics instrumentation (all nullptr when metrics are disabled)
     MetricsRegistry *metrics_ = nullptr;

@@ -1,8 +1,15 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace tb {
+
+namespace {
+/** Below this size a compaction sweep costs more than it saves. */
+constexpr std::size_t kCompactMinHeap = 64;
+} // namespace
 
 EventId
 EventQueue::schedule(Time when, Callback cb, int priority)
@@ -10,8 +17,9 @@ EventQueue::schedule(Time when, Callback cb, int priority)
     panic_if(when < now_, "scheduling event in the past (%g < %g)",
              when, now_);
     const Key key{when, priority, nextSeq_++};
-    events_.emplace(key, std::move(cb));
-    bySeq_.emplace(key.seq, key);
+    heap_.push_back(Entry{key, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    pending_.insert(key.seq);
     return EventId{key.seq};
 }
 
@@ -22,48 +30,95 @@ EventQueue::scheduleIn(Time delay, Callback cb, int priority)
     return schedule(now_ + delay, std::move(cb), priority);
 }
 
+std::vector<EventId>
+EventQueue::scheduleBatch(std::vector<std::pair<Time, Callback>> items,
+                          int priority)
+{
+    std::vector<EventId> ids;
+    ids.reserve(items.size());
+    // A batch larger than the live set re-heapifies once; smaller
+    // batches sift entries in individually.
+    const bool rebuild = items.size() > heap_.size();
+    heap_.reserve(heap_.size() + items.size());
+    for (auto &[when, cb] : items) {
+        panic_if(when < now_, "scheduling event in the past (%g < %g)",
+                 when, now_);
+        const Key key{when, priority, nextSeq_++};
+        heap_.push_back(Entry{key, std::move(cb)});
+        if (!rebuild)
+            std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+        pending_.insert(key.seq);
+        ids.push_back(EventId{key.seq});
+    }
+    if (rebuild)
+        std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    return ids;
+}
+
 bool
 EventQueue::cancel(EventId &id)
 {
     if (!id.valid())
         return false;
-    auto it = bySeq_.find(id.seq);
+    const bool live = pending_.erase(id.seq) > 0;
     id.invalidate();
-    if (it == bySeq_.end())
-        return false;
-    events_.erase(it->second);
-    bySeq_.erase(it);
-    return true;
+    // The heap entry stays behind as a tombstone; sweep when tombstones
+    // dominate so cancel-heavy workloads stay O(1) amortized.
+    if (live && heap_.size() >= kCompactMinHeap &&
+        heap_.size() > 2 * pending_.size())
+        compact();
+    return live;
+}
+
+void
+EventQueue::purgeTop() const
+{
+    while (!heap_.empty() &&
+           pending_.find(heap_.front().key.seq) == pending_.end()) {
+        std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+        heap_.pop_back();
+    }
+}
+
+void
+EventQueue::compact()
+{
+    std::erase_if(heap_, [this](const Entry &e) {
+        return pending_.find(e.key.seq) == pending_.end();
+    });
+    std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
 }
 
 Time
 EventQueue::nextTime() const
 {
-    panic_if(events_.empty(), "nextTime() on empty event queue");
-    return events_.begin()->first.when;
+    panic_if(pending_.empty(), "nextTime() on empty event queue");
+    purgeTop();
+    return heap_.front().key.when;
 }
 
 bool
 EventQueue::step()
 {
-    if (events_.empty())
+    if (pending_.empty())
         return false;
-    auto it = events_.begin();
-    const Key key = it->first;
-    Callback cb = std::move(it->second);
-    events_.erase(it);
-    bySeq_.erase(key.seq);
-    now_ = key.when;
+    purgeTop();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    pending_.erase(entry.key.seq);
+    now_ = entry.key.when;
     ++numExecuted_;
-    cb();
+    entry.cb();
     return true;
 }
 
 void
 EventQueue::run(Time until)
 {
-    while (!events_.empty()) {
-        if (until >= 0.0 && events_.begin()->first.when > until) {
+    while (!pending_.empty()) {
+        purgeTop();
+        if (until >= 0.0 && heap_.front().key.when > until) {
             now_ = until;
             return;
         }

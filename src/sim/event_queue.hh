@@ -5,6 +5,14 @@
  * The queue holds (time, priority, sequence) ordered callbacks. Components
  * schedule std::function callbacks; scheduled events can be cancelled via
  * the EventId handle. Time is continuous (seconds, double).
+ *
+ * Storage is a binary min-heap with *lazy deletion*: cancel() only drops
+ * the event's sequence number from the pending set (O(1)); the heap entry
+ * becomes a tombstone that is discarded when it surfaces at the top, or
+ * swept out when tombstones outnumber live events (see docs/PERFORMANCE.md,
+ * "Event-queue batching"). Execution order is the same strict total order
+ * as before — (when, priority, seq) — so a heap rebuild never reorders
+ * live events.
  */
 
 #ifndef TRAINBOX_SIM_EVENT_QUEUE_HH
@@ -12,7 +20,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/units.hh"
 
@@ -58,14 +68,26 @@ class EventQueue
     EventId scheduleIn(Time delay, Callback cb,
                        int priority = defaultPriority);
 
+    /**
+     * Bulk insert: schedule every (when, callback) pair of @p items at
+     * @p priority. Handles are returned in input order, and ties between
+     * batch members keep input order (each entry draws the next sequence
+     * number, exactly as repeated schedule() calls would). When the batch
+     * is large relative to the pending set the heap is rebuilt in one
+     * O(n + k) pass instead of k O(log n) sifts.
+     */
+    std::vector<EventId>
+    scheduleBatch(std::vector<std::pair<Time, Callback>> items,
+                  int priority = defaultPriority);
+
     /** Cancel a pending event. Returns false if already fired/cancelled. */
     bool cancel(EventId &id);
 
-    /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    /** True when no live events remain (tombstones don't count). */
+    bool empty() const { return pending_.empty(); }
 
-    /** Number of pending events. */
-    std::size_t size() const { return events_.size(); }
+    /** Number of pending (live) events. */
+    std::size_t size() const { return pending_.size(); }
 
     /** Time of the next pending event; panics when empty. */
     Time nextTime() const;
@@ -97,11 +119,36 @@ class EventQueue
         }
     };
 
+    struct Entry
+    {
+        Key key;
+        Callback cb;
+    };
+
+    /** Min-heap comparator (std heap primitives build a max-heap). */
+    struct EntryAfter
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return b.key < a.key;
+        }
+    };
+
+    /** Drop cancelled entries sitting at the top of the heap. */
+    void purgeTop() const;
+
+    /** Sweep all tombstones and re-heapify (amortized by cancel()). */
+    void compact();
+
     Time now_ = 0.0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t numExecuted_ = 0;
-    std::map<Key, Callback> events_;
-    std::map<std::uint64_t, Key> bySeq_;
+
+    // mutable so the const observers (nextTime) can discard tombstones;
+    // purging never changes observable state.
+    mutable std::vector<Entry> heap_;
+    std::unordered_set<std::uint64_t> pending_;
 };
 
 } // namespace tb

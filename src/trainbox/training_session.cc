@@ -115,6 +115,9 @@ TrainingSession::launchPrep(std::size_t g)
     // Launch chunk chains as window slots free up; the local and
     // offloaded streams are independent producers of prepared samples,
     // so a slow prep-pool round-trip never stalls completed local work.
+    // All chains launch at one timestamp: batch them so the solver runs
+    // once for the whole window instead of once per flow.
+    FluidNetwork::FlowBatch launchBatch(server_.net);
     while (gs.readySamples + gs.inFlightSamples < window - 1e-6) {
         gs.inFlightSamples += chunk;
         if (fault_) {

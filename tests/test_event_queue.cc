@@ -107,6 +107,134 @@ TEST(EventQueue, EventsMayScheduleEvents)
     EXPECT_EQ(eq.numExecuted(), 10u);
 }
 
+TEST(EventQueue, CancelUnderLoad)
+{
+    // Regression for the O(n)-per-cancel removal path: thousands of
+    // cancels against a large pending set, interleaved with execution.
+    // With lazy tombstones this is O(1) amortized per cancel; the test
+    // asserts the survivors run in exactly the right order and count.
+    EventQueue eq;
+    constexpr int kEvents = 20000;
+    std::vector<EventId> ids;
+    ids.reserve(kEvents);
+    std::vector<int> fired;
+    for (int i = 0; i < kEvents; ++i) {
+        ids.push_back(eq.schedule(static_cast<Time>(i) * 0.001,
+                                  [&fired, i] { fired.push_back(i); }));
+    }
+    EXPECT_EQ(eq.size(), static_cast<std::size_t>(kEvents));
+
+    // Cancel every odd event (half the set, forcing compaction sweeps).
+    for (int i = 1; i < kEvents; i += 2)
+        EXPECT_TRUE(eq.cancel(ids[i]));
+    EXPECT_EQ(eq.size(), static_cast<std::size_t>(kEvents / 2));
+
+    // A second cancel of an already-tombstoned event reports false.
+    for (int i = 1; i < 100; i += 2)
+        EXPECT_FALSE(eq.cancel(ids[i]));
+
+    eq.run();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(kEvents / 2));
+    for (int i = 0; i < kEvents / 2; ++i)
+        EXPECT_EQ(fired[i], 2 * i) << "at " << i;
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelRescheduleChurn)
+{
+    // The fluid network's pattern: one pending completion event that is
+    // cancelled and rescheduled on every mutation.
+    EventQueue eq;
+    int fired = 0;
+    EventId pending{};
+    for (int i = 0; i < 10000; ++i) {
+        eq.cancel(pending);
+        pending = eq.scheduleIn(1.0 + i * 1e-6, [&fired] { ++fired; });
+    }
+    // Tombstone sweeps must have bounded the heap: the live set is 1.
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ScheduleBatchOrderingSmall)
+{
+    // Small batch (sift-in path): ties between batch members keep input
+    // order, interleaved correctly with individually scheduled events.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(2.0, [&] { order.push_back(100); });
+    std::vector<std::pair<Time, EventQueue::Callback>> items;
+    items.emplace_back(2.0, [&] { order.push_back(0); });
+    items.emplace_back(1.0, [&] { order.push_back(1); });
+    items.emplace_back(2.0, [&] { order.push_back(2); });
+    auto ids = eq.scheduleBatch(std::move(items));
+    ASSERT_EQ(ids.size(), 3u);
+    eq.run();
+    // t=1: event 1; t=2: individual (earlier seq), then 0, then 2.
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 100);
+    EXPECT_EQ(order[2], 0);
+    EXPECT_EQ(order[3], 2);
+}
+
+TEST(EventQueue, ScheduleBatchRebuildPath)
+{
+    // Batch larger than the live heap takes the make_heap rebuild path;
+    // execution order must still be (when, priority, seq).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(0.5, [&] { order.push_back(-1); });
+    std::vector<std::pair<Time, EventQueue::Callback>> items;
+    constexpr int kBatch = 500;
+    for (int i = 0; i < kBatch; ++i) {
+        const Time when = static_cast<Time>((i * 7919) % kBatch);
+        items.emplace_back(when, [&order, i] { order.push_back(i); });
+    }
+    auto ids = eq.scheduleBatch(std::move(items));
+    ASSERT_EQ(ids.size(), static_cast<std::size_t>(kBatch));
+    // Cancel a slice of the batch through the returned handles.
+    for (int i = 0; i < kBatch; i += 10)
+        EXPECT_TRUE(eq.cancel(ids[i]));
+    eq.run();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(kBatch - kBatch / 10 + 1));
+    // Survivors must come out sorted by (when, seq): reconstruct keys.
+    Time prev = -1.0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const int i = order[k];
+        const Time when =
+            i < 0 ? 0.5 : static_cast<Time>((i * 7919) % kBatch);
+        EXPECT_GE(when, prev) << "out of order at " << k;
+        prev = when;
+    }
+}
+
+TEST(EventQueue, SizeAndEmptyIgnoreTombstones)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(1.0, [] {});
+    EventId b = eq.schedule(2.0, [] {});
+    EXPECT_EQ(eq.size(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.size(), 1u);
+    EXPECT_FALSE(eq.empty());
+    eq.cancel(b);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledTop)
+{
+    EventQueue eq;
+    EventId early = eq.schedule(1.0, [] {});
+    eq.schedule(3.0, [] {});
+    EXPECT_DOUBLE_EQ(eq.nextTime(), 1.0);
+    eq.cancel(early);
+    EXPECT_DOUBLE_EQ(eq.nextTime(), 3.0);
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue eq;

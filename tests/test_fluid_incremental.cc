@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Equivalence suite for the incremental fluid solver.
+ *
+ * The incremental solver (dirty-set tracking + per-component progressive
+ * filling) is an optimization, not a model change: for any topology and
+ * any arrival/cancel script it must produce the same rates, the same
+ * completion times, and the same accounting as re-solving every
+ * component on every event (FullResolve). These tests replay randomized
+ * scripts — random topologies x random flow arrival/departure schedules
+ * — under both modes and compare the full observable trace. The same
+ * harness pins metrics-on/off, parallel-on/off, and FlowBatch-vs-
+ * unbatched bit-identity, and sanity-checks the legacy coupled
+ * GlobalResolve mode (equal up to floating-point reassociation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "fluid/fluid.hh"
+#include "sim/event_queue.hh"
+#include "sim/metrics.hh"
+
+namespace tb {
+namespace {
+
+using Mode = FluidNetwork::SolverMode;
+
+// --- randomized script generation ----------------------------------------
+
+struct ScriptDemand
+{
+    std::size_t res;
+    double weight;
+};
+
+struct ScriptStart
+{
+    double at;
+    double size;
+    double cap;
+    double fairWeight;
+    std::vector<ScriptDemand> demands;
+};
+
+struct ScriptCancel
+{
+    double at;
+    std::size_t startIdx;
+};
+
+struct Script
+{
+    std::vector<double> capacities;
+    std::vector<ScriptStart> starts;
+    std::vector<ScriptCancel> cancels;
+};
+
+Script
+makeScript(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Script s;
+    const std::size_t nres =
+        static_cast<std::size_t>(rng.uniformInt(5, 14));
+    for (std::size_t i = 0; i < nres; ++i)
+        s.capacities.push_back(rng.uniform(20.0, 200.0));
+
+    double t = 0.0;
+    const std::size_t nstarts = 80;
+    for (std::size_t i = 0; i < nstarts; ++i) {
+        t += rng.uniform(0.0, 0.4);
+        ScriptStart st;
+        st.at = t;
+        st.size = rng.uniform(1.0, 40.0);
+        st.cap = rng.uniform() < 0.3 ? rng.uniform(2.0, 20.0) : 0.0;
+        st.fairWeight = rng.uniform(0.5, 2.0);
+        const std::size_t ndem =
+            static_cast<std::size_t>(rng.uniformInt(0, 3));
+        for (std::size_t d = 0; d < ndem; ++d) {
+            const std::size_t r = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(nres) - 1));
+            bool dup = false;
+            for (const auto &have : st.demands)
+                dup = dup || have.res == r;
+            if (!dup)
+                st.demands.push_back({r, rng.uniform(0.2, 2.0)});
+        }
+        if (st.demands.empty() && st.cap <= 0.0)
+            st.cap = rng.uniform(2.0, 20.0); // keep the flow constrained
+        s.starts.push_back(std::move(st));
+    }
+    for (std::size_t c = 0; c < 15; ++c) {
+        const std::size_t idx = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(nstarts) - 1));
+        s.cancels.push_back(
+            {s.starts[idx].at + rng.uniform(0.05, 1.5), idx});
+    }
+    return s;
+}
+
+// --- replay harness ------------------------------------------------------
+
+struct RunTrace
+{
+    std::vector<double> completionTimes;
+    std::vector<std::size_t> completionIdx; ///< script start index
+    std::vector<double> rateSamples; ///< all flows' rates after each op
+    std::vector<double> servedTotals;
+    double endTime = 0.0;
+};
+
+struct RunConfig
+{
+    Mode mode = Mode::FullResolve;
+    bool parallel = false;
+    bool metrics = false;
+    bool batchStarts = false; ///< wrap each start op in a FlowBatch
+};
+
+RunTrace
+replay(const Script &s, const RunConfig &cfg)
+{
+    EventQueue eq;
+    FluidNetwork net(eq);
+    net.setSolverMode(cfg.mode);
+    if (cfg.parallel) {
+        // minFlows=1 forces the parallel path for every scan.
+        EXPECT_TRUE(net.setParallelWorkers(4, 1));
+    }
+    MetricsRegistry reg;
+    if (cfg.metrics) {
+        reg.enable();
+        net.attachMetrics(&reg);
+    }
+
+    std::vector<FluidResource *> res;
+    for (std::size_t i = 0; i < s.capacities.size(); ++i)
+        res.push_back(net.addResource("r" + std::to_string(i),
+                                      s.capacities[i]));
+
+    RunTrace trace;
+    std::vector<FlowId> ids(s.starts.size(), 0);
+
+    auto sampleRates = [&] {
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            trace.rateSamples.push_back(
+                ids[i] ? net.flowRate(ids[i]) : 0.0);
+    };
+
+    for (std::size_t i = 0; i < s.starts.size(); ++i) {
+        const ScriptStart &st = s.starts[i];
+        eq.schedule(st.at, [&, i] {
+            const ScriptStart &start = s.starts[i];
+            FlowSpec spec;
+            spec.category = "cat" + std::to_string(i % 5);
+            spec.size = start.size;
+            spec.rateCap = start.cap;
+            spec.fairWeight = start.fairWeight;
+            for (const auto &d : start.demands)
+                spec.demands.push_back({res[d.res], d.weight});
+            spec.onComplete = [&trace, i](Time now) {
+                trace.completionTimes.push_back(now);
+                trace.completionIdx.push_back(i);
+            };
+            if (cfg.batchStarts) {
+                FluidNetwork::FlowBatch batch(net);
+                ids[i] = net.startFlow(std::move(spec));
+            } else {
+                ids[i] = net.startFlow(std::move(spec));
+            }
+            sampleRates();
+        });
+    }
+    for (const ScriptCancel &c : s.cancels) {
+        eq.schedule(c.at, [&, c] {
+            if (ids[c.startIdx] != 0)
+                net.cancelFlow(ids[c.startIdx]);
+            sampleRates();
+        });
+    }
+
+    eq.run();
+    for (const auto &r : net.resources())
+        trace.servedTotals.push_back(r->totalServed());
+    trace.endTime = eq.now();
+    return trace;
+}
+
+/** Assert two traces are element-for-element identical. */
+void
+expectTracesEqual(const RunTrace &a, const RunTrace &b,
+                  const char *label)
+{
+    SCOPED_TRACE(label);
+    ASSERT_EQ(a.completionTimes.size(), b.completionTimes.size());
+    for (std::size_t i = 0; i < a.completionTimes.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.completionTimes[i], b.completionTimes[i]);
+        EXPECT_EQ(a.completionIdx[i], b.completionIdx[i]);
+    }
+    ASSERT_EQ(a.rateSamples.size(), b.rateSamples.size());
+    for (std::size_t i = 0; i < a.rateSamples.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.rateSamples[i], b.rateSamples[i]);
+    ASSERT_EQ(a.servedTotals.size(), b.servedTotals.size());
+    for (std::size_t i = 0; i < a.servedTotals.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.servedTotals[i], b.servedTotals[i]);
+    EXPECT_DOUBLE_EQ(a.endTime, b.endTime);
+}
+
+// --- tests ---------------------------------------------------------------
+
+TEST(FluidIncremental, RandomizedEquivalenceWithFullResolve)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const Script s = makeScript(seed * 0x9e37);
+        const RunTrace full = replay(s, {.mode = Mode::FullResolve});
+        const RunTrace inc = replay(s, {.mode = Mode::Incremental});
+        expectTracesEqual(full, inc, "incremental vs full");
+    }
+}
+
+TEST(FluidIncremental, GlobalResolveMatchesWithinTolerance)
+{
+    // The legacy coupled loop reassociates floating-point sums across
+    // components, so it is equal only up to tiny relative error.
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const Script s = makeScript(seed * 0xabcd);
+        const RunTrace inc = replay(s, {.mode = Mode::Incremental});
+        const RunTrace glob = replay(s, {.mode = Mode::GlobalResolve});
+        ASSERT_EQ(inc.completionTimes.size(),
+                  glob.completionTimes.size());
+        for (std::size_t i = 0; i < inc.completionTimes.size(); ++i)
+            EXPECT_NEAR(inc.completionTimes[i], glob.completionTimes[i],
+                        1e-6 * (1.0 + inc.completionTimes[i]));
+        ASSERT_EQ(inc.servedTotals.size(), glob.servedTotals.size());
+        for (std::size_t i = 0; i < inc.servedTotals.size(); ++i)
+            EXPECT_NEAR(inc.servedTotals[i], glob.servedTotals[i],
+                        1e-6 * (1.0 + inc.servedTotals[i]));
+    }
+}
+
+TEST(FluidIncremental, ParallelScanBitIdentity)
+{
+    EventQueue probeEq;
+    FluidNetwork probe(probeEq);
+    if (!probe.setParallelWorkers(0))
+        GTEST_SKIP() << "built without TB_PARALLEL_SOLVER";
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const Script s = makeScript(seed * 0x51de);
+        const RunTrace serial = replay(s, {.mode = Mode::Incremental});
+        const RunTrace par =
+            replay(s, {.mode = Mode::Incremental, .parallel = true});
+        expectTracesEqual(serial, par, "parallel vs serial");
+    }
+}
+
+TEST(FluidIncremental, MetricsOnOffBitIdentity)
+{
+    // Metrics instrumentation must not perturb the simulation.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const Script s = makeScript(seed * 0x3e77);
+        const RunTrace off = replay(s, {.mode = Mode::Incremental});
+        const RunTrace on =
+            replay(s, {.mode = Mode::Incremental, .metrics = true});
+        expectTracesEqual(off, on, "metrics on vs off");
+    }
+}
+
+TEST(FluidIncremental, FlowBatchBitIdentity)
+{
+    // Batching a start defers the solve to batch close; at one start
+    // per batch the observable behavior is identical to unbatched.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const Script s = makeScript(seed * 0xba7c);
+        const RunTrace plain = replay(s, {.mode = Mode::Incremental});
+        const RunTrace batched =
+            replay(s, {.mode = Mode::Incremental, .batchStarts = true});
+        expectTracesEqual(plain, batched, "batched vs unbatched");
+    }
+}
+
+TEST(FluidIncremental, BatchedGroupLaunchMatchesSequential)
+{
+    // k flows launched at one timestamp inside one FlowBatch must get
+    // exactly the rates of k sequential startFlow calls.
+    auto run = [](bool batch) {
+        EventQueue eq;
+        FluidNetwork net(eq);
+        FluidResource *a = net.addResource("a", 90.0);
+        FluidResource *b = net.addResource("b", 60.0);
+        std::vector<FlowId> ids;
+        auto launchAll = [&] {
+            for (int i = 0; i < 6; ++i) {
+                FlowSpec spec;
+                spec.category = "g";
+                spec.size = 100.0 + i;
+                spec.fairWeight = 1.0 + 0.25 * i;
+                spec.demands = {{a, 1.0}};
+                if (i % 2)
+                    spec.demands.push_back({b, 0.5});
+                ids.push_back(net.startFlow(std::move(spec)));
+            }
+        };
+        if (batch) {
+            FluidNetwork::FlowBatch fb(net);
+            launchAll();
+        } else {
+            launchAll();
+        }
+        std::vector<double> rates;
+        for (FlowId id : ids)
+            rates.push_back(net.flowRate(id));
+        return rates;
+    };
+    const auto seq = run(false);
+    const auto bat = run(true);
+    ASSERT_EQ(seq.size(), bat.size());
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        EXPECT_DOUBLE_EQ(seq[i], bat[i]);
+}
+
+TEST(FluidIncremental, CleanComponentsAreSkipped)
+{
+    // Two disjoint components; mutating one must not re-solve the other.
+    EventQueue eq;
+    FluidNetwork net(eq);
+    FluidResource *a = net.addResource("a", 100.0);
+    FluidResource *b = net.addResource("b", 100.0);
+
+    auto start = [&](FluidResource *r, double size) {
+        FlowSpec spec;
+        spec.category = "x";
+        spec.size = size;
+        spec.demands = {{r, 1.0}};
+        return net.startFlow(std::move(spec));
+    };
+
+    start(a, 500.0);
+    start(a, 500.0);
+    const FlowId onB = start(b, 500.0);
+    const auto before = net.solverStats();
+
+    // A fourth flow on `a` dirties only component {a}: 3 flows solved.
+    start(a, 500.0);
+    const auto after = net.solverStats();
+    EXPECT_EQ(after.solves, before.solves + 1);
+    EXPECT_EQ(after.componentsSolved, before.componentsSolved + 1);
+    EXPECT_EQ(after.flowsSolved, before.flowsSolved + 3);
+
+    // The clean component kept its cached (correct) rate.
+    EXPECT_DOUBLE_EQ(net.flowRate(onB), 100.0);
+}
+
+TEST(FluidIncremental, TargetedCapacityChangeResolvesOneComponent)
+{
+    EventQueue eq;
+    FluidNetwork net(eq);
+    FluidResource *a = net.addResource("a", 100.0);
+    FluidResource *b = net.addResource("b", 100.0);
+
+    FlowSpec fa;
+    fa.category = "x";
+    fa.size = 1000.0;
+    fa.demands = {{a, 1.0}};
+    const FlowId flowA = net.startFlow(std::move(fa));
+
+    FlowSpec fb;
+    fb.category = "x";
+    fb.size = 1000.0;
+    fb.demands = {{b, 1.0}};
+    const FlowId flowB = net.startFlow(std::move(fb));
+
+    const auto before = net.solverStats();
+    a->setCapacity(40.0);
+    net.capacityChanged(a);
+    const auto after = net.solverStats();
+
+    EXPECT_DOUBLE_EQ(net.flowRate(flowA), 40.0);
+    EXPECT_DOUBLE_EQ(net.flowRate(flowB), 100.0);
+    EXPECT_EQ(after.flowsSolved, before.flowsSolved + 1);
+
+    // The global overload still re-solves everything.
+    net.capacityChanged();
+    EXPECT_DOUBLE_EQ(net.flowRate(flowA), 40.0);
+    EXPECT_DOUBLE_EQ(net.flowRate(flowB), 100.0);
+}
+
+TEST(FluidIncremental, FullResolveModeStillSolvesEverything)
+{
+    EventQueue eq;
+    FluidNetwork net(eq);
+    net.setSolverMode(Mode::FullResolve);
+    FluidResource *a = net.addResource("a", 100.0);
+    FluidResource *b = net.addResource("b", 100.0);
+
+    auto start = [&](FluidResource *r) {
+        FlowSpec spec;
+        spec.category = "x";
+        spec.size = 500.0;
+        spec.demands = {{r, 1.0}};
+        return net.startFlow(std::move(spec));
+    };
+    start(a);
+    const auto before = net.solverStats();
+    start(b);
+    const auto after = net.solverStats();
+    EXPECT_EQ(after.fullSolves, before.fullSolves + 1);
+    EXPECT_EQ(after.flowsSolved, before.flowsSolved + 2);
+    EXPECT_EQ(after.componentsSolved, before.componentsSolved + 2);
+}
+
+} // namespace
+} // namespace tb

@@ -44,3 +44,12 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
 # escape (docs/ROBUSTNESS.md, "Data integrity & silent corruption").
 # Run instrumented so the envelope/validator code is sanitizer-checked.
 "$build_dir/bench/integrity_sweep" --smoke
+
+# Simulator perf smoke: runs the incremental solver + parallel scan +
+# event-queue batching under the sanitizer (the bit-identity assert and
+# the solver hot path get instrumented coverage). The speedup floor is
+# relaxed to 3x — sanitizer instrumentation skews relative costs — and
+# the committed-baseline ratio gate is left to the uninstrumented CI
+# job (docs/PERFORMANCE.md).
+"$build_dir/bench/sim_perf" --smoke --min-speedup 3 \
+    --out "$build_dir/BENCH_sim_perf.json"
