@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Elasticity sweep: what leaving capacity costs and what graceful
+ * degradation buys back (docs/ROBUSTNESS.md, "Elastic capacity &
+ * graceful degradation").
+ *
+ * Three experiments on 32-accelerator ResNet-50 TrainBox servers:
+ *
+ *  1. Leave-rate sweep — planned drains vs spot preemptions at equal
+ *     arrival rates. Drains keep the grace window's prepped samples
+ *     and coordinate a checkpoint; preemptions discard buffered and
+ *     in-compute work, so goodput and SLO attainment fall faster.
+ *  2. Grace-window sweep — longer notice converts drop-at-detach
+ *     samples into saved ones, at the price of a longer degraded tail.
+ *  3. Scale-up — groups held back at start and joined mid-run: the
+ *     rebalance cost and the throughput recovered per joined group.
+ *
+ * --smoke runs the CI chaos assertion instead: a batch of randomized
+ * fault+elastic schedules checked against the global invariants
+ * (sample conservation, corruption accounting, liveness, planned
+ * drains >= preemptions in goodput, disabled == baseline
+ * bit-identical). Exits non-zero on violation.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.hh"
+#include "trainbox/report.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+namespace {
+
+tb::ServerConfig
+baseConfig(std::size_t n_acc = 32)
+{
+    tb::ServerConfig cfg;
+    cfg.preset = tb::ArchPreset::TrainBox;
+    cfg.model = tb::workload::ModelId::Resnet50;
+    cfg.numAccelerators = n_acc;
+    cfg.prepPoolFpgas = 8;
+    return cfg;
+}
+
+tb::SessionResult
+run(const tb::ServerConfig &cfg, std::size_t warmup = 4,
+    std::size_t measure = 12)
+{
+    auto server = tb::buildServer(cfg);
+    tb::TrainingSession session(*server);
+    return session.run(warmup, measure);
+}
+
+bool
+ledgerHolds(const tb::SessionResult &res)
+{
+    const auto &e = res.elasticity;
+    const double gap = e.samplesPrepared -
+                       (e.samplesConsumed + e.samplesCachedAtEnd +
+                        e.samplesDiscarded);
+    return std::fabs(gap) <= 1e-6 * std::max(1.0, e.samplesPrepared);
+}
+
+/** CI mode: randomized schedules against the global invariants. */
+int
+smoke()
+{
+    using namespace tb;
+    int failures = 0;
+    auto fail = [&](const char *what, std::uint64_t seed) {
+        std::printf("FAIL: %s (seed %llu)\n", what,
+                    static_cast<unsigned long long>(seed));
+        ++failures;
+    };
+
+    // Disabled elasticity must not perturb the simulation at all.
+    const SessionResult base = run(baseConfig(16), 3, 6);
+    {
+        ServerConfig cfg = baseConfig(16);
+        cfg.elasticity.enabled = false;
+        cfg.elasticity.groupDrain.ratePerSec = 10.0; // ignored when off
+        const SessionResult again = run(cfg, 3, 6);
+        if (again.throughput != base.throughput ||
+            again.wallTime != base.wallTime)
+            fail("disabled elasticity perturbed the baseline", 0);
+    }
+
+    double drain_goodput_sum = 0.0, preempt_goodput_sum = 0.0;
+    std::size_t events = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        for (const bool planned : {true, false}) {
+            ServerConfig cfg = baseConfig(16);
+            cfg.faults.enabled = true;
+            cfg.faults.seed = seed;
+            cfg.faults.ssdReadFailureProb = 0.005;
+            cfg.faults.corruption.ssdBitFlipProb = 0.002;
+            cfg.faults.integrityChecks = (seed % 2) == 0;
+            cfg.checkpoint.enabled = (seed % 2) == 1;
+            cfg.checkpoint.interval = 2.0;
+            cfg.elasticity.enabled = true;
+            cfg.elasticity.seed = seed;
+            cfg.elasticity.graceWindow = 0.4;
+            cfg.elasticity.rejoinLatency = 0.2;
+            auto &cls = planned ? cfg.elasticity.groupDrain
+                                : cfg.elasticity.groupPreempt;
+            cls.ratePerSec = 0.25;
+            cls.absence = 1.0;
+
+            const SessionResult res = run(cfg, 3, 6);
+            events += res.elasticity.events;
+            if (res.stepsMeasured != 6)
+                fail("run did not complete all steps", seed);
+            if (!ledgerHolds(res))
+                fail("sample conservation violated", seed);
+            if (res.integrity.detected + res.integrity.escaped !=
+                res.integrity.injected)
+                fail("corruption accounting violated", seed);
+            if (!std::isfinite(res.throughput) || res.throughput <= 0.0)
+                fail("degenerate throughput", seed);
+            const double g = SessionReport::computeGoodput(
+                res.throughput, base.throughput);
+            (planned ? drain_goodput_sum : preempt_goodput_sum) += g;
+        }
+    }
+    if (events == 0)
+        fail("no elastic events delivered across the sweep", 0);
+    std::printf("elastic smoke: %zu events, drain goodput %.4f, "
+                "preempt goodput %.4f\n",
+                events, drain_goodput_sum / 8.0,
+                preempt_goodput_sum / 8.0);
+    // Graceful degradation must not lose more work than spot kills.
+    if (drain_goodput_sum < preempt_goodput_sum - 1e-9)
+        fail("planned drains underperformed preemptions", 0);
+
+    std::printf(failures == 0 ? "PASS\n" : "%d failures\n", failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return smoke();
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const SessionResult healthy = run(baseConfig());
+    const double slo = 0.9 * healthy.throughput;
+
+    // --- 1. planned drains vs spot preemptions -----------------------
+    bench::banner("Elasticity sweep: planned drains vs spot preemptions "
+                  "(ResNet-50, 32 accelerators, SLO = 90% of healthy)");
+    Table leave_table({"leave_rate", "kind", "events", "goodput",
+                       "slo_attain", "avail", "saved", "lost",
+                       "dropped"});
+    for (double rate : {0.05, 0.1, 0.2, 0.4}) {
+        for (const bool planned : {true, false}) {
+            ServerConfig cfg = baseConfig();
+            cfg.elasticity.enabled = true;
+            cfg.elasticity.sloTargetSamplesPerSec = slo;
+            auto &cls = planned ? cfg.elasticity.groupDrain
+                                : cfg.elasticity.groupPreempt;
+            cls.ratePerSec = rate;
+            cls.absence = 2.0;
+            auto server = buildServer(cfg);
+            TrainingSession session(*server);
+            const SessionReport rep = session.runReport(4, 12);
+            const auto &e = rep.result.elasticity;
+            leave_table.row()
+                .add(rate)
+                .add(planned ? "drain" : "preempt")
+                .add(e.events)
+                .add(rep.goodput(healthy.throughput), 4)
+                .add(rep.sloAttainment(), 4)
+                .add(rep.capacityAvailability(), 4)
+                .add(e.samplesSavedByDrain, 0)
+                .add(e.samplesLostToPreemption, 0)
+                .add(e.samplesDroppedAtDrain, 0);
+        }
+    }
+    bench::emit(leave_table, csv);
+
+    // --- 2. grace window ---------------------------------------------
+    bench::banner("Grace window: notice time vs samples saved at drain");
+    Table grace_table({"grace_sec", "drains", "saved", "dropped",
+                       "goodput", "degraded_sec"});
+    for (double grace : {0.0, 0.2, 0.5, 1.0, 2.0}) {
+        ServerConfig cfg = baseConfig();
+        cfg.elasticity.enabled = true;
+        cfg.elasticity.graceWindow = grace;
+        cfg.elasticity.groupDrain.ratePerSec = 0.2;
+        cfg.elasticity.groupDrain.absence = 2.0;
+        const SessionResult r = run(cfg);
+        grace_table.row()
+            .add(grace)
+            .add(r.elasticity.drains)
+            .add(r.elasticity.samplesSavedByDrain, 0)
+            .add(r.elasticity.samplesDroppedAtDrain, 0)
+            .add(SessionReport::computeGoodput(r.throughput,
+                                               healthy.throughput),
+                 4)
+            .add(r.elasticity.degradedCapacityTime, 3);
+    }
+    bench::emit(grace_table, csv);
+
+    // --- 3. mid-session scale-up -------------------------------------
+    bench::banner("Scale-up: deferred groups joining mid-run");
+    Table scale_table({"deferred", "join_at", "joins", "avg_active",
+                       "throughput", "vs_full_pct"});
+    for (std::size_t deferred : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{2}}) {
+        ServerConfig cfg = baseConfig();
+        cfg.elasticity.enabled = true;
+        cfg.elasticity.deferredJoinGroups = deferred;
+        cfg.elasticity.scaleUpTime = 0.2;
+        cfg.elasticity.rejoinLatency = 0.1;
+        const SessionResult r = run(cfg);
+        scale_table.row()
+            .add(deferred)
+            .add(0.2)
+            .add(r.elasticity.joins)
+            .add(r.elasticity.avgActiveFraction, 4)
+            .add(r.throughput, 1)
+            .add(100.0 * r.throughput / healthy.throughput, 2);
+    }
+    bench::emit(scale_table, csv);
+
+    return 0;
+}

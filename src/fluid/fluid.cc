@@ -25,7 +25,12 @@ FluidResource::FluidResource(std::string name, Rate capacity)
 void
 FluidResource::setCapacity(Rate capacity)
 {
-    panic_if(capacity <= 0.0, "resource %s capacity %g must be positive",
+    // Zero is a legal *runtime* capacity (an elastic member that left,
+    // a device that is fully down): the solver parks flows demanding a
+    // zero-capacity resource at rate 0 until capacity returns. Only
+    // negative or non-finite capacities are programming errors.
+    panic_if(capacity < 0.0 || !std::isfinite(capacity),
+             "resource %s capacity %g must be finite and >= 0",
              name_.c_str(), capacity);
     capacity_ = capacity;
 }
@@ -41,7 +46,7 @@ double
 FluidResource::utilization(Time now) const
 {
     const double window = now - windowStart_;
-    if (window <= 0.0)
+    if (window <= 0.0 || capacity_ <= 0.0)
         return 0.0;
     return totalServed_ / (capacity_ * window);
 }

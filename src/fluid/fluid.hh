@@ -65,7 +65,10 @@ class FluidResource
 
     /**
      * Change capacity (e.g., Gen3 -> Gen4 sweep); caller must notify the
-     * network via capacityChanged().
+     * network via capacityChanged(). Zero is legal — active flows
+     * demanding a zero-capacity resource are parked at rate 0 (no
+     * divide-by-zero, no NaN rates) until a later setCapacity +
+     * capacityChanged restores them. Negative or non-finite panics.
      */
     void setCapacity(Rate capacity);
 

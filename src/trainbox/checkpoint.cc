@@ -99,15 +99,17 @@ Checkpointer::maybeBegin(std::size_t step, std::function<void()> on_resume)
     if (!cfg.enabled)
         return false;
     const Time now = server_.eq.now();
-    if (now - lastResume_ < cfg.interval)
+    if (!force_ && now - lastResume_ < cfg.interval)
         return false;
     if (draining_) {
         // An async drain is still in flight; a second concurrent
         // snapshot would need a second buffer, so skip this boundary.
+        // A forced request stays pending for the next boundary.
         ++stats_.skipped;
         return false;
     }
 
+    force_ = false;
     draining_ = true;
     captureStep_ = step;
     captureTime_ = now;

@@ -169,6 +169,14 @@ class Checkpointer
     bool maybeBegin(std::size_t step, std::function<void()> onResume);
 
     /**
+     * Ask for a capture at the next step boundary regardless of the
+     * interval clock (a drain notice wants durable state before the
+     * member detaches). No-op when checkpointing is disabled; the
+     * request persists until a capture actually begins.
+     */
+    void requestCapture() { force_ = true; }
+
+    /**
      * A fatal crash at time @p now with @p currentStep steps
      * committed: aborts any in-flight capture (partial files are
      * useless), accounts the lost work, and returns the step to roll
@@ -210,6 +218,7 @@ class Checkpointer
     // durable state + the interval clock
     std::size_t durableStep_ = 0;
     Time lastResume_ = 0.0;
+    bool force_ = false; ///< requestCapture() pending
 
     // wall-time ledger: work after anchor_ is lost if a crash arrives
     // before the next durable commit; pauses already billed inside the

@@ -82,4 +82,27 @@ planRack(const std::vector<JobRequest> &jobs, std::size_t total_boxes,
     return plan;
 }
 
+double
+replanOffloadFraction(workload::ModelId model_id, std::size_t active_accs,
+                      std::size_t active_boxes, const BoxConfig &box,
+                      const sync::SyncConfig &sync_cfg)
+{
+    using namespace workload;
+
+    if (active_accs == 0 || active_boxes == 0)
+        return 0.0;
+
+    // Same math as planRack(), but the box count is the surviving
+    // membership rather than ceil(accs / accPerBox).
+    const ModelInfo &m = model(model_id);
+    const PrepDemand d = prepDemand(m.input);
+    const Rate demand = targetThroughput(m, active_accs, sync_cfg);
+    const Rate local = static_cast<double>(active_boxes) *
+                       static_cast<double>(box.prepPerBox) *
+                       d.fpgaChainRate;
+    if (demand <= local || demand <= 0.0)
+        return 0.0;
+    return (demand - local) / demand;
+}
+
 } // namespace tb

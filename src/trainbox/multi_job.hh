@@ -85,6 +85,20 @@ RackPlan planRack(const std::vector<JobRequest> &jobs,
                   std::size_t totalBoxes, const BoxConfig &box = {},
                   const sync::SyncConfig &sync_cfg = {});
 
+/**
+ * Re-plan prep lending for one job after a membership change: the
+ * offload fraction planRack() would assign a single job running
+ * @p activeAccs accelerators on @p activeBoxes surviving train boxes.
+ * TrainingSession calls this on every elastic group join/leave so prep
+ * offload tracks the *current* box count rather than the build-time
+ * one. Returns 0 for a zero-capacity interval.
+ */
+double replanOffloadFraction(workload::ModelId model,
+                             std::size_t activeAccs,
+                             std::size_t activeBoxes,
+                             const BoxConfig &box = {},
+                             const sync::SyncConfig &sync_cfg = {});
+
 } // namespace tb
 
 #endif // TRAINBOX_TRAINBOX_MULTI_JOB_HH

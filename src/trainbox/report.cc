@@ -130,7 +130,10 @@ classifyResource(const std::string &name)
 double
 SessionReport::computeGoodput(double throughput, double reference)
 {
-    return reference > 0.0 ? throughput / reference : 0.0;
+    // Clamped: a degraded run can never report more than the reference,
+    // and measurement noise must not push the fraction past 1.
+    return reference > 0.0 ? clamp(throughput / reference, 0.0, 1.0)
+                           : 0.0;
 }
 
 double
@@ -272,6 +275,25 @@ SessionReport::availability() const
         return 0.0;
     return clamp(1.0 - result.faults.degradedTime / result.wallTime,
                  0.0, 1.0);
+}
+
+double
+SessionReport::capacityAvailability() const
+{
+    if (result.wallTime <= 0.0)
+        return 0.0;
+    return clamp(1.0 - result.elasticity.degradedCapacityTime /
+                           result.wallTime,
+                 0.0, 1.0);
+}
+
+double
+SessionReport::sloAttainment() const
+{
+    const double target = result.elasticity.sloTargetSamplesPerSec;
+    if (target <= 0.0)
+        return 1.0;
+    return clamp(result.throughput / target, 0.0, 1.0);
 }
 
 double
@@ -465,6 +487,34 @@ SessionReport::toJson() const
            ", \"steps_lost\": " +
            jnum(double(result.checkpoint.stepsLost)) + "},\n";
 
+    const SessionResult::ElasticityStats &el = result.elasticity;
+    out += "  \"elasticity\": {\"events\": " + jnum(double(el.events)) +
+           ", \"drains\": " + jnum(double(el.drains)) +
+           ", \"preemptions\": " + jnum(double(el.preemptions)) +
+           ", \"joins\": " + jnum(double(el.joins)) +
+           ", \"chains_rebalanced\": " +
+           jnum(double(el.chainsRebalanced)) +
+           ", \"samples_lost_to_preemption\": " +
+           jnum(el.samplesLostToPreemption) +
+           ", \"samples_saved_by_drain\": " +
+           jnum(el.samplesSavedByDrain) +
+           ", \"samples_dropped_at_drain\": " +
+           jnum(el.samplesDroppedAtDrain) +
+           ", \"degraded_capacity_time_sec\": " +
+           jnum(el.degradedCapacityTime) +
+           ", \"zero_capacity_time_sec\": " + jnum(el.zeroCapacityTime) +
+           ", \"rebalance_time_sec\": " + jnum(el.rebalanceTime) +
+           ", \"avg_active_fraction\": " + jnum(el.avgActiveFraction) +
+           ", \"capacity_availability\": " +
+           jnum(capacityAvailability()) +
+           ", \"slo_target_samples_per_sec\": " +
+           jnum(el.sloTargetSamplesPerSec) +
+           ", \"slo_attainment\": " + jnum(sloAttainment()) +
+           ", \"ledger\": {\"prepared\": " + jnum(el.samplesPrepared) +
+           ", \"consumed\": " + jnum(el.samplesConsumed) +
+           ", \"cached_at_end\": " + jnum(el.samplesCachedAtEnd) +
+           ", \"discarded\": " + jnum(el.samplesDiscarded) + "}},\n";
+
     const SessionResult::IntegrityStats &integ = result.integrity;
     out += "  \"integrity\": {\"injected\": " +
            jnum(double(integ.injected)) +
@@ -572,6 +622,40 @@ SessionReport::toCsv() const
         row("rc_by_category", cat, jnum(v));
     row("robustness", "efficiency", jnum(efficiency()));
     row("robustness", "availability", jnum(availability()));
+    row("elasticity", "events", jnum(double(result.elasticity.events)));
+    row("elasticity", "drains", jnum(double(result.elasticity.drains)));
+    row("elasticity", "preemptions",
+        jnum(double(result.elasticity.preemptions)));
+    row("elasticity", "joins", jnum(double(result.elasticity.joins)));
+    row("elasticity", "chains_rebalanced",
+        jnum(double(result.elasticity.chainsRebalanced)));
+    row("elasticity", "samples_lost_to_preemption",
+        jnum(result.elasticity.samplesLostToPreemption));
+    row("elasticity", "samples_saved_by_drain",
+        jnum(result.elasticity.samplesSavedByDrain));
+    row("elasticity", "samples_dropped_at_drain",
+        jnum(result.elasticity.samplesDroppedAtDrain));
+    row("elasticity", "degraded_capacity_time_sec",
+        jnum(result.elasticity.degradedCapacityTime));
+    row("elasticity", "zero_capacity_time_sec",
+        jnum(result.elasticity.zeroCapacityTime));
+    row("elasticity", "rebalance_time_sec",
+        jnum(result.elasticity.rebalanceTime));
+    row("elasticity", "avg_active_fraction",
+        jnum(result.elasticity.avgActiveFraction));
+    row("elasticity", "capacity_availability",
+        jnum(capacityAvailability()));
+    row("elasticity", "slo_target_samples_per_sec",
+        jnum(result.elasticity.sloTargetSamplesPerSec));
+    row("elasticity", "slo_attainment", jnum(sloAttainment()));
+    row("sample_ledger", "prepared",
+        jnum(result.elasticity.samplesPrepared));
+    row("sample_ledger", "consumed",
+        jnum(result.elasticity.samplesConsumed));
+    row("sample_ledger", "cached_at_end",
+        jnum(result.elasticity.samplesCachedAtEnd));
+    row("sample_ledger", "discarded",
+        jnum(result.elasticity.samplesDiscarded));
     row("integrity", "injected", jnum(double(result.integrity.injected)));
     row("integrity", "detected", jnum(double(result.integrity.detected)));
     row("integrity", "escaped", jnum(double(result.integrity.escaped)));
@@ -659,6 +743,24 @@ SessionReport::print(std::FILE *out) const
                      efficiency(), availability(),
                      result.faults.faultsInjected,
                      result.checkpoint.committed);
+    if (result.elasticity.events > 0)
+        std::fprintf(out,
+                     "elasticity  events %zu (drains %zu, preemptions "
+                     "%zu, joins %zu) | capacity availability %.4f | "
+                     "avg active %.2f%% | slo attainment %.4f\n"
+                     "            samples lost %.0f, saved by drain "
+                     "%.0f, dropped at drain %.0f | rebalance %.2f s | "
+                     "zero-capacity %.2f s\n",
+                     result.elasticity.events, result.elasticity.drains,
+                     result.elasticity.preemptions,
+                     result.elasticity.joins, capacityAvailability(),
+                     100.0 * result.elasticity.avgActiveFraction,
+                     sloAttainment(),
+                     result.elasticity.samplesLostToPreemption,
+                     result.elasticity.samplesSavedByDrain,
+                     result.elasticity.samplesDroppedAtDrain,
+                     result.elasticity.rebalanceTime,
+                     result.elasticity.zeroCapacityTime);
     if (result.integrity.injected > 0)
         std::fprintf(out,
                      "integrity   injected %zu | detected %zu | escaped "

@@ -126,6 +126,10 @@ class SessionReport
         return result.integrity;
     }
     const CheckpointStats &checkpoint() const { return result.checkpoint; }
+    const SessionResult::ElasticityStats &elasticity() const
+    {
+        return result.elasticity;
+    }
 
     // --- functional prep-executor quarantine ---------------------------
     /**
@@ -149,7 +153,7 @@ class SessionReport
     /** Total quarantined items of the attached run. */
     std::size_t prepItemsQuarantined() const;
 
-    /** Throughput relative to a fault-free reference run. */
+    /** Throughput relative to a fault-free reference run, in [0, 1]. */
     double goodput(double referenceThroughput) const;
 
     /** Useful-time fraction under checkpoint/crash overheads. */
@@ -157,6 +161,16 @@ class SessionReport
 
     /** Fraction of wall time with no fault window open. */
     double availability() const;
+
+    /** Fraction of wall time at full group membership, in [0, 1]. */
+    double capacityAvailability() const;
+
+    /**
+     * Achieved / target samples-per-sec under the configured SLO floor
+     * (elasticity.sloTargetSamplesPerSec), capped at 1. 1.0 when no
+     * target is set.
+     */
+    double sloAttainment() const;
 
     // --- Fig 9: per-batch latency breakdown ----------------------------
     struct LatencyBreakdown

@@ -230,6 +230,13 @@ ServerConfig::withCheckpoint(const CheckpointConfig &c)
 }
 
 ServerConfig &
+ServerConfig::withElasticity(const ElasticityConfig &e)
+{
+    elasticity = e;
+    return *this;
+}
+
+ServerConfig &
 ServerConfig::withMetrics(bool on)
 {
     metricsEnabled = on;
@@ -254,6 +261,19 @@ fmt(const char *format, Args... args)
     char buf[256];
     std::snprintf(buf, sizeof(buf), format, args...);
     return buf;
+}
+
+/** Elastic leave classes: sane arrival rate and time-away length. */
+std::string
+checkElasticClass(const char *name, const ElasticClassConfig &cc)
+{
+    if (cc.ratePerSec < 0.0)
+        return fmt("elasticity.%s.ratePerSec must be >= 0, got %g", name,
+                   cc.ratePerSec);
+    if (cc.ratePerSec > 0.0 && cc.absence < 0.0)
+        return fmt("elasticity.%s.absence must be >= 0, got %g", name,
+                   cc.absence);
+    return "";
 }
 
 /** Windowed-fault classes must have windows that end after they start. */
@@ -361,6 +381,57 @@ ServerConfig::validate() const
         if (checkpoint.snapshotBandwidth <= 0.0)
             return fmt("checkpoint.snapshotBandwidth must be > 0, got %g",
                        checkpoint.snapshotBandwidth);
+    }
+
+    if (elasticity.graceWindow < 0.0)
+        return fmt("elasticity.graceWindow must be >= 0, got %g",
+                   elasticity.graceWindow);
+    if (elasticity.rejoinLatency < 0.0)
+        return fmt("elasticity.rejoinLatency must be >= 0, got %g",
+                   elasticity.rejoinLatency);
+    if (elasticity.sloTargetSamplesPerSec < 0.0)
+        return fmt("elasticity.sloTargetSamplesPerSec must be >= 0, "
+                   "got %g",
+                   elasticity.sloTargetSamplesPerSec);
+    if (elasticity.scaleUpTime < 0.0)
+        return fmt("elasticity.scaleUpTime must be >= 0, got %g",
+                   elasticity.scaleUpTime);
+    if (!(err = checkElasticClass("groupDrain", elasticity.groupDrain))
+             .empty())
+        return err;
+    if (!(err = checkElasticClass("groupPreempt",
+                                  elasticity.groupPreempt))
+             .empty())
+        return err;
+    if (!(err = checkElasticClass("prepDrain", elasticity.prepDrain))
+             .empty())
+        return err;
+    if (!(err = checkElasticClass("prepPreempt", elasticity.prepPreempt))
+             .empty())
+        return err;
+    const std::size_t numGroups =
+        (numAccelerators + box.accPerBox - 1) / box.accPerBox;
+    if (elasticity.deferredJoinGroups > 0 &&
+        elasticity.deferredJoinGroups >= numGroups)
+        return fmt("elasticity.deferredJoinGroups (%zu) must leave at "
+                   "least one of the %zu groups active at start",
+                   elasticity.deferredJoinGroups, numGroups);
+    Time prevAt = 0.0;
+    for (std::size_t i = 0; i < elasticity.schedule.size(); ++i) {
+        const ElasticEvent &ev = elasticity.schedule[i];
+        if (ev.at < 0.0)
+            return fmt("elasticity.schedule[%zu].at must be >= 0, got %g",
+                       i, ev.at);
+        if (ev.at < prevAt)
+            return fmt("elasticity.schedule must be ordered by time: "
+                       "event %zu at %g precedes event %zu at %g",
+                       i, ev.at, i - 1, prevAt);
+        prevAt = ev.at;
+        if (ev.index >= numGroups)
+            return fmt("elasticity.schedule[%zu] targets %s %zu but the "
+                       "topology has only %zu groups",
+                       i, elasticTargetKindName(ev.target), ev.index,
+                       numGroups);
     }
     return "";
 }

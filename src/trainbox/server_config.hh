@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/elastic_schedule.hh"
 #include "sim/fault_injector.hh"
 #include "sync/sync_model.hh"
 #include "trainbox/checkpoint.hh"
@@ -154,6 +155,16 @@ struct ServerConfig
     CheckpointConfig checkpoint;
 
     /**
+     * Elastic-capacity scenario: planned drains, spot-style
+     * preemptions, and mid-session joins of train-box groups and prep
+     * FPGAs (docs/ROBUSTNESS.md, "Elastic capacity & graceful
+     * degradation"). Disabled by default; when disabled the session
+     * takes exactly the fixed-membership path (results are
+     * bit-identical to a build without the subsystem).
+     */
+    ElasticityConfig elasticity;
+
+    /**
      * Record metrics during the run: per-resource utilization
      * histograms in the fluid solver plus session compute/sync busy
      * counters, surfaced through SessionReport (docs/OBSERVABILITY.md).
@@ -204,6 +215,7 @@ struct ServerConfig
     ServerConfig &withSync(const sync::SyncConfig &s);
     ServerConfig &withFaults(const FaultConfig &f);
     ServerConfig &withCheckpoint(const CheckpointConfig &c);
+    ServerConfig &withElasticity(const ElasticityConfig &e);
     ServerConfig &withMetrics(bool on = true);
 
     /** Resolved per-accelerator batch size. */

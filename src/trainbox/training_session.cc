@@ -1,9 +1,12 @@
 #include "trainbox/training_session.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "trainbox/multi_job.hh"
 #include "trainbox/report.hh"
 
 namespace tb {
@@ -104,7 +107,9 @@ void
 TrainingSession::launchPrep(std::size_t g)
 {
     GroupState &gs = groups_[g];
-    if (done_ || down_)
+    // Draining groups finish what is in flight but stop topping up the
+    // window; detached/joining groups prep nothing.
+    if (done_ || down_ || gs.membership != Membership::Active)
         return;
     const double batch = groupBatchSamples(g);
     const double chunk = batch / static_cast<double>(chunksPerBatch());
@@ -120,9 +125,10 @@ TrainingSession::launchPrep(std::size_t g)
     FluidNetwork::FlowBatch launchBatch(server_.net);
     while (gs.readySamples + gs.inFlightSamples < window - 1e-6) {
         gs.inFlightSamples += chunk;
-        if (fault_) {
-            // Tracked chains so faults can cancel and re-dispatch them;
-            // a crashed FPGA's share shifts onto the prep-pool.
+        if (fault_ || elastic_) {
+            // Tracked chains so faults and membership changes can
+            // cancel and re-dispatch them; a crashed or departed FPGA's
+            // share shifts onto the prep-pool.
             const double fe = effectiveOffload(g);
             const double local = chunk * (1.0 - fe);
             if (local > 0.0)
@@ -154,6 +160,9 @@ TrainingSession::onChainDone(std::size_t g, double samples,
     GroupState &gs = groups_[g];
     gs.inFlightSamples -= samples;
     gs.readySamples += samples;
+    samplesPrepared_ += samples;
+    if (elastic_ && gs.membership == Membership::Draining)
+        elasticStats_.samplesSavedByDrain += samples;
     if (measuring()) {
         prepLatencySum_ += server_.eq.now() - chain_start;
         ++prepLatencyCount_;
@@ -171,21 +180,33 @@ TrainingSession::onChainDone(std::size_t g, double samples,
 // recovery template. The fault-free path above never allocates any of
 // this.
 
+/**
+ * Is the group's last prep FPGA out of service for *routing* purposes?
+ * A fault crash routes around it only under the poolFailover policy; an
+ * elastic leave is known membership change and always routes around it.
+ */
+bool
+TrainingSession::prepOut(const GroupState &gs) const
+{
+    return gs.prepElasticOut ||
+           (gs.prepDegraded && fault_ && fault_->config().poolFailover);
+}
+
 const std::vector<StageTemplate> &
 TrainingSession::selectStages(const ChainRun &run) const
 {
     const GroupState &gs = groups_[run.group];
     const PrepGroup &spec = *gs.spec;
     if (run.offload) {
-        if (gs.prepDegraded && !spec.degradedOffloadStages.empty())
+        if ((gs.prepDegraded || gs.prepElasticOut) &&
+            !spec.degradedOffloadStages.empty())
             return spec.degradedOffloadStages;
         return spec.offloadStages;
     }
-    if (gs.routeLost && fault_->config().hostFallback &&
+    if (gs.routeLost && fault_ && fault_->config().hostFallback &&
         !spec.hostPathStages.empty())
         return spec.hostPathStages;
-    if (gs.prepDegraded && fault_->config().poolFailover &&
-        !spec.degradedStages.empty())
+    if (prepOut(gs) && !spec.degradedStages.empty())
         return spec.degradedStages;
     return spec.stages;
 }
@@ -194,9 +215,11 @@ double
 TrainingSession::effectiveOffload(std::size_t g) const
 {
     const GroupState &gs = groups_[g];
-    const double f = gs.spec->offloadFraction;
-    if (!gs.prepDegraded || !fault_->config().poolFailover ||
-        gs.spec->offloadStages.empty())
+    // A membership change re-plans the offload split (replanOffload());
+    // the build-time fraction applies until the first change.
+    const double f = gs.offloadOverride >= 0.0 ? gs.offloadOverride
+                                               : gs.spec->offloadFraction;
+    if (!prepOut(gs) || gs.spec->offloadStages.empty())
         return f;
     if (gs.spec->degradedStages.empty())
         return 1.0; // no surviving FPGA: the pool takes the whole chunk
@@ -279,6 +302,8 @@ TrainingSession::startChainStage(std::uint64_t cid, std::size_t idx)
 bool
 TrainingSession::handleReadFailure(std::uint64_t cid, std::size_t idx)
 {
+    if (!fault_) // tracked chains exist under elasticity alone
+        return false;
     ChainRun &run = chains_.find(cid)->second;
     const FaultConfig &fc = fault_->config();
     if (fc.ssdReadFailureProb <= 0.0 || !fault_->ssdReadAttemptFails()) {
@@ -348,6 +373,8 @@ TrainingSession::chainVerifiesFrom(const ChainRun &run, std::size_t idx)
 bool
 TrainingSession::handleCorruption(std::uint64_t cid, std::size_t idx)
 {
+    if (!fault_) // tracked chains exist under elasticity alone
+        return false;
     ChainRun &run = chains_.find(cid)->second;
     const StageTemplate &st = (*run.stages)[idx];
     const FaultConfig &fc = fault_->config();
@@ -436,9 +463,10 @@ TrainingSession::handleCorruption(std::uint64_t cid, std::size_t idx)
     return false;
 }
 
-void
+std::size_t
 TrainingSession::redispatchLocalChains(std::size_t g)
 {
+    std::size_t redispatched = 0;
     for (auto &[cid, run] : chains_) {
         if (run.group != g || run.offload)
             continue;
@@ -452,7 +480,9 @@ TrainingSession::redispatchLocalChains(std::size_t g)
         run.recoveries = 0;
         ++run.epoch;
         startChainStage(cid, 0);
+        ++redispatched;
     }
+    return redispatched;
 }
 
 void
@@ -508,8 +538,14 @@ TrainingSession::onRepair(const FaultEvent &ev)
         GroupState &gs = groups_[ev.target];
         if (gs.spec->preps.empty())
             break;
-        gs.spec->preps.back()->setFailed(false);
         gs.prepDegraded = false;
+        // The FPGA only powers back up when no elastic leave holds it
+        // away and the group itself is attached (a detached group's
+        // devices return at its join).
+        if (!gs.prepElasticOut &&
+            gs.membership != Membership::Detached &&
+            gs.membership != Membership::Joining)
+            gs.spec->preps.back()->setFailed(false);
         // In-flight degraded chains finish where they are; chains
         // launched from now on use the healthy templates again.
         break;
@@ -551,13 +587,14 @@ TrainingSession::onFatalCrash(const FaultEvent &)
         if (gs.computeEv.valid())
             server_.eq.cancel(gs.computeEv);
         gs.computing = false;
+        samplesDiscarded_ += gs.readySamples;
         gs.readySamples = 0.0;
         gs.inFlightSamples = 0.0;
         gs.stepsComputed = durable;
     }
     if (syncEv_.valid())
         server_.eq.cancel(syncEv_);
-    barrier_ = 0;
+    stepSamples_ = 0.0;
     syncedSteps_ = durable;
     pausedForCkpt_ = false;
     down_ = true;
@@ -576,15 +613,307 @@ TrainingSession::onFatalCrash(const FaultEvent &)
     });
 }
 
+// --- elastic-capacity path -----------------------------------------------
+//
+// Membership changes arrive from the ElasticScheduler (plus the deferred
+// scale-up joins). The state machine lives on GroupState::membership;
+// transitions that no longer apply (e.g. a drain for a group a preempt
+// already removed) are dropped here. Device capacity changes go through
+// setFailed -> capacityChanged inside a FlowBatch, so the fluid re-solve
+// stays component-local and runs once per transition.
+
+void
+TrainingSession::accrueCapacity()
+{
+    if (!elastic_)
+        return;
+    const Time now = server_.eq.now();
+    const Time dt = now - lastCapacityMark_;
+    lastCapacityMark_ = now;
+    if (dt <= 0.0 || groups_.empty())
+        return;
+    activeFractionIntegral_ += dt * static_cast<double>(activeGroups_) /
+                               static_cast<double>(groups_.size());
+    if (activeGroups_ < groups_.size())
+        elasticStats_.degradedCapacityTime += dt;
+    if (activeGroups_ == 0)
+        elasticStats_.zeroCapacityTime += dt;
+}
+
+void
+TrainingSession::replanOffload()
+{
+    if (!elastic_ || !server_.cfg.elasticity.replanOffload ||
+        !server_.pool)
+        return;
+    // Re-run the multi-job lending math for the surviving membership:
+    // each attached group is one train box worth of local FPGA capacity.
+    std::size_t accs = 0;
+    std::size_t boxes = 0;
+    for (const GroupState &gs : groups_) {
+        if (gs.membership != Membership::Active &&
+            gs.membership != Membership::Draining)
+            continue;
+        accs += gs.spec->numAccelerators;
+        ++boxes;
+    }
+    const double f = replanOffloadFraction(
+        server_.cfg.model, accs, boxes, server_.cfg.box, server_.cfg.sync);
+    for (GroupState &gs : groups_)
+        if (!gs.spec->offloadStages.empty())
+            gs.offloadOverride = f;
+}
+
+void
+TrainingSession::onElasticEvent(const ElasticEvent &ev)
+{
+    if (done_ || ev.index >= groups_.size())
+        return;
+    if (trace_)
+        trace_->instant("elastic",
+                        std::string(elasticTargetKindName(ev.target)) +
+                            "_" + elasticActionName(ev.action),
+                        server_.eq.now(), "elastic");
+    if (ev.target == ElasticTargetKind::Group) {
+        switch (ev.action) {
+          case ElasticAction::Drain:
+            beginGroupDrain(ev.index);
+            break;
+          case ElasticAction::Preempt:
+            preemptGroup(ev.index);
+            break;
+          case ElasticAction::Join:
+            beginGroupJoin(ev.index);
+            break;
+        }
+    } else {
+        switch (ev.action) {
+          case ElasticAction::Drain:
+            onPrepLeave(ev.index, /*planned=*/true);
+            break;
+          case ElasticAction::Preempt:
+            onPrepLeave(ev.index, /*planned=*/false);
+            break;
+          case ElasticAction::Join:
+            onPrepJoin(ev.index);
+            break;
+        }
+    }
+}
+
+void
+TrainingSession::beginGroupDrain(std::size_t g)
+{
+    GroupState &gs = groups_[g];
+    if (gs.membership != Membership::Active)
+        return;
+    gs.membership = Membership::Draining;
+    ++elasticStats_.drains;
+    // Checkpoint-coordinated drain: durable state at the next step
+    // boundary, so the detach loses buffered samples but never steps.
+    if (ckpt_)
+        ckpt_->requestCapture();
+    gs.detachEv = server_.eq.scheduleIn(
+        server_.cfg.elasticity.graceWindow, [this, g] {
+            groups_[g].detachEv.invalidate();
+            detachGroup(g, /*preempted=*/false);
+        });
+}
+
+void
+TrainingSession::preemptGroup(std::size_t g)
+{
+    GroupState &gs = groups_[g];
+    switch (gs.membership) {
+      case Membership::Detached:
+        return; // already gone
+      case Membership::Joining:
+        // Preempted before the attach finished: the join is void.
+        server_.eq.cancel(gs.joinEv);
+        gs.joinEv.invalidate();
+        gs.membership = Membership::Detached;
+        ++elasticStats_.preemptions;
+        return;
+      case Membership::Draining:
+        // Escalation: the grace window is cut short.
+        server_.eq.cancel(gs.detachEv);
+        gs.detachEv.invalidate();
+        break;
+      case Membership::Active:
+        break;
+    }
+    ++elasticStats_.preemptions;
+    detachGroup(g, /*preempted=*/true);
+}
+
+void
+TrainingSession::detachGroup(std::size_t g, bool preempted)
+{
+    GroupState &gs = groups_[g];
+    if (gs.membership == Membership::Detached)
+        return;
+    {
+        FluidNetwork::FlowBatch batch(server_.net);
+        // In-flight prep chains die with the member.
+        for (auto it = chains_.begin(); it != chains_.end();) {
+            if (it->second.group != g) {
+                ++it;
+                continue;
+            }
+            if (it->second.flow != 0)
+                server_.net.cancelFlow(it->second.flow);
+            it = chains_.erase(it);
+        }
+        gs.inFlightSamples = 0.0;
+        // Buffered prepared samples are discarded: the data shard moves
+        // to the survivors, who re-read it from storage.
+        samplesDiscarded_ += gs.readySamples;
+        double lost = gs.readySamples;
+        gs.readySamples = 0.0;
+        if (gs.computeEv.valid()) {
+            server_.eq.cancel(gs.computeEv);
+            gs.computeEv.invalidate();
+            lost += groupBatchSamples(g); // aborted mid-step batch
+        }
+        gs.computing = false;
+        if (preempted)
+            elasticStats_.samplesLostToPreemption += lost;
+        else
+            elasticStats_.samplesDroppedAtDrain += lost;
+        for (PrepAccelerator *p : gs.spec->preps)
+            p->setFailed(true);
+    }
+    accrueCapacity();
+    gs.membership = Membership::Detached;
+    --activeGroups_;
+    replanOffload();
+    // The detach may complete the step the survivors were waiting on.
+    stepComplete();
+}
+
+void
+TrainingSession::beginGroupJoin(std::size_t g)
+{
+    GroupState &gs = groups_[g];
+    if (gs.membership == Membership::Draining) {
+        // Capacity returns before the grace window ends: cancel the
+        // drain and keep the member (nothing was torn down yet).
+        server_.eq.cancel(gs.detachEv);
+        gs.detachEv.invalidate();
+        gs.membership = Membership::Active;
+        launchPrep(g);
+        return;
+    }
+    if (gs.membership != Membership::Detached)
+        return; // already attached or attaching
+    gs.membership = Membership::Joining;
+    gs.joinEv = server_.eq.scheduleIn(
+        server_.cfg.elasticity.rejoinLatency,
+        [this, g] {
+            groups_[g].joinEv.invalidate();
+            completeJoin(g);
+        });
+}
+
+void
+TrainingSession::completeJoin(std::size_t g)
+{
+    if (done_)
+        return;
+    GroupState &gs = groups_[g];
+    accrueCapacity();
+    gs.membership = Membership::Active;
+    ++activeGroups_;
+    ++elasticStats_.joins;
+    elasticStats_.rebalanceTime += server_.cfg.elasticity.rejoinLatency;
+    // Data-shard rebalance: the joiner picks up at the current global
+    // step (or the next one when its sync is already in flight).
+    gs.stepsComputed = syncedSteps_ + (syncEv_.valid() ? 1 : 0);
+    {
+        FluidNetwork::FlowBatch batch(server_.net);
+        // Its devices power back up — except the last FPGA while a
+        // fault window or an elastic prep leave still holds it down.
+        const auto &preps = gs.spec->preps;
+        for (std::size_t i = 0; i < preps.size(); ++i) {
+            const bool keep_failed = i + 1 == preps.size() &&
+                                     (gs.prepDegraded || gs.prepElasticOut);
+            preps[i]->setFailed(keep_failed);
+        }
+    }
+    replanOffload();
+    launchPrep(g);
+    tryStartCompute(g);
+}
+
+void
+TrainingSession::onPrepLeave(std::size_t g, bool planned)
+{
+    GroupState &gs = groups_[g];
+    if (gs.spec->preps.empty() ||
+        gs.membership == Membership::Detached ||
+        gs.membership == Membership::Joining)
+        return; // the whole group is away; its join restores the FPGA
+    if (planned) {
+        if (gs.prepElasticOut)
+            return; // one elastic prep leave at a time per group
+        gs.prepElasticOut = true;
+        ++elasticStats_.drains;
+        // Grace: new chains avoid the leaving FPGA immediately (the
+        // degraded templates stripe over the survivors); work already
+        // on it may finish until the detach instant.
+        const std::uint64_t epoch = ++gs.prepEpoch;
+        server_.eq.scheduleIn(server_.cfg.elasticity.graceWindow,
+                              [this, g, epoch] {
+            GroupState &gs = groups_[g];
+            if (done_ || gs.prepEpoch != epoch || !gs.prepElasticOut ||
+                gs.membership == Membership::Detached ||
+                gs.membership == Membership::Joining)
+                return;
+            gs.spec->preps.back()->setFailed(true);
+            elasticStats_.chainsRebalanced += redispatchLocalChains(g);
+        });
+        return;
+    }
+    // Hard preemption: gone now, in-flight work re-dispatches (the
+    // same crash path a PrepCrash fault takes).
+    ++gs.prepEpoch; // stales a pending drain detach, if any
+    gs.prepElasticOut = true;
+    ++elasticStats_.preemptions;
+    gs.spec->preps.back()->setFailed(true);
+    elasticStats_.chainsRebalanced += redispatchLocalChains(g);
+}
+
+void
+TrainingSession::onPrepJoin(std::size_t g)
+{
+    GroupState &gs = groups_[g];
+    if (gs.spec->preps.empty() || !gs.prepElasticOut)
+        return;
+    ++gs.prepEpoch; // stales a pending drain detach, if any
+    gs.prepElasticOut = false;
+    ++elasticStats_.joins;
+    if (gs.membership == Membership::Detached ||
+        gs.membership == Membership::Joining)
+        return; // completeJoin powers the FPGA up with the group
+    // Back in service unless a fault window still holds it down.
+    if (!gs.prepDegraded)
+        gs.spec->preps.back()->setFailed(false);
+    // In-flight degraded chains finish where they are; new chains use
+    // the healthy templates again.
+}
+
 void
 TrainingSession::tryStartCompute(std::size_t g)
 {
     GroupState &gs = groups_[g];
     if (done_ || down_ || pausedForCkpt_ || gs.computing ||
+        gs.membership == Membership::Detached ||
+        gs.membership == Membership::Joining ||
         gs.readySamples + 1e-6 < groupBatchSamples(g) ||
         gs.stepsComputed != syncedSteps_)
         return;
     gs.readySamples -= groupBatchSamples(g);
+    samplesConsumed_ += groupBatchSamples(g);
     gs.computing = true;
     const Time start = server_.eq.now();
     Time duration = server_.computeTime();
@@ -627,25 +956,65 @@ TrainingSession::onComputeDone(std::size_t g)
     GroupState &gs = groups_[g];
     gs.computing = false;
     ++gs.stepsComputed;
-    if (++barrier_ == groups_.size()) {
-        barrier_ = 0;
-        const Time start = server_.eq.now();
-        syncEv_ = server_.eq.scheduleIn(server_.syncTime(), [this, start] {
-            syncEv_.invalidate();
-            if (syncBusyCtr_ && measuring())
-                syncBusyCtr_->add(server_.eq.now() - start);
-            if (trace_)
-                trace_->complete("sync", "ring_allreduce", start,
-                                 server_.eq.now() - start, "sync");
-            onSyncDone();
-        });
+    // Count the batch toward the step it synchronizes with; a joiner
+    // finishing a step whose sync already fired contributes nothing
+    // (it recomputes the current step with the re-sharded data).
+    if (elastic_ && gs.stepsComputed == syncedSteps_ + 1)
+        stepSamples_ += groupBatchSamples(g);
+    stepComplete();
+}
+
+/**
+ * The step barrier: fire the global sync once every attached
+ * (Active/Draining) group has computed past syncedSteps_. With fixed
+ * membership this is exactly the classic counting barrier — the last
+ * compute of the step triggers the scan that passes — so results are
+ * bit-identical. Under elasticity it additionally fires when a detach
+ * removes the group the survivors were waiting on, and deliberately
+ * never fires at zero capacity (the session parks until a join).
+ */
+void
+TrainingSession::stepComplete()
+{
+    if (done_ || down_ || pausedForCkpt_ || syncEv_.valid())
+        return;
+    std::size_t attached = 0;
+    for (const GroupState &gs : groups_) {
+        if (gs.membership != Membership::Active &&
+            gs.membership != Membership::Draining)
+            continue;
+        ++attached;
+        if (gs.stepsComputed <= syncedSteps_)
+            return;
     }
+    if (attached == 0)
+        return; // zero capacity: park until a join restores a group
+    const Time start = server_.eq.now();
+    syncEv_ = server_.eq.scheduleIn(server_.syncTime(), [this, start] {
+        syncEv_.invalidate();
+        if (syncBusyCtr_ && measuring())
+            syncBusyCtr_->add(server_.eq.now() - start);
+        if (trace_)
+            trace_->complete("sync", "ring_allreduce", start,
+                             server_.eq.now() - start, "sync");
+        onSyncDone();
+    });
 }
 
 void
 TrainingSession::onSyncDone()
 {
     ++syncedSteps_;
+    if (elastic_) {
+        // Commit each step index once: a crash rollback replays steps
+        // the ledger already counted, so recommit nothing on replay.
+        if (syncedSteps_ > maxSyncedStep_) {
+            maxSyncedStep_ = syncedSteps_;
+            if (syncedSteps_ > warmupSteps_)
+                measuredSamples_ += stepSamples_;
+        }
+        stepSamples_ = 0.0;
+    }
     if (stepsCtr_ && syncedSteps_ > warmupSteps_)
         stepsCtr_->inc();
     // The window opens at the *first* warmup crossing only: a crash
@@ -684,6 +1053,9 @@ TrainingSession::onCheckpointResume()
         return;
     for (std::size_t g = 0; g < groups_.size(); ++g)
         tryStartCompute(g);
+    // A membership change during the pause may have already completed
+    // the step (no-op with fixed membership: some group is computing).
+    stepComplete();
 }
 
 SessionResult
@@ -726,6 +1098,32 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
          server_.cfg.faults.fatalCrash.ratePerSec > 0.0))
         ckpt_ = std::make_unique<Checkpointer>(server_, trace_);
 
+    activeGroups_ = groups_.size();
+    if (server_.cfg.elasticity.enabled) {
+        ElasticTargets etargets;
+        etargets.numGroups = groups_.size();
+        elastic_ = std::make_unique<ElasticScheduler>(
+            server_.cfg.elasticity, etargets);
+        // Mid-session scale-up: the deferred groups start detached and
+        // receive a Join event at scaleUpTime.
+        std::size_t defer = server_.cfg.elasticity.deferredJoinGroups;
+        if (!groups_.empty())
+            defer = std::min(defer, groups_.size() - 1);
+        for (std::size_t i = 0; i < defer; ++i) {
+            GroupState &gs = groups_[groups_.size() - 1 - i];
+            gs.membership = Membership::Detached;
+            for (PrepAccelerator *p : gs.spec->preps)
+                p->setFailed(true);
+            --activeGroups_;
+        }
+        lastCapacityMark_ = server_.eq.now();
+        if (defer > 0)
+            replanOffload();
+        elastic_->arm(server_.eq, [this](const ElasticEvent &ev) {
+            onElasticEvent(ev);
+        });
+    }
+
     for (std::size_t g = 0; g < groups_.size(); ++g)
         launchPrep(g);
 
@@ -747,9 +1145,16 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     res.stepTime = elapsed / static_cast<double>(measure);
     res.computeTime = server_.computeTime();
     res.syncTime = server_.syncTime();
-    res.throughput = static_cast<double>(server_.cfg.numAccelerators) *
-                     static_cast<double>(server_.batchSize()) *
-                     static_cast<double>(measure) / elapsed;
+    if (elastic_) {
+        // Membership varied: count what detached-aware steps actually
+        // synchronized (equals the closed form when no event fired).
+        res.throughput = measuredSamples_ / elapsed;
+    } else {
+        res.throughput =
+            static_cast<double>(server_.cfg.numAccelerators) *
+            static_cast<double>(server_.batchSize()) *
+            static_cast<double>(measure) / elapsed;
+    }
 
     for (const auto &[name, sum] : stageTimeSum_)
         res.prepStageTime[name] =
@@ -794,6 +1199,34 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     res.wallTime = windowEnd_;
     if (ckpt_)
         res.checkpoint = ckpt_->stats();
+
+    // The sample ledger is always tracked; its conservation identity is
+    // the chaos harness's backbone, so panic instead of misreporting.
+    double cached = 0.0;
+    for (const GroupState &gs : groups_)
+        cached += gs.readySamples;
+    elasticStats_.samplesPrepared = samplesPrepared_;
+    elasticStats_.samplesConsumed = samplesConsumed_;
+    elasticStats_.samplesCachedAtEnd = cached;
+    elasticStats_.samplesDiscarded = samplesDiscarded_;
+    const double ledger_gap =
+        samplesPrepared_ - (samplesConsumed_ + cached + samplesDiscarded_);
+    panic_if(std::fabs(ledger_gap) >
+                 1e-6 * std::max(1.0, samplesPrepared_),
+             "sample ledger violated: prepared %g != consumed %g + "
+             "cached %g + discarded %g",
+             samplesPrepared_, samplesConsumed_, cached,
+             samplesDiscarded_);
+    if (elastic_) {
+        accrueCapacity();
+        elasticStats_.events = elastic_->eventsDelivered();
+        const Time total = server_.eq.now();
+        elasticStats_.avgActiveFraction =
+            total > 0.0 ? activeFractionIntegral_ / total : 1.0;
+        elasticStats_.sloTargetSamplesPerSec =
+            server_.cfg.elasticity.sloTargetSamplesPerSec;
+    }
+    res.elasticity = elasticStats_;
 
     // The trace writer is borrowed; drop it so a writer destroyed after
     // run() can never be reached through this session.

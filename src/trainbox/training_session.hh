@@ -28,6 +28,17 @@
  * back to the last durable checkpoint, replay the lost steps, and pay a
  * restart latency. The same bit-identical guarantee applies: with
  * checkpointing disabled the session never touches the subsystem.
+ *
+ * When ServerConfig::elasticity.enabled is set an ElasticScheduler
+ * (sim/elastic_schedule.hh) drives a membership state machine over the
+ * prep groups: planned drains get a grace window and a checkpoint-
+ * coordinated detach, spot-style preemptions kill the member (and its
+ * buffered samples) at the event instant, and joins re-shard the data
+ * and re-plan prep lending through multi_job. The step barrier becomes
+ * a scan over attached groups, so training proceeds at degraded
+ * capacity and parks (without deadlock) at zero capacity. With
+ * elasticity disabled the membership never changes and results are
+ * bit-identical to a build without the subsystem.
  */
 
 #ifndef TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
@@ -40,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/elastic_schedule.hh"
 #include "sim/fault_injector.hh"
 #include "sim/trace.hh"
 #include "trainbox/checkpoint.hh"
@@ -139,6 +151,53 @@ struct SessionResult
     /** Checkpoint/restore counters (all zero when disabled). */
     CheckpointStats checkpoint;
 
+    /**
+     * Elastic-capacity counters plus the session-wide sample ledger.
+     * The event counters are all zero when elasticity is disabled; the
+     * ledger (samplesPrepared/Consumed/CachedAtEnd/Discarded) is always
+     * tracked, and its conservation identity
+     *
+     *   prepared == consumed + cachedAtEnd + discarded
+     *
+     * is panic-checked at the end of every run (in-flight chains that
+     * were cancelled never became "prepared", so they are outside the
+     * ledger by construction).
+     */
+    struct ElasticityStats
+    {
+        std::size_t events = 0;      ///< elastic events delivered
+        std::size_t drains = 0;      ///< planned-leave notices applied
+        std::size_t preemptions = 0; ///< hard leaves applied
+        std::size_t joins = 0;       ///< members (re)activated
+        std::size_t chainsRebalanced = 0; ///< chains re-dispatched
+
+        /** Ready + aborted-compute samples killed by hard preemption. */
+        double samplesLostToPreemption = 0.0;
+
+        /** Samples whose prep finished inside a drain grace window. */
+        double samplesSavedByDrain = 0.0;
+
+        /** Buffered samples discarded at a planned detach. */
+        double samplesDroppedAtDrain = 0.0;
+
+        Time degradedCapacityTime = 0.0; ///< wall time below full groups
+        Time zeroCapacityTime = 0.0;     ///< wall time with zero groups
+        Time rebalanceTime = 0.0;        ///< rejoin/shard-reassign time
+
+        /** Time-weighted mean of activeGroups / totalGroups. */
+        double avgActiveFraction = 1.0;
+
+        /** Config echo (SessionReport::sloAttainment()). */
+        double sloTargetSamplesPerSec = 0.0;
+
+        // --- sample ledger (always tracked) --------------------------
+        double samplesPrepared = 0.0;    ///< prep chains completed
+        double samplesConsumed = 0.0;    ///< taken by compute starts
+        double samplesCachedAtEnd = 0.0; ///< still buffered at run end
+        double samplesDiscarded = 0.0;   ///< dropped (crash or detach)
+    };
+    ElasticityStats elasticity;
+
     /** Total simulated wall time of the run (start to last sync). */
     Time wallTime = 0.0;
 
@@ -206,6 +265,24 @@ class TrainingSession
     void setTrace(TraceWriter *trace) { trace_ = trace; }
 
   private:
+    /**
+     * Elastic membership of one prep group (docs/ROBUSTNESS.md). All
+     * groups stay Active for the whole run unless elasticity is
+     * enabled; the transitions are
+     *
+     *   Active --drain notice--> Draining --grace end--> Detached
+     *   Active/Draining --preempt--> Detached
+     *   Detached --join--> Joining --rejoinLatency--> Active
+     *   Draining --join--> Active (drain cancelled)
+     */
+    enum class Membership
+    {
+        Active,   ///< computing and prepping normally
+        Draining, ///< drain notice received; finishes, no new prep
+        Detached, ///< out of the job; devices parked, barrier skips it
+        Joining,  ///< attach in progress (rejoinLatency)
+    };
+
     struct GroupState
     {
         const PrepGroup *spec;
@@ -216,11 +293,19 @@ class TrainingSession
         bool prepDegraded = false; ///< its prep FPGA is currently down
         bool routeLost = false;    ///< its P2P route is currently down
         EventId computeEv{};       ///< pending compute completion
+
+        // --- elastic membership (Active forever when disabled) -------
+        Membership membership = Membership::Active;
+        bool prepElasticOut = false; ///< one FPGA elastically away
+        std::uint64_t prepEpoch = 0; ///< stales pending prep detaches
+        double offloadOverride = -1.0; ///< re-planned offload (<0: spec)
+        EventId detachEv{};            ///< pending grace-window end
+        EventId joinEv{};              ///< pending rejoin completion
         // Per in-flight chain bookkeeping is closure-captured
         // (fault-free) or held in ChainRun records (fault injection).
     };
 
-    /** One in-flight prep chain (tracked only under fault injection). */
+    /** One in-flight prep chain (tracked under faults or elasticity). */
     struct ChainRun
     {
         std::size_t group = 0;
@@ -258,7 +343,20 @@ class TrainingSession
     double groupBatchSamples(std::size_t g) const;
     void tryStartCompute(std::size_t g);
     void onComputeDone(std::size_t g);
+    void stepComplete();
     void onSyncDone();
+
+    // --- elastic-capacity path (never reached when elastic_ is null) -
+    void onElasticEvent(const ElasticEvent &ev);
+    void beginGroupDrain(std::size_t g);
+    void preemptGroup(std::size_t g);
+    void beginGroupJoin(std::size_t g);
+    void completeJoin(std::size_t g);
+    void detachGroup(std::size_t g, bool preempted);
+    void onPrepLeave(std::size_t g, bool planned);
+    void onPrepJoin(std::size_t g);
+    void replanOffload();
+    void accrueCapacity();
 
     // --- fault-injection path (never reached when fault_ is null) ----
     void onFault(const FaultEvent &ev);
@@ -270,10 +368,11 @@ class TrainingSession
     bool handleReadFailure(std::uint64_t cid, std::size_t idx);
     bool handleCorruption(std::uint64_t cid, std::size_t idx);
     static bool chainVerifiesFrom(const ChainRun &run, std::size_t idx);
+    bool prepOut(const GroupState &gs) const;
     const std::vector<StageTemplate> &selectStages(const ChainRun &run)
         const;
     double effectiveOffload(std::size_t g) const;
-    void redispatchLocalChains(std::size_t g);
+    std::size_t redispatchLocalChains(std::size_t g);
 
     Server &server_;
     std::vector<GroupState> groups_;
@@ -299,7 +398,26 @@ class TrainingSession
     Time degradedStart_ = 0.0;
     Time degradedTime_ = 0.0;
 
-    std::size_t barrier_ = 0;
+    // --- elastic capacity --------------------------------------------
+    std::unique_ptr<ElasticScheduler> elastic_;
+    std::size_t activeGroups_ = 0; ///< Active + Draining groups
+    SessionResult::ElasticityStats elasticStats_;
+    Time lastCapacityMark_ = 0.0;
+    double activeFractionIntegral_ = 0.0;
+
+    // sample ledger (always tracked; conservation panic-checked)
+    double samplesPrepared_ = 0.0;
+    double samplesConsumed_ = 0.0;
+    double samplesDiscarded_ = 0.0;
+
+    // elastic throughput: per-step compute contributions, committed
+    // once per distinct step index at sync (crash replays recommit
+    // nothing). Unused when elasticity is disabled — then throughput
+    // keeps the fixed-membership closed form, bit-identically.
+    double stepSamples_ = 0.0;
+    double measuredSamples_ = 0.0;
+    std::size_t maxSyncedStep_ = 0;
+
     std::size_t syncedSteps_ = 0;
     std::size_t warmupSteps_ = 0;
     std::size_t totalSteps_ = 0;

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Chaos harness: randomized, seeded schedules mixing faults, silent
+ * corruption, checkpoints, and elasticity events, checked against the
+ * global invariants the subsystems promise *in combination*:
+ *
+ *  - sample conservation: prepared == consumed + cachedAtEnd +
+ *    discarded (the session also panic-checks this internally);
+ *  - corruption accounting: injected == detected + escaped;
+ *  - liveness: every run completes all measured steps, even through
+ *    windows of zero attached capacity (park, don't deadlock);
+ *  - determinism: identical configs replay identical histories;
+ *  - with every knob off, throughput is bit-identical to the goldens
+ *    pinned before any robustness subsystem existed.
+ *
+ * bench/elastic_sweep.cc reuses the same invariants in its --smoke
+ * mode; docs/ROBUSTNESS.md documents the membership state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/elastic_schedule.hh"
+#include "trainbox/report.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+#include "workload/model_zoo.hh"
+
+namespace tb {
+namespace {
+
+SessionResult
+runSession(const ServerConfig &cfg, std::size_t warmup = 3,
+           std::size_t measure = 6)
+{
+    const std::string problem = cfg.validate();
+    EXPECT_EQ(problem, "");
+    auto server = buildServer(cfg);
+    TrainingSession session(*server);
+    return session.run(warmup, measure);
+}
+
+/** Two-group scenario small enough for dozens of runs. */
+ServerConfig
+chaosConfig()
+{
+    ServerConfig cfg;
+    cfg.preset = ArchPreset::TrainBox;
+    cfg.model = workload::ModelId::Resnet50;
+    cfg.numAccelerators = 16; // two groups at accPerBox = 8
+    cfg.prepPoolFpgas = 4;
+    return cfg;
+}
+
+/** splitmix64: the same generator the injection streams build on. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform [0, 1) draw from a seed and stream index. */
+double
+u01(std::uint64_t seed, std::uint64_t stream)
+{
+    return static_cast<double>(mix64(seed * 1315423911ull + stream) >>
+                               11) /
+           9007199254740992.0;
+}
+
+/**
+ * One randomized chaos scenario: every robustness subsystem armed with
+ * seed-derived knobs, so the sweep covers fault-only, elastic-only,
+ * and everything-at-once corners as the seed varies.
+ */
+ServerConfig
+chaosScenario(std::uint64_t seed)
+{
+    ServerConfig cfg = chaosConfig();
+
+    cfg.faults.enabled = u01(seed, 0) < 0.75;
+    cfg.faults.seed = seed;
+    if (cfg.faults.enabled) {
+        cfg.faults.ssdReadFailureProb = 0.02 * u01(seed, 1);
+        cfg.faults.stragglerProb = 0.1 * u01(seed, 2);
+        cfg.faults.prepCrash.ratePerSec = 0.05 * u01(seed, 3);
+        cfg.faults.prepCrash.duration = 0.5 + u01(seed, 4);
+        cfg.faults.ssdDegrade.ratePerSec = 0.05 * u01(seed, 5);
+        cfg.faults.ssdDegrade.duration = 0.5 + u01(seed, 6);
+        if (u01(seed, 7) < 0.3)
+            cfg.faults.fatalCrash.ratePerSec = 0.01;
+        const double corrupt = 0.01 * u01(seed, 8);
+        cfg.faults.corruption.ssdBitFlipProb = corrupt;
+        cfg.faults.corruption.fpgaUpsetProb = corrupt / 2.0;
+        cfg.faults.integrityChecks = u01(seed, 9) < 0.5;
+    }
+
+    cfg.checkpoint.enabled = u01(seed, 10) < 0.5;
+    if (cfg.checkpoint.enabled) {
+        cfg.checkpoint.mode = u01(seed, 11) < 0.5 ? CheckpointMode::Sync
+                                                  : CheckpointMode::Async;
+        cfg.checkpoint.interval = 1.0 + 3.0 * u01(seed, 12);
+    }
+
+    cfg.elasticity.enabled = true;
+    cfg.elasticity.seed = seed;
+    cfg.elasticity.graceWindow = 0.2 + 0.8 * u01(seed, 13);
+    cfg.elasticity.rejoinLatency = 0.1 + 0.4 * u01(seed, 14);
+    cfg.elasticity.groupDrain.ratePerSec = 0.1 * u01(seed, 15);
+    cfg.elasticity.groupDrain.absence = 0.5 + u01(seed, 16);
+    cfg.elasticity.groupPreempt.ratePerSec = 0.1 * u01(seed, 17);
+    cfg.elasticity.groupPreempt.absence = 0.5 + u01(seed, 18);
+    cfg.elasticity.prepDrain.ratePerSec = 0.1 * u01(seed, 19);
+    cfg.elasticity.prepDrain.absence = 0.5 + u01(seed, 20);
+    cfg.elasticity.prepPreempt.ratePerSec = 0.1 * u01(seed, 21);
+    cfg.elasticity.prepPreempt.absence = 0.5 + u01(seed, 22);
+    if (u01(seed, 23) < 0.25) {
+        cfg.elasticity.deferredJoinGroups = 1;
+        cfg.elasticity.scaleUpTime = u01(seed, 24);
+    }
+    return cfg;
+}
+
+/** The invariant block every chaos run must satisfy. */
+void
+checkInvariants(const SessionResult &res, std::size_t measure,
+                const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(res.stepsMeasured, measure);
+    EXPECT_TRUE(std::isfinite(res.throughput));
+    EXPECT_GE(res.throughput, 0.0);
+    EXPECT_GT(res.wallTime, 0.0);
+
+    // Sample conservation (also panic-checked inside the session).
+    const auto &e = res.elasticity;
+    const double ledger_gap = e.samplesPrepared -
+                              (e.samplesConsumed + e.samplesCachedAtEnd +
+                               e.samplesDiscarded);
+    EXPECT_LE(std::fabs(ledger_gap),
+              1e-6 * std::max(1.0, e.samplesPrepared));
+    EXPECT_GT(e.samplesPrepared, 0.0);
+    EXPECT_GE(e.samplesConsumed, 0.0);
+    EXPECT_GE(e.samplesCachedAtEnd, 0.0);
+    EXPECT_GE(e.samplesDiscarded, 0.0);
+
+    // Corruption accounting is exact.
+    EXPECT_EQ(res.integrity.injected,
+              res.integrity.detected + res.integrity.escaped);
+
+    // Capacity clocks nest inside the wall clock.
+    EXPECT_GE(e.degradedCapacityTime, 0.0);
+    EXPECT_LE(e.degradedCapacityTime, res.wallTime * (1.0 + 1e-9));
+    EXPECT_GE(e.zeroCapacityTime, 0.0);
+    EXPECT_LE(e.zeroCapacityTime,
+              e.degradedCapacityTime * (1.0 + 1e-9));
+    EXPECT_GE(e.avgActiveFraction, 0.0);
+    EXPECT_LE(e.avgActiveFraction, 1.0 + 1e-9);
+
+    // Leave bookkeeping: every applied leave is a drain or preemption.
+    EXPECT_GE(e.events, e.drains + e.preemptions + e.joins);
+    EXPECT_GE(e.samplesLostToPreemption, 0.0);
+    EXPECT_GE(e.samplesSavedByDrain, 0.0);
+    EXPECT_GE(e.samplesDroppedAtDrain, 0.0);
+}
+
+// --- everything off => bit-identical goldens -------------------------
+
+TEST(ChaosDisabled, PresetThroughputsBitIdentical)
+{
+    // The pinned pre-robustness goldens (ResNet-50, 32 accelerators,
+    // run(4, 8), default config). With faults, checkpoints, corruption,
+    // AND elasticity all disabled, no new resource, flow, or event may
+    // perturb the simulation.
+    const struct
+    {
+        ArchPreset preset;
+        double throughput;
+    } golden[] = {
+        { ArchPreset::Baseline, 30412.537359822836 },
+        { ArchPreset::BaselineAccFpga, 44099.421789334992 },
+        { ArchPreset::BaselineAccP2p, 52726.559174010392 },
+        { ArchPreset::BaselineAccP2pGen4, 105706.38456337905 },
+        { ArchPreset::TrainBoxNoPool, 237516.29284407894 },
+        { ArchPreset::TrainBox, 237516.29284407894 },
+        { ArchPreset::BaselineAccGpu, 31966.593052101314 },
+    };
+    for (const auto &g : golden) {
+        ServerConfig cfg;
+        cfg.preset = g.preset;
+        cfg.model = workload::ModelId::Resnet50;
+        cfg.numAccelerators = 32;
+        const SessionResult res = runSession(cfg, 4, 8);
+        EXPECT_DOUBLE_EQ(res.throughput, g.throughput)
+            << presetName(g.preset);
+        EXPECT_EQ(res.elasticity.events, 0u) << presetName(g.preset);
+        EXPECT_EQ(res.elasticity.joins, 0u) << presetName(g.preset);
+        EXPECT_DOUBLE_EQ(res.elasticity.degradedCapacityTime, 0.0)
+            << presetName(g.preset);
+        EXPECT_DOUBLE_EQ(res.elasticity.avgActiveFraction, 1.0)
+            << presetName(g.preset);
+        // The ledger is live even with everything off.
+        EXPECT_GT(res.elasticity.samplesPrepared, 0.0)
+            << presetName(g.preset);
+        EXPECT_DOUBLE_EQ(res.elasticity.samplesDiscarded, 0.0)
+            << presetName(g.preset);
+    }
+}
+
+TEST(ChaosDisabled, EnabledButEventFreeMatchesBaseline)
+{
+    // elasticity.enabled switches throughput to the measured-samples
+    // ledger; with no events that must agree with the closed form to
+    // float rounding.
+    ServerConfig cfg = chaosConfig();
+    const SessionResult base = runSession(cfg, 4, 8);
+
+    cfg.elasticity.enabled = true;
+    const SessionResult elastic = runSession(cfg, 4, 8);
+    EXPECT_EQ(elastic.elasticity.events, 0u);
+    EXPECT_NEAR(elastic.throughput, base.throughput,
+                1e-9 * base.throughput);
+    EXPECT_DOUBLE_EQ(elastic.wallTime, base.wallTime);
+}
+
+// --- randomized chaos sweep ------------------------------------------
+
+TEST(ChaosSweep, RandomizedSchedulesHoldInvariants)
+{
+    constexpr std::size_t kSchedules = 24;
+    constexpr std::size_t kMeasure = 6;
+    std::size_t elastic_events = 0;
+    std::size_t fault_windows = 0;
+    for (std::uint64_t seed = 1; seed <= kSchedules; ++seed) {
+        const ServerConfig cfg = chaosScenario(seed);
+        const SessionResult res = runSession(cfg, 3, kMeasure);
+        checkInvariants(res, kMeasure,
+                        ("seed " + std::to_string(seed)).c_str());
+        elastic_events += res.elasticity.events;
+        fault_windows += res.faults.faultsInjected;
+
+        // Determinism: replay a subset bit-exactly (each replay doubles
+        // the cost of one schedule, so sample rather than replay all).
+        if (seed % 6 == 0) {
+            const SessionResult again = runSession(cfg, 3, kMeasure);
+            EXPECT_DOUBLE_EQ(again.throughput, res.throughput);
+            EXPECT_DOUBLE_EQ(again.wallTime, res.wallTime);
+            EXPECT_EQ(again.elasticity.events, res.elasticity.events);
+            EXPECT_EQ(again.elasticity.preemptions,
+                      res.elasticity.preemptions);
+            EXPECT_DOUBLE_EQ(again.elasticity.samplesPrepared,
+                             res.elasticity.samplesPrepared);
+            EXPECT_DOUBLE_EQ(again.elasticity.samplesDiscarded,
+                             res.elasticity.samplesDiscarded);
+        }
+    }
+    // The sweep must actually exercise the machinery it claims to.
+    EXPECT_GT(elastic_events, kSchedules);
+    EXPECT_GT(fault_windows, 0u);
+}
+
+// --- zero-capacity liveness ------------------------------------------
+
+TEST(ChaosZeroCapacity, AllGroupsPreemptedParksAndResumes)
+{
+    // Preempt both groups almost immediately; rejoin them later. The
+    // session must park at zero attached capacity (no deadlock, no
+    // sync with zero members) and finish every step after the rejoin.
+    ServerConfig cfg = chaosConfig();
+    cfg.elasticity.enabled = true;
+    cfg.elasticity.rejoinLatency = 0.1;
+    cfg.elasticity.schedule = {
+        {ElasticTargetKind::Group, ElasticAction::Preempt, 0, 0.002},
+        {ElasticTargetKind::Group, ElasticAction::Preempt, 1, 0.003},
+        {ElasticTargetKind::Group, ElasticAction::Join, 0, 0.5},
+        {ElasticTargetKind::Group, ElasticAction::Join, 1, 0.6},
+    };
+    const SessionResult res = runSession(cfg, 3, 6);
+    checkInvariants(res, 6, "zero-capacity");
+    EXPECT_EQ(res.elasticity.preemptions, 2u);
+    EXPECT_EQ(res.elasticity.joins, 2u);
+    EXPECT_GT(res.elasticity.zeroCapacityTime, 0.0);
+    EXPECT_GT(res.throughput, 0.0);
+}
+
+// --- drain vs preempt semantics --------------------------------------
+
+TEST(ChaosSemantics, DrainsSaveSamplesPreemptionsLoseThem)
+{
+    ServerConfig drain_cfg = chaosConfig();
+    drain_cfg.elasticity.enabled = true;
+    drain_cfg.elasticity.graceWindow = 0.5;
+    drain_cfg.elasticity.groupDrain.ratePerSec = 0.5;
+    drain_cfg.elasticity.groupDrain.absence = 1.0;
+    const SessionResult drained = runSession(drain_cfg, 3, 10);
+    checkInvariants(drained, 10, "drain-only");
+    ASSERT_GT(drained.elasticity.drains, 0u);
+    EXPECT_EQ(drained.elasticity.samplesLostToPreemption, 0.0);
+
+    ServerConfig preempt_cfg = chaosConfig();
+    preempt_cfg.elasticity.enabled = true;
+    preempt_cfg.elasticity.groupPreempt.ratePerSec = 0.5;
+    preempt_cfg.elasticity.groupPreempt.absence = 1.0;
+    const SessionResult preempted = runSession(preempt_cfg, 3, 10);
+    checkInvariants(preempted, 10, "preempt-only");
+    ASSERT_GT(preempted.elasticity.preemptions, 0u);
+    EXPECT_EQ(preempted.elasticity.samplesSavedByDrain, 0.0);
+    EXPECT_EQ(preempted.elasticity.samplesDroppedAtDrain, 0.0);
+}
+
+TEST(ChaosSemantics, DrainCoordinatesACheckpoint)
+{
+    // A drain notice requests an immediate capture even when the
+    // periodic interval has not elapsed.
+    ServerConfig cfg = chaosConfig();
+    cfg.checkpoint.enabled = true;
+    cfg.checkpoint.interval = 1e6; // periodic capture never fires
+    cfg.elasticity.enabled = true;
+    cfg.elasticity.graceWindow = 0.3;
+    cfg.elasticity.schedule = {
+        {ElasticTargetKind::Group, ElasticAction::Drain, 0, 0.01},
+        {ElasticTargetKind::Group, ElasticAction::Join, 0, 1.0},
+    };
+    const SessionResult res = runSession(cfg, 3, 8);
+    checkInvariants(res, 8, "drain-checkpoint");
+    EXPECT_EQ(res.elasticity.drains, 1u);
+    EXPECT_GT(res.checkpoint.committed, 0u);
+
+    cfg.elasticity.schedule.clear();
+    const SessionResult quiet = runSession(cfg, 3, 8);
+    EXPECT_EQ(quiet.checkpoint.committed, 0u);
+}
+
+// --- mid-session scale-up --------------------------------------------
+
+TEST(ChaosScaleUp, DeferredGroupJoinsAndLiftsThroughput)
+{
+    ServerConfig cfg = chaosConfig();
+    cfg.elasticity.enabled = true;
+    cfg.elasticity.rejoinLatency = 0.05;
+    cfg.elasticity.deferredJoinGroups = 1;
+    cfg.elasticity.scaleUpTime = 0.05;
+    const SessionResult res = runSession(cfg, 3, 8);
+    checkInvariants(res, 8, "scale-up");
+    EXPECT_EQ(res.elasticity.joins, 1u);
+    EXPECT_GT(res.elasticity.degradedCapacityTime, 0.0);
+    EXPECT_LT(res.elasticity.avgActiveFraction, 1.0);
+
+    // Starting at half capacity must not beat the full-capacity run.
+    ServerConfig full = chaosConfig();
+    const SessionResult base = runSession(full, 3, 8);
+    EXPECT_LE(res.throughput, base.throughput * (1.0 + 1e-9));
+}
+
+// --- prep-FPGA elasticity --------------------------------------------
+
+TEST(ChaosPrep, PrepLeavesRebalanceAndRecover)
+{
+    ServerConfig cfg = chaosConfig();
+    cfg.elasticity.enabled = true;
+    cfg.elasticity.graceWindow = 0.2;
+    cfg.elasticity.prepDrain.ratePerSec = 0.4;
+    cfg.elasticity.prepDrain.absence = 0.5;
+    cfg.elasticity.prepPreempt.ratePerSec = 0.4;
+    cfg.elasticity.prepPreempt.absence = 0.5;
+    const SessionResult res = runSession(cfg, 3, 10);
+    checkInvariants(res, 10, "prep-elastic");
+    EXPECT_GT(res.elasticity.events, 0u);
+    // Whole-group membership never changed.
+    EXPECT_DOUBLE_EQ(res.elasticity.degradedCapacityTime, 0.0);
+}
+
+// --- report ratio properties -----------------------------------------
+
+TEST(ChaosProperties, ReportRatiosStayInUnitInterval)
+{
+    constexpr std::size_t kSeeds = 50;
+    for (std::uint64_t seed = 100; seed < 100 + kSeeds; ++seed) {
+        const ServerConfig cfg = chaosScenario(seed);
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        const SessionReport report = session.runReport(2, 4);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+
+        const double refs[] = {0.0, report.throughput() / 2.0,
+                               report.throughput(),
+                               2.0 * report.throughput() + 1.0};
+        for (double ref : refs) {
+            const double g = report.goodput(ref);
+            EXPECT_GE(g, 0.0);
+            EXPECT_LE(g, 1.0);
+        }
+        EXPECT_GE(report.efficiency(), 0.0);
+        EXPECT_LE(report.efficiency(), 1.0);
+        EXPECT_GE(report.availability(), 0.0);
+        EXPECT_LE(report.availability(), 1.0);
+        EXPECT_GE(report.capacityAvailability(), 0.0);
+        EXPECT_LE(report.capacityAvailability(), 1.0);
+        EXPECT_GE(report.sloAttainment(), 0.0);
+        EXPECT_LE(report.sloAttainment(), 1.0);
+
+        // The report identities hold under chaos too.
+        const auto &res = report.result;
+        EXPECT_EQ(res.integrity.injected,
+                  res.integrity.detected + res.integrity.escaped);
+        const auto &e = res.elasticity;
+        EXPECT_NEAR(e.samplesPrepared,
+                    e.samplesConsumed + e.samplesCachedAtEnd +
+                        e.samplesDiscarded,
+                    1e-6 * std::max(1.0, e.samplesPrepared));
+    }
+}
+
+// --- scheduler unit behavior -----------------------------------------
+
+TEST(ElasticSchedulerUnit, PreviewIsDeterministicAndPaired)
+{
+    ElasticityConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 42;
+    cfg.graceWindow = 1.0;
+    cfg.groupDrain.ratePerSec = 0.2;
+    cfg.groupDrain.absence = 2.0;
+    cfg.groupPreempt.ratePerSec = 0.2;
+    cfg.groupPreempt.absence = 2.0;
+    ElasticTargets targets;
+    targets.numGroups = 4;
+
+    const auto a = ElasticScheduler::schedule(cfg, targets, 100.0);
+    const auto b = ElasticScheduler::schedule(cfg, targets, 100.0);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GT(a.size(), 4u);
+    Time prev = 0.0;
+    std::size_t leaves = 0, joins = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(static_cast<int>(a[i].action),
+                  static_cast<int>(b[i].action));
+        EXPECT_EQ(a[i].index, b[i].index);
+        EXPECT_DOUBLE_EQ(a[i].at, b[i].at);
+        EXPECT_GE(a[i].at, prev);
+        EXPECT_LT(a[i].at, 100.0);
+        EXPECT_LT(a[i].index, targets.numGroups);
+        prev = a[i].at;
+        if (a[i].action == ElasticAction::Join)
+            ++joins;
+        else
+            ++leaves;
+    }
+    // Leaves and their paired joins interleave; at most the final
+    // leave per class can have its join past the horizon.
+    EXPECT_GE(joins + 2, leaves);
+
+    // A different seed draws a different timeline.
+    cfg.seed = 43;
+    const auto c = ElasticScheduler::schedule(cfg, targets, 100.0);
+    bool differs = c.size() != a.size();
+    for (std::size_t i = 0; !differs && i < c.size(); ++i)
+        differs = c[i].at != a[i].at || c[i].index != a[i].index;
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace tb

@@ -292,6 +292,74 @@ TEST_F(FluidTest, CapacityChangeTakesEffect)
     EXPECT_DOUBLE_EQ(done, 0.75);
 }
 
+TEST_F(FluidTest, ZeroCapacityParksFlowUntilRestored)
+{
+    // Elastic detach drops a resource to zero capacity while a flow is
+    // mid-transfer: the flow must park at rate 0 (no panic, no
+    // spurious completion) and resume when capacity returns.
+    FluidResource *link = net.addResource("link", 100.0);
+    double done = -1.0;
+    FlowSpec spec;
+    spec.category = "x";
+    spec.size = 100.0;
+    spec.demands = {{link, 1.0}};
+    spec.onComplete = [&](Time t) { done = t; };
+    const FlowId id = net.startFlow(std::move(spec));
+
+    eq.schedule(0.5, [&] {
+        link->setCapacity(0.0);
+        net.capacityChanged(link);
+    });
+    double remaining_while_parked = -1.0;
+    eq.schedule(3.0, [&] {
+        EXPECT_DOUBLE_EQ(net.flowRate(id), 0.0);
+        remaining_while_parked = net.flowRemaining(id);
+    });
+    eq.schedule(4.0, [&] {
+        link->setCapacity(100.0);
+        net.capacityChanged(link);
+    });
+    eq.run();
+    // 50 served by t=0.5, frozen through [0.5, 4.0], the remaining 50
+    // at 100/s -> completes at t=4.5.
+    EXPECT_DOUBLE_EQ(remaining_while_parked, 50.0);
+    EXPECT_DOUBLE_EQ(done, 4.5);
+    EXPECT_DOUBLE_EQ(link->totalServed(), 100.0);
+}
+
+TEST_F(FluidTest, ZeroCapacityNewFlowWaitsForCapacity)
+{
+    // A flow started against an already-parked resource stays pending
+    // (rate 0) and completes once capacity appears.
+    FluidResource *link = net.addResource("link", 100.0);
+    link->setCapacity(0.0);
+    net.capacityChanged(link);
+
+    double done = -1.0;
+    FlowSpec spec;
+    spec.category = "x";
+    spec.size = 50.0;
+    spec.demands = {{link, 1.0}};
+    spec.onComplete = [&](Time t) { done = t; };
+    const FlowId id = net.startFlow(std::move(spec));
+    EXPECT_DOUBLE_EQ(net.flowRate(id), 0.0);
+
+    eq.schedule(2.0, [&] {
+        link->setCapacity(50.0);
+        net.capacityChanged(link);
+    });
+    eq.run();
+    EXPECT_DOUBLE_EQ(done, 3.0);
+}
+
+TEST(FluidDeath, NegativeCapacityPanics)
+{
+    EventQueue eq;
+    FluidNetwork net(eq);
+    FluidResource *link = net.addResource("l", 1.0);
+    EXPECT_DEATH(link->setCapacity(-1.0), "capacity");
+}
+
 TEST_F(FluidTest, ManyFlowsAggregateCapacity)
 {
     FluidResource *link = net.addResource("link", 100.0);

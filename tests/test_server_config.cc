@@ -163,6 +163,77 @@ TEST(ServerConfigValidate, RejectsBadCheckpointScenario)
               std::string::npos);
 }
 
+TEST(ServerConfigValidate, RejectsBadElasticityKnobs)
+{
+    ServerConfig cfg = valid();
+    cfg.elasticity.graceWindow = -1.0;
+    EXPECT_NE(cfg.validate().find("elasticity.graceWindow"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.elasticity.rejoinLatency = -0.5;
+    EXPECT_NE(cfg.validate().find("elasticity.rejoinLatency"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.elasticity.sloTargetSamplesPerSec = -100.0;
+    EXPECT_NE(cfg.validate().find("sloTargetSamplesPerSec"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.elasticity.groupDrain.ratePerSec = -0.1;
+    EXPECT_NE(cfg.validate().find("elasticity.groupDrain.ratePerSec"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.elasticity.prepPreempt.ratePerSec = 0.1;
+    cfg.elasticity.prepPreempt.absence = -2.0;
+    EXPECT_NE(cfg.validate().find("elasticity.prepPreempt.absence"),
+              std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsOverlargeDeferredJoin)
+{
+    ServerConfig cfg = valid();
+    cfg.numAccelerators = 16; // two groups at accPerBox = 8
+    cfg.elasticity.deferredJoinGroups = 2;
+    const std::string err = cfg.validate();
+    EXPECT_NE(err.find("deferredJoinGroups"), std::string::npos);
+    EXPECT_NE(err.find("at least one"), std::string::npos);
+
+    // One deferred group out of two is fine.
+    cfg.elasticity.deferredJoinGroups = 1;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ServerConfigValidate, RejectsBadExplicitSchedule)
+{
+    ServerConfig cfg = valid();
+    cfg.elasticity.schedule = {
+        {ElasticTargetKind::Group, ElasticAction::Drain, 0, -1.0}};
+    EXPECT_NE(cfg.validate().find("schedule[0].at"), std::string::npos);
+
+    cfg = valid();
+    cfg.elasticity.schedule = {
+        {ElasticTargetKind::Group, ElasticAction::Drain, 0, 5.0},
+        {ElasticTargetKind::Group, ElasticAction::Join, 0, 2.0}};
+    EXPECT_NE(cfg.validate().find("ordered by time"), std::string::npos);
+
+    cfg = valid();
+    cfg.elasticity.schedule = {
+        {ElasticTargetKind::Prep, ElasticAction::Preempt, 3, 1.0}};
+    const std::string err = cfg.validate();
+    EXPECT_NE(err.find("targets prep 3"), std::string::npos);
+    EXPECT_NE(err.find("only 1 groups"), std::string::npos);
+
+    // A well-formed schedule passes.
+    cfg = valid();
+    cfg.elasticity.schedule = {
+        {ElasticTargetKind::Group, ElasticAction::Drain, 0, 1.0},
+        {ElasticTargetKind::Group, ElasticAction::Join, 0, 8.0}};
+    EXPECT_EQ(cfg.validate(), "");
+}
+
 TEST(ServerConfigValidate, BuilderRefusesInvalidConfig)
 {
     ServerConfig cfg = valid();

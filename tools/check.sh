@@ -53,3 +53,10 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
 # job (docs/PERFORMANCE.md).
 "$build_dir/bench/sim_perf" --smoke --min-speedup 3 \
     --out "$build_dir/BENCH_sim_perf.json"
+
+# Chaos smoke: randomized fault+elastic schedules against the global
+# invariants (sample conservation, corruption accounting, liveness,
+# drains >= preemptions in goodput), instrumented so the membership
+# state machine and zero-capacity parking run under the sanitizer
+# (docs/ROBUSTNESS.md, "Elastic capacity & graceful degradation").
+"$build_dir/bench/elastic_sweep" --smoke

@@ -30,6 +30,7 @@
 #include "sim/trace.hh"
 #include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
+#include "workload/cost_model.hh"
 #include "trainbox/training_session.hh"
 #include "workload/model_zoo.hh"
 
@@ -46,6 +47,7 @@ struct Options
     bool metrics = true;
     double corrupt = 0.0;   // per-hop corruption flip probability
     bool checks = false;    // insert integrity-verify stages
+    bool elastic = false;   // canned elasticity demo schedule
     std::size_t prepSmoke = 0; // real-executor items to run and attach
     std::string jsonPath;  // "-" = stdout
     std::string csvPath;   // "-" = stdout
@@ -72,6 +74,9 @@ usage(std::FILE *out)
         "  --corrupt P      inject silent corruption at per-hop flip\n"
         "                   probability P (docs/ROBUSTNESS.md)\n"
         "  --checks         insert the checksum-verify stages\n"
+        "  --elastic        enable a demo elasticity schedule (group\n"
+        "                   drains, spot preemptions, rejoins) and the\n"
+        "                   SLO/elasticity report block\n"
         "  --prep-smoke N   also run N items through the real prep\n"
         "                   executor (some deliberately bit-flipped)\n"
         "                   and attach its quarantine to the report\n"
@@ -241,6 +246,8 @@ main(int argc, char **argv)
             opt.corrupt = std::strtod(value().c_str(), nullptr);
         } else if (arg == "--checks") {
             opt.checks = true;
+        } else if (arg == "--elastic") {
+            opt.elastic = true;
         } else if (arg == "--prep-smoke") {
             opt.prepSmoke = std::strtoull(value().c_str(), nullptr, 10);
         } else {
@@ -263,6 +270,24 @@ main(int argc, char **argv)
         cfg.faults.corruption.pcieErrorProb = opt.corrupt / 2.0;
         cfg.faults.corruption.fpgaUpsetProb = opt.corrupt;
         cfg.faults.corruption.hostDramFlipProb = opt.corrupt / 2.0;
+    }
+    if (opt.elastic) {
+        // Canned demo: planned drains and spot-style preemptions on
+        // both NN-accelerator groups and prep FPGAs, all rejoining.
+        tb::ElasticityConfig e;
+        e.enabled = true;
+        e.groupDrain.ratePerSec = 0.02;
+        e.groupDrain.absence = 8.0;
+        e.groupPreempt.ratePerSec = 0.01;
+        e.groupPreempt.absence = 12.0;
+        e.prepDrain.ratePerSec = 0.02;
+        e.prepDrain.absence = 6.0;
+        e.prepPreempt.ratePerSec = 0.01;
+        e.prepPreempt.absence = 10.0;
+        e.sloTargetSamplesPerSec = 0.9 * tb::workload::targetThroughput(
+            tb::workload::model(cfg.model), cfg.numAccelerators,
+            cfg.sync);
+        cfg = cfg.withElasticity(e);
     }
     const std::string problem = cfg.validate();
     if (!problem.empty()) {
