@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Streaming-ingest sweep: what continuous sample arrival costs and what
+ * the overload policy chain buys back (docs/ROBUSTNESS.md, "Streaming
+ * ingest & overload").
+ *
+ * Three experiments on 32-accelerator ResNet-50 TrainBox servers:
+ *
+ *  1. Arrival-rate sweep — steady ingest from well below to well above
+ *     the shard-write drain capacity: admit/shed split, overload trips,
+ *     staleness, and the training goodput lost to write→read
+ *     interference.
+ *  2. Buffer-size sweep — at fixed overload, how much buffer (and
+ *     watermark headroom) converts drops into delayed admissions, and
+ *     what that does to freshness.
+ *  3. Policy comparison — the same 4x overload burst handled by each
+ *     escalation prefix of throttle → shed → echo vs a hard stall.
+ *
+ * --smoke runs the CI assertion mode instead: disabled-ingest
+ * bit-identity, per-seed conservation ledgers, and the policy-chain
+ * comparison (adaptive chains must beat the hard stall in goodput
+ * under a 4x overload burst). Exits non-zero on violation.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "trainbox/report.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/training_session.hh"
+
+namespace {
+
+tb::ServerConfig
+baseConfig(std::size_t n_acc = 32)
+{
+    tb::ServerConfig cfg;
+    cfg.preset = tb::ArchPreset::TrainBox;
+    cfg.model = tb::workload::ModelId::Resnet50;
+    cfg.numAccelerators = n_acc;
+    cfg.prepPoolFpgas = 8;
+    return cfg;
+}
+
+tb::SessionResult
+run(const tb::ServerConfig &cfg, std::size_t warmup = 4,
+    std::size_t measure = 12)
+{
+    auto server = tb::buildServer(cfg);
+    tb::TrainingSession session(*server);
+    return session.run(warmup, measure);
+}
+
+/** A steady ingest scenario with mid-sized buffer and watermarks. */
+tb::IngestConfig
+steadyIngest(double rate_per_sec)
+{
+    tb::IngestConfig ic;
+    ic.enabled = true;
+    ic.steady.ratePerSec = rate_per_sec;
+    ic.steady.samplesPerEvent = 256.0;
+    ic.bufferCapacity = 8192.0;
+    ic.lowWatermark = 1024.0;
+    ic.highWatermark = 4096.0;
+    ic.writeChunkSamples = 512.0;
+    return ic;
+}
+
+bool
+sampleLedgerHolds(const tb::SessionResult &res)
+{
+    const auto &e = res.elasticity;
+    const double gap = e.samplesPrepared -
+                       (e.samplesConsumed + e.samplesCachedAtEnd +
+                        e.samplesDiscarded);
+    return std::fabs(gap) <= 1e-6 * std::max(1.0, e.samplesPrepared);
+}
+
+bool
+ingestLedgerHolds(const tb::SessionResult &res)
+{
+    const auto &in = res.ingest;
+    const double gap =
+        in.samplesArrived - (in.samplesAdmitted + in.samplesShed +
+                             in.samplesInFlightAtEnd);
+    return std::fabs(gap) <= 1e-6 * std::max(1.0, in.samplesArrived);
+}
+
+/**
+ * Empirical shard-write drain capacity (samples/s) at @p n_acc: offer
+ * far more than the writer can take (throttle keeps training alive)
+ * and measure what actually lands. Scales all sweep rates so they stay
+ * meaningful if the SSD or interference model changes.
+ */
+double
+probeDrainRate(std::size_t n_acc)
+{
+    tb::ServerConfig cfg = baseConfig(n_acc);
+    cfg.ingest = steadyIngest(5.0e5);
+    cfg.ingest.policyChain = {tb::IngestPolicy::Throttle};
+    cfg.ingest.throttleFactor = 0.5;
+    const tb::SessionResult res = run(cfg, 3, 6);
+    return res.ingest.samplesAdmitted / std::max(res.wallTime, 1e-9);
+}
+
+/**
+ * A 4x overload burst riding on light steady traffic. The burst is
+ * injected through the explicit arrival schedule so it is finite (a
+ * sustained 4x overload under a stall-only policy would rightly never
+ * let training resume); @p burst_at places it mid-measurement — steps
+ * take on the order of a second at these scales, so the instant must
+ * come from the run's own step time, not a hardcoded wall-clock guess.
+ */
+tb::IngestConfig
+burstIngest(double drain_rate, double burst_at)
+{
+    tb::IngestConfig ic = steadyIngest(0.3 * drain_rate);
+    // A buffer big enough that draining it back to the low watermark
+    // outlasts a training step — a shorter hard stall hides entirely
+    // inside the in-progress compute and the comparison degenerates.
+    ic.bufferCapacity = 65536.0;
+    ic.highWatermark = 8192.0;
+    ic.lowWatermark = 4096.0;
+    const double burst_total = 4.0 * ic.bufferCapacity;
+    const int arrivals = 64;
+    for (int i = 0; i < arrivals; ++i) {
+        tb::IngestArrival a;
+        a.kind = tb::IngestTrafficKind::Burst;
+        a.samples = burst_total / arrivals;
+        a.priority = 0;
+        a.at = burst_at + 2.0e-4 * i;
+        ic.schedule.push_back(a);
+    }
+    return ic;
+}
+
+/** CI mode: conservation, bit-identity, and the policy comparison. */
+int
+smoke()
+{
+    using namespace tb;
+    int failures = 0;
+    auto fail = [&](const char *what, std::uint64_t seed) {
+        std::printf("FAIL: %s (seed %llu)\n", what,
+                    static_cast<unsigned long long>(seed));
+        ++failures;
+    };
+
+    // Disabled ingest must not perturb the simulation at all.
+    const SessionResult base = run(baseConfig(16), 3, 6);
+    {
+        ServerConfig cfg = baseConfig(16);
+        cfg.ingest = steadyIngest(1.0e5); // ignored when off
+        cfg.ingest.enabled = false;
+        const SessionResult again = run(cfg, 3, 6);
+        if (again.throughput != base.throughput ||
+            again.wallTime != base.wallTime)
+            fail("disabled ingest perturbed the baseline", 0);
+        if (again.ingest.arrivalEvents != 0 ||
+            again.ingest.samplesArrived != 0.0)
+            fail("disabled ingest reported nonzero stats", 0);
+    }
+
+    const double drain = probeDrainRate(16);
+    if (!(drain > 0.0))
+        fail("drain-capacity probe admitted nothing", 0);
+
+    // Randomized steady/diurnal/bursty mixes: every run must complete
+    // with both conservation ledgers intact and sane ratios.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        ServerConfig cfg = baseConfig(16);
+        cfg.ingest = steadyIngest(0.2 * drain * double(1 + seed % 3));
+        cfg.ingest.seed = seed;
+        cfg.ingest.diurnal.ratePerSec = 0.2 * drain;
+        cfg.ingest.diurnalPeriod = 0.05;
+        cfg.ingest.burst.ratePerSec = 0.1 * drain * double(seed % 2);
+        cfg.ingest.writeFailureProb = (seed % 4 == 0) ? 0.2 : 0.0;
+        cfg.ingest.stalenessSlo = 0.05;
+        if (seed % 3 == 0)
+            cfg.ingest.policyChain = {IngestPolicy::Shed,
+                                      IngestPolicy::Echo};
+        const SessionResult res = run(cfg, 3, 6);
+        if (res.stepsMeasured != 6)
+            fail("run did not complete all steps", seed);
+        if (!sampleLedgerHolds(res))
+            fail("sample conservation violated", seed);
+        if (!ingestLedgerHolds(res))
+            fail("ingest conservation violated", seed);
+        if (!std::isfinite(res.throughput) || res.throughput <= 0.0)
+            fail("degenerate throughput", seed);
+        if (res.ingest.arrivalEvents == 0)
+            fail("no ingest arrivals delivered", seed);
+
+        // Determinism: the same config must replay bit-identically.
+        if (seed % 4 == 1) {
+            const SessionResult replay = run(cfg, 3, 6);
+            if (replay.throughput != res.throughput ||
+                replay.ingest.samplesArrived !=
+                    res.ingest.samplesArrived ||
+                replay.ingest.samplesAdmitted !=
+                    res.ingest.samplesAdmitted)
+                fail("ingest run not deterministic", seed);
+        }
+    }
+
+    // The acceptance comparison: a 4x overload burst handled by each
+    // escalation prefix of the adaptive chain must yield higher goodput
+    // than hard-stalling training.
+    const std::vector<std::vector<IngestPolicy>> chains = {
+        {IngestPolicy::Stall},
+        {IngestPolicy::Throttle},
+        {IngestPolicy::Throttle, IngestPolicy::Shed},
+        {IngestPolicy::Throttle, IngestPolicy::Shed, IngestPolicy::Echo},
+    };
+    // Mid-measurement-window instant for a (3 warmup, 6 measure) run:
+    // anchored to the *end* of the healthy run, because the warmup
+    // steps are pipeline-fill and take far longer than steady state.
+    const double burst_at = base.wallTime - 4.0 * base.stepTime;
+    std::vector<double> goodput;
+    for (const auto &chain : chains) {
+        ServerConfig cfg = baseConfig(16);
+        cfg.ingest = burstIngest(drain, burst_at);
+        cfg.ingest.policyChain = chain;
+        const SessionResult res = run(cfg, 3, 6);
+        if (!ingestLedgerHolds(res))
+            fail("ingest conservation violated in burst run", 0);
+        if (res.ingest.overloadTrips == 0)
+            fail("burst did not trip the overload watermark", 0);
+        goodput.push_back(SessionReport::computeGoodput(
+            res.throughput, base.throughput));
+    }
+    std::printf("ingest smoke: drain %.0f samples/s | goodput stall "
+                "%.4f, throttle %.4f, +shed %.4f, +echo %.4f\n",
+                drain, goodput[0], goodput[1], goodput[2], goodput[3]);
+    for (std::size_t i = 1; i < goodput.size(); ++i)
+        if (goodput[i] <= goodput[0])
+            fail("adaptive policy chain did not beat hard stall", i);
+
+    std::printf(failures == 0 ? "PASS\n" : "%d failures\n", failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tb;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return smoke();
+    const bool csv = bench::wantCsv(argc, argv);
+
+    const SessionResult healthy = run(baseConfig());
+    const double drain = probeDrainRate(32);
+
+    // --- 1. arrival rate vs drain capacity ---------------------------
+    bench::banner("Ingest sweep: arrival rate vs shard-write drain "
+                  "capacity (ResNet-50, 32 accelerators)");
+    Table rate_table({"rate_x_drain", "arrived", "admit_rate",
+                      "shed_rate", "trips", "avg_stale_ms", "goodput"});
+    for (double x : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        ServerConfig cfg = baseConfig();
+        cfg.ingest = steadyIngest(x * drain);
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        const SessionReport rep = session.runReport(4, 12);
+        rate_table.row()
+            .add(x)
+            .add(rep.ingest().samplesArrived, 0)
+            .add(rep.ingestAdmitRate(), 4)
+            .add(rep.ingestShedRate(), 4)
+            .add(rep.ingest().overloadTrips)
+            .add(1e3 * rep.avgIngestStaleness(), 2)
+            .add(rep.goodput(healthy.throughput), 4);
+    }
+    bench::emit(rate_table, csv);
+
+    // --- 2. buffer size at fixed 2x overload -------------------------
+    bench::banner("Buffer size: drops vs delayed admissions at 2x "
+                  "overload");
+    Table buf_table({"capacity", "peak_level", "trips", "overflow",
+                     "admit_rate", "avg_stale_ms", "slo_attain"});
+    for (double cap : {1024.0, 4096.0, 16384.0, 65536.0}) {
+        ServerConfig cfg = baseConfig();
+        cfg.ingest = steadyIngest(2.0 * drain);
+        cfg.ingest.bufferCapacity = cap;
+        cfg.ingest.highWatermark = 0.5 * cap;
+        cfg.ingest.lowWatermark = 0.125 * cap;
+        cfg.ingest.stalenessSlo = 0.1;
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        const SessionReport rep = session.runReport(4, 12);
+        buf_table.row()
+            .add(cap, 0)
+            .add(rep.ingest().peakBufferLevel, 0)
+            .add(rep.ingest().overloadTrips)
+            .add(rep.ingest().samplesOverflowDropped, 0)
+            .add(rep.ingestAdmitRate(), 4)
+            .add(1e3 * rep.avgIngestStaleness(), 2)
+            .add(rep.freshnessSloAttainment(), 4);
+    }
+    bench::emit(buf_table, csv);
+
+    // --- 3. policy chain under a 4x overload burst -------------------
+    bench::banner("Overload policies: 4x burst handled by each "
+                  "escalation prefix vs hard stall");
+    Table pol_table({"chain", "goodput", "admit_rate", "echoed",
+                     "echo_factor", "stall_sec", "overload_sec"});
+    const struct
+    {
+        const char *name;
+        std::vector<IngestPolicy> chain;
+    } variants[] = {
+        {"stall", {IngestPolicy::Stall}},
+        {"throttle", {IngestPolicy::Throttle}},
+        {"throttle+shed", {IngestPolicy::Throttle, IngestPolicy::Shed}},
+        {"throttle+shed+echo",
+         {IngestPolicy::Throttle, IngestPolicy::Shed,
+          IngestPolicy::Echo}},
+    };
+    // Mid-measurement-window instant for a (4 warmup, 12 measure) run,
+    // end-anchored (warmup is pipeline-fill and much longer per step).
+    const double burst_at = healthy.wallTime - 8.0 * healthy.stepTime;
+    for (const auto &v : variants) {
+        ServerConfig cfg = baseConfig();
+        cfg.ingest = burstIngest(drain, burst_at);
+        cfg.ingest.policyChain = v.chain;
+        auto server = buildServer(cfg);
+        TrainingSession session(*server);
+        const SessionReport rep = session.runReport(4, 12);
+        pol_table.row()
+            .add(v.name)
+            .add(rep.goodput(healthy.throughput), 4)
+            .add(rep.ingestAdmitRate(), 4)
+            .add(rep.ingest().samplesEchoed, 0)
+            .add(rep.echoEffectiveFactor(), 4)
+            .add(rep.ingest().stallTime, 3)
+            .add(rep.ingest().overloadTime, 3);
+    }
+    bench::emit(pol_table, csv);
+
+    return 0;
+}

@@ -38,6 +38,14 @@ class NvmeSsd
     static constexpr double kWriteReadInterference = 0.35;
 
     /**
+     * Write amplification of streaming shard appends. Checkpoint
+     * drains are large sequential writes; ingest shard appends are
+     * smaller and continuous, so the FTL rewrites partially-filled
+     * blocks and each logical byte costs more NAND program time.
+     */
+    static constexpr double kShardWriteAmplification = 1.15;
+
+    /**
      * Create the device: attaches a PCIe leaf under @p parent and
      * internal read/write bandwidth resources in @p net.
      */
@@ -76,6 +84,23 @@ class NvmeSsd
     FlowDemand writeReadInterference(double bytesPerUnit) const
     {
         return {readBw_, bytesPerUnit * kWriteReadInterference};
+    }
+
+    /**
+     * Demand on the write path per shard-appended byte: the write
+     * amplification of streaming appends on top of the NAND program
+     * cost (ingest shard writes, docs/ROBUSTNESS.md).
+     */
+    FlowDemand shardWriteDemand(double bytesPerUnit) const
+    {
+        return writeDemand(bytesPerUnit * kShardWriteAmplification);
+    }
+
+    /** Read-path interference per shard-appended byte. */
+    FlowDemand shardWriteReadInterference(double bytesPerUnit) const
+    {
+        return writeReadInterference(bytesPerUnit *
+                                     kShardWriteAmplification);
     }
 
     /**

@@ -297,6 +297,54 @@ SessionReport::sloAttainment() const
 }
 
 double
+SessionReport::ingestAdmitRate() const
+{
+    const SessionResult::IngestStats &in = result.ingest;
+    if (in.samplesArrived <= 0.0)
+        return 1.0;
+    return clamp(in.samplesAdmitted / in.samplesArrived, 0.0, 1.0);
+}
+
+double
+SessionReport::ingestShedRate() const
+{
+    const SessionResult::IngestStats &in = result.ingest;
+    if (in.samplesArrived <= 0.0)
+        return 0.0;
+    return clamp(in.samplesShed / in.samplesArrived, 0.0, 1.0);
+}
+
+Time
+SessionReport::avgIngestStaleness() const
+{
+    const SessionResult::IngestStats &in = result.ingest;
+    if (in.samplesAdmitted <= 0.0)
+        return 0.0;
+    return in.stalenessSum / in.samplesAdmitted;
+}
+
+double
+SessionReport::freshnessSloAttainment() const
+{
+    const SessionResult::IngestStats &in = result.ingest;
+    if (in.stalenessSloSec <= 0.0 || in.samplesAdmitted <= 0.0)
+        return 1.0;
+    return clamp(in.samplesWithinSlo / in.samplesAdmitted, 0.0, 1.0);
+}
+
+double
+SessionReport::echoEffectiveFactor() const
+{
+    const SessionResult::IngestStats &in = result.ingest;
+    const double fresh = result.elasticity.samplesConsumed;
+    const double total = fresh + in.samplesEchoed;
+    if (total <= 0.0 || in.samplesEchoed <= 0.0)
+        return 1.0;
+    return clamp((fresh + in.echoEfficiency * in.samplesEchoed) / total,
+                 0.0, 1.0);
+}
+
+double
 SessionReport::LatencyBreakdown::share(Time part) const
 {
     const Time t = total();
@@ -515,6 +563,37 @@ SessionReport::toJson() const
            ", \"cached_at_end\": " + jnum(el.samplesCachedAtEnd) +
            ", \"discarded\": " + jnum(el.samplesDiscarded) + "}},\n";
 
+    const SessionResult::IngestStats &in = result.ingest;
+    out += "  \"ingest\": {\"arrival_events\": " +
+           jnum(double(in.arrivalEvents)) +
+           ", \"overload_trips\": " + jnum(double(in.overloadTrips)) +
+           ", \"stalls\": " + jnum(double(in.stalls)) +
+           ", \"write_flows\": " + jnum(double(in.writeFlows)) +
+           ", \"write_retries\": " + jnum(double(in.writeRetries)) +
+           ", \"write_failures\": " + jnum(double(in.writeFailures)) +
+           ", \"admit_rate\": " + jnum(ingestAdmitRate()) +
+           ", \"shed_rate\": " + jnum(ingestShedRate()) +
+           ", \"overload_time_sec\": " + jnum(in.overloadTime) +
+           ", \"stall_time_sec\": " + jnum(in.stallTime) +
+           ", \"peak_buffer_level\": " + jnum(in.peakBufferLevel) +
+           ", \"samples_echoed\": " + jnum(in.samplesEchoed) +
+           ", \"echo_effective_factor\": " + jnum(echoEffectiveFactor()) +
+           ", \"avg_staleness_sec\": " + jnum(avgIngestStaleness()) +
+           ", \"max_staleness_sec\": " + jnum(in.stalenessMax) +
+           ", \"staleness_slo_sec\": " + jnum(in.stalenessSloSec) +
+           ", \"freshness_slo_attainment\": " +
+           jnum(freshnessSloAttainment()) +
+           ", \"ledger\": {\"arrived\": " + jnum(in.samplesArrived) +
+           ", \"admitted\": " + jnum(in.samplesAdmitted) +
+           ", \"shed\": " + jnum(in.samplesShed) +
+           ", \"throttled\": " + jnum(in.samplesThrottled) +
+           ", \"shed_policy\": " + jnum(in.samplesShedPolicy) +
+           ", \"overflow_dropped\": " + jnum(in.samplesOverflowDropped) +
+           ", \"abandoned_writes\": " +
+           jnum(in.samplesAbandonedWrites) +
+           ", \"in_flight_at_end\": " +
+           jnum(in.samplesInFlightAtEnd) + "}},\n";
+
     const SessionResult::IntegrityStats &integ = result.integrity;
     out += "  \"integrity\": {\"injected\": " +
            jnum(double(integ.injected)) +
@@ -656,6 +735,42 @@ SessionReport::toCsv() const
         jnum(result.elasticity.samplesCachedAtEnd));
     row("sample_ledger", "discarded",
         jnum(result.elasticity.samplesDiscarded));
+    row("ingest", "arrival_events",
+        jnum(double(result.ingest.arrivalEvents)));
+    row("ingest", "overload_trips",
+        jnum(double(result.ingest.overloadTrips)));
+    row("ingest", "stalls", jnum(double(result.ingest.stalls)));
+    row("ingest", "write_flows", jnum(double(result.ingest.writeFlows)));
+    row("ingest", "write_retries",
+        jnum(double(result.ingest.writeRetries)));
+    row("ingest", "write_failures",
+        jnum(double(result.ingest.writeFailures)));
+    row("ingest", "admit_rate", jnum(ingestAdmitRate()));
+    row("ingest", "shed_rate", jnum(ingestShedRate()));
+    row("ingest", "overload_time_sec", jnum(result.ingest.overloadTime));
+    row("ingest", "stall_time_sec", jnum(result.ingest.stallTime));
+    row("ingest", "peak_buffer_level",
+        jnum(result.ingest.peakBufferLevel));
+    row("ingest", "samples_echoed", jnum(result.ingest.samplesEchoed));
+    row("ingest", "echo_effective_factor", jnum(echoEffectiveFactor()));
+    row("ingest", "avg_staleness_sec", jnum(avgIngestStaleness()));
+    row("ingest", "max_staleness_sec", jnum(result.ingest.stalenessMax));
+    row("ingest", "freshness_slo_attainment",
+        jnum(freshnessSloAttainment()));
+    row("ingest_ledger", "arrived", jnum(result.ingest.samplesArrived));
+    row("ingest_ledger", "admitted",
+        jnum(result.ingest.samplesAdmitted));
+    row("ingest_ledger", "shed", jnum(result.ingest.samplesShed));
+    row("ingest_ledger", "throttled",
+        jnum(result.ingest.samplesThrottled));
+    row("ingest_ledger", "shed_policy",
+        jnum(result.ingest.samplesShedPolicy));
+    row("ingest_ledger", "overflow_dropped",
+        jnum(result.ingest.samplesOverflowDropped));
+    row("ingest_ledger", "abandoned_writes",
+        jnum(result.ingest.samplesAbandonedWrites));
+    row("ingest_ledger", "in_flight_at_end",
+        jnum(result.ingest.samplesInFlightAtEnd));
     row("integrity", "injected", jnum(double(result.integrity.injected)));
     row("integrity", "detected", jnum(double(result.integrity.detected)));
     row("integrity", "escaped", jnum(double(result.integrity.escaped)));
@@ -761,6 +876,22 @@ SessionReport::print(std::FILE *out) const
                      result.elasticity.samplesDroppedAtDrain,
                      result.elasticity.rebalanceTime,
                      result.elasticity.zeroCapacityTime);
+    if (result.ingest.arrivalEvents > 0)
+        std::fprintf(out,
+                     "ingest      arrived %.0f | admitted %.0f (rate "
+                     "%.4f) | shed %.0f | echoed %.0f | overload trips "
+                     "%zu (%.2f s) | stalls %zu (%.2f s)\n"
+                     "            avg staleness %.3f s (max %.3f s) | "
+                     "freshness SLO attainment %.4f | echo factor %.4f\n",
+                     result.ingest.samplesArrived,
+                     result.ingest.samplesAdmitted, ingestAdmitRate(),
+                     result.ingest.samplesShed,
+                     result.ingest.samplesEchoed,
+                     result.ingest.overloadTrips,
+                     result.ingest.overloadTime, result.ingest.stalls,
+                     result.ingest.stallTime, avgIngestStaleness(),
+                     result.ingest.stalenessMax,
+                     freshnessSloAttainment(), echoEffectiveFactor());
     if (result.integrity.injected > 0)
         std::fprintf(out,
                      "integrity   injected %zu | detected %zu | escaped "

@@ -130,6 +130,10 @@ class SessionReport
     {
         return result.elasticity;
     }
+    const SessionResult::IngestStats &ingest() const
+    {
+        return result.ingest;
+    }
 
     // --- functional prep-executor quarantine ---------------------------
     /**
@@ -171,6 +175,30 @@ class SessionReport
      * target is set.
      */
     double sloAttainment() const;
+
+    // --- streaming-ingest accessors (all clamped to [0, 1]) -------------
+    /** Admitted / arrived; 1.0 when nothing arrived. */
+    double ingestAdmitRate() const;
+
+    /** Shed / arrived; 0.0 when nothing arrived. */
+    double ingestShedRate() const;
+
+    /** Mean arrival-to-shard latency of admitted samples (0 if none). */
+    Time avgIngestStaleness() const;
+
+    /**
+     * Fraction of admitted samples landing within the staleness SLO
+     * (ingest.stalenessSlo). 1.0 when no SLO is set or nothing was
+     * admitted.
+     */
+    double freshnessSloAttainment() const;
+
+    /**
+     * Statistical-efficiency factor of the samples fed to training:
+     * (fresh + echoEfficiency * echoed) / (fresh + echoed). 1.0 when
+     * the echo policy never engaged (or nothing was consumed).
+     */
+    double echoEffectiveFactor() const;
 
     // --- Fig 9: per-batch latency breakdown ----------------------------
     struct LatencyBreakdown

@@ -479,6 +479,33 @@ Builder::makeCentralStages(std::size_t g)
         group.checkpointWrite = std::move(st);
     }
 
+    // --- Ingest shard-append path (base unit: one sample) ------------
+    // Freshly arrived samples drain from the host-DRAM ingest buffer
+    // through the RC to the shared SSD boxes: every appended byte pays
+    // the shard write amplification plus the write->read interference
+    // that slows the prep reads striped over the same SSDs.
+    if (cfg.ingest.enabled) {
+        StageTemplate st;
+        st.name = "ingest_write";
+        st.category = "ingest";
+        DemandSet ds;
+        ds.add(s.hostMem->resource(), d.ssdBytes);
+        ds.add(s.cpu->resource(),
+               kDmaSetupCpu + d.ssdBytes * kCrcCpuPerByte);
+        for (auto *ssd : ssds) {
+            const FlowDemand wr =
+                ssd->shardWriteDemand(d.ssdBytes * ssd_share);
+            const FlowDemand rd =
+                ssd->shardWriteReadInterference(d.ssdBytes * ssd_share);
+            ds.add(wr.resource, wr.weight);
+            ds.add(rd.resource, rd.weight);
+            ds.add(topo.hostRouteDemands(ssd->node(), true,
+                                         d.ssdBytes * ssd_share));
+        }
+        st.demandsPerSample = ds.build();
+        group.ingestWrite = std::move(st);
+    }
+
     s.groups.push_back(std::move(group));
 }
 
@@ -854,6 +881,34 @@ Builder::makeClusteredStages(std::size_t g)
         }
         st.demandsPerSample = ds.build();
         group.checkpointWrite = std::move(st);
+    }
+
+    // --- Ingest shard-append path (base unit: one sample) --------------
+    // Arrivals land in host DRAM (the ingest buffer fills from the host
+    // NIC), so unlike checkpoint drains the shard appends *do* cross the
+    // RC — but they target the box's own SSDs, and each appended byte
+    // pays the shard write amplification plus the write->read
+    // interference that slows this box's prep fetches.
+    if (cfg.ingest.enabled) {
+        StageTemplate st;
+        st.name = "ingest_write";
+        st.category = "ingest";
+        DemandSet ds;
+        ds.add(s.hostMem->resource(), d.ssdBytes);
+        ds.add(s.cpu->resource(),
+               kDmaSetupCpu + d.ssdBytes * kCrcCpuPerByte);
+        for (auto *ssd : ssds) {
+            const FlowDemand wr =
+                ssd->shardWriteDemand(d.ssdBytes * ssd_share);
+            const FlowDemand rd =
+                ssd->shardWriteReadInterference(d.ssdBytes * ssd_share);
+            ds.add(wr.resource, wr.weight);
+            ds.add(rd.resource, rd.weight);
+            ds.add(topo.hostRouteDemands(ssd->node(), true,
+                                         d.ssdBytes * ssd_share));
+        }
+        st.demandsPerSample = ds.build();
+        group.ingestWrite = std::move(st);
     }
 
     s.groups.push_back(std::move(group));

@@ -111,6 +111,17 @@ struct PrepGroup
      * Checkpointer; costs nothing when checkpointing is disabled.
      */
     StageTemplate checkpointWrite;
+
+    /**
+     * Ingest shard-append path for this group's dataset shards (base
+     * unit: one *sample*, scaled by the model's per-sample SSD bytes).
+     * Freshly arrived samples drain from the host-DRAM ingest buffer
+     * onto the box's own SSDs (clustered) or through the RC to the SSD
+     * boxes (central), paying the shard write-amplification and the
+     * write→read interference that slows concurrent prep reads. Built
+     * only when cfg.ingest.enabled; costs nothing otherwise.
+     */
+    StageTemplate ingestWrite;
 };
 
 /** A fully assembled simulated server. */

@@ -237,6 +237,13 @@ ServerConfig::withElasticity(const ElasticityConfig &e)
 }
 
 ServerConfig &
+ServerConfig::withIngest(const IngestConfig &i)
+{
+    ingest = i;
+    return *this;
+}
+
+ServerConfig &
 ServerConfig::withMetrics(bool on)
 {
     metricsEnabled = on;
@@ -273,6 +280,19 @@ checkElasticClass(const char *name, const ElasticClassConfig &cc)
     if (cc.ratePerSec > 0.0 && cc.absence < 0.0)
         return fmt("elasticity.%s.absence must be >= 0, got %g", name,
                    cc.absence);
+    return "";
+}
+
+/** Ingest traffic classes: sane rates, batch sizes, priorities. */
+std::string
+checkIngestClass(const char *name, const IngestClassConfig &cc)
+{
+    if (cc.ratePerSec < 0.0)
+        return fmt("ingest.%s.ratePerSec must be >= 0, got %g", name,
+                   cc.ratePerSec);
+    if (cc.ratePerSec > 0.0 && cc.samplesPerEvent <= 0.0)
+        return fmt("ingest.%s.samplesPerEvent must be > 0, got %g", name,
+                   cc.samplesPerEvent);
     return "";
 }
 
@@ -432,6 +452,80 @@ ServerConfig::validate() const
                        "topology has only %zu groups",
                        i, elasticTargetKindName(ev.target), ev.index,
                        numGroups);
+    }
+
+    if (ingest.enabled) {
+        if (!(err = checkIngestClass("steady", ingest.steady)).empty())
+            return err;
+        if (!(err = checkIngestClass("diurnal", ingest.diurnal)).empty())
+            return err;
+        if (!(err = checkIngestClass("burst", ingest.burst)).empty())
+            return err;
+        if (ingest.diurnalAmplitude < 0.0 || ingest.diurnalAmplitude > 1.0)
+            return fmt("ingest.diurnalAmplitude must be in [0, 1], got %g",
+                       ingest.diurnalAmplitude);
+        if (ingest.diurnal.ratePerSec > 0.0 && ingest.diurnalPeriod <= 0.0)
+            return fmt("ingest.diurnalPeriod must be > 0, got %g",
+                       ingest.diurnalPeriod);
+        if (ingest.bufferCapacity <= 0.0)
+            return fmt("ingest.bufferCapacity must be > 0 samples, got %g",
+                       ingest.bufferCapacity);
+        if (ingest.lowWatermark < 0.0)
+            return fmt("ingest.lowWatermark must be >= 0, got %g",
+                       ingest.lowWatermark);
+        if (!(ingest.lowWatermark < ingest.highWatermark &&
+              ingest.highWatermark <= ingest.bufferCapacity))
+            return fmt("ingest watermarks must be ordered low < high <= "
+                       "capacity, got low %g, high %g, capacity %g",
+                       ingest.lowWatermark, ingest.highWatermark,
+                       ingest.bufferCapacity);
+        if (ingest.policyChain.empty())
+            return "ingest.policyChain must name at least one overload "
+                   "policy";
+        for (std::size_t i = 0; i < ingest.policyChain.size(); ++i)
+            for (std::size_t j = i + 1; j < ingest.policyChain.size(); ++j)
+                if (ingest.policyChain[i] == ingest.policyChain[j])
+                    return fmt("ingest.policyChain lists %s twice "
+                               "(positions %zu and %zu)",
+                               ingestPolicyName(ingest.policyChain[i]), i,
+                               j);
+        if (ingest.throttleFactor < 0.0 || ingest.throttleFactor >= 1.0)
+            return fmt("ingest.throttleFactor must be in [0, 1), got %g",
+                       ingest.throttleFactor);
+        if (ingest.echoFactor < 1.0)
+            return fmt("ingest.echoFactor must be >= 1, got %g",
+                       ingest.echoFactor);
+        if (ingest.echoEfficiency < 0.0 || ingest.echoEfficiency > 1.0)
+            return fmt("ingest.echoEfficiency must be in [0, 1], got %g",
+                       ingest.echoEfficiency);
+        if (ingest.stalenessSlo < 0.0)
+            return fmt("ingest.stalenessSlo must be >= 0, got %g",
+                       ingest.stalenessSlo);
+        if (ingest.writeChunkSamples <= 0.0)
+            return fmt("ingest.writeChunkSamples must be > 0, got %g",
+                       ingest.writeChunkSamples);
+        if (ingest.writeFailureProb < 0.0 || ingest.writeFailureProb >= 1.0)
+            return fmt("ingest.writeFailureProb must be in [0, 1), got %g",
+                       ingest.writeFailureProb);
+        if (ingest.writeRetryBackoff < 0.0)
+            return fmt("ingest.writeRetryBackoff must be >= 0, got %g",
+                       ingest.writeRetryBackoff);
+        prevAt = 0.0;
+        for (std::size_t i = 0; i < ingest.schedule.size(); ++i) {
+            const IngestArrival &ev = ingest.schedule[i];
+            if (ev.at < 0.0)
+                return fmt("ingest.schedule[%zu].at must be >= 0, got %g",
+                           i, ev.at);
+            if (ev.at < prevAt)
+                return fmt("ingest.schedule must be ordered by time: "
+                           "event %zu at %g precedes event %zu at %g",
+                           i, ev.at, i - 1, prevAt);
+            prevAt = ev.at;
+            if (ev.samples < 0.0)
+                return fmt("ingest.schedule[%zu].samples must be >= 0, "
+                           "got %g",
+                           i, ev.samples);
+        }
     }
     return "";
 }

@@ -23,6 +23,7 @@
 
 #include "sim/elastic_schedule.hh"
 #include "sim/fault_injector.hh"
+#include "sim/ingest.hh"
 #include "sync/sync_model.hh"
 #include "trainbox/checkpoint.hh"
 #include "workload/model_zoo.hh"
@@ -165,6 +166,17 @@ struct ServerConfig
     ElasticityConfig elasticity;
 
     /**
+     * Streaming-ingest scenario: continuous sample arrival into a
+     * bounded host-DRAM buffer, shard writes contending with training
+     * reads, and the overload policy chain
+     * (docs/ROBUSTNESS.md, "Streaming ingest & overload"). Disabled by
+     * default; when disabled the session takes exactly the
+     * resident-dataset path (results are bit-identical to a build
+     * without the subsystem).
+     */
+    IngestConfig ingest;
+
+    /**
      * Record metrics during the run: per-resource utilization
      * histograms in the fluid solver plus session compute/sync busy
      * counters, surfaced through SessionReport (docs/OBSERVABILITY.md).
@@ -216,6 +228,7 @@ struct ServerConfig
     ServerConfig &withFaults(const FaultConfig &f);
     ServerConfig &withCheckpoint(const CheckpointConfig &c);
     ServerConfig &withElasticity(const ElasticityConfig &e);
+    ServerConfig &withIngest(const IngestConfig &i);
     ServerConfig &withMetrics(bool on = true);
 
     /** Resolved per-accelerator batch size. */

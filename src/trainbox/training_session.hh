@@ -39,6 +39,21 @@
  * capacity and parks (without deadlock) at zero capacity. With
  * elasticity disabled the membership never changes and results are
  * bit-identical to a build without the subsystem.
+ *
+ * When ServerConfig::ingest.enabled is set an IngestScheduler
+ * (sim/ingest.hh) streams sample arrivals into a bounded host-DRAM
+ * ingest buffer; the session drains it through the per-group
+ * ingest_write stage template (shard appends contending with prep
+ * reads via the SSD write→read interference) with bounded
+ * retry/backoff, and applies the configured overload policy chain
+ * (throttle → shed → echo → stall) as the buffer crosses its
+ * watermarks. The ingest conservation ledger
+ *
+ *   arrived == admitted + shed + inFlight
+ *
+ * is panic-checked at the end of every ingest-enabled run. With ingest
+ * disabled no arrival, buffer, or write machinery is ever constructed
+ * and results are bit-identical to a build without the subsystem.
  */
 
 #ifndef TRAINBOX_TRAINBOX_TRAINING_SESSION_HH
@@ -46,6 +61,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -53,6 +69,7 @@
 
 #include "sim/elastic_schedule.hh"
 #include "sim/fault_injector.hh"
+#include "sim/ingest.hh"
 #include "sim/trace.hh"
 #include "trainbox/checkpoint.hh"
 #include "trainbox/server_builder.hh"
@@ -197,6 +214,53 @@ struct SessionResult
         double samplesDiscarded = 0.0;   ///< dropped (crash or detach)
     };
     ElasticityStats elasticity;
+
+    /**
+     * Streaming-ingest counters plus the ingest conservation ledger
+     * (all zero when ingest is disabled). The ledger identity
+     *
+     *   arrived == admitted + shed + inFlightAtEnd
+     *
+     * with shed == throttled + shedPolicy + overflowDropped +
+     * abandonedWrites is panic-checked at the end of every
+     * ingest-enabled run.
+     */
+    struct IngestStats
+    {
+        std::size_t arrivalEvents = 0;  ///< arrival batches delivered
+        std::size_t overloadTrips = 0;  ///< buffer reached high watermark
+        std::size_t stalls = 0;         ///< stall-policy engagements
+        std::size_t writeFlows = 0;     ///< shard-write flows started
+        std::size_t writeRetries = 0;   ///< writes retried after backoff
+        std::size_t writeFailures = 0;  ///< chunks abandoned (budget out)
+
+        // --- conservation ledger (samples) ---------------------------
+        double samplesArrived = 0.0;   ///< offered by the arrival process
+        double samplesAdmitted = 0.0;  ///< durably landed on a shard
+        double samplesShed = 0.0;      ///< total rejected/dropped
+        double samplesThrottled = 0.0;       ///< throttle-policy rejects
+        double samplesShedPolicy = 0.0;      ///< shed-policy drops
+        double samplesOverflowDropped = 0.0; ///< buffer-full drops
+        double samplesAbandonedWrites = 0.0; ///< retry budget exhausted
+        double samplesInFlightAtEnd = 0.0;   ///< buffered or being written
+
+        /** Stale batch-fraction reused by the echo policy (samples). */
+        double samplesEchoed = 0.0;
+
+        Time overloadTime = 0.0;     ///< wall time with >=1 policy engaged
+        Time stallTime = 0.0;        ///< wall time with compute stalled
+        double peakBufferLevel = 0.0; ///< max buffered+writing samples
+
+        // --- freshness / staleness SLO -------------------------------
+        double stalenessSum = 0.0; ///< sum of samples * (land - arrive)
+        Time stalenessMax = 0.0;   ///< worst single-sample staleness
+        double samplesWithinSlo = 0.0; ///< admitted within stalenessSlo
+
+        /** Config echoes (SessionReport ingest ratios). */
+        Time stalenessSloSec = 0.0;
+        double echoEfficiency = 1.0;
+    };
+    IngestStats ingest;
 
     /** Total simulated wall time of the run (start to last sync). */
     Time wallTime = 0.0;
@@ -358,6 +422,15 @@ class TrainingSession
     void replanOffload();
     void accrueCapacity();
 
+    // --- streaming-ingest path (never reached when ingest_ is null) --
+    void onIngestArrival(const IngestArrival &ev);
+    bool ingestPolicyEngaged(IngestPolicy p) const;
+    double ingestLevel() const;
+    void updateIngestOverload();
+    void pumpIngestWrites();
+    void startIngestWrite(std::size_t attempt);
+    void onIngestWriteDone(std::size_t attempt);
+
     // --- fault-injection path (never reached when fault_ is null) ----
     void onFault(const FaultEvent &ev);
     void onRepair(const FaultEvent &ev);
@@ -404,6 +477,27 @@ class TrainingSession
     SessionResult::ElasticityStats elasticStats_;
     Time lastCapacityMark_ = 0.0;
     double activeFractionIntegral_ = 0.0;
+
+    // --- streaming ingest --------------------------------------------
+    std::unique_ptr<IngestScheduler> ingest_;
+    SessionResult::IngestStats ingestStats_;
+
+    /** One admitted arrival batch awaiting its shard write (FIFO). */
+    struct IngestCohort
+    {
+        double samples = 0.0;
+        Time arrivedAt = 0.0;
+    };
+    std::deque<IngestCohort> ingestQueue_; ///< buffered, not yet writing
+    std::vector<IngestCohort> ingestWritingCohorts_; ///< current chunk
+    double ingestBuffered_ = 0.0; ///< samples buffered (excl. writing)
+    double ingestWriting_ = 0.0;  ///< samples in the in-flight write
+    std::size_t ingestWriteGroup_ = 0; ///< round-robin shard target
+    std::uint64_t ingestEngaged_ = 0;  ///< bitmask over policyChain
+    bool ingestStalled_ = false;       ///< stall policy holds compute
+    Time ingestStallStart_ = 0.0;
+    Time ingestOverloadStart_ = 0.0;
+    std::uint64_t ingestWriteEpoch_ = 0; ///< stales pending retries
 
     // sample ledger (always tracked; conservation panic-checked)
     double samplesPrepared_ = 0.0;

@@ -122,6 +122,37 @@ chaosScenario(std::uint64_t seed)
         cfg.elasticity.deferredJoinGroups = 1;
         cfg.elasticity.scaleUpTime = u01(seed, 24);
     }
+
+    // Streaming ingest joins the mix on streams >= 25 (the earlier
+    // streams are spoken for above; reusing one would correlate the
+    // subsystems' knobs). Sustained rates stay below the ~58k
+    // samples/s shard-write drain capacity at this scale, and the
+    // randomized chains never end in Stall: a sustained-overload trace
+    // that stalls training forever is a livelock by construction, not
+    // a chaos finding (docs/ROBUSTNESS.md). The directed tests below
+    // cover Stall with finite bursts.
+    cfg.ingest.enabled = u01(seed, 25) < 0.5;
+    cfg.ingest.seed = seed;
+    if (cfg.ingest.enabled) {
+        cfg.ingest.steady = {30000.0 * u01(seed, 26), 256.0, 2};
+        cfg.ingest.diurnal = {15000.0 * u01(seed, 27), 128.0, 1};
+        cfg.ingest.burst = {10000.0 * u01(seed, 28), 512.0, 0};
+        cfg.ingest.diurnalAmplitude = u01(seed, 29);
+        cfg.ingest.diurnalPeriod = 5.0 + 10.0 * u01(seed, 30);
+        cfg.ingest.bufferCapacity = 4096.0 + 28672.0 * u01(seed, 31);
+        cfg.ingest.highWatermark = 0.75 * cfg.ingest.bufferCapacity;
+        cfg.ingest.lowWatermark = 0.25 * cfg.ingest.bufferCapacity;
+        if (u01(seed, 32) < 0.5)
+            cfg.ingest.policyChain = {IngestPolicy::Throttle,
+                                      IngestPolicy::Shed,
+                                      IngestPolicy::Echo};
+        else
+            cfg.ingest.policyChain = {IngestPolicy::Shed,
+                                      IngestPolicy::Echo};
+        cfg.ingest.echoFactor = 1.5 + u01(seed, 33);
+        cfg.ingest.writeFailureProb = 0.2 * u01(seed, 34);
+        cfg.ingest.stalenessSlo = u01(seed, 35) < 0.5 ? 0.1 : 0.0;
+    }
     return cfg;
 }
 
@@ -166,6 +197,28 @@ checkInvariants(const SessionResult &res, std::size_t measure,
     EXPECT_GE(e.samplesLostToPreemption, 0.0);
     EXPECT_GE(e.samplesSavedByDrain, 0.0);
     EXPECT_GE(e.samplesDroppedAtDrain, 0.0);
+
+    // Ingest conservation: arrived == admitted + shed + in-flight
+    // (also panic-checked inside the session), and the shed side
+    // decomposes exactly into its causes.
+    const auto &in = res.ingest;
+    const double ingest_gap =
+        in.samplesArrived -
+        (in.samplesAdmitted + in.samplesShed + in.samplesInFlightAtEnd);
+    EXPECT_LE(std::fabs(ingest_gap),
+              1e-6 * std::max(1.0, in.samplesArrived));
+    EXPECT_NEAR(in.samplesShed,
+                in.samplesThrottled + in.samplesShedPolicy +
+                    in.samplesOverflowDropped + in.samplesAbandonedWrites,
+                1e-6 * std::max(1.0, in.samplesShed));
+    EXPECT_GE(in.samplesArrived, 0.0);
+    EXPECT_GE(in.samplesAdmitted, 0.0);
+    EXPECT_GE(in.samplesInFlightAtEnd, 0.0);
+    EXPECT_GE(in.overloadTime, 0.0);
+    EXPECT_LE(in.overloadTime, res.wallTime * (1.0 + 1e-9));
+    // A stall only exists inside an overload window.
+    EXPECT_GE(in.stallTime, 0.0);
+    EXPECT_LE(in.stallTime, in.overloadTime * (1.0 + 1e-9));
 }
 
 // --- everything off => bit-identical goldens -------------------------
@@ -208,6 +261,14 @@ TEST(ChaosDisabled, PresetThroughputsBitIdentical)
             << presetName(g.preset);
         EXPECT_DOUBLE_EQ(res.elasticity.samplesDiscarded, 0.0)
             << presetName(g.preset);
+        // Disabled ingest is a true zero: no arrivals, no writes, no
+        // overload accounting may exist on the golden path.
+        EXPECT_EQ(res.ingest.arrivalEvents, 0u) << presetName(g.preset);
+        EXPECT_EQ(res.ingest.writeFlows, 0u) << presetName(g.preset);
+        EXPECT_DOUBLE_EQ(res.ingest.samplesArrived, 0.0)
+            << presetName(g.preset);
+        EXPECT_DOUBLE_EQ(res.ingest.overloadTime, 0.0)
+            << presetName(g.preset);
     }
 }
 
@@ -235,6 +296,8 @@ TEST(ChaosSweep, RandomizedSchedulesHoldInvariants)
     constexpr std::size_t kMeasure = 6;
     std::size_t elastic_events = 0;
     std::size_t fault_windows = 0;
+    std::size_t ingest_arrivals = 0;
+    std::size_t overload_trips = 0;
     for (std::uint64_t seed = 1; seed <= kSchedules; ++seed) {
         const ServerConfig cfg = chaosScenario(seed);
         const SessionResult res = runSession(cfg, 3, kMeasure);
@@ -242,6 +305,8 @@ TEST(ChaosSweep, RandomizedSchedulesHoldInvariants)
                         ("seed " + std::to_string(seed)).c_str());
         elastic_events += res.elasticity.events;
         fault_windows += res.faults.faultsInjected;
+        ingest_arrivals += res.ingest.arrivalEvents;
+        overload_trips += res.ingest.overloadTrips;
 
         // Determinism: replay a subset bit-exactly (each replay doubles
         // the cost of one schedule, so sample rather than replay all).
@@ -256,11 +321,21 @@ TEST(ChaosSweep, RandomizedSchedulesHoldInvariants)
                              res.elasticity.samplesPrepared);
             EXPECT_DOUBLE_EQ(again.elasticity.samplesDiscarded,
                              res.elasticity.samplesDiscarded);
+            EXPECT_EQ(again.ingest.arrivalEvents,
+                      res.ingest.arrivalEvents);
+            EXPECT_DOUBLE_EQ(again.ingest.samplesArrived,
+                             res.ingest.samplesArrived);
+            EXPECT_DOUBLE_EQ(again.ingest.samplesShed,
+                             res.ingest.samplesShed);
+            EXPECT_DOUBLE_EQ(again.ingest.stalenessSum,
+                             res.ingest.stalenessSum);
         }
     }
     // The sweep must actually exercise the machinery it claims to.
     EXPECT_GT(elastic_events, kSchedules);
     EXPECT_GT(fault_windows, 0u);
+    EXPECT_GT(ingest_arrivals, 0u);
+    EXPECT_GT(overload_trips, 0u);
 }
 
 // --- zero-capacity liveness ------------------------------------------
@@ -374,6 +449,86 @@ TEST(ChaosPrep, PrepLeavesRebalanceAndRecover)
     EXPECT_DOUBLE_EQ(res.elasticity.degradedCapacityTime, 0.0);
 }
 
+// --- ingest in the mix ------------------------------------------------
+
+TEST(ChaosIngest, StallDuringDrainStaysLive)
+{
+    // The nastiest liveness corner: an overload burst escalates the
+    // full chain up to Stall (training parked on backpressure) while a
+    // group drain removes half the attached capacity. The shard-write
+    // pump runs independently of training, so the buffer must drain,
+    // the stall must lift, and every step must still complete.
+    ServerConfig cfg = chaosConfig();
+    cfg.ingest.enabled = true;
+    cfg.ingest.policyChain = {IngestPolicy::Throttle, IngestPolicy::Shed,
+                              IngestPolicy::Echo, IngestPolicy::Stall};
+    cfg.ingest.bufferCapacity = 65536.0;
+    cfg.ingest.highWatermark = 8192.0;
+    cfg.ingest.lowWatermark = 4096.0;
+    cfg.ingest.throttleFactor = 0.9;
+    // A finite burst (4x capacity offered) at priority 3 so the Shed
+    // stage passes it through and the level climbs into Stall range.
+    for (int i = 0; i < 24; ++i)
+        cfg.ingest.schedule.push_back(
+            {IngestTrafficKind::Burst, 4096.0, 3, 1.0 + 2e-4 * i});
+    cfg.elasticity.enabled = true;
+    cfg.elasticity.graceWindow = 0.3;
+    cfg.elasticity.schedule = {
+        {ElasticTargetKind::Group, ElasticAction::Drain, 0, 1.0},
+        {ElasticTargetKind::Group, ElasticAction::Join, 0, 4.0},
+    };
+    const SessionResult res = runSession(cfg, 3, 6);
+    checkInvariants(res, 6, "stall-during-drain");
+    EXPECT_GE(res.ingest.overloadTrips, 1u);
+    EXPECT_GE(res.ingest.stalls, 1u);
+    EXPECT_GT(res.ingest.stallTime, 0.0);
+    EXPECT_EQ(res.elasticity.drains, 1u);
+    EXPECT_EQ(res.elasticity.joins, 1u);
+    EXPECT_GT(res.ingest.samplesAdmitted, 0.0);
+    EXPECT_GT(res.throughput, 0.0);
+}
+
+TEST(ChaosIngest, OverloadBurstUnderFaultsAndElasticityIsDeterministic)
+{
+    // Everything at once: flaky shard writes, SSD faults, a fatal
+    // crash rate, spot preemptions, AND a sustained overload feed. The
+    // ledgers must hold and a replay must be bit-identical.
+    ServerConfig cfg = chaosConfig();
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 1234;
+    cfg.faults.ssdReadFailureProb = 0.01;
+    cfg.faults.ssdDegrade.ratePerSec = 0.05;
+    cfg.faults.ssdDegrade.duration = 1.0;
+    cfg.faults.fatalCrash.ratePerSec = 0.01;
+    cfg.elasticity.enabled = true;
+    cfg.elasticity.seed = 1234;
+    cfg.elasticity.groupPreempt.ratePerSec = 0.1;
+    cfg.elasticity.groupPreempt.absence = 1.0;
+    cfg.ingest.enabled = true;
+    cfg.ingest.seed = 1234;
+    cfg.ingest.steady = {40000.0, 256.0, 2};
+    cfg.ingest.burst = {20000.0, 512.0, 0};
+    cfg.ingest.writeFailureProb = 0.2;
+    cfg.ingest.stalenessSlo = 0.1;
+    const SessionResult res = runSession(cfg, 3, 6);
+    checkInvariants(res, 6, "overload-under-chaos");
+    EXPECT_GT(res.ingest.arrivalEvents, 0u);
+    EXPECT_GT(res.ingest.samplesAdmitted, 0.0);
+
+    const SessionResult again = runSession(cfg, 3, 6);
+    EXPECT_DOUBLE_EQ(again.throughput, res.throughput);
+    EXPECT_DOUBLE_EQ(again.wallTime, res.wallTime);
+    EXPECT_EQ(again.ingest.arrivalEvents, res.ingest.arrivalEvents);
+    EXPECT_EQ(again.ingest.writeRetries, res.ingest.writeRetries);
+    EXPECT_DOUBLE_EQ(again.ingest.samplesArrived,
+                     res.ingest.samplesArrived);
+    EXPECT_DOUBLE_EQ(again.ingest.samplesAdmitted,
+                     res.ingest.samplesAdmitted);
+    EXPECT_DOUBLE_EQ(again.ingest.samplesShed, res.ingest.samplesShed);
+    EXPECT_DOUBLE_EQ(again.ingest.stalenessMax,
+                     res.ingest.stalenessMax);
+}
+
 // --- report ratio properties -----------------------------------------
 
 TEST(ChaosProperties, ReportRatiosStayInUnitInterval)
@@ -402,6 +557,15 @@ TEST(ChaosProperties, ReportRatiosStayInUnitInterval)
         EXPECT_LE(report.capacityAvailability(), 1.0);
         EXPECT_GE(report.sloAttainment(), 0.0);
         EXPECT_LE(report.sloAttainment(), 1.0);
+        EXPECT_GE(report.ingestAdmitRate(), 0.0);
+        EXPECT_LE(report.ingestAdmitRate(), 1.0);
+        EXPECT_GE(report.ingestShedRate(), 0.0);
+        EXPECT_LE(report.ingestShedRate(), 1.0);
+        EXPECT_GE(report.freshnessSloAttainment(), 0.0);
+        EXPECT_LE(report.freshnessSloAttainment(), 1.0);
+        EXPECT_GE(report.echoEffectiveFactor(), 0.0);
+        EXPECT_LE(report.echoEffectiveFactor(), 1.0);
+        EXPECT_GE(report.avgIngestStaleness(), 0.0);
 
         // The report identities hold under chaos too.
         const auto &res = report.result;

@@ -234,6 +234,179 @@ TEST(ServerConfigValidate, RejectsBadExplicitSchedule)
     EXPECT_EQ(cfg.validate(), "");
 }
 
+TEST(ServerConfigValidate, IngestKnobsOnlyCheckedWhenEnabled)
+{
+    // Like checkpoint: a nonsense ingest block is ignored until the
+    // subsystem is switched on.
+    ServerConfig cfg = valid();
+    cfg.ingest.bufferCapacity = 0.0;
+    EXPECT_EQ(cfg.validate(), "");
+    cfg.ingest.enabled = true;
+    EXPECT_NE(cfg.validate().find("ingest.bufferCapacity"),
+              std::string::npos);
+
+    // A fully armed ingest scenario passes clean.
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.steady.ratePerSec = 1000.0;
+    cfg.ingest.diurnal.ratePerSec = 500.0;
+    cfg.ingest.burst.ratePerSec = 200.0;
+    cfg.ingest.stalenessSlo = 0.1;
+    cfg.ingest.writeFailureProb = 0.1;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ServerConfigValidate, RejectsBadIngestTrafficClasses)
+{
+    const auto armed = [] {
+        ServerConfig cfg = valid();
+        cfg.ingest.enabled = true;
+        return cfg;
+    };
+
+    ServerConfig cfg = armed();
+    cfg.ingest.steady.ratePerSec = -1.0;
+    EXPECT_NE(cfg.validate().find("ingest.steady.ratePerSec must be "
+                                  ">= 0"),
+              std::string::npos);
+
+    // Batch size only matters once the class is live.
+    cfg = armed();
+    cfg.ingest.burst.samplesPerEvent = 0.0;
+    EXPECT_EQ(cfg.validate(), "");
+    cfg.ingest.burst.ratePerSec = 100.0;
+    EXPECT_NE(cfg.validate().find("ingest.burst.samplesPerEvent must "
+                                  "be > 0"),
+              std::string::npos);
+
+    cfg = armed();
+    cfg.ingest.diurnalAmplitude = 1.5;
+    EXPECT_NE(cfg.validate().find("ingest.diurnalAmplitude"),
+              std::string::npos);
+
+    // The period only matters once the diurnal class is live.
+    cfg = armed();
+    cfg.ingest.diurnalPeriod = 0.0;
+    EXPECT_EQ(cfg.validate(), "");
+    cfg.ingest.diurnal.ratePerSec = 100.0;
+    EXPECT_NE(cfg.validate().find("ingest.diurnalPeriod"),
+              std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsBadIngestWatermarks)
+{
+    ServerConfig cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.lowWatermark = -1.0;
+    EXPECT_NE(cfg.validate().find("ingest.lowWatermark"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.lowWatermark = 6144.0;
+    cfg.ingest.highWatermark = 2048.0;
+    const std::string err = cfg.validate();
+    EXPECT_NE(err.find("ordered low < high <= capacity"),
+              std::string::npos);
+    EXPECT_NE(err.find("low 6144"), std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.highWatermark = cfg.ingest.bufferCapacity + 1.0;
+    EXPECT_NE(cfg.validate().find("ordered low < high <= capacity"),
+              std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsBadIngestPolicyChain)
+{
+    ServerConfig cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.policyChain.clear();
+    EXPECT_NE(cfg.validate().find("at least one overload policy"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.policyChain = {IngestPolicy::Throttle, IngestPolicy::Shed,
+                              IngestPolicy::Throttle};
+    const std::string err = cfg.validate();
+    EXPECT_NE(err.find("lists throttle twice"), std::string::npos);
+    EXPECT_NE(err.find("positions 0 and 2"), std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.throttleFactor = 1.0; // admits everything: no throttle
+    EXPECT_NE(cfg.validate().find("ingest.throttleFactor"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.echoFactor = 0.5; // would consume MORE fresh samples
+    EXPECT_NE(cfg.validate().find("ingest.echoFactor"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.echoEfficiency = -0.1;
+    EXPECT_NE(cfg.validate().find("ingest.echoEfficiency"),
+              std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsBadIngestWriteAndSloKnobs)
+{
+    ServerConfig cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.stalenessSlo = -0.5;
+    EXPECT_NE(cfg.validate().find("ingest.stalenessSlo"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.writeChunkSamples = 0.0;
+    EXPECT_NE(cfg.validate().find("ingest.writeChunkSamples"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.writeFailureProb = 1.0; // certain failure never lands
+    EXPECT_NE(cfg.validate().find("ingest.writeFailureProb"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.writeRetryBackoff = -1e-3;
+    EXPECT_NE(cfg.validate().find("ingest.writeRetryBackoff"),
+              std::string::npos);
+}
+
+TEST(ServerConfigValidate, RejectsBadIngestSchedule)
+{
+    ServerConfig cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.schedule = {{IngestTrafficKind::Burst, 64.0, 0, -1.0}};
+    EXPECT_NE(cfg.validate().find("ingest.schedule[0].at"),
+              std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.schedule = {{IngestTrafficKind::Burst, 64.0, 0, 5.0},
+                           {IngestTrafficKind::Burst, 64.0, 0, 2.0}};
+    EXPECT_NE(cfg.validate().find("ordered by time"), std::string::npos);
+
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.schedule = {{IngestTrafficKind::Burst, -64.0, 0, 1.0}};
+    EXPECT_NE(cfg.validate().find("ingest.schedule[0].samples"),
+              std::string::npos);
+
+    // A well-formed schedule passes.
+    cfg = valid();
+    cfg.ingest.enabled = true;
+    cfg.ingest.schedule = {{IngestTrafficKind::Burst, 64.0, 0, 1.0},
+                           {IngestTrafficKind::Steady, 32.0, 2, 4.0}};
+    EXPECT_EQ(cfg.validate(), "");
+}
+
 TEST(ServerConfigValidate, BuilderRefusesInvalidConfig)
 {
     ServerConfig cfg = valid();

@@ -60,3 +60,11 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
 # state machine and zero-capacity parking run under the sanitizer
 # (docs/ROBUSTNESS.md, "Elastic capacity & graceful degradation").
 "$build_dir/bench/elastic_sweep" --smoke
+
+# Ingest smoke: streaming arrivals under overload — disabled-path
+# bit-identity, the arrived == admitted + shed + in-flight ledger over
+# randomized traffic mixes, and the policy-chain goodput ordering
+# (adaptive chains beat a hard stall under a 4x burst), instrumented so
+# the admission state machine and write-retry paths run under the
+# sanitizer (docs/ROBUSTNESS.md, "Streaming ingest & overload").
+"$build_dir/bench/ingest_sweep" --smoke

@@ -48,6 +48,7 @@ struct Options
     double corrupt = 0.0;   // per-hop corruption flip probability
     bool checks = false;    // insert integrity-verify stages
     bool elastic = false;   // canned elasticity demo schedule
+    bool ingest = false;    // canned streaming-ingest demo traffic
     std::size_t prepSmoke = 0; // real-executor items to run and attach
     std::string jsonPath;  // "-" = stdout
     std::string csvPath;   // "-" = stdout
@@ -77,6 +78,10 @@ usage(std::FILE *out)
         "  --elastic        enable a demo elasticity schedule (group\n"
         "                   drains, spot preemptions, rejoins) and the\n"
         "                   SLO/elasticity report block\n"
+        "  --ingest         enable a demo streaming-ingest feed (steady\n"
+        "                   + diurnal + burst traffic near the shard-\n"
+        "                   write drain capacity) and the ingest/\n"
+        "                   freshness report block\n"
         "  --prep-smoke N   also run N items through the real prep\n"
         "                   executor (some deliberately bit-flipped)\n"
         "                   and attach its quarantine to the report\n"
@@ -248,6 +253,8 @@ main(int argc, char **argv)
             opt.checks = true;
         } else if (arg == "--elastic") {
             opt.elastic = true;
+        } else if (arg == "--ingest") {
+            opt.ingest = true;
         } else if (arg == "--prep-smoke") {
             opt.prepSmoke = std::strtoull(value().c_str(), nullptr, 10);
         } else {
@@ -288,6 +295,25 @@ main(int argc, char **argv)
             tb::workload::model(cfg.model), cfg.numAccelerators,
             cfg.sync);
         cfg = cfg.withElasticity(e);
+    }
+    if (opt.ingest) {
+        // Canned demo: three traffic classes sized off the box count
+        // (shard-write drain capacity scales with the SSD population),
+        // peaking a little above drain so the overload chain engages.
+        tb::IngestConfig in;
+        in.enabled = true;
+        const double boxes = static_cast<double>(
+            (cfg.numAccelerators + cfg.box.accPerBox - 1) /
+            cfg.box.accPerBox);
+        in.steady = {15000.0 * boxes, 256.0, 2};
+        in.diurnal = {8000.0 * boxes, 128.0, 1};
+        in.burst = {10000.0 * boxes, 512.0, 0};
+        in.diurnalAmplitude = 0.8;
+        in.bufferCapacity = 16384.0;
+        in.highWatermark = 12288.0;
+        in.lowWatermark = 4096.0;
+        in.stalenessSlo = 0.1;
+        cfg = cfg.withIngest(in);
     }
     const std::string problem = cfg.validate();
     if (!problem.empty()) {
