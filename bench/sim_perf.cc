@@ -51,6 +51,7 @@
 #include "common/random.hh"
 #include "fluid/fluid.hh"
 #include "sim/event_queue.hh"
+#include "trainbox/fleet.hh"
 #include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
 #include "trainbox/training_session.hh"
@@ -112,16 +113,16 @@ runSession(const char *caseName, std::size_t accs,
         cfg.numAccelerators = accs;
 
         auto server = buildServer(cfg);
-        server->net.setSolverMode(mode);
+        server->core().fluid().setSolverMode(mode);
         if (parallel)
-            server->net.setParallelWorkers(kParallelWorkers,
-                                           /*minFlows=*/64);
+            server->core().fluid().setParallelWorkers(kParallelWorkers,
+                                                      /*minFlows=*/64);
 
         TrainingSession session(*server);
         const auto t0 = Clock::now();
         const SessionReport report = session.runReport(warmup, measure);
         r.wallS += secondsSince(t0);
-        r.events += server->eq.numExecuted();
+        r.events += server->core().events().numExecuted();
         r.metric = report.throughput(); // deterministic across reps
     }
     r.eventsPerSec =
@@ -203,6 +204,58 @@ runFleet(const char *caseName, std::size_t jobs,
     r.eventsPerSec =
         wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
     r.metric = static_cast<double>(net.numActive());
+    return r;
+}
+
+// --- fleet_sessions ------------------------------------------------------
+
+/**
+ * End-to-end multi-job fleet on one shared core (trainbox/fleet.hh):
+ * @p jobs co-resident mixed vision + audio TrainBox sessions, each a
+ * full training run with its own prefixed fluid server — the realistic
+ * fleet-scale solver shape (many mid-size disjoint components, all
+ * live at once), where fleet_10k above is the synthetic raw-flow
+ * stress. Metric is the fleet's aggregate throughput, which must be
+ * bit-identical across solver modes.
+ */
+CaseResult
+runFleetSessions(const char *caseName, std::size_t jobs,
+                 FluidNetwork::SolverMode mode, bool parallel,
+                 std::size_t warmup, std::size_t measure)
+{
+    FleetConfig cfg;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        cfg.hosts.push_back({"host" + std::to_string(j), 2});
+        FleetJobSpec job;
+        const bool audio = j % 2 == 1;
+        job.name =
+            (audio ? "audio" : "vision") + std::to_string(j);
+        job.arrival = 0.01 * static_cast<double>(j);
+        job.config.preset = ArchPreset::TrainBox;
+        job.config.model = audio ? workload::ModelId::TfSr
+                                 : workload::ModelId::Resnet50;
+        job.config.numAccelerators = 16;
+        job.config.prepPoolFpgas = 4;
+        job.warmupSteps = warmup;
+        job.measureSteps = measure;
+        cfg.jobs.push_back(job);
+    }
+    cfg.overrideSolverMode = true;
+    cfg.solverMode = mode;
+    cfg.parallelWorkers = parallel ? kParallelWorkers : 0;
+
+    const auto t0 = Clock::now();
+    const FleetReport report = runFleet(std::move(cfg));
+    const double wall = secondsSince(t0);
+
+    CaseResult r;
+    r.name = caseName;
+    r.mode = modeName(mode, parallel);
+    r.wallS = wall;
+    r.events = report.eventsExecuted;
+    r.eventsPerSec =
+        wall > 0.0 ? static_cast<double>(r.events) / wall : 0.0;
+    r.metric = report.aggregateThroughput;
     return r;
 }
 
@@ -434,6 +487,44 @@ main(int argc, char **argv)
         addFleet(incEvents, Mode::Incremental, false);
     if (haveParallel)
         addFleet(incEvents, Mode::Incremental, true);
+
+    // fleet_sessions: the real multi-job fleet (trainbox/fleet.hh) end
+    // to end — co-resident full sessions on one shared core, run to
+    // completion under each mode. Aggregate throughput must be
+    // bit-identical across modes (same guardrail as fig19).
+    const std::size_t fleetJobs = smoke ? 4 : 12;
+    const char *fsName = smoke ? "fleet_sessions_4" : "fleet_sessions_12";
+    const std::size_t fsWarmup = smoke ? 1 : 2;
+    const std::size_t fsMeasure = smoke ? 2 : 4;
+    const CaseResult fsGlobal = runFleetSessions(
+        fsName, fleetJobs, Mode::GlobalResolve, false, fsWarmup,
+        fsMeasure);
+    results.push_back(fsGlobal);
+    auto addFleetSessions = [&](Mode mode, bool parallel) {
+        CaseResult r = runFleetSessions(fsName, fleetJobs, mode, parallel,
+                                        fsWarmup, fsMeasure);
+        r.speedupVsGlobal =
+            fsGlobal.eventsPerSec > 0.0
+                ? r.eventsPerSec / fsGlobal.eventsPerSec
+                : 0.0;
+        results.push_back(r);
+    };
+    addFleetSessions(Mode::FullResolve, false);
+    addFleetSessions(Mode::Incremental, false);
+    if (haveParallel)
+        addFleetSessions(Mode::Incremental, true);
+    for (std::size_t i = results.size() - (haveParallel ? 3 : 2);
+         i < results.size(); ++i) {
+        if (results[i].metric != fsGlobal.metric) {
+            std::fprintf(stderr,
+                         "sim_perf: BIT-IDENTITY VIOLATION: %s/%s "
+                         "aggregate throughput %.17g != global_resolve "
+                         "%.17g\n",
+                         results[i].name.c_str(), results[i].mode.c_str(),
+                         results[i].metric, fsGlobal.metric);
+            return 1;
+        }
+    }
 
     results.push_back(runEqChurn(smoke ? 200000 : 2000000));
 

@@ -104,7 +104,8 @@ FluidNetwork::~FluidNetwork()
 FluidResource *
 FluidNetwork::addResource(const std::string &name, Rate capacity)
 {
-    resources_.push_back(std::make_unique<FluidResource>(name, capacity));
+    resources_.push_back(
+        std::make_unique<FluidResource>(namePrefix_ + name, capacity));
     FluidResource *r = resources_.back().get();
     r->index_ = resources_.size() - 1;
     if (metrics_)
@@ -296,8 +297,18 @@ FluidNetwork::capacityChanged(FluidResource *resource)
 void
 FluidNetwork::resetAccounting()
 {
+    resetAccounting(0, resources_.size());
+}
+
+void
+FluidNetwork::resetAccounting(std::size_t begin, std::size_t end)
+{
+    panic_if(begin > end || end > resources_.size(),
+             "resetAccounting range [%zu, %zu) out of bounds (%zu resources)",
+             begin, end, resources_.size());
     advanceTo(eq_.now());
-    for (auto &r : resources_) {
+    for (std::size_t i = begin; i < end; ++i) {
+        auto &r = resources_[i];
         r->resetAccounting(eq_.now());
         if (r->utilHist_)
             r->utilHist_->reset();

@@ -294,8 +294,25 @@ class FluidNetwork
     FluidNetwork(const FluidNetwork &) = delete;
     FluidNetwork &operator=(const FluidNetwork &) = delete;
 
-    /** Create a resource owned by the network. */
+    /**
+     * Create a resource owned by the network. The current name prefix
+     * (see setNamePrefix) is prepended to @p name, so component builders
+     * stay prefix-oblivious while multiple sessions share one network.
+     */
     FluidResource *addResource(const std::string &name, Rate capacity);
+
+    /**
+     * Namespace prefix prepended to every subsequently added resource
+     * name ("job0." while building that job's server, "" afterwards).
+     * Per-session namespacing keeps name lookups and the "util.<name>"
+     * metric space collision-free when N servers share one network;
+     * the dirty-set solver is unaffected (components are discovered
+     * structurally, not by name).
+     */
+    void setNamePrefix(std::string prefix) { namePrefix_ = std::move(prefix); }
+
+    /** Current resource-name prefix ("" when unset). */
+    const std::string &namePrefix() const { return namePrefix_; }
 
     /** Look up a resource by name (nullptr when absent). */
     FluidResource *findResource(const std::string &name) const;
@@ -370,6 +387,16 @@ class FluidNetwork
     void resetAccounting();
 
     /**
+     * Reset accounting on the creation-order index range
+     * [begin, end) only — one session's slice of a shared network.
+     * A session opening its measurement window must not clear the
+     * served totals of co-resident sessions; a standalone server's
+     * range covers every resource, making this identical to the
+     * global reset.
+     */
+    void resetAccounting(std::size_t begin, std::size_t end);
+
+    /**
      * Attach a metrics registry. When the registry is enabled, the
      * network keeps one time-weighted utilization histogram per
      * resource ("util.<resource>") — rates are piecewise constant
@@ -441,6 +468,7 @@ class FluidNetwork
 
     EventQueue &eq_;
     std::vector<std::unique_ptr<FluidResource>> resources_;
+    std::string namePrefix_;
     std::map<FlowId, FluidFlow> flows_;
     FlowId nextId_ = 1;
     Time lastAdvance_ = 0.0;

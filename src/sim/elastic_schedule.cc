@@ -154,9 +154,9 @@ ElasticScheduler::scheduleClass(EventQueue &eq, std::size_t idx)
 {
     ClassState &cs = classes_[idx];
     const auto [leave, join] = nextPair(cs);
-    eq.schedule(leave.at, [this, &eq, idx, leave, join] {
+    eq.schedule(origin_ + leave.at, [this, &eq, idx, leave, join] {
         deliver(leave);
-        eq.schedule(join.at, [this, join] { deliver(join); });
+        eq.schedule(origin_ + join.at, [this, join] { deliver(join); });
         // Chain the class's next pair (drawn lazily so the timeline
         // extends as far as the simulation runs).
         scheduleClass(eq, idx);
@@ -167,8 +167,11 @@ void
 ElasticScheduler::arm(EventQueue &eq, Handler handler)
 {
     handler_ = std::move(handler);
+    // Anchor the job-relative schedule at the current clock (0 for the
+    // historical standalone run, so x + 0.0 leaves every time exact).
+    origin_ = eq.now();
     for (const ElasticEvent &ev : fixedEvents(cfg_, targets_))
-        eq.schedule(ev.at, [this, ev] { deliver(ev); });
+        eq.schedule(origin_ + ev.at, [this, ev] { deliver(ev); });
     for (std::size_t i = 0; i < classes_.size(); ++i)
         scheduleClass(eq, i);
 }

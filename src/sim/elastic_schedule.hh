@@ -172,7 +172,9 @@ class ElasticScheduler
      * Play the membership schedule onto @p eq. Leaves of one class
      * never overlap (the next leave is drawn from the previous join);
      * different classes may race on one target — the session's state
-     * machine drops transitions that no longer apply.
+     * machine drops transitions that no longer apply. Event times are
+     * job-relative, anchored at the clock reading when arm() is called
+     * (0 for the historical standalone run).
      */
     void arm(EventQueue &eq, Handler handler);
 
@@ -221,6 +223,8 @@ class ElasticScheduler
     std::vector<ClassState> classes_;
     Handler handler_;
     std::size_t delivered_ = 0;
+    /** Clock at arm(): schedules are job-relative, the queue absolute. */
+    Time origin_ = 0.0;
 };
 
 } // namespace tb

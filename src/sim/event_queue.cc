@@ -6,11 +6,6 @@
 
 namespace tb {
 
-namespace {
-/** Below this size a compaction sweep costs more than it saves. */
-constexpr std::size_t kCompactMinHeap = 64;
-} // namespace
-
 EventId
 EventQueue::schedule(Time when, Callback cb, int priority)
 {
@@ -64,7 +59,7 @@ EventQueue::cancel(EventId &id)
     id.invalidate();
     // The heap entry stays behind as a tombstone; sweep when tombstones
     // dominate so cancel-heavy workloads stay O(1) amortized.
-    if (live && heap_.size() >= kCompactMinHeap &&
+    if (live && heap_.size() >= compactMinHeap_ &&
         heap_.size() > 2 * pending_.size())
         compact();
     return live;

@@ -101,6 +101,24 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t numExecuted() const { return numExecuted_; }
 
+    /**
+     * Minimum heap size before cancel() considers a tombstone sweep.
+     * Below the threshold compaction is skipped entirely; above it a
+     * sweep still requires tombstones to outnumber live events 2:1.
+     * Compaction never reorders live events, so retuning the threshold
+     * at any point is behavior-neutral — it only shifts when the
+     * amortized O(n) sweeps happen. Long-lived multi-session cores size
+     * this from the live-event count (see SimulationCore) so fleet-scale
+     * churn doesn't thrash rebuilds.
+     */
+    void setCompactionThreshold(std::size_t minHeap)
+    {
+        compactMinHeap_ = minHeap;
+    }
+
+    /** Current compaction threshold (heap entries, tombstones included). */
+    std::size_t compactionThreshold() const { return compactMinHeap_; }
+
   private:
     struct Key
     {
@@ -141,7 +159,11 @@ class EventQueue
     /** Sweep all tombstones and re-heapify (amortized by cancel()). */
     void compact();
 
+    /** Default compaction threshold; small queues never sweep. */
+    static constexpr std::size_t kDefaultCompactMinHeap = 64;
+
     Time now_ = 0.0;
+    std::size_t compactMinHeap_ = kDefaultCompactMinHeap;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t numExecuted_ = 0;
 

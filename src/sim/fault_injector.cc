@@ -198,11 +198,11 @@ FaultInjector::scheduleClass(EventQueue &eq, std::size_t idx)
 {
     ClassState &cs = classes_[idx];
     const FaultEvent ev = nextEvent(cs);
-    eq.schedule(ev.start, [this, &eq, idx, ev] {
+    eq.schedule(origin_ + ev.start, [this, &eq, idx, ev] {
         ++faultsInjected_;
         if (onFault_)
             onFault_(ev);
-        eq.schedule(ev.start + ev.duration, [this, ev] {
+        eq.schedule(origin_ + ev.start + ev.duration, [this, ev] {
             if (onRepair_)
                 onRepair_(ev);
         });
@@ -218,6 +218,9 @@ FaultInjector::arm(EventQueue &eq, FaultHandler onFault,
 {
     onFault_ = std::move(onFault);
     onRepair_ = std::move(onRepair);
+    // Anchor the job-relative schedule at the current clock (0 for the
+    // historical standalone run, so x + 0.0 leaves every time exact).
+    origin_ = eq.now();
     for (std::size_t i = 0; i < classes_.size(); ++i)
         scheduleClass(eq, i);
 }

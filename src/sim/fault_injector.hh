@@ -289,7 +289,9 @@ class FaultInjector
      * Play the windowed-fault schedule onto @p eq: @p onFault fires at
      * each window's start, @p onRepair at its end. Windows of one class
      * never overlap; the schedule is a pure function of (config,
-     * targets) and is exactly what schedule() previews.
+     * targets) and is exactly what schedule() previews, shifted by the
+     * clock reading at arm() time — a fleet job armed at t > 0 replays
+     * the same job-relative schedule on its own offset timeline.
      */
     void arm(EventQueue &eq, FaultHandler onFault, FaultHandler onRepair);
 
@@ -334,6 +336,8 @@ class FaultInjector
     std::vector<ClassState> classes_;
     FaultHandler onFault_;
     FaultHandler onRepair_;
+    /** Clock at arm(): schedules are job-relative, the queue absolute. */
+    Time origin_ = 0.0;
     std::size_t faultsInjected_ = 0;
     std::size_t readFailures_ = 0;
 };

@@ -134,7 +134,7 @@ IngestScheduler::scheduleClass(EventQueue &eq, std::size_t idx)
 {
     ClassState &cs = classes_[idx];
     const IngestArrival ev = nextArrival(cs);
-    eq.schedule(ev.at, [this, &eq, idx, ev] {
+    eq.schedule(origin_ + ev.at, [this, &eq, idx, ev] {
         deliver(ev);
         // Chain the class's next arrival (drawn lazily so the trace
         // extends as far as the simulation runs).
@@ -146,8 +146,11 @@ void
 IngestScheduler::arm(EventQueue &eq, Handler handler)
 {
     handler_ = std::move(handler);
+    // Anchor the job-relative schedule at the current clock (0 for the
+    // historical standalone run, so x + 0.0 leaves every time exact).
+    origin_ = eq.now();
     for (const IngestArrival &ev : cfg_.schedule)
-        eq.schedule(ev.at, [this, ev] { deliver(ev); });
+        eq.schedule(origin_ + ev.at, [this, ev] { deliver(ev); });
     for (std::size_t i = 0; i < classes_.size(); ++i)
         scheduleClass(eq, i);
 }

@@ -206,7 +206,9 @@ class IngestScheduler
 
     /**
      * Play the arrival schedule onto @p eq. Each class chains its next
-     * event lazily, so the trace extends as far as the run does.
+     * event lazily, so the trace extends as far as the run does. Event
+     * times are job-relative, anchored at the clock reading when arm()
+     * is called (0 for the historical standalone run).
      */
     void arm(EventQueue &eq, Handler handler);
 
@@ -248,6 +250,8 @@ class IngestScheduler
     Rng writeFailRng_;
     Handler handler_;
     std::size_t delivered_ = 0;
+    /** Clock at arm(): schedules are job-relative, the queue absolute. */
+    Time origin_ = 0.0;
 };
 
 } // namespace tb

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Uniform preview interface over the three seeded injector schedules.
+ *
+ * FaultInjector, ElasticScheduler, and IngestScheduler each expose a
+ * deterministic static schedule() preview, but with three different
+ * signatures (FaultTargets vs ElasticTargets vs none) and three event
+ * types. A fleet driver that wants to merge every disturbance onto the
+ * shared core timeline would need per-subsystem glue for each; this
+ * header unifies them behind one ScheduleSource interface with a
+ * consistent static schedule(config, targets, horizon) shape.
+ *
+ * Previews are pure: they enumerate what arm() *will* play without
+ * touching an event queue, so calling them never perturbs a run.
+ */
+
+#ifndef TRAINBOX_SIM_SCHEDULE_SOURCE_HH
+#define TRAINBOX_SIM_SCHEDULE_SOURCE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/elastic_schedule.hh"
+#include "sim/fault_injector.hh"
+#include "sim/ingest.hh"
+
+namespace tb {
+
+/**
+ * Target-space sizes a schedule picks victims from. Superset of the
+ * per-subsystem target structs; sources ignore the fields they don't
+ * use (ingest uses none).
+ */
+struct ScheduleTargets
+{
+    std::size_t numSsds = 0;
+    std::size_t numGroups = 0;
+};
+
+/** One previewed disturbance on the shared timeline. */
+struct SchedulePreviewEntry
+{
+    /** When the disturbance starts. */
+    Time at = 0.0;
+
+    /** Originating subsystem: "fault", "elastic", or "ingest". */
+    std::string source;
+
+    /** Human-readable description ("ssd_degrade ssd3 for 2.5s", ...). */
+    std::string label;
+};
+
+/**
+ * A subsystem whose seeded disturbance schedule can be previewed.
+ * Concrete sources wrap one injector config; the fleet driver holds a
+ * list of these (one set per job) and merges their previews.
+ */
+class ScheduleSource
+{
+  public:
+    virtual ~ScheduleSource() = default;
+
+    /** Subsystem name ("fault", "elastic", "ingest"). */
+    virtual const char *name() const = 0;
+
+    /** False when the wrapped config schedules nothing. */
+    virtual bool enabled() const = 0;
+
+    /** Enumerate the disturbances in [0, horizon), in time order. */
+    virtual std::vector<SchedulePreviewEntry>
+    preview(const ScheduleTargets &targets, Time horizon) const = 0;
+};
+
+/** Preview adapter over FaultInjector::schedule(). */
+class FaultScheduleSource final : public ScheduleSource
+{
+  public:
+    explicit FaultScheduleSource(const FaultConfig &cfg) : cfg_(cfg) {}
+
+    const char *name() const override { return "fault"; }
+    bool enabled() const override { return cfg_.enabled; }
+    std::vector<SchedulePreviewEntry>
+    preview(const ScheduleTargets &targets, Time horizon) const override;
+
+    /** Uniform static shape shared by all three sources. */
+    static std::vector<SchedulePreviewEntry>
+    schedule(const FaultConfig &cfg, const ScheduleTargets &targets,
+             Time horizon);
+
+  private:
+    FaultConfig cfg_;
+};
+
+/** Preview adapter over ElasticScheduler::schedule(). */
+class ElasticScheduleSource final : public ScheduleSource
+{
+  public:
+    explicit ElasticScheduleSource(const ElasticityConfig &cfg) : cfg_(cfg) {}
+
+    const char *name() const override { return "elastic"; }
+    bool enabled() const override { return cfg_.enabled && cfg_.anyEvents(); }
+    std::vector<SchedulePreviewEntry>
+    preview(const ScheduleTargets &targets, Time horizon) const override;
+
+    static std::vector<SchedulePreviewEntry>
+    schedule(const ElasticityConfig &cfg, const ScheduleTargets &targets,
+             Time horizon);
+
+  private:
+    ElasticityConfig cfg_;
+};
+
+/** Preview adapter over IngestScheduler::schedule(). */
+class IngestScheduleSource final : public ScheduleSource
+{
+  public:
+    explicit IngestScheduleSource(const IngestConfig &cfg) : cfg_(cfg) {}
+
+    const char *name() const override { return "ingest"; }
+    bool enabled() const override { return cfg_.enabled && cfg_.anyArrivals(); }
+    std::vector<SchedulePreviewEntry>
+    preview(const ScheduleTargets &targets, Time horizon) const override;
+
+    static std::vector<SchedulePreviewEntry>
+    schedule(const IngestConfig &cfg, const ScheduleTargets &targets,
+             Time horizon);
+
+  private:
+    IngestConfig cfg_;
+};
+
+/**
+ * Merge the previews of several sources into one time-sorted timeline.
+ * Ties keep source-registration order (stable merge), so the result is
+ * deterministic for a fixed source list.
+ */
+std::vector<SchedulePreviewEntry>
+mergedSchedule(const std::vector<const ScheduleSource *> &sources,
+               const ScheduleTargets &targets, Time horizon);
+
+/** Convenience overload: one job's three configs, merged. */
+std::vector<SchedulePreviewEntry>
+mergedSchedule(const FaultConfig &faults, const ElasticityConfig &elastic,
+               const IngestConfig &ingest, const ScheduleTargets &targets,
+               Time horizon);
+
+} // namespace tb
+
+#endif // TRAINBOX_SIM_SCHEDULE_SOURCE_HH

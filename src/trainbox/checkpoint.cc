@@ -73,9 +73,9 @@ Checkpointer::~Checkpointer()
     // Abandon an unfinished drain (run ended mid-flight): suppress the
     // completions so they cannot reach a dead checkpointer.
     for (FlowId f : drainFlows_)
-        server_.net.cancelFlow(f);
+        server_.core().fluid().cancelFlow(f);
     if (snapshotEv_.valid())
-        server_.eq.cancel(snapshotEv_);
+        server_.core().events().cancel(snapshotEv_);
 }
 
 Bytes
@@ -98,7 +98,7 @@ Checkpointer::maybeBegin(std::size_t step, std::function<void()> on_resume)
     const CheckpointConfig &cfg = server_.cfg.checkpoint;
     if (!cfg.enabled)
         return false;
-    const Time now = server_.eq.now();
+    const Time now = server_.core().events().now();
     if (!force_ && now - lastResume_ < cfg.interval)
         return false;
     if (draining_) {
@@ -124,9 +124,9 @@ Checkpointer::maybeBegin(std::size_t step, std::function<void()> on_resume)
     // Async: pause only for the device -> buffer snapshot, then drain
     // in the background.
     const Time snapshot = totalBytes() / cfg.snapshotBandwidth;
-    snapshotEv_ = server_.eq.scheduleIn(snapshot, [this] {
+    snapshotEv_ = server_.core().events().scheduleIn(snapshot, [this] {
         snapshotEv_.invalidate();
-        const Time end = server_.eq.now();
+        const Time end = server_.core().events().now();
         accruePause(end - captureTime_);
         if (trace_)
             trace_->complete("checkpoint", "ckpt_snapshot", captureTime_,
@@ -164,7 +164,7 @@ Checkpointer::launchDrain()
         ++outstanding_;
         if (drainFlows_.size() <= g)
             drainFlows_.resize(g + 1, 0);
-        drainFlows_[g] = server_.net.startFlow(std::move(spec));
+        drainFlows_[g] = server_.core().fluid().startFlow(std::move(spec));
     }
     panic_if(outstanding_ == 0,
              "checkpoint drain launched with no shards");
@@ -216,10 +216,10 @@ Checkpointer::crash(Time now, std::size_t current_step)
 
     // A partial checkpoint file is useless: abort the capture.
     if (snapshotEv_.valid())
-        server_.eq.cancel(snapshotEv_);
+        server_.core().events().cancel(snapshotEv_);
     for (FlowId f : drainFlows_)
         if (f != 0)
-            server_.net.cancelFlow(f);
+            server_.core().fluid().cancelFlow(f);
     drainFlows_.clear();
     outstanding_ = 0;
     draining_ = false;

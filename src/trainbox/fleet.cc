@@ -1,0 +1,540 @@
+#include "trainbox/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "trainbox/train_initializer.hh"
+
+namespace tb {
+
+const char *
+placementPolicyName(PlacementPolicy p)
+{
+    switch (p) {
+    case PlacementPolicy::FirstFit:
+        return "first_fit";
+    case PlacementPolicy::Packed:
+        return "packed";
+    case PlacementPolicy::PrepPoolAware:
+        return "pool_aware";
+    }
+    return "?";
+}
+
+bool
+parsePlacementPolicy(const std::string &name, PlacementPolicy &out)
+{
+    if (name == "first_fit") {
+        out = PlacementPolicy::FirstFit;
+    } else if (name == "packed") {
+        out = PlacementPolicy::Packed;
+    } else if (name == "pool_aware") {
+        out = PlacementPolicy::PrepPoolAware;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+FleetSimulation::FleetSimulation(FleetConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    fatal_if(cfg_.hosts.empty(), "fleet: no hosts configured");
+    fatal_if(cfg_.jobs.empty(), "fleet: empty job trace");
+    fatal_if(cfg_.horizon < 0.0, "fleet: negative horizon %g",
+             cfg_.horizon);
+
+    std::size_t maxBoxes = 0;
+    for (const FleetHostSpec &h : cfg_.hosts) {
+        fatal_if(h.boxCapacity == 0, "fleet: host %s has zero capacity",
+                 h.name.c_str());
+        hosts_.push_back({h, h.boxCapacity});
+        maxBoxes = std::max(maxBoxes, h.boxCapacity);
+    }
+
+    poolFree_ = cfg_.sharedPoolFpgas > 0
+        ? static_cast<std::size_t>(cfg_.sharedPoolFpgas) : 0;
+
+    jobs_.reserve(cfg_.jobs.size());
+    for (std::size_t i = 0; i < cfg_.jobs.size(); ++i) {
+        const FleetJobSpec &spec = cfg_.jobs[i];
+        fatal_if(spec.name.empty(), "fleet: job %zu has no name", i);
+        fatal_if(spec.arrival < 0.0, "fleet: job %s arrives at %g < 0",
+                 spec.name.c_str(), spec.arrival);
+        fatal_if(spec.measureSteps == 0,
+                 "fleet: job %s has zero measured steps",
+                 spec.name.c_str());
+        for (std::size_t k = 0; k < i; ++k)
+            fatal_if(cfg_.jobs[k].name == spec.name,
+                     "fleet: duplicate job name %s", spec.name.c_str());
+
+        Job job;
+        job.spec = spec;
+        // Physical train-box slots the job's accelerators occupy,
+        // preset-independent (central presets still rack their devices
+        // in boxes).
+        job.boxesNeeded = divCeil(
+            std::max<std::size_t>(spec.config.numAccelerators, 1),
+            spec.config.box.accPerBox);
+        fatal_if(job.boxesNeeded > maxBoxes,
+                 "fleet: job %s needs %zu boxes but the largest host "
+                 "has %zu",
+                 spec.name.c_str(), job.boxesNeeded, maxBoxes);
+        job.result.job = spec.name;
+        job.result.priority = spec.priority;
+        job.result.arrival = spec.arrival;
+        job.result.boxesUsed = job.boxesNeeded;
+        jobs_.push_back(std::move(job));
+    }
+}
+
+FleetSimulation::~FleetSimulation() = default;
+
+std::size_t
+FleetSimulation::poolRequest(const ServerConfig &cfg) const
+{
+    // The job's natural pool appetite: an explicit configured size wins;
+    // otherwise the train initializer's plan (§V-A) sizes it.
+    if (cfg.prepPoolFpgas >= 0)
+        return static_cast<std::size_t>(cfg.prepPoolFpgas);
+    return planPreparation(cfg).poolFpgas;
+}
+
+int
+FleetSimulation::pickHost(const Job &job) const
+{
+    int best = -1;
+    for (std::size_t h = 0; h < hosts_.size(); ++h) {
+        if (hosts_[h].freeBoxes < job.boxesNeeded)
+            continue;
+        if (cfg_.policy == PlacementPolicy::FirstFit)
+            return static_cast<int>(h);
+        // Packed / PrepPoolAware: best-fit — the fullest host that
+        // still fits, keeping large contiguous blocks free.
+        if (best < 0 ||
+            hosts_[h].freeBoxes <
+                hosts_[static_cast<std::size_t>(best)].freeBoxes)
+            best = static_cast<int>(h);
+    }
+    return best;
+}
+
+bool
+FleetSimulation::admit(std::size_t j, std::size_t host)
+{
+    Job &job = jobs_[j];
+    ServerConfig config = job.spec.config;
+
+    const std::size_t request = poolRequest(config);
+    std::size_t granted = request;
+    if (cfg_.sharedPoolFpgas >= 0) {
+        granted = std::min(request, poolFree_);
+        // Rewrite the config only when the grant actually cuts the
+        // request: a full grant leaves the job's plan byte-identical
+        // to a standalone run.
+        if (granted != request)
+            config.prepPoolFpgas = static_cast<int>(granted);
+        poolFree_ -= granted;
+    }
+
+    job.result.host = hosts_[host].spec.name;
+    job.result.started = core_.now();
+    job.result.queueingDelay = core_.now() - job.spec.arrival;
+    job.result.poolFpgasRequested = request;
+    job.result.poolFpgasGranted = granted;
+    job.result.poolConstrained = granted != request;
+    job.result.admitted = true;
+
+    hosts_[host].freeBoxes -= job.boxesNeeded;
+    job.server = buildServer(config, &core_, job.spec.name + ".");
+    job.session = std::make_unique<TrainingSession>(*job.server);
+    job.session->onDone([this, j] { onJobDone(j); });
+    job.session->start(job.spec.warmupSteps, job.spec.measureSteps);
+    // A new job multiplies the live-event population; retune the
+    // queue's tombstone-compaction threshold to match (behavior-neutral
+    // — compaction never reorders live events).
+    core_.autosizeCompaction();
+    job.running = true;
+    job.waiting = false;
+    return true;
+}
+
+void
+FleetSimulation::tryAdmit()
+{
+    // Admission order: priority desc, then arrival, then trace index.
+    // Re-sorted per round — the waiting set changes as jobs land.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::vector<std::size_t> order = waiting_;
+        std::sort(order.begin(), order.end(),
+                  [this](std::size_t a, std::size_t b) {
+                      const FleetJobSpec &ja = jobs_[a].spec;
+                      const FleetJobSpec &jb = jobs_[b].spec;
+                      if (ja.priority != jb.priority)
+                          return ja.priority > jb.priority;
+                      if (ja.arrival != jb.arrival)
+                          return ja.arrival < jb.arrival;
+                      return a < b;
+                  });
+        for (std::size_t j : order) {
+            Job &job = jobs_[j];
+            const int host = pickHost(job);
+            if (host < 0)
+                continue;
+            if (cfg_.policy == PlacementPolicy::PrepPoolAware &&
+                cfg_.sharedPoolFpgas >= 0) {
+                // Yield to a waiting job whose pool request fits whole:
+                // a partial grant now would fragment the pool while a
+                // clean grant is available.
+                const std::size_t request = poolRequest(job.spec.config);
+                if (request > poolFree_) {
+                    bool betterFit = false;
+                    for (std::size_t k : order) {
+                        if (k == j || !jobs_[k].waiting)
+                            continue;
+                        const std::size_t rk =
+                            poolRequest(jobs_[k].spec.config);
+                        if (rk > 0 && rk <= poolFree_) {
+                            betterFit = true;
+                            break;
+                        }
+                    }
+                    if (betterFit)
+                        continue;
+                }
+            }
+            admit(j, static_cast<std::size_t>(host));
+            waiting_.erase(
+                std::find(waiting_.begin(), waiting_.end(), j));
+            progress = true;
+        }
+    }
+}
+
+void
+FleetSimulation::onArrival(std::size_t j)
+{
+    jobs_[j].waiting = true;
+    waiting_.push_back(j);
+    tryAdmit();
+}
+
+void
+FleetSimulation::onJobDone(std::size_t j)
+{
+    Job &job = jobs_[j];
+    job.running = false;
+    job.result.finished = core_.now();
+    job.result.completed = true;
+    // Snapshot the report at the completion instant: the shared
+    // utilization histograms keep advancing while other jobs run, and
+    // post-done idle time must not dilute this job's averages.
+    job.result.report =
+        SessionReport::build(*job.server, job.session->collect());
+    ++finished_;
+
+    // Release held capacity. The server itself stays alive: post-done
+    // flows may still drain on the shared core (training_session.cc
+    // guards make them no-ops).
+    for (Host &h : hosts_) {
+        if (h.spec.name == job.result.host) {
+            h.freeBoxes += job.boxesNeeded;
+            break;
+        }
+    }
+    if (cfg_.sharedPoolFpgas >= 0)
+        poolFree_ += job.result.poolFpgasGranted;
+
+    tryAdmit();
+}
+
+bool
+FleetSimulation::allDone() const
+{
+    return finished_ == jobs_.size();
+}
+
+FleetReport
+FleetSimulation::run()
+{
+    if (cfg_.overrideSolverMode)
+        core_.fluid().setSolverMode(cfg_.solverMode);
+    if (cfg_.parallelWorkers > 0)
+        core_.fluid().setParallelWorkers(cfg_.parallelWorkers,
+                                         /*minFlows=*/64);
+
+    EventQueue &eq = core_.events();
+    for (std::size_t j = 0; j < jobs_.size(); ++j)
+        eq.schedule(jobs_[j].spec.arrival, [this, j] { onArrival(j); });
+    if (cfg_.horizon > 0.0)
+        eq.schedule(cfg_.horizon, [this] { horizonHit_ = true; });
+
+    // Injector streams self-rearm forever, so the queue never drains on
+    // a disturbed run: stop on all-jobs-done (or the safety horizon).
+    while (!allDone() && !horizonHit_ && eq.step()) {
+    }
+    panic_if(!allDone() && !horizonHit_,
+             "fleet stalled: queue drained with %zu/%zu jobs finished",
+             finished_, jobs_.size());
+    return buildReport();
+}
+
+FleetReport
+FleetSimulation::buildReport()
+{
+    FleetReport r;
+    r.policy = placementPolicyName(cfg_.policy);
+    r.jobsTotal = jobs_.size();
+    r.poolFpgasTotal = cfg_.sharedPoolFpgas > 0
+        ? static_cast<std::size_t>(cfg_.sharedPoolFpgas) : 0;
+    r.eventsExecuted = core_.events().numExecuted();
+
+    double ratioSum = 0.0, ratioSqSum = 0.0;
+    std::size_t nRatios = 0;
+    std::vector<double> walls;
+    Time delaySum = 0.0;
+    std::size_t admitted = 0;
+
+    for (Job &job : jobs_) {
+        const FleetJobResult &res = job.result;
+        if (res.admitted) {
+            ++admitted;
+            delaySum += res.queueingDelay;
+            r.maxQueueingDelay =
+                std::max(r.maxQueueingDelay, res.queueingDelay);
+            if (res.queueingDelay > 0.0)
+                ++r.jobsQueued;
+            r.poolFpgasRequestedTotal += res.poolFpgasRequested;
+            r.poolFpgasGrantedTotal += res.poolFpgasGranted;
+            if (res.poolConstrained)
+                ++r.jobsPoolConstrained;
+            if (res.poolFpgasRequested > 0) {
+                const double ratio =
+                    static_cast<double>(res.poolFpgasGranted) /
+                    static_cast<double>(res.poolFpgasRequested);
+                ratioSum += ratio;
+                ratioSqSum += ratio * ratio;
+                ++nRatios;
+            }
+        }
+        if (res.completed) {
+            ++r.jobsCompleted;
+            r.makespan = std::max(r.makespan, res.finished);
+            r.aggregateThroughput += res.report.throughput();
+            walls.push_back(res.report.wallTime());
+            r.preemptions += res.report.elasticity().preemptions;
+            r.faultsInjected += res.report.faults().faultsInjected;
+        }
+        r.jobs.push_back(std::move(job.result));
+    }
+
+    if (admitted > 0)
+        r.avgQueueingDelay = delaySum / static_cast<double>(admitted);
+    if (nRatios > 0 && ratioSqSum > 0.0)
+        r.poolFairness = (ratioSum * ratioSum) /
+            (static_cast<double>(nRatios) * ratioSqSum);
+    if (!walls.empty()) {
+        std::sort(walls.begin(), walls.end());
+        const double median = walls[walls.size() / 2];
+        if (median > 0.0)
+            r.stragglerRatio = walls.back() / median;
+    }
+    return r;
+}
+
+FleetReport
+runFleet(FleetConfig cfg)
+{
+    FleetSimulation fleet(std::move(cfg));
+    return fleet.run();
+}
+
+// --- FleetReport exporters -----------------------------------------------
+
+namespace {
+
+/** JSON string escaping for names (conservative: quotes + backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+FleetReport::toJson() const
+{
+    std::ostringstream out;
+    char buf[256];
+    out << "{\n";
+    out << "  \"policy\": \"" << jsonEscape(policy) << "\",\n";
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"jobs_total\": %zu,\n  \"jobs_completed\": %zu,\n"
+        "  \"makespan_s\": %.6f,\n  \"aggregate_throughput\": %.6f,\n",
+        jobsTotal, jobsCompleted, makespan, aggregateThroughput);
+    out << buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"avg_queueing_delay_s\": %.6f,\n"
+        "  \"max_queueing_delay_s\": %.6f,\n  \"jobs_queued\": %zu,\n",
+        avgQueueingDelay, maxQueueingDelay, jobsQueued);
+    out << buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"pool_fpgas_total\": %zu,\n"
+        "  \"pool_fpgas_requested\": %zu,\n"
+        "  \"pool_fpgas_granted\": %zu,\n"
+        "  \"jobs_pool_constrained\": %zu,\n"
+        "  \"pool_fairness\": %.6f,\n",
+        poolFpgasTotal, poolFpgasRequestedTotal, poolFpgasGrantedTotal,
+        jobsPoolConstrained, poolFairness);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"straggler_ratio\": %.6f,\n"
+                  "  \"preemptions\": %zu,\n"
+                  "  \"faults_injected\": %zu,\n"
+                  "  \"events_executed\": %llu,\n",
+                  stragglerRatio, preemptions, faultsInjected,
+                  static_cast<unsigned long long>(eventsExecuted));
+    out << buf;
+    out << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const FleetJobResult &j = jobs[i];
+        out << "    {\"name\": \"" << jsonEscape(j.job) << "\", "
+            << "\"host\": \"" << jsonEscape(j.host) << "\", ";
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"priority\": %d, \"arrival_s\": %.6f, "
+            "\"started_s\": %.6f, \"finished_s\": %.6f, "
+            "\"queueing_delay_s\": %.6f, \"boxes\": %zu, ",
+            j.priority, j.arrival, j.started, j.finished,
+            j.queueingDelay, j.boxesUsed);
+        out << buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"pool_fpgas_requested\": %zu, \"pool_fpgas_granted\": %zu, "
+            "\"pool_constrained\": %s, \"admitted\": %s, "
+            "\"completed\": %s, \"throughput\": %.6f, "
+            "\"wall_time_s\": %.6f}%s\n",
+            j.poolFpgasRequested, j.poolFpgasGranted,
+            j.poolConstrained ? "true" : "false",
+            j.admitted ? "true" : "false",
+            j.completed ? "true" : "false",
+            j.completed ? j.report.throughput() : 0.0,
+            j.completed ? j.report.wallTime() : 0.0,
+            i + 1 < jobs.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+FleetReport::toCsv() const
+{
+    std::ostringstream out;
+    char buf[192];
+    out << "section,key,value\n";
+    out << "fleet,policy," << policy << "\n";
+    std::snprintf(buf, sizeof(buf),
+                  "fleet,jobs_total,%zu\nfleet,jobs_completed,%zu\n"
+                  "fleet,makespan_s,%.6f\n"
+                  "fleet,aggregate_throughput,%.6f\n"
+                  "fleet,avg_queueing_delay_s,%.6f\n"
+                  "fleet,max_queueing_delay_s,%.6f\n",
+                  jobsTotal, jobsCompleted, makespan,
+                  aggregateThroughput, avgQueueingDelay,
+                  maxQueueingDelay);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "fleet,pool_fpgas_total,%zu\n"
+                  "fleet,pool_fpgas_requested,%zu\n"
+                  "fleet,pool_fpgas_granted,%zu\n"
+                  "fleet,pool_fairness,%.6f\n"
+                  "fleet,straggler_ratio,%.6f\n"
+                  "fleet,preemptions,%zu\n"
+                  "fleet,events_executed,%llu\n",
+                  poolFpgasTotal, poolFpgasRequestedTotal,
+                  poolFpgasGrantedTotal, poolFairness, stragglerRatio,
+                  preemptions,
+                  static_cast<unsigned long long>(eventsExecuted));
+    out << buf;
+    for (const FleetJobResult &j : jobs) {
+        const std::string sec = "job." + j.job;
+        out << sec << ",host," << j.host << "\n";
+        std::snprintf(buf, sizeof(buf),
+                      "%s,arrival_s,%.6f\n%s,queueing_delay_s,%.6f\n"
+                      "%s,pool_fpgas_requested,%zu\n"
+                      "%s,pool_fpgas_granted,%zu\n"
+                      "%s,completed,%d\n",
+                      sec.c_str(), j.arrival, sec.c_str(),
+                      j.queueingDelay, sec.c_str(), j.poolFpgasRequested,
+                      sec.c_str(), j.poolFpgasGranted, sec.c_str(),
+                      j.completed ? 1 : 0);
+        out << buf;
+        if (j.completed) {
+            std::snprintf(buf, sizeof(buf),
+                          "%s,throughput,%.6f\n%s,wall_time_s,%.6f\n",
+                          sec.c_str(), j.report.throughput(),
+                          sec.c_str(), j.report.wallTime());
+            out << buf;
+        }
+    }
+    return out.str();
+}
+
+void
+FleetReport::print(std::FILE *out) const
+{
+    std::fprintf(out, "=== Fleet report (%s) ===\n", policy.c_str());
+    std::fprintf(out,
+                 "jobs: %zu/%zu completed   makespan: %.3f s   "
+                 "aggregate throughput: %.1f samples/s\n",
+                 jobsCompleted, jobsTotal, makespan,
+                 aggregateThroughput);
+    std::fprintf(out,
+                 "queueing: avg %.3f s, max %.3f s (%zu jobs waited)\n",
+                 avgQueueingDelay, maxQueueingDelay, jobsQueued);
+    if (poolFpgasTotal > 0)
+        std::fprintf(out,
+                     "prep pool: %zu FPGAs, %zu requested, %zu granted "
+                     "(%zu jobs constrained), fairness %.3f\n",
+                     poolFpgasTotal, poolFpgasRequestedTotal,
+                     poolFpgasGrantedTotal, jobsPoolConstrained,
+                     poolFairness);
+    std::fprintf(out,
+                 "straggler ratio: %.2f   preemptions: %zu   faults: "
+                 "%zu   events: %llu\n",
+                 stragglerRatio, preemptions, faultsInjected,
+                 static_cast<unsigned long long>(eventsExecuted));
+    std::fprintf(out, "%-12s %-10s %4s %10s %10s %10s %6s %6s %12s\n",
+                 "job", "host", "prio", "arrival", "queued_s",
+                 "wall_s", "pool", "grant", "samples/s");
+    for (const FleetJobResult &j : jobs) {
+        std::fprintf(
+            out, "%-12s %-10s %4d %10.3f %10.3f %10.3f %6zu %6zu %12.1f%s\n",
+            j.job.c_str(), j.admitted ? j.host.c_str() : "-", j.priority,
+            j.arrival, j.queueingDelay,
+            j.completed ? j.report.wallTime() : 0.0,
+            j.poolFpgasRequested, j.poolFpgasGranted,
+            j.completed ? j.report.throughput() : 0.0,
+            j.completed ? "" : "  (incomplete)");
+    }
+}
+
+} // namespace tb

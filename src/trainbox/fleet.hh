@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Fleet-scale multi-job simulation (§V-D, dynamic counterpart of the
+ * static rack planner in multi_job.hh).
+ *
+ * A FleetSimulation runs N training jobs on one shared SimulationCore:
+ * jobs arrive over a trace, a placement policy binds each to a logical
+ * host with free train-box capacity, and admissions arbitrate the
+ * fleet's shared Ethernet prep pool — the §V-C disaggregated FPGAs —
+ * across jobs. Every admitted job builds its own fluid server under a
+ * unique resource prefix, so jobs contend for the pool at the grant
+ * level (integer FPGAs, held until the job finishes) while their fluid
+ * networks stay disjoint; cross-job *bandwidth* interference inside the
+ * pool fabric is out of scope here and covered by the per-job offload
+ * stage templates.
+ *
+ * Exactness contract: a one-job fleet with capacity to spare, an
+ * uncapped pool, and arrival 0 replays the bare
+ * TrainingSession::run() event sequence bit-for-bit — the only extra
+ * event is the arrival at t = 0, which shifts every sequence number by
+ * one and changes no relative order. tests/test_fleet.cc pins this
+ * against the chaos-harness goldens.
+ *
+ * See docs/FLEET.md for the placement policies, the pool-grant
+ * semantics, and the FleetReport field reference.
+ */
+
+#ifndef TRAINBOX_TRAINBOX_FLEET_HH
+#define TRAINBOX_TRAINBOX_FLEET_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation_core.hh"
+#include "trainbox/report.hh"
+#include "trainbox/server_builder.hh"
+#include "trainbox/server_config.hh"
+#include "trainbox/training_session.hh"
+
+namespace tb {
+
+/** How waiting jobs are bound to hosts (docs/FLEET.md). */
+enum class PlacementPolicy
+{
+    /** First host (spec order) with enough free box capacity. */
+    FirstFit,
+
+    /**
+     * Topology-aware packing: the *fullest* host that still fits
+     * (best-fit), keeping large contiguous box blocks free for big
+     * jobs.
+     */
+    Packed,
+
+    /**
+     * Packed, plus pool-aware admission ordering: a job whose pool
+     * request cannot be met in full yields (within one admission
+     * round) to a waiting job whose request fits the remaining pool,
+     * avoiding fragmented partial grants when whole grants are
+     * available.
+     */
+    PrepPoolAware,
+};
+
+const char *placementPolicyName(PlacementPolicy p);
+
+/** Parse "first_fit" / "packed" / "pool_aware"; false on no match. */
+bool parsePlacementPolicy(const std::string &name, PlacementPolicy &out);
+
+/** One logical host: a rack position holding train-box slots. */
+struct FleetHostSpec
+{
+    std::string name;
+
+    /** Train-box slots (one 8-accelerator box per slot). */
+    std::size_t boxCapacity = 4;
+};
+
+/** One job of the arrival trace. */
+struct FleetJobSpec
+{
+    /** Unique job name; prefixes the job's resources ("<name>."). */
+    std::string name;
+
+    /** Arrival time on the fleet clock (seconds). */
+    Time arrival = 0.0;
+
+    /** Higher runs first when several jobs wait (ties: arrival, idx). */
+    int priority = 0;
+
+    /** The job's full server configuration (model, preset, faults...). */
+    ServerConfig config;
+
+    std::size_t warmupSteps = 4;
+    std::size_t measureSteps = 8;
+};
+
+/** A fleet scenario: hosts + shared prep pool + job trace. */
+struct FleetConfig
+{
+    std::vector<FleetHostSpec> hosts;
+    std::vector<FleetJobSpec> jobs;
+    PlacementPolicy policy = PlacementPolicy::FirstFit;
+
+    /**
+     * Fleet-wide Ethernet prep-pool FPGAs arbitrated across jobs.
+     * Negative = uncapped: every job keeps its own configured/planned
+     * pool size untouched (the exactness-contract setting). >= 0:
+     * admission grants min(request, free) whole FPGAs and rewrites the
+     * job's ServerConfig::prepPoolFpgas to the grant; the grant returns
+     * to the pool when the job finishes.
+     */
+    int sharedPoolFpgas = -1;
+
+    /**
+     * Safety horizon (fleet-clock seconds; 0 = none). Injector streams
+     * self-rearm forever, so the fleet stops on all-jobs-done, not on
+     * queue exhaustion; the horizon bounds a run whose job stalls.
+     * Jobs unfinished at the horizon report completed = false.
+     */
+    Time horizon = 0.0;
+
+    /** Optional solver override for the shared fluid network. */
+    bool overrideSolverMode = false;
+    FluidNetwork::SolverMode solverMode =
+        FluidNetwork::SolverMode::Incremental;
+
+    /** Parallel solver workers (0 = leave the network's default). */
+    unsigned parallelWorkers = 0;
+};
+
+/** Outcome of one job in the fleet. */
+struct FleetJobResult
+{
+    std::string job;
+    std::string host;    ///< "" when never admitted
+    int priority = 0;
+
+    Time arrival = 0.0;
+    Time started = 0.0;  ///< admission time (== arrival when no wait)
+    Time finished = 0.0; ///< done-transition time (0 when incomplete)
+
+    /** started - arrival: time spent waiting for capacity. */
+    Time queueingDelay = 0.0;
+
+    /** Train-box slots the job occupied on its host. */
+    std::size_t boxesUsed = 0;
+
+    /** Pool FPGAs the job asked for (its natural/configured size). */
+    std::size_t poolFpgasRequested = 0;
+
+    /** Pool FPGAs actually granted (== requested when uncapped). */
+    std::size_t poolFpgasGranted = 0;
+
+    /** Grant was cut below the request by pool contention. */
+    bool poolConstrained = false;
+
+    bool admitted = false;
+    bool completed = false;
+
+    /** Full per-job report (meaningful only when completed). */
+    SessionReport report;
+};
+
+/** Fleet-level rollup of per-job results (docs/FLEET.md). */
+struct FleetReport
+{
+    std::string policy;
+    std::vector<FleetJobResult> jobs;
+
+    std::size_t jobsTotal = 0;
+    std::size_t jobsCompleted = 0;
+
+    /** Fleet-clock time of the last job completion. */
+    Time makespan = 0.0;
+
+    /** Sum of completed jobs' throughputs (samples/s). */
+    double aggregateThroughput = 0.0;
+
+    // --- queueing ------------------------------------------------------
+    Time avgQueueingDelay = 0.0;
+    Time maxQueueingDelay = 0.0;
+    std::size_t jobsQueued = 0; ///< jobs with nonzero queueing delay
+
+    // --- shared prep pool ----------------------------------------------
+    /** Configured pool size (0 when uncapped — then grants are echoes). */
+    std::size_t poolFpgasTotal = 0;
+    std::size_t poolFpgasRequestedTotal = 0;
+    std::size_t poolFpgasGrantedTotal = 0;
+    std::size_t jobsPoolConstrained = 0;
+
+    /**
+     * Jain fairness index over per-job grant ratios
+     * (granted/requested, jobs with requests only): 1 = equal
+     * treatment, 1/n = one job took everything. 1 when nothing was
+     * requested.
+     */
+    double poolFairness = 1.0;
+
+    // --- stragglers / robustness rollup --------------------------------
+    /**
+     * Max / median completed-job wall time: 1 = perfectly balanced,
+     * large = one job straggled far behind the fleet.
+     */
+    double stragglerRatio = 1.0;
+
+    /** Elastic hard-preemptions summed over completed jobs. */
+    std::size_t preemptions = 0;
+
+    /** Fault windows summed over completed jobs. */
+    std::size_t faultsInjected = 0;
+
+    /** Events executed on the shared core over the whole run. */
+    std::uint64_t eventsExecuted = 0;
+
+    /** Serialize as JSON (schema in docs/FLEET.md). */
+    std::string toJson() const;
+
+    /** Serialize as "section,key,value" CSV rows (per-job sections). */
+    std::string toCsv() const;
+
+    /** Human-readable summary (the tb_report --fleet default). */
+    void print(std::FILE *out = stdout) const;
+};
+
+/**
+ * A fleet run in progress. Construction validates the config and
+ * fatal()s on an impossible scenario (a job too large for every host,
+ * duplicate job names, an empty trace).
+ */
+class FleetSimulation
+{
+  public:
+    explicit FleetSimulation(FleetConfig cfg);
+    ~FleetSimulation();
+
+    FleetSimulation(const FleetSimulation &) = delete;
+    FleetSimulation &operator=(const FleetSimulation &) = delete;
+
+    /** The shared core every job simulates on. */
+    SimulationCore &core() { return core_; }
+
+    /** Run the trace to completion (or the horizon); build the report. */
+    FleetReport run();
+
+  private:
+    struct Host
+    {
+        FleetHostSpec spec;
+        std::size_t freeBoxes = 0;
+    };
+
+    struct Job
+    {
+        FleetJobSpec spec;
+        std::size_t boxesNeeded = 0;
+        FleetJobResult result;
+        // Admitted jobs own a server + session until the run ends:
+        // post-done flows may still drain on the shared core, so
+        // teardown mid-run would dangle callbacks.
+        std::unique_ptr<Server> server;
+        std::unique_ptr<TrainingSession> session;
+        bool waiting = false;
+        bool running = false;
+    };
+
+    void onArrival(std::size_t j);
+    void onJobDone(std::size_t j);
+    void tryAdmit();
+    bool admit(std::size_t j, std::size_t host);
+    int pickHost(const Job &job) const;
+    std::size_t poolRequest(const ServerConfig &cfg) const;
+    bool allDone() const;
+    FleetReport buildReport();
+
+    FleetConfig cfg_;
+    SimulationCore core_;
+    std::vector<Host> hosts_;
+    std::vector<Job> jobs_;
+    std::vector<std::size_t> waiting_; ///< arrival-order indices
+    std::size_t poolFree_ = 0;
+    std::size_t finished_ = 0;
+    bool horizonHit_ = false;
+};
+
+/** Convenience one-shot: build, run, report. */
+FleetReport runFleet(FleetConfig cfg);
+
+} // namespace tb
+
+#endif // TRAINBOX_TRAINBOX_FLEET_HH

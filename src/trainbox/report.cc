@@ -171,13 +171,18 @@ SessionReport::build(const Server &server, const SessionResult &res)
     r.hostMemCapacity_ = server.cfg.host.memBandwidth;
     r.hostRcCapacity_ = server.cfg.host.rcBandwidth;
 
-    const MetricsRegistry &m = server.metrics;
+    const MetricsRegistry &m = server.core().metrics();
     if (!m.enabled())
         return r;
     r.hasMetrics = true;
 
-    constexpr const char *kPrefix = "util.";
-    const std::size_t prefix_len = std::strlen(kPrefix);
+    // On a shared core the registry holds every co-resident server's
+    // instruments; this server's are the ones under its resource prefix
+    // ("" standalone — then the filter passes everything, as before).
+    // Classification and display use the *unprefixed* name, so a report
+    // for "job0." reads identically to a standalone one.
+    const std::string kPrefix = "util." + server.resourcePrefix();
+    const std::size_t prefix_len = kPrefix.size();
     for (const auto &entry : m.histograms()) {
         if (entry.name.rfind(kPrefix, 0) != 0)
             continue;
@@ -188,8 +193,8 @@ SessionReport::build(const Server &server, const SessionResult &res)
         u.utilization = entry.metric->timeAverage();
         u.peak = entry.metric->peak();
         u.saturatedFraction = entry.metric->saturatedFraction();
-        if (const FluidResource *fr =
-                server.net.findResource(res_name)) {
+        if (const FluidResource *fr = server.core().fluid().findResource(
+                server.resourcePrefix() + res_name)) {
             for (const auto &[cat, units] : fr->servedByCategory()) {
                 if (units > u.dominantShare * fr->totalServed()) {
                     u.dominantCategory = cat;
@@ -203,7 +208,8 @@ SessionReport::build(const Server &server, const SessionResult &res)
 
     // The NN accelerators are events, not fluid flows; synthesize their
     // utilization from the session's busy counter.
-    const MetricCounter *busy = m.findCounter("session.compute_busy");
+    const MetricCounter *busy =
+        m.findCounter(server.resourcePrefix() + "session.compute_busy");
     const Time elapsed = r.windowElapsed();
     if (busy && elapsed > 0.0 && !server.groups.empty()) {
         ResourceUsage u;

@@ -204,7 +204,7 @@ Builder::buildCentral()
         for (std::size_t i = 0;
              i < per_box && s.ssds.size() < n_ssd; ++i) {
             s.ssds.push_back(std::make_unique<NvmeSsd>(
-                s.net, topo, box + ".ssd" + std::to_string(i), sw));
+                s.core().fluid(), topo, box + ".ssd" + std::to_string(i), sw));
         }
     }
     // Reads are striped across the whole SSD array for every group.
@@ -228,7 +228,7 @@ Builder::buildCentral()
                                     pcie::gen::gen3x16);
             }
             s.preps.push_back(std::make_unique<PrepAccelerator>(
-                s.net, topo, "prep" + std::to_string(i), sw, kind,
+                s.core().fluid(), topo, "prep" + std::to_string(i), sw, kind,
                 engineRate, /*withEthernet=*/false));
         }
         // Assign engines to groups round-robin so every group has at
@@ -540,14 +540,14 @@ Builder::buildClustered()
              i < std::max<std::size_t>(1, cfg.box.prepPerBox * n_sub / 2);
              ++i) {
             s.preps.push_back(std::make_unique<PrepAccelerator>(
-                s.net, topo, box + ".fpga" + std::to_string(i),
+                s.core().fluid(), topo, box + ".fpga" + std::to_string(i),
                 subs[i % n_sub], PrepEngineKind::Fpga, engineRate,
                 /*withEthernet=*/true));
             groupPreps[g].push_back(s.preps.back().get());
         }
         for (std::size_t i = 0; i < cfg.box.ssdsPerBox; ++i) {
             s.ssds.push_back(std::make_unique<NvmeSsd>(
-                s.net, topo, box + ".ssd" + std::to_string(i), top));
+                s.core().fluid(), topo, box + ".ssd" + std::to_string(i), top));
             groupSsds[g].push_back(s.ssds.back().get());
         }
     }
@@ -560,7 +560,7 @@ Builder::buildClustered()
             : s.plan.poolFpgas;
     }
     if (pool_size > 0) {
-        s.pool = std::make_unique<PrepPool>(s.net, "pool");
+        s.pool = std::make_unique<PrepPool>(s.core().fluid(), "pool");
         for (std::size_t i = 0; i < pool_size; ++i)
             s.pool->addFpga(engineRate);
     }
@@ -916,18 +916,54 @@ Builder::makeClusteredStages(std::size_t g)
 
 } // namespace
 
+// The eq/net members are deprecated shims for external callers; the
+// constructors must still bind them.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 Server::Server(const ServerConfig &config)
-    : cfg(config),
+    : Server(config, static_cast<SimulationCore *>(nullptr), std::string())
+{
+}
+
+Server::Server(const ServerConfig &config, SimulationCore &core,
+               std::string resourcePrefix)
+    : Server(config, &core, std::move(resourcePrefix))
+{
+}
+
+Server::Server(const ServerConfig &config, SimulationCore *core,
+               std::string resourcePrefix)
+    : ownedCore_(core ? nullptr : std::make_unique<SimulationCore>()),
+      core_(core ? *core : *ownedCore_),
+      prefix_(std::move(resourcePrefix)),
+      cfg(config),
       model(workload::model(config.model)),
       demand(workload::prepDemand(model.input)),
       plan(planPreparation(config)),
-      net(eq)
+      eq(core_.events()),
+      net(core_.fluid()),
+      metrics(core_.metrics())
 {
     // Attach before any resource exists so every device the builder
     // creates gets a utilization history. A disabled registry leaves
-    // the network on the exact uninstrumented path.
-    metrics.enable(cfg.metricsEnabled);
+    // the network on the exact uninstrumented path. On a shared core
+    // the registry stays enabled once any attached server asks for it.
+    if (cfg.metricsEnabled)
+        metrics.enable(true);
     net.attachMetrics(&metrics);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+void
+Server::resetAccounting()
+{
+    core_.fluid().resetAccounting(resBegin_, resEnd_);
 }
 
 Time
@@ -946,15 +982,31 @@ Server::syncTime() const
 std::unique_ptr<Server>
 buildServer(const ServerConfig &cfg)
 {
+    return buildServer(cfg, nullptr, std::string());
+}
+
+std::unique_ptr<Server>
+buildServer(const ServerConfig &cfg, SimulationCore *core,
+            const std::string &resourcePrefix)
+{
     const std::string err = cfg.validate();
     fatal_if(!err.empty(), "invalid server config: %s", err.c_str());
 
-    auto server = std::make_unique<Server>(cfg);
+    auto server = std::unique_ptr<Server>(
+        new Server(cfg, core, resourcePrefix));
+    FluidNetwork &net = server->core().fluid();
+
+    // Namespace every resource this build creates under the server's
+    // prefix, and remember the creation-order slice so per-server
+    // accounting resets touch only this server's resources.
+    net.setNamePrefix(server->resourcePrefix());
+    server->resBegin_ = net.resources().size();
+
     server->topo = std::make_unique<pcie::Topology>(
-        server->net, "pcie.rc", cfg.host.rcBandwidth);
+        net, "pcie.rc", cfg.host.rcBandwidth);
     server->hostMem =
-        std::make_unique<HostMemory>(server->net, cfg.host.memBandwidth);
-    server->cpu = std::make_unique<CpuPool>(server->net, cfg.host.cpuCores);
+        std::make_unique<HostMemory>(net, cfg.host.memBandwidth);
+    server->cpu = std::make_unique<CpuPool>(net, cfg.host.cpuCores);
 
     Builder builder(*server);
     if (presetUsesClustering(cfg.preset))
@@ -964,6 +1016,9 @@ buildServer(const ServerConfig &cfg)
 
     if (cfg.preset == ArchPreset::BaselineAccP2pGen4)
         server->topo->scaleLinkBandwidth(2.0);
+
+    server->resEnd_ = net.resources().size();
+    net.setNamePrefix(std::string());
 
     return server;
 }

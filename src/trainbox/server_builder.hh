@@ -25,6 +25,7 @@
 #include "memsys/host_memory.hh"
 #include "pcie/topology.hh"
 #include "sim/metrics.hh"
+#include "sim/simulation_core.hh"
 #include "trainbox/server_config.hh"
 #include "trainbox/train_initializer.hh"
 #include "workload/cost_model.hh"
@@ -124,11 +125,38 @@ struct PrepGroup
     StageTemplate ingestWrite;
 };
 
-/** A fully assembled simulated server. */
+/**
+ * A fully assembled simulated server.
+ *
+ * A server is a *client* of a SimulationCore: the core owns the event
+ * queue, clock, fluid network, and metrics registry; the server owns
+ * the devices, topology, and stage templates wired onto them. The
+ * single-argument constructor creates a private core (the historical
+ * one-server-one-timeline shape, bit-identical to when the queue and
+ * network were value members); the core-taking constructor attaches to
+ * a shared core so N servers simulate on one timeline (see
+ * docs/FLEET.md).
+ */
 class Server
 {
+    // The core (owned or borrowed) must precede the deprecated eq/net
+    // reference shims below: member initialization follows declaration
+    // order, and the references bind into the core.
+    std::unique_ptr<SimulationCore> ownedCore_;
+    SimulationCore &core_;
+    std::string prefix_;
+
   public:
+    /** Standalone server with a private simulation core. */
     explicit Server(const ServerConfig &cfg);
+
+    /**
+     * Server attached to a shared @p core. Every fluid resource the
+     * builder creates is namespaced under @p resourcePrefix
+     * ("job0." ...); pass "" only when no other server shares the core.
+     */
+    Server(const ServerConfig &cfg, SimulationCore &core,
+           std::string resourcePrefix);
 
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
@@ -138,15 +166,35 @@ class Server
     workload::PrepDemand demand;
     PrepPlan plan;
 
-    EventQueue eq;
-    FluidNetwork net;
+    /** The simulation core this server is wired onto. */
+    SimulationCore &core() const { return core_; }
+
+    /** Prefix on this server's fluid-resource and session-metric names. */
+    const std::string &resourcePrefix() const { return prefix_; }
 
     /**
-     * Observability instruments (docs/OBSERVABILITY.md). Enabled iff
-     * cfg.metricsEnabled; while disabled it holds no instruments and
-     * nothing in the simulation touches it.
+     * Reset served/utilization accounting on this server's slice of
+     * the fluid network only (the creation-order range captured during
+     * build). For a standalone server the slice is the whole network,
+     * so this matches the historical global reset exactly.
      */
-    MetricsRegistry metrics;
+    void resetAccounting();
+
+    /**
+     * Deprecated aliases for the pre-SimulationCore public members.
+     * They alias the core's instances exactly, so old call sites still
+     * work — but new code should reach through core().
+     */
+    [[deprecated("use core().events() instead")]] EventQueue &eq;
+    [[deprecated("use core().fluid() instead")]] FluidNetwork &net;
+
+    /**
+     * Observability instruments (docs/OBSERVABILITY.md), owned by the
+     * core and shared by every server on it. Enabled iff any attached
+     * server sets cfg.metricsEnabled; while disabled it holds no
+     * instruments and nothing in the simulation touches it.
+     */
+    MetricsRegistry &metrics;
 
     std::unique_ptr<pcie::Topology> topo;
     std::unique_ptr<HostMemory> hostMem;
@@ -167,10 +215,31 @@ class Server
 
     /** Ring-sync time across all accelerators. */
     Time syncTime() const;
+
+  private:
+    friend std::unique_ptr<Server> buildServer(const ServerConfig &,
+                                               SimulationCore *,
+                                               const std::string &);
+
+    /** Common tail of both public constructors (nullptr = own a core). */
+    Server(const ServerConfig &cfg, SimulationCore *core,
+           std::string resourcePrefix);
+
+    /** This server's [begin, end) slice of core().fluid().resources(). */
+    std::size_t resBegin_ = 0;
+    std::size_t resEnd_ = 0;
 };
 
-/** Build the server described by @p cfg. fatal()s on invalid configs. */
+/** Build a standalone server (private core). fatal()s when invalid. */
 std::unique_ptr<Server> buildServer(const ServerConfig &cfg);
+
+/**
+ * Build a server onto a shared @p core (nullptr = private core), with
+ * its fluid resources namespaced under @p resourcePrefix.
+ */
+std::unique_ptr<Server> buildServer(const ServerConfig &cfg,
+                                    SimulationCore *core,
+                                    const std::string &resourcePrefix);
 
 } // namespace tb
 

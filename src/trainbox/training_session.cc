@@ -45,7 +45,9 @@ SessionResult::efficiency() const
     return SessionReport::computeEfficiency(checkpoint, wallTime);
 }
 
-TrainingSession::TrainingSession(Server &server) : server_(server)
+TrainingSession::TrainingSession(Server &server)
+    : server_(server), eq_(server.core().events()),
+      net_(server.core().fluid())
 {
     groups_.resize(server_.groups.size());
     for (std::size_t g = 0; g < groups_.size(); ++g)
@@ -69,7 +71,7 @@ TrainingSession::runChain(const std::string &track,
         return;
     }
     const StageTemplate &st = stages[idx];
-    const Time start = server_.eq.now();
+    const Time start = eq_.now();
     FlowSpec spec;
     spec.category = st.category;
     spec.size = samples;
@@ -87,7 +89,7 @@ TrainingSession::runChain(const std::string &track,
                              "prep");
         runChain(track, stages, samples, idx + 1, done);
     };
-    server_.net.startFlow(std::move(spec));
+    net_.startFlow(std::move(spec));
 }
 
 std::size_t
@@ -122,7 +124,7 @@ TrainingSession::launchPrep(std::size_t g)
     // so a slow prep-pool round-trip never stalls completed local work.
     // All chains launch at one timestamp: batch them so the solver runs
     // once for the whole window instead of once per flow.
-    FluidNetwork::FlowBatch launchBatch(server_.net);
+    FluidNetwork::FlowBatch launchBatch(net_);
     while (gs.readySamples + gs.inFlightSamples < window - 1e-6) {
         gs.inFlightSamples += chunk;
         if (fault_ || elastic_) {
@@ -137,7 +139,7 @@ TrainingSession::launchPrep(std::size_t g)
                 launchFaultChain(g, /*offload=*/true, chunk * fe);
             continue;
         }
-        const Time start = server_.eq.now();
+        const Time start = eq_.now();
         const double local = chunk * (1.0 - f);
         runChain(gs.spec->name, gs.spec->stages, local, 0,
                  [this, g, local, start] {
@@ -164,7 +166,7 @@ TrainingSession::onChainDone(std::size_t g, double samples,
     if (elastic_ && gs.membership == Membership::Draining)
         elasticStats_.samplesSavedByDrain += samples;
     if (measuring()) {
-        prepLatencySum_ += server_.eq.now() - chain_start;
+        prepLatencySum_ += eq_.now() - chain_start;
         ++prepLatencyCount_;
         if (chainsCtr_)
             chainsCtr_->inc();
@@ -238,7 +240,7 @@ TrainingSession::launchFaultChain(std::size_t g, bool offload,
     run.group = g;
     run.offload = offload;
     run.samples = samples;
-    run.start = server_.eq.now();
+    run.start = eq_.now();
     run.track = groups_[g].spec->name + (offload ? ".offload" : "");
     auto [it, inserted] = chains_.emplace(cid, std::move(run));
     it->second.stages = &selectStages(it->second);
@@ -262,7 +264,7 @@ TrainingSession::startChainStage(std::uint64_t cid, std::size_t idx)
         return;
     }
     const StageTemplate &st = stages[idx];
-    const Time start = server_.eq.now();
+    const Time start = eq_.now();
     const std::uint64_t epoch = run.epoch;
     FlowSpec spec;
     spec.category = st.category;
@@ -291,7 +293,7 @@ TrainingSession::startChainStage(std::uint64_t cid, std::size_t idx)
             return;
         startChainStage(cid, idx + 1);
     };
-    run.flow = server_.net.startFlow(std::move(spec));
+    run.flow = net_.startFlow(std::move(spec));
 }
 
 /**
@@ -310,7 +312,7 @@ TrainingSession::handleReadFailure(std::uint64_t cid, std::size_t idx)
         run.readAttempts = 0;
         return false;
     }
-    const Time now = server_.eq.now();
+    const Time now = eq_.now();
     if (run.readAttempts < fc.maxReadRetries) {
         const Time backoff = fc.retryBackoffBase *
             static_cast<double>(std::uint64_t{1} << run.readAttempts);
@@ -319,7 +321,7 @@ TrainingSession::handleReadFailure(std::uint64_t cid, std::size_t idx)
         if (trace_)
             trace_->instant(run.track, "read_retry", now, "fault");
         const std::uint64_t epoch = run.epoch;
-        server_.eq.scheduleIn(backoff, [this, cid, idx, epoch] {
+        eq_.scheduleIn(backoff, [this, cid, idx, epoch] {
             auto it = chains_.find(cid);
             if (it == chains_.end() || it->second.epoch != epoch)
                 return;
@@ -379,7 +381,7 @@ TrainingSession::handleCorruption(std::uint64_t cid, std::size_t idx)
     const StageTemplate &st = (*run.stages)[idx];
     const FaultConfig &fc = fault_->config();
     const CorruptionConfig &cc = fc.corruption;
-    const Time now = server_.eq.now();
+    const Time now = eq_.now();
 
     Time replay = 0.0;
     if (st.corruptionHops != 0 && cc.any()) {
@@ -429,7 +431,7 @@ TrainingSession::handleCorruption(std::uint64_t cid, std::size_t idx)
                 trace_->instant(run.track, "integrity_recover", now,
                                 "fault");
             const std::uint64_t epoch = run.epoch;
-            server_.eq.scheduleIn(backoff, [this, cid, epoch] {
+            eq_.scheduleIn(backoff, [this, cid, epoch] {
                 auto it = chains_.find(cid);
                 if (it == chains_.end() || it->second.epoch != epoch)
                     return;
@@ -452,7 +454,7 @@ TrainingSession::handleCorruption(std::uint64_t cid, std::size_t idx)
 
     if (replay > 0.0) {
         const std::uint64_t epoch = run.epoch;
-        server_.eq.scheduleIn(replay, [this, cid, idx, epoch] {
+        eq_.scheduleIn(replay, [this, cid, idx, epoch] {
             auto it = chains_.find(cid);
             if (it == chains_.end() || it->second.epoch != epoch)
                 return;
@@ -471,7 +473,7 @@ TrainingSession::redispatchLocalChains(std::size_t g)
         if (run.group != g || run.offload)
             continue;
         if (run.flow != 0) {
-            server_.net.cancelFlow(run.flow);
+            net_.cancelFlow(run.flow);
             run.flow = 0;
         }
         run.stages = &selectStages(run);
@@ -488,8 +490,13 @@ TrainingSession::redispatchLocalChains(std::size_t g)
 void
 TrainingSession::onFault(const FaultEvent &ev)
 {
+    // The injector's lazily chained schedule keeps firing on a shared
+    // core after this session finishes; a finished session ignores it
+    // (unreachable on a private core — the loop exits at done_).
+    if (done_)
+        return;
     if (activeFaultWindows_++ == 0)
-        degradedStart_ = server_.eq.now();
+        degradedStart_ = eq_.now();
     if (trace_)
         trace_->complete("faults", faultKindName(ev.kind), ev.start,
                          ev.duration, "fault");
@@ -530,6 +537,11 @@ TrainingSession::onFault(const FaultEvent &ev)
 void
 TrainingSession::onRepair(const FaultEvent &ev)
 {
+    // See onFault: post-completion repairs on a shared core are moot
+    // (the degradation interval was closed by finalizeResult()), and
+    // letting one through would underflow activeFaultWindows_.
+    if (done_)
+        return;
     switch (ev.kind) {
       case FaultKind::SsdDegrade:
         server_.ssds[ev.target]->setReadBandwidthScale(1.0);
@@ -563,7 +575,7 @@ TrainingSession::onRepair(const FaultEvent &ev)
         break;
     }
     if (--activeFaultWindows_ == 0)
-        degradedTime_ += server_.eq.now() - degradedStart_;
+        degradedTime_ += eq_.now() - degradedStart_;
 }
 
 void
@@ -573,7 +585,7 @@ TrainingSession::onFatalCrash(const FaultEvent &)
     // nothing: the machine is not running, so no extra state is lost.
     if (done_ || down_)
         return;
-    const Time now = server_.eq.now();
+    const Time now = eq_.now();
     const std::size_t at_step = syncedSteps_;
     const std::size_t durable = ckpt_->crash(now, at_step);
 
@@ -581,11 +593,11 @@ TrainingSession::onFatalCrash(const FaultEvent &)
     // buffered prepared samples, running compute, the pending sync.
     for (auto &[cid, run] : chains_)
         if (run.flow != 0)
-            server_.net.cancelFlow(run.flow);
+            net_.cancelFlow(run.flow);
     chains_.clear();
     for (GroupState &gs : groups_) {
         if (gs.computeEv.valid())
-            server_.eq.cancel(gs.computeEv);
+            eq_.cancel(gs.computeEv);
         gs.computing = false;
         samplesDiscarded_ += gs.readySamples;
         gs.readySamples = 0.0;
@@ -593,7 +605,7 @@ TrainingSession::onFatalCrash(const FaultEvent &)
         gs.stepsComputed = durable;
     }
     if (syncEv_.valid())
-        server_.eq.cancel(syncEv_);
+        eq_.cancel(syncEv_);
     stepSamples_ = 0.0;
     syncedSteps_ = durable;
     pausedForCkpt_ = false;
@@ -601,13 +613,13 @@ TrainingSession::onFatalCrash(const FaultEvent &)
     if (trace_)
         trace_->instant("faults", "fatal_crash", now, "fault");
 
-    server_.eq.scheduleIn(server_.cfg.checkpoint.restartLatency,
+    eq_.scheduleIn(server_.cfg.checkpoint.restartLatency,
                           [this, now] {
         down_ = false;
-        ckpt_->restarted(server_.eq.now());
+        ckpt_->restarted(eq_.now());
         if (trace_)
             trace_->complete("faults", "rollback", now,
-                             server_.eq.now() - now, "fault");
+                             eq_.now() - now, "fault");
         for (std::size_t g = 0; g < groups_.size(); ++g)
             launchPrep(g);
     });
@@ -627,7 +639,7 @@ TrainingSession::accrueCapacity()
 {
     if (!elastic_)
         return;
-    const Time now = server_.eq.now();
+    const Time now = eq_.now();
     const Time dt = now - lastCapacityMark_;
     lastCapacityMark_ = now;
     if (dt <= 0.0 || groups_.empty())
@@ -673,7 +685,7 @@ TrainingSession::onElasticEvent(const ElasticEvent &ev)
         trace_->instant("elastic",
                         std::string(elasticTargetKindName(ev.target)) +
                             "_" + elasticActionName(ev.action),
-                        server_.eq.now(), "elastic");
+                        eq_.now(), "elastic");
     if (ev.target == ElasticTargetKind::Group) {
         switch (ev.action) {
           case ElasticAction::Drain:
@@ -713,7 +725,7 @@ TrainingSession::beginGroupDrain(std::size_t g)
     // boundary, so the detach loses buffered samples but never steps.
     if (ckpt_)
         ckpt_->requestCapture();
-    gs.detachEv = server_.eq.scheduleIn(
+    gs.detachEv = eq_.scheduleIn(
         server_.cfg.elasticity.graceWindow, [this, g] {
             groups_[g].detachEv.invalidate();
             detachGroup(g, /*preempted=*/false);
@@ -729,14 +741,14 @@ TrainingSession::preemptGroup(std::size_t g)
         return; // already gone
       case Membership::Joining:
         // Preempted before the attach finished: the join is void.
-        server_.eq.cancel(gs.joinEv);
+        eq_.cancel(gs.joinEv);
         gs.joinEv.invalidate();
         gs.membership = Membership::Detached;
         ++elasticStats_.preemptions;
         return;
       case Membership::Draining:
         // Escalation: the grace window is cut short.
-        server_.eq.cancel(gs.detachEv);
+        eq_.cancel(gs.detachEv);
         gs.detachEv.invalidate();
         break;
       case Membership::Active:
@@ -749,11 +761,15 @@ TrainingSession::preemptGroup(std::size_t g)
 void
 TrainingSession::detachGroup(std::size_t g, bool preempted)
 {
+    // A grace-window detach can land after the session finishes on a
+    // shared core; the frozen result must not see the teardown.
+    if (done_)
+        return;
     GroupState &gs = groups_[g];
     if (gs.membership == Membership::Detached)
         return;
     {
-        FluidNetwork::FlowBatch batch(server_.net);
+        FluidNetwork::FlowBatch batch(net_);
         // In-flight prep chains die with the member.
         for (auto it = chains_.begin(); it != chains_.end();) {
             if (it->second.group != g) {
@@ -761,7 +777,7 @@ TrainingSession::detachGroup(std::size_t g, bool preempted)
                 continue;
             }
             if (it->second.flow != 0)
-                server_.net.cancelFlow(it->second.flow);
+                net_.cancelFlow(it->second.flow);
             it = chains_.erase(it);
         }
         gs.inFlightSamples = 0.0;
@@ -771,7 +787,7 @@ TrainingSession::detachGroup(std::size_t g, bool preempted)
         double lost = gs.readySamples;
         gs.readySamples = 0.0;
         if (gs.computeEv.valid()) {
-            server_.eq.cancel(gs.computeEv);
+            eq_.cancel(gs.computeEv);
             gs.computeEv.invalidate();
             lost += groupBatchSamples(g); // aborted mid-step batch
         }
@@ -798,7 +814,7 @@ TrainingSession::beginGroupJoin(std::size_t g)
     if (gs.membership == Membership::Draining) {
         // Capacity returns before the grace window ends: cancel the
         // drain and keep the member (nothing was torn down yet).
-        server_.eq.cancel(gs.detachEv);
+        eq_.cancel(gs.detachEv);
         gs.detachEv.invalidate();
         gs.membership = Membership::Active;
         launchPrep(g);
@@ -807,7 +823,7 @@ TrainingSession::beginGroupJoin(std::size_t g)
     if (gs.membership != Membership::Detached)
         return; // already attached or attaching
     gs.membership = Membership::Joining;
-    gs.joinEv = server_.eq.scheduleIn(
+    gs.joinEv = eq_.scheduleIn(
         server_.cfg.elasticity.rejoinLatency,
         [this, g] {
             groups_[g].joinEv.invalidate();
@@ -830,7 +846,7 @@ TrainingSession::completeJoin(std::size_t g)
     // step (or the next one when its sync is already in flight).
     gs.stepsComputed = syncedSteps_ + (syncEv_.valid() ? 1 : 0);
     {
-        FluidNetwork::FlowBatch batch(server_.net);
+        FluidNetwork::FlowBatch batch(net_);
         // Its devices power back up — except the last FPGA while a
         // fault window or an elastic prep leave still holds it down.
         const auto &preps = gs.spec->preps;
@@ -862,7 +878,7 @@ TrainingSession::onPrepLeave(std::size_t g, bool planned)
         // degraded templates stripe over the survivors); work already
         // on it may finish until the detach instant.
         const std::uint64_t epoch = ++gs.prepEpoch;
-        server_.eq.scheduleIn(server_.cfg.elasticity.graceWindow,
+        eq_.scheduleIn(server_.cfg.elasticity.graceWindow,
                               [this, g, epoch] {
             GroupState &gs = groups_[g];
             if (done_ || gs.prepEpoch != epoch || !gs.prepElasticOut ||
@@ -949,7 +965,7 @@ TrainingSession::updateIngestOverload()
 {
     const IngestConfig &ic = server_.cfg.ingest;
     const double level = ingestLevel();
-    const Time now = server_.eq.now();
+    const Time now = eq_.now();
     if (ingestEngaged_ != 0 && level <= ic.lowWatermark + 1e-9) {
         ingestEngaged_ = 0;
         ingestStats_.overloadTime += now - ingestOverloadStart_;
@@ -1020,7 +1036,7 @@ TrainingSession::onIngestArrival(const IngestArrival &ev)
     ingestStats_.samplesOverflowDropped += remaining - admit;
     if (admit > 0.0) {
         ingestBuffered_ += admit;
-        ingestQueue_.push_back({admit, server_.eq.now()});
+        ingestQueue_.push_back({admit, eq_.now()});
         ingestStats_.peakBufferLevel =
             std::max(ingestStats_.peakBufferLevel, ingestLevel());
     }
@@ -1063,7 +1079,7 @@ TrainingSession::startIngestWrite(std::size_t attempt)
     const StageTemplate &st =
         server_.groups[ingestWriteGroup_].ingestWrite;
     ++ingestStats_.writeFlows;
-    const Time start = server_.eq.now();
+    const Time start = eq_.now();
     const std::uint64_t epoch = ingestWriteEpoch_;
     FlowSpec spec;
     spec.category = st.category;
@@ -1079,7 +1095,7 @@ TrainingSession::startIngestWrite(std::size_t attempt)
                              "ingest");
         onIngestWriteDone(attempt);
     };
-    server_.net.startFlow(std::move(spec));
+    net_.startFlow(std::move(spec));
 }
 
 /**
@@ -1092,8 +1108,12 @@ TrainingSession::startIngestWrite(std::size_t attempt)
 void
 TrainingSession::onIngestWriteDone(std::size_t attempt)
 {
+    // A shard write in flight at completion lands after the ingest
+    // ledger froze; ignore it (unreachable on a private core).
+    if (done_)
+        return;
     const IngestConfig &ic = server_.cfg.ingest;
-    const Time now = server_.eq.now();
+    const Time now = eq_.now();
     if (ingest_->writeAttemptFails()) {
         if (attempt < ic.maxWriteRetries) {
             ++ingestStats_.writeRetries;
@@ -1102,7 +1122,7 @@ TrainingSession::onIngestWriteDone(std::size_t attempt)
             const Time backoff = ic.writeRetryBackoff *
                 static_cast<double>(std::uint64_t{1} << attempt);
             const std::uint64_t epoch = ingestWriteEpoch_;
-            server_.eq.scheduleIn(backoff, [this, attempt, epoch] {
+            eq_.scheduleIn(backoff, [this, attempt, epoch] {
                 if (done_ || epoch != ingestWriteEpoch_)
                     return;
                 startIngestWrite(attempt + 1);
@@ -1159,7 +1179,7 @@ TrainingSession::tryStartCompute(std::size_t g)
     if (ingest_)
         ingestStats_.samplesEchoed += groupBatchSamples(g) - fresh;
     gs.computing = true;
-    const Time start = server_.eq.now();
+    const Time start = eq_.now();
     Time duration = server_.computeTime();
     if (fault_) {
         const double factor =
@@ -1182,13 +1202,13 @@ TrainingSession::tryStartCompute(std::size_t g)
             }
         }
     }
-    gs.computeEv = server_.eq.scheduleIn(duration, [this, g, start] {
+    gs.computeEv = eq_.scheduleIn(duration, [this, g, start] {
         groups_[g].computeEv.invalidate();
         if (computeBusyCtr_ && measuring())
-            computeBusyCtr_->add(server_.eq.now() - start);
+            computeBusyCtr_->add(eq_.now() - start);
         if (trace_)
             trace_->complete(groups_[g].spec->name, "compute", start,
-                             server_.eq.now() - start, "compute");
+                             eq_.now() - start, "compute");
         onComputeDone(g);
     });
     launchPrep(g);
@@ -1233,14 +1253,14 @@ TrainingSession::stepComplete()
     }
     if (attached == 0)
         return; // zero capacity: park until a join restores a group
-    const Time start = server_.eq.now();
-    syncEv_ = server_.eq.scheduleIn(server_.syncTime(), [this, start] {
+    const Time start = eq_.now();
+    syncEv_ = eq_.scheduleIn(server_.syncTime(), [this, start] {
         syncEv_.invalidate();
         if (syncBusyCtr_ && measuring())
-            syncBusyCtr_->add(server_.eq.now() - start);
+            syncBusyCtr_->add(eq_.now() - start);
         if (trace_)
             trace_->complete("sync", "ring_allreduce", start,
-                             server_.eq.now() - start, "sync");
+                             eq_.now() - start, "sync");
         onSyncDone();
     });
 }
@@ -1266,16 +1286,28 @@ TrainingSession::onSyncDone()
     // discard the crash's cost from the measurement.
     if (syncedSteps_ == warmupSteps_ && !windowOpen_) {
         windowOpen_ = true;
-        windowStart_ = server_.eq.now();
-        server_.net.resetAccounting();
+        windowStart_ = eq_.now();
+        // Reset only this server's slice of the (possibly shared)
+        // network: co-resident sessions own their measurement windows.
+        server_.resetAccounting();
         stageTimeSum_.clear();
         stageTimeCount_.clear();
         prepLatencySum_ = 0.0;
         prepLatencyCount_ = 0;
     }
     if (syncedSteps_ >= totalSteps_) {
-        windowEnd_ = server_.eq.now();
+        windowEnd_ = eq_.now();
         done_ = true;
+        // Freeze the result now: on a shared core other sessions keep
+        // simulating, and this session's stray in-flight completions
+        // must not leak into its numbers. Fire the completion hook
+        // last so a fleet scheduler sees a fully finalized session.
+        finalizeResult();
+        if (doneCb_) {
+            auto cb = std::move(doneCb_);
+            doneCb_ = nullptr;
+            cb();
+        }
         return;
     }
     // Checkpoint decisions happen at step boundaries, where the model
@@ -1302,25 +1334,56 @@ TrainingSession::onCheckpointResume()
     stepComplete();
 }
 
-SessionResult
-TrainingSession::run(std::size_t warmup, std::size_t measure)
+void
+TrainingSession::start(std::size_t warmup, std::size_t measure)
 {
+    panic_if(started_, "session already started");
+    started_ = true;
     panic_if(measure == 0, "need at least one measured step");
     warmupSteps_ = warmup;
+    measureSteps_ = measure;
     totalSteps_ = warmup + measure;
+    startNow_ = eq_.now();
 
     if (server_.metrics.enabled()) {
         MetricsRegistry &m = server_.metrics;
+        // Session instruments share the server's resource namespace so
+        // N sessions on one registry never collide ("" standalone).
+        const std::string &p = server_.resourcePrefix();
         computeBusyCtr_ = m.counter(
-            "session.compute_busy",
+            p + "session.compute_busy",
             "accelerator-group busy time over the window (group-sec)");
         syncBusyCtr_ = m.counter(
-            "session.sync_busy",
+            p + "session.sync_busy",
             "ring-sync busy time over the window (sec)");
-        stepsCtr_ = m.counter("session.steps",
+        stepsCtr_ = m.counter(p + "session.steps",
                               "global steps synchronized in the window");
-        chainsCtr_ = m.counter("session.chains_completed",
+        chainsCtr_ = m.counter(p + "session.chains_completed",
                                "prep chains finished in the window");
+    }
+
+    // Register this session's disturbance previews with the core: the
+    // uniform ScheduleSource face over the three injector configs, so a
+    // fleet driver can merge every job's schedule onto one timeline
+    // (sim/schedule_source.hh). Previews are pure — registration never
+    // perturbs the run.
+    {
+        ScheduleTargets stargets;
+        stargets.numSsds = server_.ssds.size();
+        stargets.numGroups = groups_.size();
+        if (server_.cfg.faults.enabled)
+            server_.core().addScheduleSource(
+                std::make_unique<FaultScheduleSource>(server_.cfg.faults),
+                stargets);
+        if (server_.cfg.elasticity.enabled)
+            server_.core().addScheduleSource(
+                std::make_unique<ElasticScheduleSource>(
+                    server_.cfg.elasticity),
+                stargets);
+        if (server_.cfg.ingest.enabled)
+            server_.core().addScheduleSource(
+                std::make_unique<IngestScheduleSource>(server_.cfg.ingest),
+                stargets);
     }
 
     if (server_.cfg.faults.enabled) {
@@ -1330,7 +1393,7 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
         fault_ = std::make_unique<FaultInjector>(server_.cfg.faults,
                                                  targets);
         fault_->arm(
-            server_.eq, [this](const FaultEvent &ev) { onFault(ev); },
+            eq_, [this](const FaultEvent &ev) { onFault(ev); },
             [this](const FaultEvent &ev) { onRepair(ev); });
     }
 
@@ -1360,10 +1423,10 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
                 p->setFailed(true);
             --activeGroups_;
         }
-        lastCapacityMark_ = server_.eq.now();
+        lastCapacityMark_ = eq_.now();
         if (defer > 0)
             replanOffload();
-        elastic_->arm(server_.eq, [this](const ElasticEvent &ev) {
+        elastic_->arm(eq_, [this](const ElasticEvent &ev) {
             onElasticEvent(ev);
         });
     }
@@ -1372,30 +1435,40 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
         ingest_ = std::make_unique<IngestScheduler>(server_.cfg.ingest);
         ingestStats_.stalenessSloSec = server_.cfg.ingest.stalenessSlo;
         ingestStats_.echoEfficiency = server_.cfg.ingest.echoEfficiency;
-        ingest_->arm(server_.eq, [this](const IngestArrival &ev) {
+        ingest_->arm(eq_, [this](const IngestArrival &ev) {
             onIngestArrival(ev);
         });
     }
 
     for (std::size_t g = 0; g < groups_.size(); ++g)
         launchPrep(g);
+}
 
-    while (!done_ && server_.eq.step()) {
+SessionResult
+TrainingSession::run(std::size_t warmup, std::size_t measure)
+{
+    start(warmup, measure);
+    while (!done_ && eq_.step()) {
     }
     panic_if(!done_,
              "training stalled: event queue drained after %zu/%zu steps",
              syncedSteps_, totalSteps_);
+    return collect();
+}
 
+void
+TrainingSession::finalizeResult()
+{
     // Extend the recorded utilization histories to the end of the run
     // (no-op — and in particular no accounting change — without metrics).
-    server_.net.flushMetrics();
+    net_.flushMetrics();
 
     SessionResult res;
     const Time elapsed = windowEnd_ - windowStart_;
     panic_if(elapsed <= 0.0, "empty measurement window");
 
-    res.stepsMeasured = measure;
-    res.stepTime = elapsed / static_cast<double>(measure);
+    res.stepsMeasured = measureSteps_;
+    res.stepTime = elapsed / static_cast<double>(measureSteps_);
     res.computeTime = server_.computeTime();
     res.syncTime = server_.syncTime();
     if (elastic_) {
@@ -1406,7 +1479,7 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
         res.throughput =
             static_cast<double>(server_.cfg.numAccelerators) *
             static_cast<double>(server_.batchSize()) *
-            static_cast<double>(measure) / elapsed;
+            static_cast<double>(measureSteps_) / elapsed;
     }
 
     for (const auto &[name, sum] : stageTimeSum_)
@@ -1429,7 +1502,7 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
         // Fault windows still open when the run ends never see their
         // repair event; close the degradation interval at the end time.
         if (activeFaultWindows_ > 0) {
-            degradedTime_ += server_.eq.now() - degradedStart_;
+            degradedTime_ += eq_.now() - degradedStart_;
             activeFaultWindows_ = 0;
         }
         res.faults = faultStats_;
@@ -1449,7 +1522,11 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
                  res.integrity.injected);
     }
 
-    res.wallTime = windowEnd_;
+    // Wall time is measured from when *this session* started: for the
+    // historical standalone run startNow_ == 0 so this is bit-identical
+    // to the old absolute-clock reading, while a fleet job admitted at
+    // t > 0 reports its own duration, not the fleet clock.
+    res.wallTime = windowEnd_ - startNow_;
     if (ckpt_)
         res.checkpoint = ckpt_->stats();
 
@@ -1473,7 +1550,7 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     if (elastic_) {
         accrueCapacity();
         elasticStats_.events = elastic_->eventsDelivered();
-        const Time total = server_.eq.now();
+        const Time total = eq_.now() - startNow_;
         elasticStats_.avgActiveFraction =
             total > 0.0 ? activeFractionIntegral_ / total : 1.0;
         elasticStats_.sloTargetSamplesPerSec =
@@ -1484,7 +1561,7 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
     if (ingest_) {
         // Close windows still open at run end, then check conservation:
         // every offered sample must be accounted for exactly once.
-        const Time end = server_.eq.now();
+        const Time end = eq_.now();
         if (ingestEngaged_ != 0)
             ingestStats_.overloadTime += end - ingestOverloadStart_;
         if (ingestStalled_)
@@ -1508,10 +1585,17 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
         res.ingest = ingestStats_;
     }
 
+    result_ = std::move(res);
+}
+
+SessionResult
+TrainingSession::collect()
+{
+    panic_if(!done_, "collect() before the session finished");
     // The trace writer is borrowed; drop it so a writer destroyed after
-    // run() can never be reached through this session.
+    // the run can never be reached through this session.
     trace_ = nullptr;
-    return res;
+    return result_;
 }
 
 SessionReport

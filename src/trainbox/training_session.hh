@@ -298,7 +298,16 @@ struct SessionResult
     double rcBwUsed() const;
 };
 
-/** Runs training steps on a Server and measures steady state. */
+/**
+ * Runs training steps on a Server and measures steady state.
+ *
+ * The session is a *client* of the server's SimulationCore: run() is a
+ * thin shim that arms the session (start()), steps the core's event
+ * queue until the session finishes, and returns collect(). A fleet
+ * driver instead calls start() on many sessions sharing one core,
+ * steps the core itself, and collect()s each session as it completes —
+ * an N=1 fleet is bit-identical to run() (docs/FLEET.md).
+ */
 class TrainingSession
 {
   public:
@@ -306,9 +315,36 @@ class TrainingSession
 
     /**
      * Run @p warmup + @p measure global steps and report steady-state
-     * metrics over the measurement window.
+     * metrics over the measurement window. Equivalent to start() +
+     * stepping the core until done() + collect().
      */
     SessionResult run(std::size_t warmup = 4, std::size_t measure = 8);
+
+    /**
+     * Arm the session on its server's core without stepping the event
+     * loop: registers instruments and schedule sources, arms the
+     * fault/elastic/ingest injectors, and launches the initial prep
+     * chains at the core's current time. The caller (run(), or a fleet
+     * driver multiplexing several sessions) then steps the core.
+     */
+    void start(std::size_t warmup = 4, std::size_t measure = 8);
+
+    /** Has the session synchronized its final step? */
+    bool done() const { return done_; }
+
+    /**
+     * Invoked exactly once, at the instant the session finishes (after
+     * its result is finalized) — the hook a fleet scheduler uses to
+     * free capacity and start queued jobs on the shared timeline.
+     */
+    void onDone(std::function<void()> cb) { doneCb_ = std::move(cb); }
+
+    /**
+     * The finalized result. Callable any time after done(); the result
+     * is frozen at the completion instant, so co-resident sessions
+     * simulating past this session's end never perturb it.
+     */
+    SessionResult collect();
 
     /**
      * Run and assemble the full SessionReport (config echo, latency
@@ -447,7 +483,19 @@ class TrainingSession
     double effectiveOffload(std::size_t g) const;
     std::size_t redispatchLocalChains(std::size_t g);
 
+    /**
+     * Freeze the SessionResult at the completion instant (still inside
+     * the final sync event). On a private core this is observably
+     * identical to assembling the result after the event loop drains —
+     * simulated time cannot advance in between — but on a shared core
+     * it guards the result against co-resident sessions that keep
+     * simulating past this session's end.
+     */
+    void finalizeResult();
+
     Server &server_;
+    EventQueue &eq_;    ///< the core's event queue (shared clock)
+    FluidNetwork &net_; ///< the core's contention engine
     std::vector<GroupState> groups_;
     TraceWriter *trace_ = nullptr;
 
@@ -514,11 +562,18 @@ class TrainingSession
 
     std::size_t syncedSteps_ = 0;
     std::size_t warmupSteps_ = 0;
+    std::size_t measureSteps_ = 0;
     std::size_t totalSteps_ = 0;
+    bool started_ = false;
     bool done_ = false;
     bool windowOpen_ = false; ///< measurement window reset already done
+    Time startNow_ = 0.0; ///< core time at start() (0 when standalone)
     Time windowStart_ = 0.0;
     Time windowEnd_ = 0.0;
+
+    /** Result frozen by finalizeResult() at the completion instant. */
+    SessionResult result_;
+    std::function<void()> doneCb_;
 
     // measurement accumulators
     std::map<std::string, Time> stageTimeSum_;

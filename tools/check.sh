@@ -68,3 +68,11 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
 # the admission state machine and write-retry paths run under the
 # sanitizer (docs/ROBUSTNESS.md, "Streaming ingest & overload").
 "$build_dir/bench/ingest_sweep" --smoke
+
+# Fleet smoke: multi-job scheduling on one shared simulation core —
+# one-job fleet == bare-session bit-identity, two-job determinism,
+# concurrent pool grants summing exactly to the shared pool, and the
+# per-job conservation ledgers under a chaos trace, instrumented so
+# the admission/arbitration paths run under the sanitizer
+# (docs/FLEET.md).
+"$build_dir/bench/fleet_sweep" --smoke

@@ -28,6 +28,7 @@
 #include "prep/integrity.hh"
 #include "prep/pipeline.hh"
 #include "sim/trace.hh"
+#include "trainbox/fleet.hh"
 #include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
 #include "workload/cost_model.hh"
@@ -53,6 +54,10 @@ struct Options
     std::string jsonPath;  // "-" = stdout
     std::string csvPath;   // "-" = stdout
     std::string tracePath; // Chrome trace with counter tracks
+
+    bool fleet = false; // canned multi-job fleet instead of one session
+    tb::PlacementPolicy policy = tb::PlacementPolicy::PrepPoolAware;
+    int fleetPool = 6; // shared prep-pool FPGAs (negative = uncapped)
 };
 
 void
@@ -85,6 +90,14 @@ usage(std::FILE *out)
         "  --prep-smoke N   also run N items through the real prep\n"
         "                   executor (some deliberately bit-flipped)\n"
         "                   and attach its quarantine to the report\n"
+        "  --fleet          run the canned mixed vision+audio multi-job\n"
+        "                   fleet (arrival trace, shared prep pool) and\n"
+        "                   print the FleetReport; --json/--csv export\n"
+        "                   the fleet schema (docs/FLEET.md)\n"
+        "  --policy NAME    fleet placement policy: first_fit | packed |\n"
+        "                   pool_aware              (default pool_aware)\n"
+        "  --pool N         fleet shared prep-pool FPGAs; negative =\n"
+        "                   uncapped                        (default 6)\n"
         "  --list           list presets and models, then exit\n");
 }
 
@@ -200,6 +213,44 @@ runPrepSmoke(std::size_t items, tb::SessionReport &report)
                  report.prepItemsQuarantined());
 }
 
+/**
+ * The canned --fleet scenario: a mixed vision + audio trace on two
+ * 2-box hosts. The first two jobs are co-resident (one host each) and
+ * oversubscribe the shared prep pool, so admission arbitrates grants
+ * across jobs; the third arrives while both hosts are full and queues
+ * until the first completion frees its boxes — a nonzero queueing
+ * delay by construction.
+ */
+tb::FleetConfig
+cannedFleet(const Options &opt)
+{
+    using namespace tb;
+    FleetConfig fleet;
+    fleet.hosts.push_back({"hostA", 2});
+    fleet.hosts.push_back({"hostB", 2});
+    fleet.policy = opt.policy;
+    fleet.sharedPoolFpgas = opt.fleetPool;
+
+    auto job = [&](const char *name, workload::ModelId model,
+                   Time arrival) {
+        FleetJobSpec spec;
+        spec.name = name;
+        spec.arrival = arrival;
+        spec.config.preset = ArchPreset::TrainBox;
+        spec.config.model = model;
+        spec.config.numAccelerators = 16; // 2 boxes
+        spec.config.prepPoolFpgas = 4;
+        spec.config.metricsEnabled = opt.metrics;
+        spec.warmupSteps = opt.warmup;
+        spec.measureSteps = opt.measure;
+        fleet.jobs.push_back(spec);
+    };
+    job("vision0", workload::ModelId::Resnet50, 0.0);
+    job("audio0", workload::ModelId::TfSr, 0.02);
+    job("vision1", workload::ModelId::Resnet50, 0.05);
+    return fleet;
+}
+
 } // namespace
 
 int
@@ -257,12 +308,36 @@ main(int argc, char **argv)
             opt.ingest = true;
         } else if (arg == "--prep-smoke") {
             opt.prepSmoke = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--fleet") {
+            opt.fleet = true;
+        } else if (arg == "--policy") {
+            const std::string v = value();
+            if (!tb::parsePlacementPolicy(v, opt.policy)) {
+                std::fprintf(stderr, "tb_report: unknown policy '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (arg == "--pool") {
+            opt.fleetPool =
+                static_cast<int>(std::strtol(value().c_str(), nullptr, 10));
         } else {
             std::fprintf(stderr, "tb_report: unknown option '%s'\n",
                          arg.c_str());
             usage(stderr);
             return 2;
         }
+    }
+
+    if (opt.fleet) {
+        const tb::FleetReport fleet = tb::runFleet(cannedFleet(opt));
+        const bool quiet = opt.jsonPath == "-" || opt.csvPath == "-";
+        if (!quiet)
+            fleet.print(stdout);
+        if (!opt.jsonPath.empty())
+            writeOrPrint(opt.jsonPath, fleet.toJson());
+        if (!opt.csvPath.empty())
+            writeOrPrint(opt.csvPath, fleet.toCsv());
+        return 0;
     }
 
     tb::ServerConfig cfg = tb::ServerConfig::forPreset(opt.preset)
