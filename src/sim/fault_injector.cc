@@ -247,4 +247,109 @@ FaultInjector::schedule(const FaultConfig &cfg, const FaultTargets &targets,
     return events;
 }
 
+// --- fleet-level faults -------------------------------------------------
+
+namespace {
+
+std::uint64_t
+fleetClassStreamTag(FleetFaultKind kind)
+{
+    return 0x464c454554ull + static_cast<std::uint64_t>(kind);
+}
+
+} // namespace
+
+const char *
+fleetFaultKindName(FleetFaultKind kind)
+{
+    switch (kind) {
+      case FleetFaultKind::HostOutage:
+        return "host_outage";
+      case FleetFaultKind::BoxLoss:
+        return "box_loss";
+      case FleetFaultKind::PoolPartition:
+        return "pool_partition";
+    }
+    return "unknown";
+}
+
+std::vector<FleetFaultEvent>
+FleetFaultInjector::schedule(const FleetFaultConfig &cfg,
+                             std::size_t numHosts, Time horizon)
+{
+    std::vector<FleetFaultEvent> events;
+    if (!cfg.enabled)
+        return events;
+    // Scripted windows first: they sort ahead of same-instant seeded
+    // windows, so a hand-written scenario always plays as written.
+    events = cfg.schedule;
+    // Seeded streams: exponential inter-arrival from the previous
+    // window's *end* (per-class windows never overlap), aggregate rate
+    // numTargets / mtbf, uniform victim. Bounded by the horizon — fleet
+    // validation requires horizon > 0 when any class is active.
+    auto addClass = [&](FleetFaultKind kind, const FleetFaultClassConfig &cc,
+                        std::size_t n_targets, std::size_t units) {
+        if (cc.mtbf <= 0.0 || n_targets == 0 || horizon <= 0.0)
+            return;
+        Rng rng(mix64(cfg.seed ^ fleetClassStreamTag(kind)));
+        const double rate = static_cast<double>(n_targets) / cc.mtbf;
+        Time prev_end = 0.0;
+        while (true) {
+            const double u = rng.uniform();
+            const Time start = prev_end - std::log(1.0 - u) / rate;
+            if (start >= horizon)
+                break;
+            FleetFaultEvent ev;
+            ev.kind = kind;
+            ev.host = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(n_targets) - 1));
+            ev.start = start;
+            ev.duration = cc.mttr;
+            ev.units = units;
+            prev_end = ev.start + ev.duration;
+            events.push_back(ev);
+        }
+    };
+    addClass(FleetFaultKind::HostOutage, cfg.hostOutage, numHosts, 1);
+    addClass(FleetFaultKind::BoxLoss, cfg.boxLoss, numHosts,
+             cfg.boxLossUnits);
+    addClass(FleetFaultKind::PoolPartition, cfg.poolPartition, 1,
+             cfg.poolPartitionFpgas);
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FleetFaultEvent &a, const FleetFaultEvent &b) {
+                         return a.start < b.start;
+                     });
+    return events;
+}
+
+FleetFaultInjector::FleetFaultInjector(const FleetFaultConfig &cfg,
+                                       std::size_t numHosts, Time horizon)
+    : events_(schedule(cfg, numHosts, horizon))
+{
+}
+
+void
+FleetFaultInjector::arm(EventQueue &eq, Handler onFault, Handler onRepair)
+{
+    onFault_ = std::move(onFault);
+    onRepair_ = std::move(onRepair);
+    // The whole schedule is known upfront, so play it eagerly. Each
+    // fault schedules its own repair from inside its callback: a
+    // zero-length window then still runs fault before repair (the
+    // repair's sequence number is necessarily larger).
+    const Time origin = eq.now();
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const FleetFaultEvent ev = events_[i];
+        eq.schedule(origin + ev.start, [this, &eq, origin, ev, i] {
+            ++faultsInjected_;
+            if (onFault_)
+                onFault_(ev, i);
+            eq.schedule(origin + ev.start + ev.duration, [this, ev, i] {
+                if (onRepair_)
+                    onRepair_(ev, i);
+            });
+        });
+    }
+}
+
 } // namespace tb

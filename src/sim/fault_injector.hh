@@ -342,6 +342,146 @@ class FaultInjector
     std::size_t readFailures_ = 0;
 };
 
+// --- fleet-level faults -------------------------------------------------
+//
+// The classes above strike *inside* one training server; the fleet layer
+// (trainbox/fleet.hh) additionally models failures of the hosts the
+// servers run on and of the shared prep-pool fabric between them. The
+// same determinism rules apply: a FleetFaultConfig is a pure description,
+// FleetFaultInjector::schedule() enumerates the exact windows arm() will
+// play, and same-seed runs reproduce bit-for-bit.
+
+/** Classes of fleet-level faults. */
+enum class FleetFaultKind
+{
+    HostOutage,    ///< a whole host dies; every co-resident job is killed
+    BoxLoss,       ///< a host loses train-box slots for a window
+    PoolPartition, ///< pool fabric partition fences free shared-pool FPGAs
+};
+
+/** Display name of a fleet fault kind ("host_outage", ...). */
+const char *fleetFaultKindName(FleetFaultKind kind);
+
+/** One windowed fleet-fault class, parameterized MTBF/MTTR style. */
+struct FleetFaultClassConfig
+{
+    /**
+     * Mean time between failures *per target* in simulated seconds
+     * (0 = class disabled). Host classes draw a uniform victim, so the
+     * aggregate arrival rate is numHosts / mtbf.
+     */
+    double mtbf = 0.0;
+
+    /** Mean time to repair: the deterministic outage window length. */
+    Time mttr = 0.0;
+};
+
+/** One scheduled (or scripted) fleet-level fault window. */
+struct FleetFaultEvent
+{
+    FleetFaultKind kind = FleetFaultKind::HostOutage;
+
+    /** Victim host index (ignored for PoolPartition). */
+    std::size_t host = 0;
+
+    Time start = 0.0;
+    Time duration = 0.0;
+
+    /** Severity: boxes lost (BoxLoss) / pool FPGAs fenced (PoolPartition). */
+    std::size_t units = 1;
+};
+
+/**
+ * Fleet-level fault scenario + the re-admission policy the fleet applies
+ * to jobs those faults kill. Random streams need a finite
+ * FleetConfig::horizon (they are pre-enumerated over it); the scripted
+ * schedule works on unbounded runs too.
+ */
+struct FleetFaultConfig
+{
+    /** Master switch. When false the fleet schedules zero fault events. */
+    bool enabled = false;
+
+    /** Seed for the windowed streams (schedules are reproducible). */
+    std::uint64_t seed = 0x666c656574666c74ull;
+
+    // --- seeded windowed classes ------------------------------------
+
+    FleetFaultClassConfig hostOutage;
+    FleetFaultClassConfig boxLoss;
+    FleetFaultClassConfig poolPartition;
+
+    /** Boxes lost per seeded BoxLoss window. */
+    std::size_t boxLossUnits = 1;
+
+    /** Free-pool FPGAs fenced per seeded PoolPartition window. */
+    std::size_t poolPartitionFpgas = 1;
+
+    // --- scripted windows -------------------------------------------
+
+    /** Hand-written fault windows (must be sorted by start time). */
+    std::vector<FleetFaultEvent> schedule;
+
+    // --- re-admission policy ----------------------------------------
+
+    /** Re-admissions allowed per job before it is abandoned. */
+    std::size_t maxRetries = 3;
+
+    /** Backoff before the first re-admission attempt. */
+    Time retryBackoffBase = 0.05;
+
+    /** Backoff multiplier per subsequent failure (>= 1). */
+    double retryBackoffFactor = 2.0;
+};
+
+/**
+ * Plays a FleetFaultConfig onto the fleet's event queue. Unlike the
+ * per-session FaultInjector the whole schedule is pre-enumerated (fleet
+ * runs are horizon-bounded when random streams are active), so handlers
+ * additionally receive the event's index into schedule() — the fleet
+ * uses it to pair each repair with exactly the severity its fault
+ * actually applied (clamped box counts, partial pool fences).
+ */
+class FleetFaultInjector
+{
+  public:
+    FleetFaultInjector(const FleetFaultConfig &cfg, std::size_t numHosts,
+                       Time horizon);
+
+    using Handler =
+        std::function<void(const FleetFaultEvent &, std::size_t idx)>;
+
+    /**
+     * Schedule every fault/repair pair onto @p eq, offset by the clock
+     * reading at arm() time. @p onFault fires at each window's start,
+     * @p onRepair at its end (repairs of zero-length windows fire in
+     * schedule order after the fault).
+     */
+    void arm(EventQueue &eq, Handler onFault, Handler onRepair);
+
+    /** The pre-enumerated schedule arm() plays. */
+    const std::vector<FleetFaultEvent> &events() const { return events_; }
+
+    /** Fleet faults injected so far (after arm()). */
+    std::size_t faultsInjected() const { return faultsInjected_; }
+
+    /**
+     * Deterministically enumerate the fleet-fault windows in
+     * [0, horizon): the scripted schedule merged with the seeded
+     * exponential streams (per-class windows never overlap), sorted by
+     * start time with scripted-before-seeded tie-breaking.
+     */
+    static std::vector<FleetFaultEvent>
+    schedule(const FleetFaultConfig &cfg, std::size_t numHosts,
+             Time horizon);
+
+  private:
+    std::vector<FleetFaultEvent> events_;
+    Handler onFault_;
+    Handler onRepair_;
+    std::size_t faultsInjected_ = 0;
+};
+
 } // namespace tb
 
 #endif // TRAINBOX_SIM_FAULT_INJECTOR_HH

@@ -97,6 +97,32 @@ IngestScheduleSource::preview(const ScheduleTargets &targets,
 }
 
 std::vector<SchedulePreviewEntry>
+FleetFaultScheduleSource::schedule(const FleetFaultConfig &cfg,
+                                   const ScheduleTargets &targets,
+                                   Time horizon)
+{
+    std::vector<SchedulePreviewEntry> out;
+    if (!cfg.enabled)
+        return out;
+    for (const FleetFaultEvent &ev :
+         FleetFaultInjector::schedule(cfg, targets.numHosts, horizon)) {
+        out.push_back(SchedulePreviewEntry{
+            ev.start, "fleet",
+            formatLabel("%s host=%zu for %.3gs units=%zu",
+                        fleetFaultKindName(ev.kind), ev.host, ev.duration,
+                        ev.units)});
+    }
+    return out;
+}
+
+std::vector<SchedulePreviewEntry>
+FleetFaultScheduleSource::preview(const ScheduleTargets &targets,
+                                  Time horizon) const
+{
+    return schedule(cfg_, targets, horizon);
+}
+
+std::vector<SchedulePreviewEntry>
 mergedSchedule(const std::vector<const ScheduleSource *> &sources,
                const ScheduleTargets &targets, Time horizon)
 {

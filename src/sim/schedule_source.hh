@@ -37,6 +37,7 @@ struct ScheduleTargets
 {
     std::size_t numSsds = 0;
     std::size_t numGroups = 0;
+    std::size_t numHosts = 0;
 };
 
 /** One previewed disturbance on the shared timeline. */
@@ -129,6 +130,28 @@ class IngestScheduleSource final : public ScheduleSource
 
   private:
     IngestConfig cfg_;
+};
+
+/** Preview adapter over FleetFaultInjector::schedule(). */
+class FleetFaultScheduleSource final : public ScheduleSource
+{
+  public:
+    explicit FleetFaultScheduleSource(const FleetFaultConfig &cfg)
+        : cfg_(cfg)
+    {
+    }
+
+    const char *name() const override { return "fleet"; }
+    bool enabled() const override { return cfg_.enabled; }
+    std::vector<SchedulePreviewEntry>
+    preview(const ScheduleTargets &targets, Time horizon) const override;
+
+    static std::vector<SchedulePreviewEntry>
+    schedule(const FleetFaultConfig &cfg, const ScheduleTargets &targets,
+             Time horizon);
+
+  private:
+    FleetFaultConfig cfg_;
 };
 
 /**

@@ -190,7 +190,14 @@ class Checkpointer
     /** True while a capture or background drain is in flight. */
     bool draining() const { return draining_; }
 
-    /** Step of the last durable checkpoint (0 = none). */
+    /**
+     * Step of the last durable checkpoint (0 = none). Besides the
+     * in-session crash/rollback path above, the fleet retry path
+     * (trainbox/fleet.cc) reads this off a killed session to bank
+     * durable progress across restart attempts, and charges the same
+     * CheckpointConfig::restartLatency on top of the retry backoff
+     * before the replacement attempt is queued.
+     */
     std::size_t lastDurableStep() const { return durableStep_; }
 
     /** Finalized counters (avgCost computed over committed drains). */

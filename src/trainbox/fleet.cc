@@ -2,14 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
 #include <cstring>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "sim/schedule_source.hh"
 #include "trainbox/train_initializer.hh"
 
 namespace tb {
+
+namespace {
+
+std::string
+fmt(const char *f, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+/** Train-box slots a job's accelerators occupy (preset-independent). */
+std::size_t
+boxesFor(const FleetJobSpec &spec)
+{
+    return divCeil(std::max<std::size_t>(spec.config.numAccelerators, 1),
+                   spec.config.box.accPerBox);
+}
+
+} // namespace
 
 const char *
 placementPolicyName(PlacementPolicy p)
@@ -40,20 +65,144 @@ parsePlacementPolicy(const std::string &name, PlacementPolicy &out)
     return true;
 }
 
+const char *
+fleetJobStateName(FleetJobState s)
+{
+    switch (s) {
+    case FleetJobState::Queued:
+        return "queued";
+    case FleetJobState::Running:
+        return "running";
+    case FleetJobState::Failed:
+        return "failed";
+    case FleetJobState::Requeued:
+        return "requeued";
+    case FleetJobState::Completed:
+        return "completed";
+    case FleetJobState::Abandoned:
+        return "abandoned";
+    }
+    return "?";
+}
+
+std::string
+FleetConfig::validate() const
+{
+    if (hosts.empty())
+        return "no hosts configured";
+    if (jobs.empty())
+        return "empty job trace";
+    if (horizon < 0.0)
+        return fmt("negative horizon %g", horizon);
+
+    std::size_t max_boxes = 0;
+    for (const FleetHostSpec &h : hosts) {
+        if (h.boxCapacity == 0)
+            return fmt("host %s has zero capacity", h.name.c_str());
+        max_boxes = std::max(max_boxes, h.boxCapacity);
+    }
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const FleetJobSpec &spec = jobs[i];
+        if (spec.name.empty())
+            return fmt("job %zu has no name", i);
+        if (spec.arrival < 0.0)
+            return fmt("job %s arrives at %g < 0", spec.name.c_str(),
+                       spec.arrival);
+        if (spec.measureSteps == 0)
+            return fmt("job %s has zero measured steps",
+                       spec.name.c_str());
+        for (std::size_t k = 0; k < i; ++k)
+            if (jobs[k].name == spec.name)
+                return fmt("duplicate job name %s", spec.name.c_str());
+        const std::size_t need = boxesFor(spec);
+        if (need > max_boxes)
+            return fmt("job %s needs %zu boxes but the largest host "
+                       "has %zu",
+                       spec.name.c_str(), need, max_boxes);
+    }
+
+    if (!faults.enabled)
+        return "";
+
+    // --- retry policy ---------------------------------------------------
+    constexpr std::size_t kMaxRetries = 64;
+    if (faults.maxRetries > kMaxRetries)
+        return fmt("faults.maxRetries %zu exceeds the cap %zu",
+                   faults.maxRetries, kMaxRetries);
+    if (faults.retryBackoffBase < 0.0)
+        return fmt("faults.retryBackoffBase must be >= 0, got %g",
+                   faults.retryBackoffBase);
+    if (faults.retryBackoffFactor < 1.0)
+        return fmt("faults.retryBackoffFactor must be >= 1, got %g",
+                   faults.retryBackoffFactor);
+
+    // --- seeded classes -------------------------------------------------
+    struct NamedClass
+    {
+        const char *name;
+        const FleetFaultClassConfig *cc;
+    };
+    const NamedClass classes[] = {
+        {"hostOutage", &faults.hostOutage},
+        {"boxLoss", &faults.boxLoss},
+        {"poolPartition", &faults.poolPartition},
+    };
+    for (const NamedClass &nc : classes) {
+        if (nc.cc->mtbf < 0.0)
+            return fmt("faults.%s.mtbf must be >= 0, got %g", nc.name,
+                       nc.cc->mtbf);
+        if (nc.cc->mttr < 0.0)
+            return fmt("faults.%s.mttr must be >= 0, got %g", nc.name,
+                       nc.cc->mttr);
+        if (nc.cc->mtbf > 0.0 && horizon <= 0.0)
+            return fmt("faults.%s.mtbf %g needs a positive horizon "
+                       "(seeded streams are enumerated over it)",
+                       nc.name, nc.cc->mtbf);
+    }
+    if (faults.boxLoss.mtbf > 0.0 && faults.boxLossUnits == 0)
+        return "faults.boxLossUnits must be >= 1 when boxLoss is active";
+    if (faults.poolPartition.mtbf > 0.0 && faults.poolPartitionFpgas == 0)
+        return "faults.poolPartitionFpgas must be >= 1 when "
+               "poolPartition is active";
+
+    // --- scripted schedule ----------------------------------------------
+    for (std::size_t i = 0; i < faults.schedule.size(); ++i) {
+        const FleetFaultEvent &ev = faults.schedule[i];
+        if (ev.start < 0.0)
+            return fmt("faults.schedule[%zu] starts at %g < 0", i,
+                       ev.start);
+        if (ev.duration < 0.0)
+            return fmt("faults.schedule[%zu] has negative duration %g",
+                       i, ev.duration);
+        if (i > 0 && ev.start < faults.schedule[i - 1].start)
+            return fmt("faults.schedule[%zu] starts at %g, before "
+                       "schedule[%zu] at %g (must be sorted)",
+                       i, ev.start, i - 1,
+                       faults.schedule[i - 1].start);
+        if (ev.kind != FleetFaultKind::PoolPartition &&
+            ev.host >= hosts.size())
+            return fmt("faults.schedule[%zu] targets host %zu but the "
+                       "fleet has only %zu hosts",
+                       i, ev.host, hosts.size());
+        if (ev.kind != FleetFaultKind::HostOutage && ev.units == 0)
+            return fmt("faults.schedule[%zu] (%s) has zero units", i,
+                       fleetFaultKindName(ev.kind));
+    }
+    return "";
+}
+
 FleetSimulation::FleetSimulation(FleetConfig cfg)
     : cfg_(std::move(cfg))
 {
-    fatal_if(cfg_.hosts.empty(), "fleet: no hosts configured");
-    fatal_if(cfg_.jobs.empty(), "fleet: empty job trace");
-    fatal_if(cfg_.horizon < 0.0, "fleet: negative horizon %g",
-             cfg_.horizon);
+    const std::string err = cfg_.validate();
+    fatal_if(!err.empty(), "fleet: %s", err.c_str());
 
-    std::size_t maxBoxes = 0;
     for (const FleetHostSpec &h : cfg_.hosts) {
-        fatal_if(h.boxCapacity == 0, "fleet: host %s has zero capacity",
-                 h.name.c_str());
-        hosts_.push_back({h, h.boxCapacity});
-        maxBoxes = std::max(maxBoxes, h.boxCapacity);
+        Host host;
+        host.spec = h;
+        host.freeBoxes = h.boxCapacity;
+        hosts_.push_back(std::move(host));
     }
 
     poolFree_ = cfg_.sharedPoolFpgas > 0
@@ -62,28 +211,9 @@ FleetSimulation::FleetSimulation(FleetConfig cfg)
     jobs_.reserve(cfg_.jobs.size());
     for (std::size_t i = 0; i < cfg_.jobs.size(); ++i) {
         const FleetJobSpec &spec = cfg_.jobs[i];
-        fatal_if(spec.name.empty(), "fleet: job %zu has no name", i);
-        fatal_if(spec.arrival < 0.0, "fleet: job %s arrives at %g < 0",
-                 spec.name.c_str(), spec.arrival);
-        fatal_if(spec.measureSteps == 0,
-                 "fleet: job %s has zero measured steps",
-                 spec.name.c_str());
-        for (std::size_t k = 0; k < i; ++k)
-            fatal_if(cfg_.jobs[k].name == spec.name,
-                     "fleet: duplicate job name %s", spec.name.c_str());
-
         Job job;
         job.spec = spec;
-        // Physical train-box slots the job's accelerators occupy,
-        // preset-independent (central presets still rack their devices
-        // in boxes).
-        job.boxesNeeded = divCeil(
-            std::max<std::size_t>(spec.config.numAccelerators, 1),
-            spec.config.box.accPerBox);
-        fatal_if(job.boxesNeeded > maxBoxes,
-                 "fleet: job %s needs %zu boxes but the largest host "
-                 "has %zu",
-                 spec.name.c_str(), job.boxesNeeded, maxBoxes);
+        job.boxesNeeded = boxesFor(spec);
         job.result.job = spec.name;
         job.result.priority = spec.priority;
         job.result.arrival = spec.arrival;
@@ -107,17 +237,19 @@ FleetSimulation::poolRequest(const ServerConfig &cfg) const
 int
 FleetSimulation::pickHost(const Job &job) const
 {
+    // available() excludes down hosts and slots fenced by open BoxLoss
+    // windows; with fleet faults disabled it equals freeBoxes exactly.
     int best = -1;
     for (std::size_t h = 0; h < hosts_.size(); ++h) {
-        if (hosts_[h].freeBoxes < job.boxesNeeded)
+        if (hosts_[h].available() < job.boxesNeeded)
             continue;
         if (cfg_.policy == PlacementPolicy::FirstFit)
             return static_cast<int>(h);
         // Packed / PrepPoolAware: best-fit — the fullest host that
         // still fits, keeping large contiguous blocks free.
         if (best < 0 ||
-            hosts_[h].freeBoxes <
-                hosts_[static_cast<std::size_t>(best)].freeBoxes)
+            hosts_[h].available() <
+                hosts_[static_cast<std::size_t>(best)].available())
             best = static_cast<int>(h);
     }
     return best;
@@ -139,25 +271,49 @@ FleetSimulation::admit(std::size_t j, std::size_t host)
         if (granted != request)
             config.prepPoolFpgas = static_cast<int>(granted);
         poolFree_ -= granted;
+        poolGranted_ += granted;
+        checkPoolLedger();
     }
 
     job.result.host = hosts_[host].spec.name;
-    job.result.started = core_.now();
-    job.result.queueingDelay = core_.now() - job.spec.arrival;
+    if (job.attempts == 0) {
+        job.result.started = core_.now();
+        job.result.queueingDelay = core_.now() - job.spec.arrival;
+    } else {
+        // Re-placement after a failure: attribute the failure-to-
+        // re-admission gap (backoff + any capacity wait).
+        const Time gap = core_.now() - job.failedAt;
+        job.result.replacementLatency += gap;
+        replacementSum_ += gap;
+        maxReplacement_ = std::max(maxReplacement_, gap);
+        ++replacementCount_;
+    }
     job.result.poolFpgasRequested = request;
     job.result.poolFpgasGranted = granted;
     job.result.poolConstrained = granted != request;
     job.result.admitted = true;
+    job.result.state = FleetJobState::Running;
 
     hosts_[host].freeBoxes -= job.boxesNeeded;
-    job.server = buildServer(config, &core_, job.spec.name + ".");
+    // Attempt 0 keeps the historical plain prefix (bit-identity with
+    // PR 9 runs); retries get a distinct namespace so both attempts'
+    // resources coexist on the shared registry. A retry restarts from
+    // the job's last durable checkpoint: measured steps banked by
+    // failed attempts are subtracted, so only the lost tail replays.
+    const std::string prefix = job.attempts == 0
+        ? job.spec.name + "."
+        : job.spec.name + ".r" + std::to_string(job.attempts) + ".";
+    const std::size_t measure = job.spec.measureSteps - job.measureDone;
+    job.server = buildServer(config, &core_, prefix);
     job.session = std::make_unique<TrainingSession>(*job.server);
     job.session->onDone([this, j] { onJobDone(j); });
-    job.session->start(job.spec.warmupSteps, job.spec.measureSteps);
+    job.session->start(job.spec.warmupSteps, measure);
     // A new job multiplies the live-event population; retune the
     // queue's tombstone-compaction threshold to match (behavior-neutral
     // — compaction never reorders live events).
     core_.autosizeCompaction();
+    job.admitStamp = ++admitSeq_;
+    ++job.attempts;
     job.running = true;
     job.waiting = false;
     return true;
@@ -232,32 +388,229 @@ FleetSimulation::onJobDone(std::size_t j)
     job.running = false;
     job.result.finished = core_.now();
     job.result.completed = true;
+    job.result.state = FleetJobState::Completed;
     // Snapshot the report at the completion instant: the shared
     // utilization histograms keep advancing while other jobs run, and
     // post-done idle time must not dilute this job's averages.
     job.result.report =
         SessionReport::build(*job.server, job.session->collect());
-    ++finished_;
+    job.cumWall += job.result.report.wallTime();
+    job.cumPreemptions += job.result.report.elasticity().preemptions;
+    job.cumFaults += job.result.report.faults().faultsInjected;
+    ++terminal_;
 
     // Release held capacity. The server itself stays alive: post-done
     // flows may still drain on the shared core (training_session.cc
     // guards make them no-ops).
+    releaseCapacity(job);
+
+    tryAdmit();
+}
+
+void
+FleetSimulation::releaseCapacity(Job &job)
+{
     for (Host &h : hosts_) {
         if (h.spec.name == job.result.host) {
             h.freeBoxes += job.boxesNeeded;
             break;
         }
     }
-    if (cfg_.sharedPoolFpgas >= 0)
+    if (cfg_.sharedPoolFpgas >= 0) {
         poolFree_ += job.result.poolFpgasGranted;
+        poolGranted_ -= job.result.poolFpgasGranted;
+        checkPoolLedger();
+    }
+}
 
-    tryAdmit();
+void
+FleetSimulation::checkPoolLedger() const
+{
+    if (cfg_.sharedPoolFpgas < 0)
+        return;
+    const std::size_t total =
+        static_cast<std::size_t>(cfg_.sharedPoolFpgas);
+    panic_if(poolGranted_ + poolFree_ + poolPartitioned_ != total,
+             "pool grant ledger violated: granted %zu + free %zu + "
+             "partitioned %zu != pool %zu",
+             poolGranted_, poolFree_, poolPartitioned_, total);
+}
+
+void
+FleetSimulation::freezeAttempt(std::size_t j)
+{
+    Job &job = jobs_[j];
+    job.session->kill();
+    // Snapshot the ledger-consistent partial report and fold the
+    // attempt into the job's cumulative rollups — abnormal ends count
+    // in fleet stats exactly like completions.
+    job.result.report =
+        SessionReport::build(*job.server, job.session->collect());
+    job.cumWall += job.result.report.wallTime();
+    job.cumPreemptions += job.result.report.elasticity().preemptions;
+    job.cumFaults += job.result.report.faults().faultsInjected;
+}
+
+void
+FleetSimulation::killJob(std::size_t j)
+{
+    Job &job = jobs_[j];
+    panic_if(!job.running, "fleet: killJob on non-running job %s",
+             job.spec.name.c_str());
+    const Time now = core_.now();
+    const std::size_t synced = job.session->stepsSynced();
+    const std::size_t durable = job.session->lastDurableStep();
+    // Remaining measured steps this attempt was running (its start()
+    // argument) — banked progress from earlier failures is already off.
+    const std::size_t attempt_measure =
+        job.spec.measureSteps - job.measureDone;
+
+    freezeAttempt(j);
+    job.result.workLost += job.result.report.wallTime();
+    job.result.stepsLost += synced > durable ? synced - durable : 0;
+    // Bank the measured steps this attempt durably checkpointed: the
+    // retry replays only from there (PR 3's restart machinery prices
+    // the rollback; without checkpointing durable == 0 and the retry
+    // starts from scratch). Strictly < attempt_measure — a fully
+    // durable final step would have completed the job.
+    const std::size_t banked =
+        durable > job.spec.warmupSteps ? durable - job.spec.warmupSteps
+                                       : 0;
+    job.measureDone += std::min(banked, attempt_measure - 1);
+
+    // The dead attempt's server/session must outlive it (stray flows
+    // drain into guarded no-ops), but the job slot needs room for the
+    // retry: retire the pair.
+    retiredServers_.push_back(std::move(job.server));
+    retiredSessions_.push_back(std::move(job.session));
+    job.running = false;
+    releaseCapacity(job);
+
+    job.result.restarts += 1;
+    job.failedAt = now;
+    if (job.result.restarts > cfg_.faults.maxRetries) {
+        job.result.state = FleetJobState::Abandoned;
+        ++terminal_;
+        return;
+    }
+    // Queued → ... → Failed → Requeued: exponential backoff, plus the
+    // checkpoint restart latency when the job will actually restore.
+    job.result.state = FleetJobState::Requeued;
+    Time delay = cfg_.faults.retryBackoffBase *
+        std::pow(cfg_.faults.retryBackoffFactor,
+                 static_cast<double>(job.result.restarts - 1));
+    if (job.spec.config.checkpoint.enabled)
+        delay += job.spec.config.checkpoint.restartLatency;
+    core_.events().scheduleIn(delay, [this, j] {
+        jobs_[j].waiting = true;
+        waiting_.push_back(j);
+        tryAdmit();
+    });
+}
+
+void
+FleetSimulation::evictForLostBoxes(std::size_t host)
+{
+    Host &h = hosts_[host];
+    // Fenced slots may overlap occupied ones: evict the most recently
+    // admitted co-resident jobs (minimizing lost work) until the free
+    // slots cover the fenced count. Each eviction releases capacity,
+    // so the loop strictly progresses.
+    while (h.freeBoxes < h.lostBoxes) {
+        int victim = -1;
+        std::uint64_t newest = 0;
+        for (std::size_t j = 0; j < jobs_.size(); ++j) {
+            const Job &job = jobs_[j];
+            if (!job.running || job.result.host != h.spec.name)
+                continue;
+            if (victim < 0 || job.admitStamp > newest) {
+                victim = static_cast<int>(j);
+                newest = job.admitStamp;
+            }
+        }
+        if (victim < 0)
+            break;
+        killJob(static_cast<std::size_t>(victim));
+    }
+}
+
+void
+FleetSimulation::onFleetFault(const FleetFaultEvent &ev, std::size_t idx)
+{
+    switch (ev.kind) {
+    case FleetFaultKind::HostOutage: {
+        Host &host = hosts_[ev.host];
+        if (host.downDepth++ == 0)
+            host.downSince = core_.now();
+        // Failure detection: every co-resident session dies with the
+        // host, and each killed job is requeued or abandoned on the
+        // spot (its grant returns to the pool for immediate
+        // re-lending).
+        for (std::size_t j = 0; j < jobs_.size(); ++j)
+            if (jobs_[j].running &&
+                jobs_[j].result.host == host.spec.name)
+                killJob(j);
+        break;
+    }
+    case FleetFaultKind::BoxLoss: {
+        Host &host = hosts_[ev.host];
+        const std::size_t room = host.spec.boxCapacity - host.lostBoxes;
+        const std::size_t applied = std::min(ev.units, room);
+        faultApplied_[idx] = applied;
+        host.lostBoxes += applied;
+        if (!host.down())
+            evictForLostBoxes(ev.host);
+        break;
+    }
+    case FleetFaultKind::PoolPartition: {
+        // The partition fences *free* FPGAs only: grants in use run on
+        // the jobs' own fabric slices and ride out the window.
+        if (cfg_.sharedPoolFpgas < 0)
+            break;
+        const std::size_t cut = std::min(ev.units, poolFree_);
+        faultApplied_[idx] = cut;
+        poolFree_ -= cut;
+        poolPartitioned_ += cut;
+        checkPoolLedger();
+        break;
+    }
+    }
+}
+
+void
+FleetSimulation::onFleetRepair(const FleetFaultEvent &ev, std::size_t idx)
+{
+    switch (ev.kind) {
+    case FleetFaultKind::HostOutage: {
+        Host &host = hosts_[ev.host];
+        if (host.downDepth > 0 && --host.downDepth == 0) {
+            host.downTime += core_.now() - host.downSince;
+            tryAdmit();
+        }
+        break;
+    }
+    case FleetFaultKind::BoxLoss: {
+        Host &host = hosts_[ev.host];
+        host.lostBoxes -= std::min(host.lostBoxes, faultApplied_[idx]);
+        tryAdmit();
+        break;
+    }
+    case FleetFaultKind::PoolPartition: {
+        if (cfg_.sharedPoolFpgas < 0)
+            break;
+        poolFree_ += faultApplied_[idx];
+        poolPartitioned_ -= faultApplied_[idx];
+        checkPoolLedger();
+        tryAdmit();
+        break;
+    }
+    }
 }
 
 bool
 FleetSimulation::allDone() const
 {
-    return finished_ == jobs_.size();
+    return terminal_ == jobs_.size();
 }
 
 FleetReport
@@ -275,13 +628,51 @@ FleetSimulation::run()
     if (cfg_.horizon > 0.0)
         eq.schedule(cfg_.horizon, [this] { horizonHit_ = true; });
 
+    // Fleet fault injection: armed after arrivals/horizon so the
+    // disabled path schedules zero events and every sequence number —
+    // and therefore every pinned golden — stays bit-identical.
+    if (cfg_.faults.enabled) {
+        ScheduleTargets targets;
+        targets.numHosts = hosts_.size();
+        core_.addScheduleSource(
+            std::make_unique<FleetFaultScheduleSource>(cfg_.faults),
+            targets);
+        fleetFaults_ = std::make_unique<FleetFaultInjector>(
+            cfg_.faults, hosts_.size(), cfg_.horizon);
+        faultApplied_.assign(fleetFaults_->events().size(), 0);
+        fleetFaults_->arm(
+            eq,
+            [this](const FleetFaultEvent &ev, std::size_t i) {
+                onFleetFault(ev, i);
+            },
+            [this](const FleetFaultEvent &ev, std::size_t i) {
+                onFleetRepair(ev, i);
+            });
+    }
+
     // Injector streams self-rearm forever, so the queue never drains on
     // a disturbed run: stop on all-jobs-done (or the safety horizon).
     while (!allDone() && !horizonHit_ && eq.step()) {
     }
     panic_if(!allDone() && !horizonHit_,
-             "fleet stalled: queue drained with %zu/%zu jobs finished",
-             finished_, jobs_.size());
+             "fleet stalled: queue drained with %zu/%zu jobs terminal",
+             terminal_, jobs_.size());
+
+    // Freeze jobs cut off by the horizon: their ledger-consistent
+    // partial reports enter the rollups, and the conservation ledger
+    // counts them runningAtHorizon. Close still-open outage windows for
+    // the host-down-time accounting.
+    if (horizonHit_)
+        for (std::size_t j = 0; j < jobs_.size(); ++j)
+            if (jobs_[j].running) {
+                freezeAttempt(j);
+                jobs_[j].running = false;
+            }
+    for (Host &h : hosts_)
+        if (h.down()) {
+            h.downTime += core_.now() - h.downSince;
+            h.downDepth = 0;
+        }
     return buildReport();
 }
 
@@ -300,6 +691,7 @@ FleetSimulation::buildReport()
     std::vector<double> walls;
     Time delaySum = 0.0;
     std::size_t admitted = 0;
+    std::size_t queuedAtEnd = 0;
 
     for (Job &job : jobs_) {
         const FleetJobResult &res = job.result;
@@ -322,17 +714,68 @@ FleetSimulation::buildReport()
                 ratioSqSum += ratio * ratio;
                 ++nRatios;
             }
+            // Straggler/robustness rollups cover every *attempted*
+            // job — failed and frozen attempts included via the
+            // cumulative accumulators, so abnormal terminations are
+            // never silently dropped from fleet stats. For a fully
+            // completed fleet these equal the per-report sums exactly.
+            walls.push_back(job.cumWall);
+            r.preemptions += job.cumPreemptions;
+            r.faultsInjected += job.cumFaults;
         }
         if (res.completed) {
             ++r.jobsCompleted;
             r.makespan = std::max(r.makespan, res.finished);
             r.aggregateThroughput += res.report.throughput();
-            walls.push_back(res.report.wallTime());
-            r.preemptions += res.report.elasticity().preemptions;
-            r.faultsInjected += res.report.faults().faultsInjected;
         }
+        switch (res.state) {
+        case FleetJobState::Completed:
+            break;
+        case FleetJobState::Abandoned:
+            ++r.jobsAbandoned;
+            break;
+        case FleetJobState::Running:
+            ++r.jobsRunningAtHorizon;
+            break;
+        case FleetJobState::Queued:
+        case FleetJobState::Requeued:
+            ++queuedAtEnd;
+            break;
+        case FleetJobState::Failed:
+            panic("fleet: job %s left in transient Failed state",
+                  res.job.c_str());
+        }
+        r.restartsTotal += res.restarts;
+        r.stepsLostTotal += res.stepsLost;
+        r.workLostTime += res.workLost;
         r.jobs.push_back(std::move(job.result));
     }
+    r.jobsQueuedAtHorizon = queuedAtEnd;
+
+    // The fleet-wide conservation ledger: every submitted job is in
+    // exactly one terminal-or-parked state when the run ends.
+    panic_if(r.jobsCompleted + r.jobsAbandoned + r.jobsRunningAtHorizon +
+                     queuedAtEnd !=
+                 r.jobsTotal,
+             "fleet job ledger violated: %zu completed + %zu abandoned "
+             "+ %zu running + %zu queued != %zu submitted",
+             r.jobsCompleted, r.jobsAbandoned, r.jobsRunningAtHorizon,
+             queuedAtEnd, r.jobsTotal);
+
+    if (replacementCount_ > 0)
+        r.avgReplacementLatency =
+            replacementSum_ / static_cast<double>(replacementCount_);
+    r.maxReplacementLatency = maxReplacement_;
+    r.fleetFaultsInjected = fleetFaults_ ? fleetFaults_->faultsInjected()
+                                         : 0;
+    for (const Host &h : hosts_)
+        r.hostDownTime += h.downTime;
+    std::size_t maxRestarts = 0;
+    for (const FleetJobResult &res : r.jobs)
+        maxRestarts = std::max(maxRestarts, res.restarts);
+    r.retryHistogram.assign(maxRestarts + 1, 0);
+    for (const FleetJobResult &res : r.jobs)
+        ++r.retryHistogram[res.restarts];
 
     if (admitted > 0)
         r.avgQueueingDelay = delaySum / static_cast<double>(admitted);
@@ -411,6 +854,29 @@ FleetReport::toJson() const
                   stragglerRatio, preemptions, faultsInjected,
                   static_cast<unsigned long long>(eventsExecuted));
     out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"jobs_abandoned\": %zu,\n"
+                  "  \"jobs_running_at_horizon\": %zu,\n"
+                  "  \"jobs_queued_at_horizon\": %zu,\n"
+                  "  \"restarts_total\": %zu,\n"
+                  "  \"steps_lost_total\": %zu,\n",
+                  jobsAbandoned, jobsRunningAtHorizon,
+                  jobsQueuedAtHorizon, restartsTotal, stepsLostTotal);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"work_lost_s\": %.6f,\n"
+                  "  \"avg_replacement_latency_s\": %.6f,\n"
+                  "  \"max_replacement_latency_s\": %.6f,\n"
+                  "  \"fleet_faults_injected\": %zu,\n"
+                  "  \"host_down_time_s\": %.6f,\n",
+                  workLostTime, avgReplacementLatency,
+                  maxReplacementLatency, fleetFaultsInjected,
+                  hostDownTime);
+    out << buf;
+    out << "  \"retry_histogram\": [";
+    for (std::size_t i = 0; i < retryHistogram.size(); ++i)
+        out << (i ? ", " : "") << retryHistogram[i];
+    out << "],\n";
     out << "  \"jobs\": [\n";
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const FleetJobResult &j = jobs[i];
@@ -429,13 +895,21 @@ FleetReport::toJson() const
             "\"pool_fpgas_requested\": %zu, \"pool_fpgas_granted\": %zu, "
             "\"pool_constrained\": %s, \"admitted\": %s, "
             "\"completed\": %s, \"throughput\": %.6f, "
-            "\"wall_time_s\": %.6f}%s\n",
+            "\"wall_time_s\": %.6f, ",
             j.poolFpgasRequested, j.poolFpgasGranted,
             j.poolConstrained ? "true" : "false",
             j.admitted ? "true" : "false",
             j.completed ? "true" : "false",
             j.completed ? j.report.throughput() : 0.0,
-            j.completed ? j.report.wallTime() : 0.0,
+            j.completed ? j.report.wallTime() : 0.0);
+        out << buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"state\": \"%s\", \"restarts\": %zu, "
+            "\"steps_lost\": %zu, \"work_lost_s\": %.6f, "
+            "\"replacement_latency_s\": %.6f}%s\n",
+            fleetJobStateName(j.state), j.restarts, j.stepsLost,
+            j.workLost, j.replacementLatency,
             i + 1 < jobs.size() ? "," : "");
         out << buf;
     }
@@ -474,6 +948,25 @@ FleetReport::toCsv() const
                   preemptions,
                   static_cast<unsigned long long>(eventsExecuted));
     out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "fleet,jobs_abandoned,%zu\n"
+                  "fleet,jobs_running_at_horizon,%zu\n"
+                  "fleet,jobs_queued_at_horizon,%zu\n"
+                  "fleet,restarts_total,%zu\n"
+                  "fleet,steps_lost_total,%zu\n"
+                  "fleet,work_lost_s,%.6f\n",
+                  jobsAbandoned, jobsRunningAtHorizon,
+                  jobsQueuedAtHorizon, restartsTotal, stepsLostTotal,
+                  workLostTime);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "fleet,avg_replacement_latency_s,%.6f\n"
+                  "fleet,max_replacement_latency_s,%.6f\n"
+                  "fleet,fleet_faults_injected,%zu\n"
+                  "fleet,host_down_time_s,%.6f\n",
+                  avgReplacementLatency, maxReplacementLatency,
+                  fleetFaultsInjected, hostDownTime);
+    out << buf;
     for (const FleetJobResult &j : jobs) {
         const std::string sec = "job." + j.job;
         out << sec << ",host," << j.host << "\n";
@@ -486,6 +979,11 @@ FleetReport::toCsv() const
                       j.queueingDelay, sec.c_str(), j.poolFpgasRequested,
                       sec.c_str(), j.poolFpgasGranted, sec.c_str(),
                       j.completed ? 1 : 0);
+        out << buf;
+        std::snprintf(buf, sizeof(buf),
+                      "%s,state,%s\n%s,restarts,%zu\n",
+                      sec.c_str(), fleetJobStateName(j.state),
+                      sec.c_str(), j.restarts);
         out << buf;
         if (j.completed) {
             std::snprintf(buf, sizeof(buf),
@@ -522,10 +1020,28 @@ FleetReport::print(std::FILE *out) const
                  "%zu   events: %llu\n",
                  stragglerRatio, preemptions, faultsInjected,
                  static_cast<unsigned long long>(eventsExecuted));
+    if (fleetFaultsInjected > 0 || restartsTotal > 0 ||
+        jobsAbandoned > 0)
+        std::fprintf(out,
+                     "fleet faults: %zu   restarts: %zu   abandoned: "
+                     "%zu   work lost: %.3f s   steps lost: %zu   host "
+                     "down: %.3f s   re-place avg/max: %.3f/%.3f s\n",
+                     fleetFaultsInjected, restartsTotal, jobsAbandoned,
+                     workLostTime, stepsLostTotal, hostDownTime,
+                     avgReplacementLatency, maxReplacementLatency);
     std::fprintf(out, "%-12s %-10s %4s %10s %10s %10s %6s %6s %12s\n",
                  "job", "host", "prio", "arrival", "queued_s",
                  "wall_s", "pool", "grant", "samples/s");
     for (const FleetJobResult &j : jobs) {
+        char note[48];
+        if (j.completed && j.restarts > 0)
+            std::snprintf(note, sizeof(note), "  (%zu restarts)",
+                          j.restarts);
+        else if (!j.completed)
+            std::snprintf(note, sizeof(note), "  (%s)",
+                          fleetJobStateName(j.state));
+        else
+            note[0] = '\0';
         std::fprintf(
             out, "%-12s %-10s %4d %10.3f %10.3f %10.3f %6zu %6zu %12.1f%s\n",
             j.job.c_str(), j.admitted ? j.host.c_str() : "-", j.priority,
@@ -533,7 +1049,7 @@ FleetReport::print(std::FILE *out) const
             j.completed ? j.report.wallTime() : 0.0,
             j.poolFpgasRequested, j.poolFpgasGranted,
             j.completed ? j.report.throughput() : 0.0,
-            j.completed ? "" : "  (incomplete)");
+            note);
     }
 }
 

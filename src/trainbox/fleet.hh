@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault_injector.hh"
 #include "sim/simulation_core.hh"
 #include "trainbox/report.hh"
 #include "trainbox/server_builder.hh"
@@ -98,6 +99,31 @@ struct FleetJobSpec
     std::size_t measureSteps = 8;
 };
 
+/**
+ * Lifecycle of a fleet job (docs/ROBUSTNESS.md "Fleet fault
+ * tolerance"). `Failed` is transient — a killed job transitions to
+ * Requeued or Abandoned within the same event — so at report time
+ * every job is in one of the other five states, and the conservation
+ * ledger `submitted == completed + abandoned + runningAtHorizon +
+ * queuedAtHorizon` is panic-checked over them.
+ *
+ *   Queued --admit--> Running --host death--> Failed
+ *   Failed --retries left--> Requeued --backoff + admit--> Running
+ *   Failed --retries exhausted--> Abandoned        (terminal)
+ *   Running --final sync--> Completed              (terminal)
+ */
+enum class FleetJobState
+{
+    Queued,    ///< submitted, never admitted (or not yet arrived)
+    Running,   ///< admitted and simulating (or frozen at the horizon)
+    Failed,    ///< transient: killed by a fault, disposition pending
+    Requeued,  ///< waiting for backoff + capacity after a failure
+    Completed, ///< ran to its final sync
+    Abandoned, ///< retry budget exhausted
+};
+
+const char *fleetJobStateName(FleetJobState s);
+
 /** A fleet scenario: hosts + shared prep pool + job trace. */
 struct FleetConfig
 {
@@ -130,6 +156,25 @@ struct FleetConfig
 
     /** Parallel solver workers (0 = leave the network's default). */
     unsigned parallelWorkers = 0;
+
+    /**
+     * Fleet-level fault injection + the retry/backoff re-admission
+     * policy (sim/fault_injector.hh). Disabled by default; when
+     * disabled the fleet schedules zero fault events, keeping the
+     * event sequence — and therefore every pinned golden —
+     * bit-identical. Seeded streams require horizon > 0 (they are
+     * pre-enumerated over it); scripted windows work on unbounded
+     * runs.
+     */
+    FleetFaultConfig faults;
+
+    /**
+     * Validate the scenario: "" when admissible, else a one-line
+     * description of the first problem found (same contract as
+     * ServerConfig::validate()). The FleetSimulation constructor
+     * fatal()s on a non-empty answer.
+     */
+    std::string validate() const;
 };
 
 /** Outcome of one job in the fleet. */
@@ -161,7 +206,30 @@ struct FleetJobResult
     bool admitted = false;
     bool completed = false;
 
-    /** Full per-job report (meaningful only when completed). */
+    /** Where the job ended up in the lifecycle state machine. */
+    FleetJobState state = FleetJobState::Queued;
+
+    /** Failed attempts (each one either requeued or abandoned the job). */
+    std::size_t restarts = 0;
+
+    /**
+     * Steps whose work was lost to failures: synchronized beyond the
+     * last durable checkpoint when the host died, summed over failed
+     * attempts (the checkpoint-restart replay cost, in steps).
+     */
+    std::size_t stepsLost = 0;
+
+    /** Wall time spent in attempts that did not complete. */
+    Time workLost = 0.0;
+
+    /** Total failure-to-re-admission latency, summed over restarts. */
+    Time replacementLatency = 0.0;
+
+    /**
+     * Full per-job report: the completed run, or — for a job killed by
+     * a fault or frozen at the horizon — the ledger-consistent partial
+     * report of its last attempt.
+     */
     SessionReport report;
 };
 
@@ -207,11 +275,46 @@ struct FleetReport
      */
     double stragglerRatio = 1.0;
 
-    /** Elastic hard-preemptions summed over completed jobs. */
+    /** Elastic hard-preemptions summed over every attempt of every job. */
     std::size_t preemptions = 0;
 
-    /** Fault windows summed over completed jobs. */
+    /** Per-job fault windows summed over every attempt of every job. */
     std::size_t faultsInjected = 0;
+
+    // --- fleet fault tolerance -----------------------------------------
+    /** Jobs whose retry budget ran out. */
+    std::size_t jobsAbandoned = 0;
+
+    /** Jobs still running when the horizon cut the run (frozen partial). */
+    std::size_t jobsRunningAtHorizon = 0;
+
+    /** Jobs still queued/requeued when the run ended. */
+    std::size_t jobsQueuedAtHorizon = 0;
+
+    /** Failed attempts summed over jobs. */
+    std::size_t restartsTotal = 0;
+
+    /** Steps of work lost to failures, summed over jobs. */
+    std::size_t stepsLostTotal = 0;
+
+    /** Wall time spent in attempts that did not complete, summed. */
+    Time workLostTime = 0.0;
+
+    /** Failure-to-re-admission latency over all restarts. */
+    Time avgReplacementLatency = 0.0;
+    Time maxReplacementLatency = 0.0;
+
+    /**
+     * retryHistogram[k] = jobs that failed exactly k times (index 0 =
+     * never failed). Sized to the worst job; empty when no job ran.
+     */
+    std::vector<std::size_t> retryHistogram;
+
+    /** Fleet-level fault windows injected (host/box/pool classes). */
+    std::size_t fleetFaultsInjected = 0;
+
+    /** Host-down wall time summed over hosts (outage windows). */
+    Time hostDownTime = 0.0;
 
     /** Events executed on the shared core over the whole run. */
     std::uint64_t eventsExecuted = 0;
@@ -251,6 +354,25 @@ class FleetSimulation
     {
         FleetHostSpec spec;
         std::size_t freeBoxes = 0;
+
+        /** Nested outage depth: the host is down while > 0. */
+        std::size_t downDepth = 0;
+
+        /** Box slots fenced by open BoxLoss windows. */
+        std::size_t lostBoxes = 0;
+
+        Time downSince = 0.0;
+        Time downTime = 0.0; ///< accumulated outage wall time
+
+        bool down() const { return downDepth > 0; }
+
+        /** Slots a new job could take right now. */
+        std::size_t available() const
+        {
+            if (down())
+                return 0;
+            return freeBoxes > lostBoxes ? freeBoxes - lostBoxes : 0;
+        }
     };
 
     struct Job
@@ -260,11 +382,31 @@ class FleetSimulation
         FleetJobResult result;
         // Admitted jobs own a server + session until the run ends:
         // post-done flows may still drain on the shared core, so
-        // teardown mid-run would dangle callbacks.
+        // teardown mid-run would dangle callbacks. Retired attempt
+        // pairs (failed, replaced by a retry) move to the graveyard
+        // below for the same reason.
         std::unique_ptr<Server> server;
         std::unique_ptr<TrainingSession> session;
         bool waiting = false;
         bool running = false;
+
+        /** Admissions so far (names the retry's resource prefix). */
+        std::size_t attempts = 0;
+
+        /** Measured steps durably banked by failed attempts. */
+        std::size_t measureDone = 0;
+
+        /** Admission order stamp (most recent evicted first). */
+        std::uint64_t admitStamp = 0;
+
+        Time failedAt = 0.0;
+
+        // Attempt-cumulative rollups: every attempt (failed, frozen,
+        // or completed) adds its share when it ends, so fleet stats
+        // never silently drop abnormal terminations.
+        std::size_t cumPreemptions = 0;
+        std::size_t cumFaults = 0;
+        Time cumWall = 0.0;
     };
 
     void onArrival(std::size_t j);
@@ -276,14 +418,50 @@ class FleetSimulation
     bool allDone() const;
     FleetReport buildReport();
 
+    // --- fault-tolerance path ---------------------------------------
+    /** Freeze the attempt's partial report and accumulate rollups. */
+    void freezeAttempt(std::size_t j);
+
+    /** Kill a running job (host death / eviction) and disposition it. */
+    void killJob(std::size_t j);
+
+    /** Return the job's boxes and pool grant to the free sets. */
+    void releaseCapacity(Job &job);
+
+    void onFleetFault(const FleetFaultEvent &ev, std::size_t idx);
+    void onFleetRepair(const FleetFaultEvent &ev, std::size_t idx);
+
+    /** Kill running jobs on @p host until its freeBoxes >= lostBoxes. */
+    void evictForLostBoxes(std::size_t host);
+
+    /** Panic unless granted + free + partitioned == the pool size. */
+    void checkPoolLedger() const;
+
     FleetConfig cfg_;
     SimulationCore core_;
     std::vector<Host> hosts_;
     std::vector<Job> jobs_;
     std::vector<std::size_t> waiting_; ///< arrival-order indices
     std::size_t poolFree_ = 0;
-    std::size_t finished_ = 0;
+    std::size_t poolGranted_ = 0;     ///< held by running jobs
+    std::size_t poolPartitioned_ = 0; ///< fenced by open partitions
+    std::size_t terminal_ = 0;        ///< completed + abandoned jobs
     bool horizonHit_ = false;
+    std::uint64_t admitSeq_ = 0;
+
+    // Re-admission latency accounting (one sample per retry admit).
+    Time replacementSum_ = 0.0;
+    Time maxReplacement_ = 0.0;
+    std::size_t replacementCount_ = 0;
+
+    std::unique_ptr<FleetFaultInjector> fleetFaults_;
+
+    /** Per fault event: the severity its handler actually applied. */
+    std::vector<std::size_t> faultApplied_;
+
+    /** Retired server/session pairs from failed attempts (see Job). */
+    std::vector<std::unique_ptr<Server>> retiredServers_;
+    std::vector<std::unique_ptr<TrainingSession>> retiredSessions_;
 };
 
 /** Convenience one-shot: build, run, report. */

@@ -156,6 +156,11 @@ SessionReport::sumCategories(const std::map<std::string, double> &by)
     return total;
 }
 
+// @p res may be a *partial* result frozen by TrainingSession::kill()
+// (fleet host faults / horizon freezes): stepsMeasured can be 0 and the
+// measurement window degenerate. Every derived metric below and in the
+// accessors guards its divisor (wallTime, windowElapsed, stepTime), so
+// partial reports flow through build() and the exporters unchanged.
 SessionReport
 SessionReport::build(const Server &server, const SessionResult &res)
 {

@@ -916,13 +916,6 @@ Builder::makeClusteredStages(std::size_t g)
 
 } // namespace
 
-// The eq/net members are deprecated shims for external callers; the
-// constructors must still bind them.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 Server::Server(const ServerConfig &config)
     : Server(config, static_cast<SimulationCore *>(nullptr), std::string())
 {
@@ -943,8 +936,6 @@ Server::Server(const ServerConfig &config, SimulationCore *core,
       model(workload::model(config.model)),
       demand(workload::prepDemand(model.input)),
       plan(planPreparation(config)),
-      eq(core_.events()),
-      net(core_.fluid()),
       metrics(core_.metrics())
 {
     // Attach before any resource exists so every device the builder
@@ -953,12 +944,8 @@ Server::Server(const ServerConfig &config, SimulationCore *core,
     // the registry stays enabled once any attached server asks for it.
     if (cfg.metricsEnabled)
         metrics.enable(true);
-    net.attachMetrics(&metrics);
+    core_.fluid().attachMetrics(&metrics);
 }
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 void
 Server::resetAccounting()

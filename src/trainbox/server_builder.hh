@@ -139,9 +139,9 @@ struct PrepGroup
  */
 class Server
 {
-    // The core (owned or borrowed) must precede the deprecated eq/net
-    // reference shims below: member initialization follows declaration
-    // order, and the references bind into the core.
+    // The core (owned or borrowed) must precede the public reference
+    // members below: member initialization follows declaration order,
+    // and the references bind into the core.
     std::unique_ptr<SimulationCore> ownedCore_;
     SimulationCore &core_;
     std::string prefix_;
@@ -179,14 +179,6 @@ class Server
      * so this matches the historical global reset exactly.
      */
     void resetAccounting();
-
-    /**
-     * Deprecated aliases for the pre-SimulationCore public members.
-     * They alias the core's instances exactly, so old call sites still
-     * work — but new code should reach through core().
-     */
-    [[deprecated("use core().events() instead")]] EventQueue &eq;
-    [[deprecated("use core().fluid() instead")]] FluidNetwork &net;
 
     /**
      * Observability instruments (docs/OBSERVABILITY.md), owned by the

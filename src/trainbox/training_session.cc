@@ -1457,7 +1457,7 @@ TrainingSession::run(std::size_t warmup, std::size_t measure)
 }
 
 void
-TrainingSession::finalizeResult()
+TrainingSession::finalizeResult(bool partial)
 {
     // Extend the recorded utilization histories to the end of the run
     // (no-op — and in particular no accounting change — without metrics).
@@ -1465,21 +1465,35 @@ TrainingSession::finalizeResult()
 
     SessionResult res;
     const Time elapsed = windowEnd_ - windowStart_;
-    panic_if(elapsed <= 0.0, "empty measurement window");
+    panic_if(!partial && elapsed <= 0.0, "empty measurement window");
 
-    res.stepsMeasured = measureSteps_;
-    res.stepTime = elapsed / static_cast<double>(measureSteps_);
+    // A killed session may die before its measurement window opened
+    // (or before anything synchronized inside it); a completed run
+    // always has a positive window with every measured step in it.
+    const bool window_valid = !partial || (windowOpen_ && elapsed > 0.0);
+    const std::size_t measured =
+        !partial ? measureSteps_
+                 : (syncedSteps_ > warmupSteps_
+                        ? std::min(syncedSteps_ - warmupSteps_,
+                                   measureSteps_)
+                        : 0);
+
+    res.stepsMeasured = measured;
     res.computeTime = server_.computeTime();
     res.syncTime = server_.syncTime();
-    if (elastic_) {
-        // Membership varied: count what detached-aware steps actually
-        // synchronized (equals the closed form when no event fired).
-        res.throughput = measuredSamples_ / elapsed;
-    } else {
-        res.throughput =
-            static_cast<double>(server_.cfg.numAccelerators) *
-            static_cast<double>(server_.batchSize()) *
-            static_cast<double>(measureSteps_) / elapsed;
+    if (window_valid && measured > 0) {
+        res.stepTime = elapsed / static_cast<double>(measured);
+        if (elastic_) {
+            // Membership varied: count what detached-aware steps
+            // actually synchronized (equals the closed form when no
+            // event fired).
+            res.throughput = measuredSamples_ / elapsed;
+        } else {
+            res.throughput =
+                static_cast<double>(server_.cfg.numAccelerators) *
+                static_cast<double>(server_.batchSize()) *
+                static_cast<double>(measured) / elapsed;
+        }
     }
 
     for (const auto &[name, sum] : stageTimeSum_)
@@ -1494,9 +1508,11 @@ TrainingSession::finalizeResult()
         for (const auto &[cat, units] : r->servedByCategory())
             out[cat] = units / elapsed;
     };
-    collect(server_.cpu->resource(), res.cpuCoresByCategory);
-    collect(server_.hostMem->resource(), res.memBwByCategory);
-    collect(server_.topo->rcResource(), res.rcBwByCategory);
+    if (window_valid) {
+        collect(server_.cpu->resource(), res.cpuCoresByCategory);
+        collect(server_.hostMem->resource(), res.memBwByCategory);
+        collect(server_.topo->rcResource(), res.rcBwByCategory);
+    }
 
     if (fault_) {
         // Fault windows still open when the run ends never see their
@@ -1596,6 +1612,56 @@ TrainingSession::collect()
     // the run can never be reached through this session.
     trace_ = nullptr;
     return result_;
+}
+
+std::size_t
+TrainingSession::lastDurableStep() const
+{
+    return ckpt_ ? ckpt_->lastDurableStep() : 0;
+}
+
+void
+TrainingSession::kill()
+{
+    if (done_)
+        return;
+    panic_if(!started_, "kill() before start()");
+    // The pending sync is the one scheduled callback without a done_
+    // guard (it cannot fire after completion in a normal run); cancel
+    // it so a dead session never advances its step count. Every other
+    // stray callback lands in a guarded no-op once done_ is set.
+    if (syncEv_.valid())
+        eq_.cancel(syncEv_);
+    // Everything volatile dies with the host, as in a fatal crash —
+    // but terminally: cancel tracked chain flows and every per-group
+    // compute/membership event so the dead job stops loading the
+    // shared solver.
+    for (auto &[cid, run] : chains_)
+        if (run.flow != 0)
+            net_.cancelFlow(run.flow);
+    chains_.clear();
+    for (GroupState &gs : groups_) {
+        if (gs.computeEv.valid())
+            eq_.cancel(gs.computeEv);
+        if (gs.detachEv.valid())
+            eq_.cancel(gs.detachEv);
+        if (gs.joinEv.valid())
+            eq_.cancel(gs.joinEv);
+        gs.computing = false;
+        // Buffered prepared samples are lost, not cached: the ledger
+        // counts them discarded, keeping conservation exact.
+        samplesDiscarded_ += gs.readySamples;
+        gs.readySamples = 0.0;
+        gs.inFlightSamples = 0.0;
+    }
+    windowEnd_ = eq_.now();
+    done_ = true;
+    // Termination is the caller's decision, not a completion: the
+    // fleet already knows, so the completion hook must never fire.
+    doneCb_ = nullptr;
+    finalizeResult(/*partial=*/true);
+    if (trace_)
+        trace_->instant("session", "killed", windowEnd_, "fault");
 }
 
 SessionReport

@@ -347,6 +347,31 @@ class TrainingSession
     SessionResult collect();
 
     /**
+     * Terminate the session *now* — the fleet layer's host-failure
+     * path (docs/ROBUSTNESS.md). Cancels the pending sync and every
+     * per-group compute/membership event, cancels tracked prep-chain
+     * flows, discards buffered prepared samples (counted in the
+     * conservation ledger), and freezes a *partial* result over
+     * whatever measurement window had elapsed: stepsMeasured is the
+     * synchronized in-window step count, throughput/stepTime are 0
+     * when nothing measured, and every ledger invariant still holds.
+     * After kill() the session reports done() but the registered
+     * onDone callback never fires — termination is the caller's
+     * decision, not a completion. No-op on an already-done session.
+     */
+    void kill();
+
+    /** Global steps synchronized so far (final count once done()). */
+    std::size_t stepsSynced() const { return syncedSteps_; }
+
+    /**
+     * Last durably checkpointed step — what a restarted attempt can
+     * resume from (0 when checkpointing is disabled: a restart then
+     * replays from scratch). See trainbox/checkpoint.hh.
+     */
+    std::size_t lastDurableStep() const;
+
+    /**
      * Run and assemble the full SessionReport (config echo, latency
      * breakdown, per-device utilization when cfg.metricsEnabled, and
      * ranked bottleneck attribution). The preferred entry point for
@@ -490,8 +515,15 @@ class TrainingSession
      * simulated time cannot advance in between — but on a shared core
      * it guards the result against co-resident sessions that keep
      * simulating past this session's end.
+     *
+     * @p partial relaxes the completed-run assumptions for kill():
+     * the measurement window may be empty (no throughput/resource
+     * collection then) and stepsMeasured counts only the steps that
+     * actually synchronized inside it. The ledger panics stay armed
+     * in both modes. A normal completion (partial = false) computes
+     * byte-identical values to the historical code.
      */
-    void finalizeResult();
+    void finalizeResult(bool partial = false);
 
     Server &server_;
     EventQueue &eq_;    ///< the core's event queue (shared clock)

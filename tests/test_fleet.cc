@@ -325,5 +325,104 @@ TEST(FleetPool, UncappedPoolNeverConstrains)
         EXPECT_EQ(j.poolFpgasGranted, j.poolFpgasRequested);
 }
 
+// --- grant reclamation (docs/ROBUSTNESS.md, "Fleet fault tolerance") -----
+
+/** Two 2-box jobs, 4-FPGA requests each, scripted fleet faults. */
+FleetConfig
+reclamationFleet()
+{
+    FleetConfig fleet;
+    fleet.hosts.push_back({"hostA", 4});
+    fleet.sharedPoolFpgas = 6;
+    fleet.faults.enabled = true;
+    fleet.faults.maxRetries = 3;
+    fleet.faults.retryBackoffBase = 0.05;
+
+    for (int i = 0; i < 2; ++i) {
+        FleetJobSpec job;
+        job.name = i == 0 ? "victim" : "lucky";
+        job.arrival = i == 0 ? 0.0 : 0.01;
+        job.config.preset = ArchPreset::TrainBox;
+        job.config.model = workload::ModelId::Resnet50;
+        job.config.numAccelerators = 16; // 2 boxes
+        job.config.prepPoolFpgas = 4;
+        job.warmupSteps = 1;
+        job.measureSteps = 2;
+        fleet.jobs.push_back(job);
+    }
+    return fleet;
+}
+
+// A scripted outage kills "victim" the instant it is admitted (t = 0,
+// the outage event was scheduled at arm time so it fires after the
+// arrival's admission but before any session progress). Its 4-FPGA
+// grant must return to the pool as integers immediately — panic-checked
+// at every grant mutation — so "lucky", queued during the outage,
+// is admitted at repair time with the *full* freed grant (only 2 of 6
+// FPGAs would be free had the dead grant leaked). The victim's retry
+// then co-resides on the host and completes with the 2-FPGA residue.
+TEST(FleetFaults, HostDeathReclaimsGrantForQueuedJob)
+{
+    FleetConfig fleet = reclamationFleet();
+    fleet.faults.schedule.push_back({FleetFaultKind::HostOutage,
+                                     /*host=*/0, /*start=*/0.0,
+                                     /*duration=*/0.03});
+
+    const FleetReport r = runFleet(fleet);
+    ASSERT_EQ(r.jobsCompleted, 2u);
+    EXPECT_EQ(r.jobsAbandoned, 0u);
+    EXPECT_EQ(r.restartsTotal, 1u);
+    EXPECT_EQ(r.fleetFaultsInjected, 1u);
+    EXPECT_DOUBLE_EQ(r.hostDownTime, 0.03);
+
+    const FleetJobResult &victim = r.jobs[0];
+    EXPECT_EQ(victim.state, FleetJobState::Completed);
+    EXPECT_EQ(victim.restarts, 1u);
+    // Killed at t = 0 before any work: nothing synced, nothing lost.
+    EXPECT_EQ(victim.stepsLost, 0u);
+    EXPECT_DOUBLE_EQ(victim.workLost, 0.0);
+    // The retry found only the 2 FPGAs lucky left over.
+    EXPECT_EQ(victim.poolFpgasGranted, 2u);
+    EXPECT_TRUE(victim.poolConstrained);
+
+    const FleetJobResult &lucky = r.jobs[1];
+    EXPECT_EQ(lucky.state, FleetJobState::Completed);
+    EXPECT_EQ(lucky.restarts, 0u);
+    // Queued while the host was down (arrived 0.01, repair 0.03)...
+    EXPECT_DOUBLE_EQ(lucky.queueingDelay, 0.02);
+    // ...then admitted with the reclaimed grant, uncut.
+    EXPECT_EQ(lucky.poolFpgasGranted, 4u);
+    EXPECT_FALSE(lucky.poolConstrained);
+
+    // The retry was gated by its backoff only (the host repaired at
+    // 0.03, the backoff timer fired at 0.05): the failure-to-
+    // re-admission latency is exactly the backoff base.
+    EXPECT_GT(victim.finished, lucky.finished);
+    EXPECT_DOUBLE_EQ(victim.replacementLatency, 0.05);
+    EXPECT_DOUBLE_EQ(r.maxReplacementLatency, victim.replacementLatency);
+
+    // Rollups see the final grants: 2 + 4, Jain over {0.5, 1.0}.
+    EXPECT_EQ(r.poolFpgasGrantedTotal, 6u);
+    EXPECT_DOUBLE_EQ(r.poolFairness, 0.9);
+    ASSERT_EQ(r.retryHistogram.size(), 2u);
+    EXPECT_EQ(r.retryHistogram[0], 1u);
+    EXPECT_EQ(r.retryHistogram[1], 1u);
+}
+
+// Same scenario run twice: the fault path replays bit-identically
+// (kills, requeues, backoff timers, and re-admissions are all on the
+// deterministic event queue).
+TEST(FleetFaults, ScriptedFaultReplayIsDeterministic)
+{
+    FleetConfig fleet = reclamationFleet();
+    fleet.faults.schedule.push_back({FleetFaultKind::HostOutage,
+                                     /*host=*/0, /*start=*/0.0,
+                                     /*duration=*/0.03});
+    const FleetReport a = runFleet(fleet);
+    const FleetReport b = runFleet(fleet);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
 } // namespace
 } // namespace tb

@@ -76,3 +76,11 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
 # the admission/arbitration paths run under the sanitizer
 # (docs/FLEET.md).
 "$build_dir/bench/fleet_sweep" --smoke
+
+# Fleet fault-tolerance smoke: disabled-path bit-identity, scripted
+# host-death grant reclamation, and seeded chaos holding every
+# conservation ledger with a byte-identical same-seed replay,
+# instrumented so the kill/freeze/retry paths and the pool-ledger
+# panic checks run under the sanitizer (docs/ROBUSTNESS.md, "Fleet
+# fault tolerance").
+"$build_dir/bench/fleet_fault_sweep" --smoke

@@ -58,6 +58,7 @@ struct Options
     bool fleet = false; // canned multi-job fleet instead of one session
     tb::PlacementPolicy policy = tb::PlacementPolicy::PrepPoolAware;
     int fleetPool = 6; // shared prep-pool FPGAs (negative = uncapped)
+    bool fleetChaos = false; // scripted fleet faults on the canned fleet
 };
 
 void
@@ -98,6 +99,11 @@ usage(std::FILE *out)
         "                   pool_aware              (default pool_aware)\n"
         "  --pool N         fleet shared prep-pool FPGAs; negative =\n"
         "                   uncapped                        (default 6)\n"
+        "  --fleet-chaos    --fleet plus a scripted fleet-fault script\n"
+        "                   (host outage, pool partition, box loss):\n"
+        "                   kills, checkpoint-restart retries, and the\n"
+        "                   grant-reclamation path show up in the\n"
+        "                   report (docs/ROBUSTNESS.md)\n"
         "  --list           list presets and models, then exit\n");
 }
 
@@ -248,6 +254,26 @@ cannedFleet(const Options &opt)
     job("vision0", workload::ModelId::Resnet50, 0.0);
     job("audio0", workload::ModelId::TfSr, 0.02);
     job("vision1", workload::ModelId::Resnet50, 0.05);
+
+    if (opt.fleetChaos) {
+        // A deterministic fault script exercising all three fleet
+        // fault kinds: hostA dies mid-run (killing its job, which
+        // retries from its last durable checkpoint after backoff), a
+        // partition fences free pool FPGAs, and hostB loses a box
+        // slot. Times sit well inside the default 12-step runs.
+        fleet.faults.enabled = true;
+        fleet.faults.maxRetries = 2;
+        fleet.faults.retryBackoffBase = 0.5;
+        fleet.faults.schedule.push_back(
+            {FleetFaultKind::HostOutage, /*host=*/0, /*start=*/5.0,
+             /*duration=*/1.0});
+        fleet.faults.schedule.push_back(
+            {FleetFaultKind::PoolPartition, /*host=*/0, /*start=*/6.5,
+             /*duration=*/2.0, /*units=*/2});
+        fleet.faults.schedule.push_back(
+            {FleetFaultKind::BoxLoss, /*host=*/1, /*start=*/8.0,
+             /*duration=*/1.5, /*units=*/1});
+    }
     return fleet;
 }
 
@@ -310,6 +336,9 @@ main(int argc, char **argv)
             opt.prepSmoke = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--fleet") {
             opt.fleet = true;
+        } else if (arg == "--fleet-chaos") {
+            opt.fleet = true;
+            opt.fleetChaos = true;
         } else if (arg == "--policy") {
             const std::string v = value();
             if (!tb::parsePlacementPolicy(v, opt.policy)) {
